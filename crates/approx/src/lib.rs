@@ -1,0 +1,28 @@
+//! # wdpt-approx — semantic optimization and approximation of WDPTs
+//!
+//! Sections 5 and 6 of Barceló & Pichler (PODS 2015):
+//!
+//! * [`cq_approx`] — the CQ-level substrate (re-implementation of the
+//!   Barceló–Libkin–Romero machinery, the paper's [4]): semantic
+//!   `C(k)`-membership of CQs via cores, and `C(k)`-approximations via
+//!   ⊆-maximal quotients.
+//! * [`wb`] — the well-behaved classes `WB(k)` for single WDPTs: the exact
+//!   certificate checkers behind Theorem 13 (membership in `M(WB(k))`) and
+//!   Definition 4 / Theorem 14 (`WB(k)`-approximation), plus a bounded
+//!   search over the pruning/quotient candidate space.
+//! * [`figure2`] — the explicit family `(p₁⁽ⁿ⁾, p₂⁽ⁿ⁾)` of Figure 2
+//!   witnessing the exponential lower bound on approximation size
+//!   (Theorem 15).
+//! * [`uwdpt`] — unions of WDPTs (Section 6): `φ_cq`, the reduced union,
+//!   exact `M(UWB(k))` membership (Proposition 9 / Theorem 17), and exact
+//!   `UWB(k)`-approximations (Theorem 18 / Proposition 10).
+
+pub mod cq_approx;
+pub mod figure2;
+pub mod uwdpt;
+pub mod wb;
+
+pub use cq_approx::{cq_approximations, semantically_in};
+pub use figure2::{figure2_p1, figure2_p2};
+pub use uwdpt::{phi_cq, reduced_phi_cq, Uwdpt};
+pub use wb::{find_wb_equivalent, is_wb_approximation_witness, wb_approximations};

@@ -1,0 +1,105 @@
+//! Ablation benchmarks for the engine design choices called out in
+//! `DESIGN.md` §2: per-column hash indexes, the dynamic most-constrained
+//! atom ordering, and the structured engines versus raw backtracking on
+//! instances inside the tractable classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdpt_cq::backtrack::{extend_exists_config, BacktrackConfig};
+use wdpt_cq::structured::{boolean_eval_structured, StructuredPlan};
+use wdpt_cq::ConjunctiveQuery;
+use wdpt_gen::db::random_graph_db;
+use wdpt_model::{Atom, Interner, Mapping, Var};
+
+fn path_cq(i: &mut Interner, n: usize) -> ConjunctiveQuery {
+    let e = i.pred("e");
+    let vs: Vec<Var> = (0..=n).map(|j| i.var(&format!("v{j}"))).collect();
+    ConjunctiveQuery::boolean(
+        vs.windows(2)
+            .map(|w| Atom::new(e, vec![w[0].into(), w[1].into()]))
+            .collect(),
+    )
+}
+
+const CONFIGS: [(&str, BacktrackConfig); 3] = [
+    (
+        "full",
+        BacktrackConfig {
+            use_index: true,
+            dynamic_order: true,
+        },
+    ),
+    (
+        "no_index",
+        BacktrackConfig {
+            use_index: false,
+            dynamic_order: true,
+        },
+    ),
+    (
+        "static_order",
+        BacktrackConfig {
+            use_index: true,
+            dynamic_order: false,
+        },
+    ),
+];
+
+fn bench_index_and_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/backtracking_features");
+    group.sample_size(15);
+    for db_edges in [400usize, 1600] {
+        let mut i = Interner::new();
+        let (db, _) = random_graph_db(&mut i, db_edges / 4, db_edges, 99);
+        let q = path_cq(&mut i, 6);
+        for (name, config) in CONFIGS {
+            group.bench_with_input(
+                BenchmarkId::new(name, db_edges),
+                &config,
+                |b, &config| {
+                    b.iter(|| extend_exists_config(&db, q.body(), &Mapping::empty(), config))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_structured_vs_backtracking_in_class(c: &mut Criterion) {
+    // On TW(1) queries both engines are polynomial; this quantifies the
+    // constant-factor cost of bag materialization vs raw search.
+    let mut group = c.benchmark_group("ablation/structured_overhead_on_tw1");
+    group.sample_size(15);
+    for n in [4usize, 8, 12] {
+        let mut i = Interner::new();
+        let (db, _) = random_graph_db(&mut i, 50, 400, 5);
+        let q = path_cq(&mut i, n);
+        let plan = StructuredPlan::for_query_tw(&q, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("backtrack", n), &q, |b, q| {
+            b.iter(|| {
+                extend_exists_config(
+                    &db,
+                    q.body(),
+                    &Mapping::empty(),
+                    BacktrackConfig::default(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tw1_structured", n), &q, |b, q| {
+            b.iter(|| boolean_eval_structured(q, &db, &plan, &Mapping::empty()))
+        });
+        group.bench_with_input(BenchmarkId::new("tw1_with_planning", n), &q, |b, q| {
+            b.iter(|| {
+                let plan = StructuredPlan::for_query_tw(q, 1).unwrap();
+                boolean_eval_structured(q, &db, &plan, &Mapping::empty())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_and_ordering,
+    bench_structured_vs_backtracking_in_class
+);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! The syntactic WDPT classes of the paper: local tractability `ℓ-C`,
+//! bounded interface `BI(c)`, and global tractability `g-C` (Section 3),
+//! plus the well-behaved classes `WB(k) = g-TW(k)` / `g-HW'(k)`
+//! (Section 5).
+
+use crate::tree::Wdpt;
+use std::collections::BTreeSet;
+use wdpt_cq::widths;
+use wdpt_model::Var;
+
+/// Which width measure defines the tractable CQ class `C(k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WidthKind {
+    /// Treewidth: `C(k) = TW(k)`.
+    Tw,
+    /// (Generalized) hypertreewidth: `C(k) = HW(k)`.
+    Hw,
+    /// β-hypertreewidth: `C(k) = HW'(k)` (closed under subqueries,
+    /// Section 5).
+    HwPrime,
+}
+
+impl WidthKind {
+    fn check(self, q: &wdpt_cq::ConjunctiveQuery, k: usize) -> bool {
+        match self {
+            WidthKind::Tw => widths::in_tw(q, k),
+            WidthKind::Hw => widths::in_hw(q, k),
+            WidthKind::HwPrime => widths::in_hw_prime(q, k),
+        }
+    }
+}
+
+/// Local tractability `p ∈ ℓ-C(k)`: every node label, read as a Boolean CQ,
+/// belongs to `C(k)` (Section 3.2).
+pub fn is_locally_in(p: &Wdpt, kind: WidthKind, k: usize) -> bool {
+    (0..p.node_count()).all(|t| kind.check(&p.node_cq(t), k))
+}
+
+/// The interface width of `p`: the maximum, over nodes `t`, of the number
+/// of variables shared between `λ(t)` and the labels of `t`'s children.
+/// `p ∈ BI(c)` iff this is ≤ c (Section 3.2).
+pub fn interface_width(p: &Wdpt) -> usize {
+    (0..p.node_count())
+        .map(|t| {
+            let vt = p.node_vars(t);
+            let child_vars: BTreeSet<Var> = p
+                .children(t)
+                .iter()
+                .flat_map(|&c| p.node_vars(c))
+                .collect();
+            vt.intersection(&child_vars).count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// `p ∈ BI(c)`: c-bounded interface.
+pub fn has_bounded_interface(p: &Wdpt, c: usize) -> bool {
+    interface_width(p) <= c
+}
+
+/// Guard for the exponential rooted-subtree enumeration of the global
+/// checks.
+pub const GLOBAL_CHECK_SUBTREE_LIMIT: u128 = 1 << 20;
+
+/// Global tractability `p ∈ g-C(k)`: the CQ `q_{T'}` of **every** rooted
+/// subtree `T'` belongs to `C(k)` (Section 3.3). The enumeration is
+/// exponential in the number of tree nodes.
+///
+/// # Panics
+/// Panics if `p` has more than [`GLOBAL_CHECK_SUBTREE_LIMIT`] rooted
+/// subtrees.
+pub fn is_globally_in(p: &Wdpt, kind: WidthKind, k: usize) -> bool {
+    let count = p.rooted_subtree_count();
+    assert!(
+        count <= GLOBAL_CHECK_SUBTREE_LIMIT,
+        "global tractability check over {count} rooted subtrees exceeds the limit"
+    );
+    let mut ok = true;
+    p.for_each_rooted_subtree(&mut |t| {
+        if ok {
+            let q = p.cq_of_subtree(t);
+            if !kind.check(&ConjBool::strip(&q), k) {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// Width checks only look at the hypergraph, which ignores the head; this
+/// tiny helper documents that intent.
+struct ConjBool;
+impl ConjBool {
+    fn strip(q: &wdpt_cq::ConjunctiveQuery) -> wdpt_cq::ConjunctiveQuery {
+        wdpt_cq::ConjunctiveQuery::boolean(q.body().to_vec())
+    }
+}
+
+/// `p ∈ WB(k)`: the well-behaved classes of Section 5 — `g-TW(k)` or
+/// `g-HW'(k)` (the hypertree variant must be closed under subqueries).
+pub fn in_wb(p: &Wdpt, kind: WidthKind, k: usize) -> bool {
+    match kind {
+        WidthKind::Tw => is_globally_in(p, WidthKind::Tw, k),
+        WidthKind::Hw | WidthKind::HwPrime => is_globally_in(p, WidthKind::HwPrime, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::WdptBuilder;
+    use wdpt_model::parse::parse_atoms;
+    use wdpt_model::Interner;
+
+    fn figure1(i: &mut Interner) -> Wdpt {
+        let root = parse_atoms(i, r#"rec_by(?x,?y) publ(?x,"after_2010")"#).unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(i, "nme_rating(?x,?z)").unwrap());
+        b.child(0, parse_atoms(i, "formed_in(?y,?z2)").unwrap());
+        let free = ["x", "y", "z", "z2"].iter().map(|n| i.var(n)).collect();
+        b.build(free).unwrap()
+    }
+
+    #[test]
+    fn example6_classification() {
+        // Example 6: the Figure 1 WDPT is in ℓ-TW(1) and BI(2).
+        let mut i = Interner::new();
+        let p = figure1(&mut i);
+        assert!(is_locally_in(&p, WidthKind::Tw, 1));
+        assert_eq!(interface_width(&p), 2); // x with child 1, y with child 2
+        assert!(has_bounded_interface(&p, 2));
+        assert!(!has_bounded_interface(&p, 1));
+    }
+
+    #[test]
+    fn figure1_is_globally_tractable() {
+        let mut i = Interner::new();
+        let p = figure1(&mut i);
+        assert!(is_globally_in(&p, WidthKind::Tw, 1));
+        assert!(is_globally_in(&p, WidthKind::Hw, 1));
+        assert!(in_wb(&p, WidthKind::Tw, 1));
+    }
+
+    #[test]
+    fn local_but_not_global() {
+        // Each node is a single edge (TW(1) locally) but together the three
+        // nodes close a triangle: the full subtree has treewidth 2.
+        let mut i = Interner::new();
+        let root = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        let c1 = b.child(0, parse_atoms(&mut i, "e(?y,?z) e(?x,?w)").unwrap());
+        b.child(c1, parse_atoms(&mut i, "e(?z,?x)").unwrap());
+        let free = vec![i.var("x")];
+        let p = b.build(free).unwrap();
+        assert!(is_locally_in(&p, WidthKind::Tw, 1));
+        assert!(!is_globally_in(&p, WidthKind::Tw, 1));
+        assert!(is_globally_in(&p, WidthKind::Tw, 2));
+    }
+
+    #[test]
+    fn proposition2_inclusion_on_samples() {
+        // Prop. 2(1): ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k + 2c) — check on the
+        // Figure 1 tree and the triangle tree above.
+        let mut i = Interner::new();
+        let p = figure1(&mut i);
+        let k = 1;
+        let c = interface_width(&p);
+        assert!(is_locally_in(&p, WidthKind::Tw, k));
+        assert!(is_globally_in(&p, WidthKind::Tw, k + 2 * c));
+    }
+
+    #[test]
+    fn proposition2_witness_family() {
+        // Prop. 2(2): a family in g-TW(1) with unbounded interface — a root
+        // sharing many variables with one child, all in one path-shaped
+        // hypergraph. Root: path on u1..un; child: same variables extended.
+        let mut i = Interner::new();
+        let n = 6;
+        let mut root_atoms = Vec::new();
+        for j in 0..n - 1 {
+            root_atoms
+                .push(parse_atoms(&mut i, &format!("e(?u{j},?u{})", j + 1)).unwrap()[0].clone());
+        }
+        let mut child_atoms = Vec::new();
+        for j in 0..n - 1 {
+            child_atoms
+                .push(parse_atoms(&mut i, &format!("e(?u{j},?u{})", j + 1)).unwrap()[0].clone());
+        }
+        let mut b = WdptBuilder::new(root_atoms);
+        b.child(0, child_atoms);
+        let p = b.build(vec![i.var("u0")]).unwrap();
+        assert!(is_globally_in(&p, WidthKind::Tw, 1));
+        assert_eq!(interface_width(&p), n); // unbounded as n grows
+    }
+
+    #[test]
+    fn single_node_interface_is_zero() {
+        let mut i = Interner::new();
+        let p = WdptBuilder::new(parse_atoms(&mut i, "e(?x,?y)").unwrap())
+            .build(vec![i.var("x")])
+            .unwrap();
+        assert_eq!(interface_width(&p), 0);
+        assert!(has_bounded_interface(&p, 0));
+    }
+
+    #[test]
+    fn hw_prime_distinguishes_from_hw() {
+        // Node label = clique + covering atom: in HW(1) but not HW'(1).
+        let mut i = Interner::new();
+        let mut body = String::new();
+        for a in 1..=4 {
+            for b in a + 1..=4 {
+                body.push_str(&format!("e(?x{a},?x{b}) "));
+            }
+        }
+        body.push_str("t(?x1,?x2,?x3,?x4)");
+        let atoms = parse_atoms(&mut i, &body).unwrap();
+        let p = WdptBuilder::new(atoms).build(vec![]).unwrap();
+        assert!(is_locally_in(&p, WidthKind::Hw, 1));
+        assert!(!is_locally_in(&p, WidthKind::HwPrime, 1));
+        assert!(is_globally_in(&p, WidthKind::Hw, 1));
+        assert!(!in_wb(&p, WidthKind::Hw, 1));
+    }
+}

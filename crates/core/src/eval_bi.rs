@@ -1,0 +1,304 @@
+//! Tractable exact evaluation under local tractability + bounded interface
+//! (Theorem 6 / Theorem 7 of the paper).
+//!
+//! Implements the algorithm sketched in Appendix A.1: given `p ∈ ℓ-C ∩
+//! BI(c)`, a database `D`, and a candidate answer `h`,
+//!
+//! 1. let `T'` be the minimal rooted subtree covering `dom(h)` and `T''`
+//!    the maximal rooted subtree introducing no free variable outside
+//!    `dom(h)`;
+//! 2. for every node `t ∈ T''`, compute the *interface relation* `R_t`: all
+//!    assignments of `t`'s interface variables (existential variables shared
+//!    with the parent or with a child) extendable to a homomorphism of
+//!    `λ(t)` consistent with `h` — by local CQ evaluation, polynomial under
+//!    local tractability, with at most `|adom|^{2c}` assignments under
+//!    `BI(c)`;
+//! 3. filter `R_t` bottom-up: an interface assignment survives iff every
+//!    child outside `T''` is non-extendable (otherwise maximality would
+//!    force a new free variable) and every extendable child inside `T''`
+//!    admits a compatible surviving assignment;
+//! 4. answer the tree-shaped (acyclic) Boolean join of the surviving
+//!    relations over `T'` — the paper's CQ `q` over database `D'`.
+//!
+//! All CQ work happens on single node labels, so the procedure is
+//! polynomial for fixed `k` and `c` (and in LogCFL with the structured
+//! engines, Theorem 7).
+
+use crate::engine::Engine;
+use crate::tree::{NodeId, Wdpt};
+use std::collections::{BTreeMap, BTreeSet};
+use wdpt_model::{Database, Mapping, Var};
+
+/// Decides `h ∈ p(D)` with the Theorem 6 algorithm. Correct for every
+/// WDPT; polynomial when `p` is locally tractable w.r.t. `engine`'s class
+/// and has bounded interface.
+pub fn eval_bounded_interface(p: &Wdpt, db: &Database, h: &Mapping, engine: Engine) -> bool {
+    let free = p.free_set();
+    let dom = h.domain();
+    if !dom.is_subset(&free) {
+        return false;
+    }
+    let Some(tprime) = p.minimal_subtree_covering(&dom) else {
+        return false;
+    };
+    // Any homomorphism covering dom(h) also defines the free variables of
+    // T'; projection-exactness forces them to be exactly dom(h).
+    if p.subtree_free_vars(&tprime) != dom {
+        return false;
+    }
+    let tsecond = p.maximal_subtree_with_free_vars_in(&dom);
+    debug_assert!(tprime.is_subset(&tsecond));
+
+    // Interface variables per node of T''.
+    let iface: BTreeMap<NodeId, BTreeSet<Var>> = tsecond
+        .iter()
+        .map(|&t| (t, interface_vars(p, t, &free)))
+        .collect();
+
+    // Interface relations R_t (step 2).
+    let mut relations: BTreeMap<NodeId, Vec<Mapping>> = BTreeMap::new();
+    for &t in &tsecond {
+        let r = engine.project(&p.node_cq(t), db, &iface[&t], h);
+        relations.insert(t, r);
+    }
+
+    // Bottom-up filtering (step 3), fused with the acyclic join over T'
+    // (step 4): process deepest nodes first.
+    let mut order: Vec<NodeId> = tsecond.iter().copied().collect();
+    order.sort_by_key(|&t| std::cmp::Reverse(p.depth(t)));
+    let mut surviving: BTreeMap<NodeId, Vec<Mapping>> = BTreeMap::new();
+    for &t in &order {
+        let vars_t = p.node_vars(t);
+        let h_t = h.restrict(&vars_t);
+        let mut kept = Vec::new();
+        'tuples: for g in &relations[&t] {
+            let anchored = h_t
+                .union(g)
+                .expect("interface variables are existential, disjoint from h");
+            for &c in p.children(t) {
+                if tprime.contains(&c) {
+                    // Handled by the acyclic join below.
+                    continue;
+                }
+                // Raw extendability: an extension with arbitrary values
+                // forces inclusion of c by maximality.
+                let raw = engine.hom_exists(&p.node_cq(c), db, &anchored);
+                if !raw {
+                    continue;
+                }
+                if !tsecond.contains(&c) {
+                    // Forced into a node introducing a new free variable:
+                    // the projection could not be exactly h.
+                    continue 'tuples;
+                }
+                // Must enter c consistently with a surviving assignment.
+                let ok = surviving[&c].iter().any(|gc| gc.compatible(&anchored));
+                if !ok {
+                    continue 'tuples;
+                }
+            }
+            if tprime.contains(&t) {
+                // The acyclic join: all T'-children must offer a compatible
+                // surviving tuple.
+                for &c in p.children(t) {
+                    if !tprime.contains(&c) {
+                        continue;
+                    }
+                    let ok = surviving[&c].iter().any(|gc| gc.compatible(&anchored));
+                    if !ok {
+                        continue 'tuples;
+                    }
+                }
+            }
+            kept.push(g.clone());
+        }
+        surviving.insert(t, kept);
+    }
+    !surviving[&p.root()].is_empty()
+}
+
+/// The interface variables of node `t`: existential variables shared with
+/// the parent or with any child (in the full tree). Under `BI(c)` there are
+/// at most `2c` of them.
+fn interface_vars(p: &Wdpt, t: NodeId, free: &BTreeSet<Var>) -> BTreeSet<Var> {
+    let vars_t = p.node_vars(t);
+    let mut shared = BTreeSet::new();
+    if let Some(parent) = p.parent(t) {
+        let pv = p.node_vars(parent);
+        shared.extend(vars_t.intersection(&pv).copied());
+    }
+    for &c in p.children(t) {
+        let cv = p.node_vars(c);
+        shared.extend(vars_t.intersection(&cv).copied());
+    }
+    shared.into_iter().filter(|v| !free.contains(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_decide;
+    use crate::semantics::evaluate;
+    use crate::tree::WdptBuilder;
+    use wdpt_model::parse::{parse_atoms, parse_database, parse_mapping};
+    use wdpt_model::Interner;
+
+    fn figure1(i: &mut Interner) -> (Wdpt, Database) {
+        let root = parse_atoms(i, r#"rec_by(?x,?y) publ(?x,"after_2010")"#).unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(i, "nme_rating(?x,?z)").unwrap());
+        b.child(0, parse_atoms(i, "formed_in(?y,?z2)").unwrap());
+        let free = ["x", "y", "z", "z2"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(
+            i,
+            r#"rec_by("Our_love","Caribou") publ("Our_love","after_2010")
+               rec_by("Swim","Caribou") publ("Swim","after_2010")
+               nme_rating("Swim","2")"#,
+        )
+        .unwrap();
+        (p, db)
+    }
+
+    #[test]
+    fn matches_general_eval_on_figure1() {
+        let mut i = Interner::new();
+        let (p, db) = figure1(&mut i);
+        let mu1 = parse_mapping(&mut i, r#"?x -> "Our_love", ?y -> "Caribou""#).unwrap();
+        let mu2 = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou", ?z -> "2""#).unwrap();
+        let bad = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou""#).unwrap();
+        for engine in [Engine::Backtrack, Engine::Tw(1), Engine::Hw(1)] {
+            assert!(eval_bounded_interface(&p, &db, &mu1, engine));
+            assert!(eval_bounded_interface(&p, &db, &mu2, engine));
+            assert!(!eval_bounded_interface(&p, &db, &bad, engine));
+        }
+    }
+
+    /// Build a random small WDPT with projection and compare against the
+    /// general decision procedure on every candidate answer and probes.
+    #[test]
+    fn agrees_with_general_eval_on_random_instances() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for case in 0..40 {
+            let mut i = Interner::new();
+            let e = i.pred("e");
+            let f = i.pred("f");
+            let mut db = wdpt_model::Database::new();
+            for _ in 0..(4 + next() % 8) {
+                let a = i.constant(&format!("c{}", next() % 4));
+                let b = i.constant(&format!("c{}", next() % 4));
+                db.insert(e, vec![a, b]);
+                if next() % 2 == 0 {
+                    db.insert(f, vec![a, b]);
+                }
+            }
+            // Tree: root e(x,u); children use u (existential interface) and
+            // introduce free vars y (child 1) and z (grandchild).
+            let x = i.var("x");
+            let u = i.var("u");
+            let y = i.var("y");
+            let z = i.var("z");
+            let w = i.var("w");
+            let root = vec![wdpt_model::Atom::new(e, vec![x.into(), u.into()])];
+            let mut b = WdptBuilder::new(root);
+            let c1 = b.child(
+                0,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![u.into(), y.into()],
+                )],
+            );
+            b.child(
+                c1,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![y.into(), z.into()],
+                )],
+            );
+            b.child(
+                0,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![u.into(), w.into()],
+                )],
+            );
+            // w stays existential: answers project onto x, y, z.
+            let p = b.build(vec![x, y, z]).unwrap();
+            let answers = evaluate(&p, &db);
+            for h in &answers {
+                for engine in [Engine::Backtrack, Engine::Tw(1)] {
+                    assert!(
+                        eval_bounded_interface(&p, &db, h, engine),
+                        "case {case}: true answer {h} rejected"
+                    );
+                }
+            }
+            // Random probes.
+            for _ in 0..6 {
+                let mut probe = Mapping::empty();
+                probe.insert(x, i.constant(&format!("c{}", next() % 4)));
+                if next() % 2 == 0 {
+                    probe.insert(y, i.constant(&format!("c{}", next() % 4)));
+                }
+                if next() % 3 == 0 {
+                    probe.insert(z, i.constant(&format!("c{}", next() % 4)));
+                }
+                let expected = eval_decide(&p, &db, &probe);
+                assert_eq!(
+                    eval_bounded_interface(&p, &db, &probe, Engine::Backtrack),
+                    expected,
+                    "case {case}: probe {probe} disagreed"
+                );
+                assert_eq!(
+                    eval_bounded_interface(&p, &db, &probe, Engine::Tw(1)),
+                    expected,
+                    "case {case}: probe {probe} disagreed under TW engine"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_mapping() {
+        let mut i = Interner::new();
+        // Root has no free variables; h = ∅ is the answer iff the root
+        // matches but no optional branch extends.
+        let root = parse_atoms(&mut i, "a(?u)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(&mut i, "b(?u,?y)").unwrap());
+        let p = b.build(vec![i.var("y")]).unwrap();
+        let db1 = parse_database(&mut i, "a(1)").unwrap();
+        let db2 = parse_database(&mut i, "a(1) b(1,2)").unwrap();
+        let empty = Mapping::empty();
+        assert!(eval_bounded_interface(&p, &db1, &empty, Engine::Backtrack));
+        // In db2 the branch extends, so ∅ is not maximal... but u=1 is the
+        // only choice and it extends; hence ∅ ∉ p(D).
+        assert!(!eval_bounded_interface(&p, &db2, &empty, Engine::Backtrack));
+        assert!(eval_decide(&p, &db1, &empty));
+        assert!(!eval_decide(&p, &db2, &empty));
+    }
+
+    #[test]
+    fn existential_choice_can_block_extension() {
+        let mut i = Interner::new();
+        // Root a(u): u ∈ {1, 2}. Child b(u, y): only b(1, 5) exists. The
+        // answer ∅ IS in p(D) via u = 2 (not extendable); {y↦5} via u = 1.
+        let root = parse_atoms(&mut i, "a(?u)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(&mut i, "b(?u,?y)").unwrap());
+        let p = b.build(vec![i.var("y")]).unwrap();
+        let db = parse_database(&mut i, "a(1) a(2) b(1,5)").unwrap();
+        let empty = Mapping::empty();
+        let y5 = parse_mapping(&mut i, "?y -> 5").unwrap();
+        for engine in [Engine::Backtrack, Engine::Tw(1), Engine::Hw(1)] {
+            assert!(eval_bounded_interface(&p, &db, &empty, engine));
+            assert!(eval_bounded_interface(&p, &db, &y5, engine));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # wdpt-core — well-designed pattern trees
+//!
+//! The primary contribution of Barceló & Pichler (PODS 2015): WDPTs over
+//! arbitrary relational schemas, their semantics, tractable classes, the
+//! evaluation-problem variants, and subsumption.
+//!
+//! * [`tree`] — the WDPT type `(T, λ, x̄)` with well-designedness checking
+//!   and rooted-subtree machinery (Definitions 1–2).
+//! * [`semantics`] — maximal homomorphisms, `p(D)`, `p_m(D)`.
+//! * [`classes`] — local tractability `ℓ-C(k)`, bounded interface `BI(c)`,
+//!   global tractability `g-C(k)`, the well-behaved classes `WB(k)`
+//!   (Sections 3 and 5).
+//! * [`engine`] — the pluggable CQ oracle (backtracking vs `TW(k)` vs
+//!   `HW(k)` structured evaluation).
+//! * [`eval`] — the general EVAL decision procedure (Σ₂ᵖ, Theorem 1).
+//! * [`eval_bi`] — the Theorem 6 polynomial algorithm for
+//!   `ℓ-C(k) ∩ BI(c)`.
+//! * [`projection_free`] — the Theorem 4 polynomial algorithm for
+//!   projection-free locally tractable trees.
+//! * [`variants`] — PARTIAL-EVAL (Theorem 8) and MAX-EVAL (Theorem 9),
+//!   polynomial under global tractability.
+//! * [`subsumption`] — `⊑`, `≡ₛ`, and MAXEQUIVALENCE (Section 4,
+//!   Theorems 11–12, Proposition 5).
+
+pub mod classes;
+pub mod engine;
+pub mod eval;
+pub mod eval_bi;
+pub mod optimize;
+pub mod projection_free;
+pub mod semantics;
+pub mod subsumption;
+pub mod text;
+pub mod tree;
+pub mod variants;
+
+pub use classes::{
+    has_bounded_interface, in_wb, interface_width, is_globally_in, is_locally_in, WidthKind,
+};
+pub use engine::Engine;
+pub use eval::eval_decide;
+pub use eval_bi::eval_bounded_interface;
+pub use optimize::normalize;
+pub use projection_free::eval_projection_free;
+pub use semantics::{evaluate, evaluate_max, maximal_homomorphisms};
+pub use subsumption::{max_equivalent, subsumed, subsumption_equivalent};
+pub use text::{parse_wdpt, to_text};
+pub use tree::{NodeId, Subtree, Wdpt, WdptBuilder, WdptError};
+pub use variants::{max_eval_decide, partial_eval_decide};

@@ -1,0 +1,336 @@
+//! Answer-preserving WDPT normalization (the size-reduction steps of
+//! Lemma 1, Section 5 of the paper).
+//!
+//! Lemma 1's proof bounds the node count of subsumption witnesses by two
+//! transformations that never change `p(D)`:
+//!
+//! 1. **Branch pruning.** A node none of whose descendants (itself
+//!    included) introduces a free variable only constrains existential
+//!    bindings; including or excluding its subtree never changes the
+//!    projection of a maximal homomorphism. Delete every node that is not
+//!    on a path from the root to a free-variable-introducing node.
+//! 2. **Chain merging.** A node introducing no free variable whose only
+//!    child carries the rest of the branch can be merged with that child.
+//!
+//! Branch pruning preserves `p(D)` exactly. Chain merging preserves only
+//! **subsumption-equivalence** (`normalize(p) ≡ₛ p`, hence equal partial
+//! answers and equal `p_m(D)`): an answer that stopped *between* the two
+//! merged nodes can lose its non-maximal projection — precisely why
+//! Section 5 of the paper works modulo `≡ₛ` rather than `≡`. See the
+//! `merging_may_shrink_p_of_d` test for the counterexample.
+//!
+//! The result has at most `2·|x̄| + 1` nodes — the linear bound the lemma
+//! needs — and is useful on its own as a query optimizer: fewer nodes mean
+//! fewer subtrees for subsumption tests and fewer OPT levels at evaluation
+//! time.
+
+use crate::tree::{NodeId, Wdpt, WdptBuilder};
+use wdpt_model::Var;
+
+/// Applies both Lemma 1 normalization steps. The result is
+/// subsumption-equivalent to `p` (`normalize(p) ≡ₛ p`): partial answers
+/// and the maximal-mapping semantics `p_m(D)` are preserved over every
+/// database, though non-maximal members of `p(D)` may be dropped by the
+/// chain-merging step (see module docs).
+pub fn normalize(p: &Wdpt) -> Wdpt {
+    merge_chains(&prune_branches(p))
+}
+
+/// Step 1: keeps only nodes on a root-path to a node introducing a free
+/// variable (the root is always kept).
+pub fn prune_branches(p: &Wdpt) -> Wdpt {
+    let free = p.free_set();
+    // introduces[t] ⇔ some free variable has its top occurrence at t.
+    let introduces: Vec<bool> = (0..p.node_count())
+        .map(|t| {
+            p.node_vars(t).iter().any(|v| {
+                free.contains(v) && p.top_node_of(*v) == Some(t)
+            })
+        })
+        .collect();
+    // keep[t] ⇔ t or some descendant introduces a free variable.
+    let mut keep = vec![false; p.node_count()];
+    fn mark(p: &Wdpt, t: NodeId, introduces: &[bool], keep: &mut [bool]) -> bool {
+        let mut any = introduces[t];
+        for &c in p.children(t) {
+            any |= mark(p, c, introduces, keep);
+        }
+        keep[t] = any;
+        any
+    }
+    mark(p, p.root(), &introduces, &mut keep);
+    keep[p.root()] = true;
+    rebuild(p, &keep)
+}
+
+/// Step 2: merges every node that introduces no free variable (all its
+/// free variables already occur in ancestors) with its only child,
+/// repeatedly.
+pub fn merge_chains(p: &Wdpt) -> Wdpt {
+    let free = p.free_set();
+    let mut current = p.clone();
+    loop {
+        let merge_at = (0..current.node_count()).find(|&t| {
+            current.children(t).len() == 1
+                && t != current.root()
+                && current
+                    .node_vars(t)
+                    .iter()
+                    .all(|v: &Var| !free.contains(v) || current.top_node_of(*v) != Some(t))
+        });
+        let Some(t) = merge_at else {
+            return current;
+        };
+        let child = current.children(t)[0];
+        // Rebuild with t's atoms folded into the child and t removed.
+        let mut b: Option<WdptBuilder> = None;
+        let mut new_id = vec![usize::MAX; current.node_count()];
+        // Process nodes root-first (ids are parent-before-child).
+        for n in 0..current.node_count() {
+            if n == t {
+                continue;
+            }
+            let mut atoms = current.atoms(n).to_vec();
+            if n == child {
+                atoms.extend(current.atoms(t).iter().cloned());
+            }
+            match current.parent(n) {
+                None => b = Some(WdptBuilder::new(atoms)),
+                Some(par) => {
+                    // t's child is re-attached to t's parent.
+                    let par = if par == t {
+                        current.parent(t).expect("t is not the root")
+                    } else {
+                        par
+                    };
+                    let builder = b.as_mut().expect("root processed first");
+                    new_id[n] = builder.child(new_id[par], atoms);
+                }
+            }
+            if current.parent(n).is_none() {
+                new_id[n] = 0;
+            }
+        }
+        current = b
+            .expect("tree has a root")
+            .build(current.free_vars().to_vec())
+            .expect("merging preserves well-designedness");
+    }
+}
+
+/// Rebuilds `p` restricted to the kept nodes (which must be parent-closed).
+fn rebuild(p: &Wdpt, keep: &[bool]) -> Wdpt {
+    let mut b: Option<WdptBuilder> = None;
+    let mut new_id = vec![usize::MAX; p.node_count()];
+    for t in 0..p.node_count() {
+        if !keep[t] {
+            continue;
+        }
+        let atoms = p.atoms(t).to_vec();
+        match p.parent(t) {
+            None => {
+                b = Some(WdptBuilder::new(atoms));
+                new_id[t] = 0;
+            }
+            Some(par) => {
+                debug_assert!(keep[par], "kept set must be parent-closed");
+                let builder = b.as_mut().expect("root processed first");
+                new_id[t] = builder.child(new_id[par], atoms);
+            }
+        }
+    }
+    // Free variables of p that still occur (pruning only removes nodes
+    // without free variables, so the free tuple is unchanged).
+    b.expect("root is always kept")
+        .build(p.free_vars().to_vec())
+        .expect("pruning preserves well-designedness")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::evaluate;
+    use crate::tree::WdptBuilder;
+    use wdpt_model::parse::{parse_atoms, parse_database};
+    use wdpt_model::Interner;
+
+    #[test]
+    fn prunes_free_var_less_branch() {
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        b.child(0, parse_atoms(&mut i, "b(?x,?u)").unwrap()); // no free vars
+        b.child(0, parse_atoms(&mut i, "c(?x,?y)").unwrap()); // introduces y
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.node_count(), 2);
+    }
+
+    #[test]
+    fn merges_free_var_less_chain() {
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        let c1 = b.child(0, parse_atoms(&mut i, "b(?x,?u)").unwrap()); // no free vars
+        b.child(c1, parse_atoms(&mut i, "c(?u,?y)").unwrap()); // introduces y
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.node_count(), 2);
+        assert_eq!(n.atoms(1).len(), 2); // b and c merged
+    }
+
+    #[test]
+    fn normalization_preserves_answers() {
+        let mut state = 0x0fed_cba9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for case in 0..30 {
+            let mut i = Interner::new();
+            let e = i.pred("e");
+            let f = i.pred("f");
+            let mut db = wdpt_model::Database::new();
+            for _ in 0..(4 + next() % 8) {
+                let a = i.constant(&format!("c{}", next() % 3));
+                let b2 = i.constant(&format!("c{}", next() % 3));
+                db.insert(e, vec![a, b2]);
+                if next() % 2 == 0 {
+                    db.insert(f, vec![b2, a]);
+                }
+            }
+            // Tree with a mix of free and purely-existential branches.
+            let x = i.var("x");
+            let u = i.var("u");
+            let v = i.var("v");
+            let y = i.var("y");
+            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(
+                e,
+                vec![x.into(), u.into()],
+            )]);
+            let c1 = b.child(
+                0,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![u.into(), v.into()],
+                )],
+            );
+            b.child(
+                c1,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![v.into(), y.into()],
+                )],
+            );
+            b.child(0, vec![wdpt_model::Atom::new(f, vec![u.into(), v.into()])]);
+            let p = match b.build(vec![x, y]) {
+                Ok(p) => p,
+                Err(_) => continue, // v occurrences may disconnect
+            };
+            let n = normalize(&p);
+            // ≡ₛ invariants: equal maximal-mapping semantics, and every
+            // answer of either tree extended by an answer of the other.
+            let mut m1 = crate::semantics::evaluate_max(&p, &db);
+            let mut m2 = crate::semantics::evaluate_max(&n, &db);
+            m1.sort();
+            m2.sort();
+            assert_eq!(m1, m2, "case {case}: normalization changed p_m(D)");
+            let a1 = evaluate(&p, &db);
+            let a2 = evaluate(&n, &db);
+            for h in &a1 {
+                assert!(
+                    a2.iter().any(|h2| h.subsumed_by(h2)),
+                    "case {case}: answer of p not covered"
+                );
+            }
+            for h in &a2 {
+                assert!(
+                    a1.iter().any(|h2| h.subsumed_by(h2)),
+                    "case {case}: answer of normalize(p) not covered"
+                );
+            }
+            assert!(n.node_count() <= p.node_count());
+        }
+    }
+
+    #[test]
+    fn node_count_is_linear_in_free_vars() {
+        // A deep chain introducing one free variable at the bottom
+        // collapses to at most 2 nodes... the root plus one merged node.
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        let mut prev = 0;
+        for j in 0..6 {
+            prev = b.child(
+                prev,
+                parse_atoms(&mut i, &format!("e(?{}, ?u{})", if j == 0 { "x".into() } else { format!("u{}", j - 1) }, j)).unwrap(),
+            );
+        }
+        b.child(prev, parse_atoms(&mut i, "e(?u5, ?y)").unwrap());
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let n = normalize(&p);
+        assert_eq!(n.node_count(), 2);
+        let free: std::collections::BTreeSet<Var> = n.free_set();
+        assert_eq!(free.len(), 2);
+    }
+
+    #[test]
+    fn already_normal_trees_are_unchanged() {
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        b.child(0, parse_atoms(&mut i, "b(?x,?y)").unwrap());
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let n = normalize(&p);
+        assert_eq!(n, p);
+    }
+
+    #[test]
+    fn merging_may_shrink_p_of_d() {
+        // The counterexample showing chain merging is only ≡ₛ-preserving:
+        // root a(?x); t = b(?x,?u) (no new free vars); child c(?u,?y).
+        // With b(1,5), b(1,6), c(6,9): the original has the non-maximal
+        // answer {x↦1} via u = 5 (child blocked); the merged tree forces
+        // u = 6 and loses it.
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        let c1 = b.child(0, parse_atoms(&mut i, "b(?x,?u)").unwrap());
+        b.child(c1, parse_atoms(&mut i, "c(?u,?y)").unwrap());
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let n = normalize(&p);
+        let db = parse_database(&mut i, "a(1) b(1,5) b(1,6) c(6,9)").unwrap();
+        let a_orig = evaluate(&p, &db);
+        let a_norm = evaluate(&n, &db);
+        assert_eq!(a_orig.len(), 2); // {x↦1} and {x↦1, y↦9}
+        assert_eq!(a_norm.len(), 1); // only {x↦1, y↦9}
+        // …but the ≡ₛ-level semantics agree.
+        assert_eq!(
+            crate::semantics::evaluate_max(&p, &db),
+            crate::semantics::evaluate_max(&n, &db)
+        );
+        assert!(crate::subsumption::subsumption_equivalent(
+            &p,
+            &n,
+            crate::Engine::Backtrack,
+            crate::Engine::Backtrack,
+            &mut i
+        ));
+    }
+
+    #[test]
+    fn database_check() {
+        // Concrete end-to-end: pruned optional branch must not change the
+        // forced-extension behavior of the kept branch.
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        b.child(0, parse_atoms(&mut i, "blocked(?x,?u)").unwrap());
+        b.child(0, parse_atoms(&mut i, "c(?x,?y)").unwrap());
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let n = normalize(&p);
+        let db = parse_database(&mut i, "a(1) c(1,7) blocked(1,9)").unwrap();
+        let mut a1 = evaluate(&p, &db);
+        let mut a2 = evaluate(&n, &db);
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2);
+    }
+}

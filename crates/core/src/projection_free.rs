@@ -1,0 +1,216 @@
+//! Tractable evaluation of projection-free WDPTs (Theorem 4 of the paper).
+//!
+//! For projection-free trees every variable is free, so a candidate answer
+//! `h` determines the whole homomorphism. Evaluation reduces to local
+//! checks ([17]):
+//!
+//! 1. grow the unique maximal rooted subtree `T*` of nodes whose variables
+//!    lie in `dom(h)` and whose (now ground) atoms are all in `D`;
+//! 2. `h ∈ p(D)` iff `T*` exists (the root qualifies), its variables are
+//!    exactly `dom(h)`, and no child of `T*` admits a homomorphism
+//!    extension — a per-node CQ check that is polynomial under local
+//!    tractability.
+//!
+//! This realizes the `EVAL(C') ∈ PTIME` claim of Theorem 4 for any class
+//! `C` of CQs with tractable evaluation, via the pluggable [`Engine`].
+
+use crate::engine::Engine;
+use crate::tree::Wdpt;
+use wdpt_model::{Database, Mapping};
+
+/// Decides `h ∈ p(D)` for a **projection-free** WDPT in polynomial time
+/// (given local tractability w.r.t. `engine`'s class).
+///
+/// # Panics
+/// Panics if `p` is not projection-free — use [`crate::eval_decide`] or
+/// [`crate::eval_bounded_interface`] for trees with projection.
+pub fn eval_projection_free(p: &Wdpt, db: &Database, h: &Mapping, engine: Engine) -> bool {
+    assert!(
+        p.is_projection_free(),
+        "eval_projection_free requires a projection-free WDPT"
+    );
+    let dom = h.domain();
+    if !dom.is_subset(&p.free_set()) {
+        return false;
+    }
+    // Step 1: grow T*.
+    let satisfied = |t: usize| -> bool {
+        p.node_vars(t).is_subset(&dom)
+            && p.atoms(t).iter().all(|a| db.contains_atom(&a.apply(h)))
+    };
+    if !satisfied(p.root()) {
+        return false;
+    }
+    let mut in_star = vec![false; p.node_count()];
+    in_star[p.root()] = true;
+    let mut stack = vec![p.root()];
+    let mut covered = p.node_vars(p.root());
+    while let Some(t) = stack.pop() {
+        for &c in p.children(t) {
+            if satisfied(c) {
+                in_star[c] = true;
+                covered.extend(p.node_vars(c));
+                stack.push(c);
+            }
+        }
+    }
+    // Step 2a: exact domain.
+    if covered != dom {
+        return false;
+    }
+    // Step 2b: maximality — no excluded child of T* extends.
+    for t in 0..p.node_count() {
+        if !in_star[t] {
+            continue;
+        }
+        for &c in p.children(t) {
+            if in_star[c] {
+                continue;
+            }
+            if engine.hom_exists(&p.node_cq(c), db, h) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_decide;
+    use crate::semantics::evaluate;
+    use crate::tree::WdptBuilder;
+    use wdpt_model::parse::{parse_atoms, parse_database, parse_mapping};
+    use wdpt_model::Interner;
+
+    fn figure1(i: &mut Interner) -> (Wdpt, Database) {
+        let root = parse_atoms(i, r#"rec_by(?x,?y) publ(?x,"after_2010")"#).unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(i, "nme_rating(?x,?z)").unwrap());
+        b.child(0, parse_atoms(i, "formed_in(?y,?z2)").unwrap());
+        let free = ["x", "y", "z", "z2"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(
+            i,
+            r#"rec_by("Our_love","Caribou") publ("Our_love","after_2010")
+               rec_by("Swim","Caribou") publ("Swim","after_2010")
+               nme_rating("Swim","2")"#,
+        )
+        .unwrap();
+        (p, db)
+    }
+
+    #[test]
+    fn matches_example2_answers() {
+        let mut i = Interner::new();
+        let (p, db) = figure1(&mut i);
+        let mu1 = parse_mapping(&mut i, r#"?x -> "Our_love", ?y -> "Caribou""#).unwrap();
+        let mu2 = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou", ?z -> "2""#).unwrap();
+        let not_max = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou""#).unwrap();
+        for engine in [Engine::Backtrack, Engine::Tw(1), Engine::Hw(1)] {
+            assert!(eval_projection_free(&p, &db, &mu1, engine));
+            assert!(eval_projection_free(&p, &db, &mu2, engine));
+            assert!(!eval_projection_free(&p, &db, &not_max, engine));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_values() {
+        let mut i = Interner::new();
+        let (p, db) = figure1(&mut i);
+        let wrong = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Nobody""#).unwrap();
+        assert!(!eval_projection_free(&p, &db, &wrong, Engine::Backtrack));
+    }
+
+    #[test]
+    #[should_panic(expected = "projection-free")]
+    fn rejects_trees_with_projection() {
+        let mut i = Interner::new();
+        let atoms = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        let p = WdptBuilder::new(atoms).build(vec![i.var("x")]).unwrap();
+        let db = parse_database(&mut i, "e(1,2)").unwrap();
+        let h = parse_mapping(&mut i, "?x -> 1").unwrap();
+        eval_projection_free(&p, &db, &h, Engine::Backtrack);
+    }
+
+    #[test]
+    fn agrees_with_general_eval_on_random_instances() {
+        let mut state = 0x77aa_11bbu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for case in 0..40 {
+            let mut i = Interner::new();
+            let e = i.pred("e");
+            let f = i.pred("f");
+            let mut db = Database::new();
+            for _ in 0..(4 + next() % 8) {
+                let a = i.constant(&format!("c{}", next() % 4));
+                let b = i.constant(&format!("c{}", next() % 4));
+                db.insert(e, vec![a, b]);
+                if next() % 2 == 0 {
+                    db.insert(f, vec![b, a]);
+                }
+            }
+            let x = i.var("x");
+            let y = i.var("y");
+            let z = i.var("z");
+            let w = i.var("w");
+            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(
+                e,
+                vec![x.into(), y.into()],
+            )]);
+            let c1 = b.child(
+                0,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![y.into(), z.into()],
+                )],
+            );
+            b.child(
+                c1,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![z.into(), w.into()],
+                )],
+            );
+            let p = b.build(vec![x, y, z, w]).unwrap();
+            // Every true answer accepted; general decision agrees on probes.
+            for h in evaluate(&p, &db) {
+                assert!(
+                    eval_projection_free(&p, &db, &h, Engine::Tw(1)),
+                    "case {case}: answer rejected"
+                );
+            }
+            for _ in 0..6 {
+                let mut probe = Mapping::empty();
+                probe.insert(x, i.constant(&format!("c{}", next() % 4)));
+                probe.insert(y, i.constant(&format!("c{}", next() % 4)));
+                if next() % 2 == 0 {
+                    probe.insert(z, i.constant(&format!("c{}", next() % 4)));
+                }
+                let expected = eval_decide(&p, &db, &probe);
+                assert_eq!(
+                    eval_projection_free(&p, &db, &probe, Engine::Backtrack),
+                    expected,
+                    "case {case}: probe disagreed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mapping_only_when_root_is_variable_free() {
+        let mut i = Interner::new();
+        let atoms = parse_atoms(&mut i, "marker(on)").unwrap();
+        let p = WdptBuilder::new(atoms).build(vec![]).unwrap();
+        let db = parse_database(&mut i, "marker(on)").unwrap();
+        assert!(eval_projection_free(&p, &db, &Mapping::empty(), Engine::Backtrack));
+        let db2 = parse_database(&mut i, "marker(off)").unwrap();
+        assert!(!eval_projection_free(&p, &db2, &Mapping::empty(), Engine::Backtrack));
+    }
+}

@@ -1,0 +1,315 @@
+//! WDPT semantics: maximal homomorphisms, `p(D)`, and `p_m(D)`.
+//!
+//! Definition 2 of the paper: a homomorphism from `p = (T, λ, x̄)` to `D` is
+//! a partial mapping that is a full homomorphism of `q_{T'}` for some rooted
+//! subtree `T'`; it is *maximal* if no proper extension is again a
+//! homomorphism; `p(D)` is the set of projections `h_x̄` of maximal
+//! homomorphisms; `p_m(D)` (Section 3.4) keeps only the ⊑-maximal ones.
+//!
+//! The evaluator exploits well-designedness: two sibling subtrees can share
+//! a variable only through their common ancestors, so once the ancestor
+//! valuation is fixed the children are independent. A maximal homomorphism
+//! is therefore a local homomorphism of the root joined, for every child
+//! that is extendable at all, with some maximal extension into that child —
+//! a recursive product that never enumerates the `2^{|T|}` subtrees
+//! explicitly.
+
+use crate::tree::Wdpt;
+use std::collections::BTreeSet;
+use wdpt_cq::backtrack::{extend_all, extend_exists};
+use wdpt_model::{mapping::maximal_mappings, Database, Mapping};
+
+/// All maximal homomorphisms from `p` to `db` (on their various domains).
+/// Exponential in the size of the output; intended for exact small-scale
+/// semantics, tests, and the intractable baselines of the benchmarks.
+pub fn maximal_homomorphisms(p: &Wdpt, db: &Database) -> Vec<Mapping> {
+    let homs = extensions(p, db, p.root(), &Mapping::empty());
+    let out: BTreeSet<Mapping> = homs.into_iter().collect();
+    // The recursion can produce duplicates through different local homs
+    // projecting equally; BTreeSet dedups canonically.
+    out.into_iter().collect()
+}
+
+/// Maximal extensions into the subtree rooted at `t`, given the bindings of
+/// the ancestors. Empty result means "`t` is not extendable" (the OPT
+/// branch fails and is dropped).
+fn extensions(p: &Wdpt, db: &Database, t: usize, inherited: &Mapping) -> Vec<Mapping> {
+    let local = extend_all(db, p.atoms(t), inherited);
+    let mut out = Vec::new();
+    for g in local {
+        let ctx = inherited
+            .union(&g)
+            .expect("local homomorphism agrees with inherited bindings");
+        // Children are independent given ctx (well-designedness).
+        let mut parts: Vec<Vec<Mapping>> = Vec::new();
+        for &c in p.children(t) {
+            let subs = extensions(p, db, c, &ctx);
+            if !subs.is_empty() {
+                parts.push(subs);
+            }
+            // Not extendable: child contributes nothing — and maximality
+            // w.r.t. this child holds vacuously.
+        }
+        // Cartesian product of the children's maximal extensions.
+        let mut acc: Vec<Mapping> = vec![ctx.clone()];
+        for part in parts {
+            let mut next = Vec::with_capacity(acc.len() * part.len());
+            for base in &acc {
+                for ext in &part {
+                    next.push(
+                        base.union(ext)
+                            .expect("sibling subtrees only share ancestor variables"),
+                    );
+                }
+            }
+            acc = next;
+        }
+        out.extend(acc);
+    }
+    out
+}
+
+/// The evaluation `p(D)`: projections of the maximal homomorphisms onto the
+/// free variables, deduplicated (Definition 2).
+pub fn evaluate(p: &Wdpt, db: &Database) -> Vec<Mapping> {
+    let free = p.free_set();
+    let set: BTreeSet<Mapping> = maximal_homomorphisms(p, db)
+        .into_iter()
+        .map(|h| h.restrict(&free))
+        .collect();
+    set.into_iter().collect()
+}
+
+/// The maximal-mapping semantics `p_m(D)` (Section 3.4): the ⊑-maximal
+/// elements of `p(D)`.
+pub fn evaluate_max(p: &Wdpt, db: &Database) -> Vec<Mapping> {
+    maximal_mappings(evaluate(p, db))
+}
+
+/// All homomorphisms from `p` to `db` (not only maximal ones): full
+/// homomorphisms of `q_{T'}` over every rooted subtree `T'`. Exponential;
+/// used by tests and as the reference implementation for the decision
+/// procedures.
+pub fn all_homomorphisms(p: &Wdpt, db: &Database) -> Vec<Mapping> {
+    let mut out: BTreeSet<Mapping> = BTreeSet::new();
+    p.for_each_rooted_subtree(&mut |subtree| {
+        let q = p.cq_of_subtree(subtree);
+        for h in extend_all(db, q.body(), &Mapping::empty()) {
+            out.insert(h);
+        }
+    });
+    out.into_iter().collect()
+}
+
+/// Reference check that a mapping is a homomorphism from `p` to `db`
+/// witnessed by some rooted subtree whose variables are exactly `dom(h)`.
+pub fn is_homomorphism(p: &Wdpt, db: &Database, h: &Mapping) -> bool {
+    let dom = h.domain();
+    let mut found = false;
+    p.for_each_rooted_subtree(&mut |subtree| {
+        if found {
+            return;
+        }
+        if p.subtree_vars(subtree) != dom {
+            return;
+        }
+        let q = p.cq_of_subtree(subtree);
+        if q.body().iter().all(|a| db.contains_atom(&a.apply(h))) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Reference maximality check: `h` is a homomorphism and no proper
+/// extension is one. Exponential; testing only.
+pub fn is_maximal_homomorphism(p: &Wdpt, db: &Database, h: &Mapping) -> bool {
+    if !is_homomorphism(p, db, h) {
+        return false;
+    }
+    all_homomorphisms(p, db)
+        .iter()
+        .all(|other| !h.strictly_subsumed_by(other))
+}
+
+/// Convenience used by tests: is the tree satisfiable at all (i.e. is
+/// `p(D)` non-empty)? Equivalent to the root label having a homomorphism.
+pub fn satisfiable(p: &Wdpt, db: &Database) -> bool {
+    extend_exists(db, p.atoms(p.root()), &Mapping::empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::WdptBuilder;
+    use wdpt_model::parse::{parse_atoms, parse_database, parse_mapping};
+    use wdpt_model::Interner;
+
+    /// Figure 1 WDPT over the Example 2 database.
+    fn example2(i: &mut Interner) -> (Wdpt, Database) {
+        let root = parse_atoms(i, r#"rec_by(?x,?y) publ(?x,"after_2010")"#).unwrap();
+        let left = parse_atoms(i, "nme_rating(?x,?z)").unwrap();
+        let right = parse_atoms(i, "formed_in(?y,?z2)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, left);
+        b.child(0, right);
+        let free = ["x", "y", "z", "z2"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(
+            i,
+            r#"rec_by("Our_love","Caribou") publ("Our_love","after_2010")
+               rec_by("Swim","Caribou") publ("Swim","after_2010")
+               nme_rating("Swim","2")"#,
+        )
+        .unwrap();
+        (p, db)
+    }
+
+    #[test]
+    fn example2_answers() {
+        // Example 2 of the paper: μ1 = {x ↦ Our_love, y ↦ Caribou} and
+        // μ2 = {x ↦ Swim, y ↦ Caribou, z ↦ 2}.
+        let mut i = Interner::new();
+        let (p, db) = example2(&mut i);
+        let mut answers = evaluate(&p, &db);
+        answers.sort();
+        let mu1 = parse_mapping(&mut i, r#"?x -> "Our_love", ?y -> "Caribou""#).unwrap();
+        let mu2 =
+            parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou", ?z -> "2""#).unwrap();
+        let mut expected = vec![mu1, mu2];
+        expected.sort();
+        assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn example3_projection() {
+        // Example 3: projecting out x yields μ'1 = {y ↦ Caribou} and
+        // μ'2 = {y ↦ Caribou, z ↦ 2}.
+        let mut i = Interner::new();
+        let (p0, db) = example2(&mut i);
+        let free = ["y", "z", "z2"].iter().map(|n| i.var(n)).collect::<Vec<_>>();
+        let p = rebuild_with_free(&p0, free);
+        let mut answers = evaluate(&p, &db);
+        answers.sort();
+        let m1 = parse_mapping(&mut i, r#"?y -> "Caribou""#).unwrap();
+        let m2 = parse_mapping(&mut i, r#"?y -> "Caribou", ?z -> "2""#).unwrap();
+        let mut expected = vec![m1, m2];
+        expected.sort();
+        assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn example7_max_semantics() {
+        // Example 7: with x̄ = {y, z}, p(D) = {μ1, μ2} but p_m(D) = {μ2}.
+        let mut i = Interner::new();
+        let (p0, db) = example2(&mut i);
+        let free = ["y", "z"].iter().map(|n| i.var(n)).collect::<Vec<_>>();
+        let p = rebuild_with_free(&p0, free);
+        let answers = evaluate(&p, &db);
+        assert_eq!(answers.len(), 2);
+        let max = evaluate_max(&p, &db);
+        assert_eq!(max.len(), 1);
+        let m2 = parse_mapping(&mut i, r#"?y -> "Caribou", ?z -> "2""#).unwrap();
+        assert_eq!(max[0], m2);
+    }
+
+    /// Rebuilds a WDPT with a different free-variable tuple.
+    fn rebuild_with_free(p: &Wdpt, free: Vec<wdpt_model::Var>) -> Wdpt {
+        let mut b = WdptBuilder::new(p.atoms(0).to_vec());
+        let mut map = vec![0usize; p.node_count()];
+        for t in 1..p.node_count() {
+            let parent = map[p.parent(t).unwrap()];
+            map[t] = b.child(parent, p.atoms(t).to_vec());
+        }
+        b.build(free).unwrap()
+    }
+
+    #[test]
+    fn optional_branch_failure_does_not_kill_answer() {
+        let mut i = Interner::new();
+        let root = parse_atoms(&mut i, "a(?x)").unwrap();
+        let child = parse_atoms(&mut i, "b(?x,?y)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, child);
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let db = parse_database(&mut i, "a(1)").unwrap();
+        let ans = evaluate(&p, &db);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].len(), 1); // only x bound
+    }
+
+    #[test]
+    fn mandatory_root_failure_yields_empty() {
+        let mut i = Interner::new();
+        let root = parse_atoms(&mut i, "a(?x)").unwrap();
+        let p = WdptBuilder::new(root).build(vec![i.var("x")]).unwrap();
+        let db = parse_database(&mut i, "b(1)").unwrap();
+        assert!(evaluate(&p, &db).is_empty());
+        assert!(!satisfiable(&p, &db));
+    }
+
+    #[test]
+    fn extension_is_forced_when_available() {
+        let mut i = Interner::new();
+        let root = parse_atoms(&mut i, "a(?x)").unwrap();
+        let child = parse_atoms(&mut i, "b(?x,?y)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, child);
+        let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
+        let db = parse_database(&mut i, "a(1) b(1,2)").unwrap();
+        let ans = evaluate(&p, &db);
+        // {x↦1} alone is NOT maximal because it extends to {x↦1, y↦2}.
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0].len(), 2);
+    }
+
+    #[test]
+    fn nested_optional_chain() {
+        let mut i = Interner::new();
+        let mut b = WdptBuilder::new(parse_atoms(&mut i, "a(?x)").unwrap());
+        let c1 = b.child(0, parse_atoms(&mut i, "b(?x,?y)").unwrap());
+        b.child(c1, parse_atoms(&mut i, "c(?y,?z)").unwrap());
+        let free = ["x", "y", "z"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(&mut i, "a(1) a(2) b(2,5) b(2,6) c(6,9)").unwrap();
+        let mut ans = evaluate(&p, &db);
+        ans.sort();
+        // x=1: no b — answer {x↦1}. x=2,y=5: no c — {x↦2,y↦5}.
+        // x=2,y=6: c(6,9) — {x↦2,y↦6,z↦9}.
+        assert_eq!(ans.len(), 3);
+        assert_eq!(ans.iter().map(Mapping::len).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn maximal_homs_agree_with_reference() {
+        let mut i = Interner::new();
+        let (p, db) = example2(&mut i);
+        for h in maximal_homomorphisms(&p, &db) {
+            assert!(is_maximal_homomorphism(&p, &db, &h));
+        }
+        // And every reference-maximal hom is produced.
+        for h in all_homomorphisms(&p, &db) {
+            if is_maximal_homomorphism(&p, &db, &h) {
+                assert!(maximal_homomorphisms(&p, &db).contains(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_existential_variable_constrains_branches() {
+        let mut i = Interner::new();
+        // Root binds ?u existentially; both children use ?u.
+        let root = parse_atoms(&mut i, "a(?x,?u)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(&mut i, "b(?u,?y)").unwrap());
+        b.child(0, parse_atoms(&mut i, "c(?u,?z)").unwrap());
+        let free = ["x", "y", "z"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(&mut i, "a(1,7) a(1,8) b(7,10) c(8,20)").unwrap();
+        let mut ans = evaluate(&p, &db);
+        ans.sort();
+        // u=7: b extends (y=10), c fails → {x↦1, y↦10}.
+        // u=8: b fails, c extends (z=20) → {x↦1, z↦20}.
+        assert_eq!(ans.len(), 2);
+    }
+}

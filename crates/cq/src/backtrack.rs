@@ -1,0 +1,316 @@
+//! Generic backtracking evaluation — the baseline engine for arbitrary CQs.
+//!
+//! This is the textbook index-nested-loop search: repeatedly pick the most
+//! constrained unprocessed atom (most bound positions, then smallest
+//! matching-tuple estimate), scan its matching tuples through the relation's
+//! column indexes, extend the current partial mapping, and recurse. Its
+//! worst case is exponential in the query size — exactly the `NP`-hardness
+//! the paper's tractable classes are designed to avoid — but it serves as
+//! (a) the general-purpose fallback and (b) the baseline the benchmark
+//! harness compares the structured engines against.
+
+use crate::query::ConjunctiveQuery;
+use wdpt_model::{Atom, Const, Database, Mapping, Term};
+
+/// Tunables of the backtracking search, exposed for the ablation
+/// benchmarks. The default (`indexed matching + dynamic most-constrained
+/// ordering`) is what every other entry point uses.
+#[derive(Debug, Clone, Copy)]
+pub struct BacktrackConfig {
+    /// Use the per-column hash indexes when scanning matches; `false`
+    /// forces full relation scans.
+    pub use_index: bool,
+    /// Re-select the most constrained atom at every step; `false` processes
+    /// atoms in the fixed input order.
+    pub dynamic_order: bool,
+}
+
+impl Default for BacktrackConfig {
+    fn default() -> Self {
+        BacktrackConfig {
+            use_index: true,
+            dynamic_order: true,
+        }
+    }
+}
+
+/// How a search should proceed after each discovered homomorphism.
+enum Found {
+    Continue,
+    Stop,
+}
+
+/// Returns the match pattern of `atom` under `h`: bound positions carry
+/// `Some(c)`.
+fn pattern(atom: &Atom, h: &Mapping) -> Vec<Option<Const>> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => h.get(*v),
+        })
+        .collect()
+}
+
+/// Estimated number of matching tuples for ordering heuristics.
+fn estimate(db: &Database, atom: &Atom, h: &Mapping) -> usize {
+    match db.relation(atom.pred) {
+        None => 0,
+        Some(rel) => {
+            let pat = pattern(atom, h);
+            if pat.iter().all(Option::is_some) {
+                // Fully bound: 0 or 1.
+                usize::from(rel.contains(&pat.iter().map(|c| c.unwrap()).collect::<Vec<_>>()))
+            } else {
+                rel.len()
+            }
+        }
+    }
+}
+
+fn search<F: FnMut(&Mapping) -> Found>(
+    db: &Database,
+    atoms: &[&Atom],
+    done: &mut [bool],
+    h: &mut Mapping,
+    on_hom: &mut F,
+    config: BacktrackConfig,
+) -> Found {
+    // Pick the next unprocessed atom: most constrained first by default,
+    // fixed input order under the ablation config.
+    let next = if config.dynamic_order {
+        atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !done[i])
+            .max_by_key(|&(_, a)| {
+                let bound = pattern(a, h).iter().filter(|p| p.is_some()).count();
+                // Prefer many bound positions; break ties toward small relations.
+                (bound, usize::MAX - estimate(db, a, h))
+            })
+            .map(|(i, _)| i)
+    } else {
+        (0..atoms.len()).find(|&i| !done[i])
+    };
+    let Some(i) = next else {
+        return on_hom(h);
+    };
+    done[i] = true;
+    let atom = atoms[i];
+    let result = (|| {
+        let Some(rel) = db.relation(atom.pred) else {
+            return Found::Continue; // empty relation: no match, backtrack
+        };
+        let pat = pattern(atom, h);
+        let tuples: Vec<Vec<Const>> = if config.use_index {
+            rel.matching(&pat).map(<[Const]>::to_vec).collect()
+        } else {
+            rel.matching_unindexed(&pat).map(<[Const]>::to_vec).collect()
+        };
+        for tuple in tuples {
+            // Extend h with the new bindings; tuples matching `pat` can only
+            // conflict through repeated variables inside this atom.
+            let mut added: Vec<wdpt_model::Var> = Vec::new();
+            let mut ok = true;
+            for (term, value) in atom.args.iter().zip(tuple.iter()) {
+                if let Term::Var(v) = term {
+                    if let Some(existing) = h.get(*v) {
+                        if existing != *value {
+                            ok = false;
+                            break;
+                        }
+                    } else {
+                        h.insert(*v, *value);
+                        added.push(*v);
+                    }
+                }
+            }
+            if ok {
+                if let Found::Stop = search(db, atoms, done, h, on_hom, config) {
+                    for v in added {
+                        h.remove(v);
+                    }
+                    return Found::Stop;
+                }
+            }
+            for v in added {
+                h.remove(v);
+            }
+        }
+        Found::Continue
+    })();
+    done[i] = false;
+    result
+}
+
+/// All homomorphisms from the atom set into `db` that extend `seed`,
+/// i.e. total assignments of the atoms' variables consistent with `seed`
+/// under which every atom is in `db`. The returned mappings include the
+/// seed bindings for variables that occur in the atoms.
+pub fn extend_all(db: &Database, atoms: &[Atom], seed: &Mapping) -> Vec<Mapping> {
+    extend_all_config(db, atoms, seed, BacktrackConfig::default())
+}
+
+/// [`extend_all`] with explicit search tunables (ablation benchmarks).
+pub fn extend_all_config(
+    db: &Database,
+    atoms: &[Atom],
+    seed: &Mapping,
+    config: BacktrackConfig,
+) -> Vec<Mapping> {
+    let refs: Vec<&Atom> = atoms.iter().collect();
+    let mut done = vec![false; refs.len()];
+    let mut h = relevant_seed(atoms, seed);
+    let mut out = Vec::new();
+    search(db, &refs, &mut done, &mut h, &mut |hom| {
+        out.push(hom.clone());
+        Found::Continue
+    }, config);
+    out
+}
+
+/// True iff at least one homomorphism extending `seed` exists.
+pub fn extend_exists(db: &Database, atoms: &[Atom], seed: &Mapping) -> bool {
+    extend_exists_config(db, atoms, seed, BacktrackConfig::default())
+}
+
+/// [`extend_exists`] with explicit search tunables (ablation benchmarks).
+pub fn extend_exists_config(
+    db: &Database,
+    atoms: &[Atom],
+    seed: &Mapping,
+    config: BacktrackConfig,
+) -> bool {
+    let refs: Vec<&Atom> = atoms.iter().collect();
+    let mut done = vec![false; refs.len()];
+    let mut h = relevant_seed(atoms, seed);
+    matches!(
+        search(db, &refs, &mut done, &mut h, &mut |_| Found::Stop, config),
+        Found::Stop
+    )
+}
+
+/// Restricts `seed` to the variables occurring in `atoms` so that returned
+/// homomorphisms have exactly the atoms' variables as domain.
+fn relevant_seed(atoms: &[Atom], seed: &Mapping) -> Mapping {
+    let vars = wdpt_model::atom::vars_of_atoms(atoms);
+    seed.restrict(&vars)
+}
+
+/// The paper's `q(D)`: the set of restrictions `h_x̄` of homomorphisms from
+/// `q` to `db`, as deduplicated mappings on the head variables.
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Vec<Mapping> {
+    let head = q.head_set();
+    let mut out: std::collections::BTreeSet<Mapping> = Default::default();
+    let refs: Vec<&Atom> = q.body().iter().collect();
+    let mut done = vec![false; refs.len()];
+    let mut h = Mapping::empty();
+    search(db, &refs, &mut done, &mut h, &mut |hom| {
+        out.insert(hom.restrict(&head));
+        Found::Continue
+    }, BacktrackConfig::default());
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_model::parse::{parse_atoms, parse_database, parse_mapping};
+    use wdpt_model::Interner;
+
+    fn setup() -> (Interner, Database) {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "e(a,b) e(b,c) e(c,d) e(a,c)").unwrap();
+        (i, db)
+    }
+
+    #[test]
+    fn path_query_has_expected_answers() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z)").unwrap();
+        let homs = extend_all(&db, &atoms, &Mapping::empty());
+        // Paths of length 2: a-b-c, b-c-d, a-c-d.
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn seed_constrains_search() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z)").unwrap();
+        let seed = parse_mapping(&mut i, "?x -> a").unwrap();
+        let homs = extend_all(&db, &atoms, &seed);
+        assert_eq!(homs.len(), 2); // a-b-c and a-c-d
+        assert!(homs.iter().all(|h| h.get(i.var("x")) == Some(i.constant("a"))));
+    }
+
+    #[test]
+    fn exists_short_circuits() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?x)").unwrap();
+        assert!(!extend_exists(&db, &atoms, &Mapping::empty()));
+        let atoms2 = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        assert!(extend_exists(&db, &atoms2, &Mapping::empty()));
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "r(a,a) r(a,b)").unwrap();
+        let atoms = parse_atoms(&mut i, "r(?x,?x)").unwrap();
+        let homs = extend_all(&db, &atoms, &Mapping::empty());
+        assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn constants_in_atoms_restrict_matches() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(a,?y)").unwrap();
+        let homs = extend_all(&db, &atoms, &Mapping::empty());
+        assert_eq!(homs.len(), 2); // b and c
+    }
+
+    #[test]
+    fn evaluate_projects_and_dedups() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        let q = ConjunctiveQuery::new(vec![i.var("x")], atoms);
+        let ans = evaluate(&q, &db);
+        // Sources: a (twice, deduped), b, c.
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn empty_body_yields_empty_mapping() {
+        let (_, db) = setup();
+        let homs = extend_all(&db, &[], &Mapping::empty());
+        assert_eq!(homs, vec![Mapping::empty()]);
+    }
+
+    #[test]
+    fn missing_relation_yields_no_homs() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "unknown(?x)").unwrap();
+        assert!(extend_all(&db, &atoms, &Mapping::empty()).is_empty());
+        assert!(!extend_exists(&db, &atoms, &Mapping::empty()));
+    }
+
+    #[test]
+    fn seed_outside_atom_vars_is_ignored() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        let seed = parse_mapping(&mut i, "?unrelated -> a").unwrap();
+        let homs = extend_all(&db, &atoms, &seed);
+        assert_eq!(homs.len(), 4);
+        assert!(homs.iter().all(|h| h.len() == 2));
+    }
+
+    #[test]
+    fn boolean_query_on_triangle() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "e(1,2) e(2,3) e(3,1)").unwrap();
+        let atoms = parse_atoms(&mut i, "e(?x,?y) e(?y,?z) e(?z,?x)").unwrap();
+        assert!(extend_exists(&db, &atoms, &Mapping::empty()));
+        let homs = extend_all(&db, &atoms, &Mapping::empty());
+        assert_eq!(homs.len(), 3); // three rotations
+    }
+}

@@ -1,0 +1,187 @@
+//! The conjunctive-query type and its hypergraph.
+
+use std::collections::{BTreeMap, BTreeSet};
+use wdpt_decomp::Hypergraph;
+use wdpt_model::{Atom, Interner, Mapping, Var};
+
+/// A conjunctive query `Ans(x̄) ← R₁(v̄₁), …, R_m(v̄_m)` (rule form (2) of
+/// the paper). `head` lists the free variables `x̄` (distinct, all occurring
+/// in the body); every other body variable is existentially quantified.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConjunctiveQuery {
+    head: Vec<Var>,
+    body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a CQ.
+    ///
+    /// # Panics
+    /// Panics if head variables repeat or do not occur in the body — both
+    /// are malformed queries under the paper's definition.
+    pub fn new(head: Vec<Var>, body: Vec<Atom>) -> Self {
+        let body_vars: BTreeSet<Var> = body.iter().flat_map(|a| a.vars()).collect();
+        let mut seen = BTreeSet::new();
+        for &v in &head {
+            assert!(seen.insert(v), "repeated head variable");
+            assert!(
+                body_vars.contains(&v),
+                "head variable does not occur in the body"
+            );
+        }
+        ConjunctiveQuery { head, body }
+    }
+
+    /// A Boolean CQ `Ans() ← body`.
+    pub fn boolean(body: Vec<Atom>) -> Self {
+        ConjunctiveQuery::new(Vec::new(), body)
+    }
+
+    /// The free variables `x̄`.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// The body atoms.
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// All variables occurring in the body.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.body.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// The existentially quantified variables (body minus head).
+    pub fn existential_variables(&self) -> BTreeSet<Var> {
+        let head: BTreeSet<Var> = self.head.iter().copied().collect();
+        self.variables().difference(&head).copied().collect()
+    }
+
+    /// The head as a set.
+    pub fn head_set(&self) -> BTreeSet<Var> {
+        self.head.iter().copied().collect()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True iff the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// The query's hypergraph `H_q` (Section 3.1): one vertex per variable,
+    /// one hyperedge per atom carrying the atom's variable set. Returns the
+    /// hypergraph together with the vertex → variable table.
+    pub fn hypergraph(&self) -> (Hypergraph, Vec<Var>) {
+        let vars: Vec<Var> = self.variables().into_iter().collect();
+        let index: BTreeMap<Var, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let edges: Vec<Vec<usize>> = self
+            .body
+            .iter()
+            .map(|a| a.vars().map(|v| index[&v]).collect())
+            .collect();
+        (Hypergraph::new(vars.len(), edges), vars)
+    }
+
+    /// Applies a partial mapping to the body (substituting constants for the
+    /// mapped variables) and drops the mapped variables from the head.
+    pub fn apply(&self, h: &Mapping) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head: self
+                .head
+                .iter()
+                .copied()
+                .filter(|&v| !h.defines(v))
+                .collect(),
+            body: self.body.iter().map(|a| a.apply(h)).collect(),
+        }
+    }
+
+    /// Renders the query in the paper's rule notation.
+    pub fn display(&self, interner: &Interner) -> String {
+        let head = self
+            .head
+            .iter()
+            .map(|v| format!("?{}", interner.var_name(*v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let body = self
+            .body
+            .iter()
+            .map(|a| a.display(interner))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("Ans({head}) <- {body}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_model::parse::parse_atoms;
+
+    fn q(interner: &mut Interner, head: &[&str], body: &str) -> ConjunctiveQuery {
+        let atoms = parse_atoms(interner, body).unwrap();
+        let head = head.iter().map(|n| interner.var(n)).collect();
+        ConjunctiveQuery::new(head, atoms)
+    }
+
+    #[test]
+    fn variables_and_existentials() {
+        let mut i = Interner::new();
+        let query = q(&mut i, &["x"], "e(?x,?y), e(?y,?z)");
+        assert_eq!(query.variables().len(), 3);
+        assert_eq!(query.existential_variables().len(), 2);
+        assert_eq!(query.head().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not occur")]
+    fn head_var_must_occur() {
+        let mut i = Interner::new();
+        q(&mut i, &["w"], "e(?x,?y)");
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn head_vars_must_be_distinct() {
+        let mut i = Interner::new();
+        q(&mut i, &["x", "x"], "e(?x,?y)");
+    }
+
+    #[test]
+    fn hypergraph_shape() {
+        let mut i = Interner::new();
+        let query = q(&mut i, &[], "r(?x,?y,?z), r(?x,?v,?v), e(?v,?z)");
+        let (h, vars) = query.hypergraph();
+        // The paper's example after Example 4: hyperedges {x,y,z}, {x,v}, {v,z}.
+        assert_eq!(vars.len(), 4);
+        assert_eq!(h.num_edges(), 3);
+        let sizes: Vec<usize> = h.edges().iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3));
+        assert_eq!(sizes.iter().filter(|&&s| s == 2).count(), 2);
+    }
+
+    #[test]
+    fn apply_substitutes_and_projects_head() {
+        let mut i = Interner::new();
+        let query = q(&mut i, &["x", "y"], "e(?x,?y)");
+        let x = i.var("x");
+        let a = i.constant("a");
+        let s = query.apply(&Mapping::from_pairs(vec![(x, a)]));
+        assert_eq!(s.head().len(), 1);
+        assert!(s.body()[0].args[0].as_const().is_some());
+    }
+
+    #[test]
+    fn display_rule_notation() {
+        let mut i = Interner::new();
+        let query = q(&mut i, &["x"], "e(?x,?y)");
+        assert_eq!(query.display(&i), "Ans(?x) <- e(?x, ?y)");
+    }
+}

@@ -1,0 +1,124 @@
+//! The tractable CQ classes `TW(k)`, `HW(k)`, `HW'(k)` as predicates.
+
+use crate::query::ConjunctiveQuery;
+use wdpt_decomp::{
+    beta_hypertreewidth_at_most, hypertree_width_at_most, treewidth_exact,
+    HypertreeDecomposition, treewidth_at_most,
+};
+
+/// The exact treewidth of the query's hypergraph.
+pub fn treewidth_of(q: &ConjunctiveQuery) -> usize {
+    let (h, _) = q.hypergraph();
+    treewidth_exact(&h)
+}
+
+/// `q ∈ TW(k)` — treewidth at most `k` (Section 3.1).
+pub fn in_tw(q: &ConjunctiveQuery, k: usize) -> bool {
+    let (h, _) = q.hypergraph();
+    treewidth_at_most(&h, k).is_some()
+}
+
+/// `q ∈ HW(k)` — (generalized) hypertreewidth at most `k` (Section 3.1).
+pub fn in_hw(q: &ConjunctiveQuery, k: usize) -> bool {
+    hypertreewidth_at_most_cq(q, k).is_some()
+}
+
+/// Witness decomposition for `q ∈ HW(k)`, if any.
+pub fn hypertreewidth_at_most_cq(
+    q: &ConjunctiveQuery,
+    k: usize,
+) -> Option<HypertreeDecomposition> {
+    let (h, _) = q.hypergraph();
+    hypertree_width_at_most(&h, k)
+}
+
+/// `q ∈ HW'(k)` — every subquery has hypertreewidth at most `k`
+/// (β-hypertreewidth, Section 5). `HW'(1)` is β-acyclicity.
+pub fn in_hw_prime(q: &ConjunctiveQuery, k: usize) -> bool {
+    let (h, _) = q.hypergraph();
+    beta_hypertreewidth_at_most(&h, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_model::parse::parse_atoms;
+    use wdpt_model::Interner;
+
+    fn q(i: &mut Interner, body: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(parse_atoms(i, body).unwrap())
+    }
+
+    #[test]
+    fn example4_path_is_tw1() {
+        let mut i = Interner::new();
+        // Example 4 of the paper: a path CQ is in TW(1).
+        let path = q(&mut i, "e(?x1,?x2) e(?x2,?x3) e(?x3,?x4)");
+        assert_eq!(treewidth_of(&path), 1);
+        assert!(in_tw(&path, 1));
+    }
+
+    #[test]
+    fn example4_cycle_is_tw2() {
+        let mut i = Interner::new();
+        let cyc = q(&mut i, "e(?x1,?x2) e(?x2,?x3) e(?x3,?x4) e(?x4,?x1)");
+        assert_eq!(treewidth_of(&cyc), 2);
+        assert!(!in_tw(&cyc, 1));
+        assert!(in_tw(&cyc, 2));
+    }
+
+    #[test]
+    fn example4_clique_is_tw_n_minus_1() {
+        let mut i = Interner::new();
+        let mut body = String::new();
+        for a in 1..=4 {
+            for b in 1..=4 {
+                if a != b {
+                    body.push_str(&format!("e(?x{a},?x{b}) "));
+                }
+            }
+        }
+        let clique = q(&mut i, &body);
+        assert_eq!(treewidth_of(&clique), 3);
+    }
+
+    #[test]
+    fn example5_is_hw1_but_not_bounded_tw() {
+        // θ_n = ⋀ E(x_i,x_j) ∧ T_n(x_1,…,x_n) is acyclic (HW(1)) while its
+        // treewidth is n − 1.
+        let mut i = Interner::new();
+        let n = 5;
+        let mut body = String::new();
+        for a in 1..=n {
+            for b in a + 1..=n {
+                body.push_str(&format!("e(?x{a},?x{b}) "));
+            }
+        }
+        body.push_str(&format!(
+            "t({})",
+            (1..=n).map(|j| format!("?x{j}")).collect::<Vec<_>>().join(",")
+        ));
+        let theta = q(&mut i, &body);
+        assert!(in_hw(&theta, 1));
+        assert_eq!(treewidth_of(&theta), n - 1);
+        // And HW'(1) fails: dropping T_n leaves a clique of binary edges.
+        assert!(!in_hw_prime(&theta, 1));
+    }
+
+    #[test]
+    fn tw_k_inside_hw_k_plus_1() {
+        // TW(k) ⊆ HW(k+1) (cited as [1] in the paper) — spot-check.
+        let mut i = Interner::new();
+        let cyc = q(&mut i, "e(?x1,?x2) e(?x2,?x3) e(?x3,?x1)");
+        assert!(in_tw(&cyc, 2));
+        assert!(in_hw(&cyc, 3));
+        assert!(in_hw(&cyc, 2));
+    }
+
+    #[test]
+    fn beta_width_closed_under_subqueries() {
+        let mut i = Interner::new();
+        let path = q(&mut i, "e(?a,?b) e(?b,?c)");
+        assert!(in_hw_prime(&path, 1));
+    }
+}

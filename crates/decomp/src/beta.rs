@@ -1,0 +1,154 @@
+//! β-acyclicity and β-hypertreewidth (`HW'(k)`, Section 5 of the paper).
+//!
+//! `HW(k)` is not closed under taking subqueries — Example 5 of the paper
+//! shows an acyclic CQ with a non-acyclic subquery. Section 5 therefore
+//! restricts to `HW'(k)`: every subquery has hypertreewidth ≤ k
+//! (β-hypertreewidth, after Fagin's β-acyclicity). We provide:
+//!
+//! * [`is_beta_acyclic`] — the polynomial nest-point-elimination test
+//!   (`HW'(1)`).
+//! * [`beta_hypertreewidth_at_most`] — exact bounded check by enumerating
+//!   edge subsets; exponential in the number of atoms, which mirrors the
+//!   paper's observation that no efficient recognition procedure is known
+//!   for β-hypertreewidth ≤ k (the NP-oracle in Theorem 13).
+
+use crate::hypergraph::Hypergraph;
+use crate::hypertree::hypertree_width_at_most;
+use std::collections::BTreeSet;
+
+/// β-acyclicity via nest-point elimination: a vertex is a *nest point* if
+/// the edges containing it are linearly ordered by inclusion; a hypergraph
+/// is β-acyclic iff repeated nest-point removal empties it.
+pub fn is_beta_acyclic(h: &Hypergraph) -> bool {
+    let mut edges: Vec<BTreeSet<usize>> = h
+        .edges()
+        .iter()
+        .map(|e| e.iter().copied().collect())
+        .filter(|e: &BTreeSet<usize>| !e.is_empty())
+        .collect();
+    loop {
+        let vertices: BTreeSet<usize> = edges.iter().flatten().copied().collect();
+        if vertices.is_empty() {
+            return true;
+        }
+        let nest = vertices.iter().copied().find(|&v| {
+            let holders: Vec<&BTreeSet<usize>> =
+                edges.iter().filter(|e| e.contains(&v)).collect();
+            holders.iter().all(|a| {
+                holders
+                    .iter()
+                    .all(|b| a.is_subset(b) || b.is_subset(a))
+            })
+        });
+        match nest {
+            Some(v) => {
+                for e in &mut edges {
+                    e.remove(&v);
+                }
+                edges.retain(|e| !e.is_empty());
+            }
+            None => return false,
+        }
+    }
+}
+
+/// Maximum number of hyperedges for the exhaustive `HW'(k)` check.
+pub const BETA_EDGE_LIMIT: usize = 20;
+
+/// Decides β-hypertreewidth ≤ k: every edge-subset subhypergraph must have
+/// (generalized) hypertreewidth ≤ k. For `k = 1` this delegates to the
+/// polynomial [`is_beta_acyclic`]. For `k ≥ 2` it enumerates subsets, which
+/// is exact but exponential — see module docs.
+///
+/// # Panics
+/// Panics when `k ≥ 2` and the hypergraph has more than [`BETA_EDGE_LIMIT`]
+/// edges.
+pub fn beta_hypertreewidth_at_most(h: &Hypergraph, k: usize) -> bool {
+    assert!(k >= 1, "width bound must be positive");
+    if k == 1 {
+        return is_beta_acyclic(h);
+    }
+    let m = h.num_edges();
+    assert!(
+        m <= BETA_EDGE_LIMIT,
+        "β-hypertreewidth check limited to {BETA_EDGE_LIMIT} edges (got {m})"
+    );
+    for mask in 1u32..(1u32 << m) {
+        let subset: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
+        let sub = h.edge_subgraph(&subset);
+        if hypertree_width_at_most(&sub, k).is_none() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_beta_acyclic() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert!(is_beta_acyclic(&h));
+    }
+
+    #[test]
+    fn triangle_is_not_beta_acyclic() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert!(!is_beta_acyclic(&h));
+    }
+
+    #[test]
+    fn alpha_but_not_beta() {
+        // Triangle plus the covering edge is α-acyclic but NOT β-acyclic:
+        // dropping the big edge leaves a cyclic subquery.
+        let h = Hypergraph::new(
+            3,
+            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
+        );
+        assert!(crate::gyo::is_alpha_acyclic(&h));
+        assert!(!is_beta_acyclic(&h));
+    }
+
+    #[test]
+    fn nested_edges_are_beta_acyclic() {
+        let h = Hypergraph::new(3, vec![vec![0], vec![0, 1], vec![0, 1, 2]]);
+        assert!(is_beta_acyclic(&h));
+    }
+
+    #[test]
+    fn beta_width_of_triangle_plus_cover_is_two() {
+        let h = Hypergraph::new(
+            3,
+            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
+        );
+        assert!(!beta_hypertreewidth_at_most(&h, 1));
+        assert!(beta_hypertreewidth_at_most(&h, 2));
+    }
+
+    #[test]
+    fn beta_width_one_equals_beta_acyclic() {
+        let acyclic = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        assert!(beta_hypertreewidth_at_most(&acyclic, 1));
+    }
+
+    #[test]
+    fn clique5_beta_width_three() {
+        let mut es = Vec::new();
+        for i in 0..5 {
+            for j in i + 1..5 {
+                es.push(vec![i, j]);
+            }
+        }
+        let h = Hypergraph::new(5, es);
+        assert!(!beta_hypertreewidth_at_most(&h, 2));
+        assert!(beta_hypertreewidth_at_most(&h, 3));
+    }
+
+    #[test]
+    fn empty_hypergraph_is_beta_acyclic() {
+        let h = Hypergraph::new(0, Vec::<Vec<usize>>::new());
+        assert!(is_beta_acyclic(&h));
+    }
+}

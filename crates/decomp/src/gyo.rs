@@ -1,0 +1,189 @@
+//! GYO ear-removal: α-acyclicity and join trees.
+//!
+//! A CQ is α-acyclic iff its hypergraph reduces to nothing under the
+//! Graham–Yu–Özsoyoğlu rules: (1) delete a vertex that occurs in exactly one
+//! hyperedge; (2) delete a hyperedge contained in another hyperedge. The
+//! class `HW(1)` of the paper equals the α-acyclic CQs, and the join tree
+//! recorded during the reduction is the skeleton Yannakakis' algorithm runs
+//! on (Theorem 3 / [21]).
+
+use crate::hypergraph::Hypergraph;
+use std::collections::BTreeSet;
+
+/// A join forest over the original hyperedges: `parent[i]` is the edge that
+/// absorbed edge `i` during GYO reduction, or `None` for roots. For a
+/// connected α-acyclic hypergraph this is a tree.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// Parent pointer per original hyperedge.
+    pub parent: Vec<Option<usize>>,
+}
+
+impl JoinTree {
+    /// Root-first topological order of the forest.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, p) in self.parent.iter().enumerate() {
+            match p {
+                Some(q) => children[*q].push(i),
+                None => roots.push(i),
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut stack = roots;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            stack.extend(children[v].iter().copied());
+        }
+        order
+    }
+}
+
+/// Runs GYO reduction. Returns the join tree if the hypergraph is α-acyclic,
+/// `None` otherwise.
+pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    let m = h.num_edges();
+    let mut edges: Vec<BTreeSet<usize>> = h
+        .edges()
+        .iter()
+        .map(|e| e.iter().copied().collect())
+        .collect();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut parent: Vec<Option<usize>> = vec![None; m];
+    let mut alive_count = m;
+    loop {
+        let mut changed = false;
+        // Rule 1: drop vertices occurring in exactly one alive edge.
+        let mut occurrence: std::collections::HashMap<usize, (usize, usize)> =
+            std::collections::HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for &v in e {
+                occurrence
+                    .entry(v)
+                    .and_modify(|(cnt, _)| *cnt += 1)
+                    .or_insert((1, i));
+            }
+        }
+        for (&v, &(cnt, owner)) in &occurrence {
+            if cnt == 1 {
+                edges[owner].remove(&v);
+                changed = true;
+            }
+        }
+        // Rule 2: drop edges contained in another alive edge.
+        for i in 0..m {
+            if !alive[i] {
+                continue;
+            }
+            let absorber = (0..m).find(|&j| {
+                j != i && alive[j] && edges[i].is_subset(&edges[j])
+            });
+            if let Some(j) = absorber {
+                alive[i] = false;
+                alive_count -= 1;
+                parent[i] = Some(j);
+                changed = true;
+            } else if edges[i].is_empty() && alive_count > 1 {
+                // Isolated empty edge with no absorber: it is its own
+                // component's root; detach it.
+                alive[i] = false;
+                alive_count -= 1;
+                changed = true;
+            }
+        }
+        if alive_count <= 1 {
+            return Some(JoinTree { parent });
+        }
+        if !changed {
+            return None;
+        }
+    }
+}
+
+/// True iff the hypergraph is α-acyclic.
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    join_tree(h).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_is_acyclic() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let jt = join_tree(&h).expect("acyclic");
+        assert_eq!(jt.topological_order().len(), 3);
+    }
+
+    #[test]
+    fn triangle_of_binary_edges_is_cyclic() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert!(!is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn triangle_covered_by_ternary_edge_is_acyclic() {
+        // α-acyclicity is not closed under subqueries: adding the big edge
+        // makes the triangle acyclic (this is the classic example behind the
+        // paper's Example 5 and the need for HW'(k)).
+        let h = Hypergraph::new(
+            3,
+            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
+        );
+        assert!(is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn example5_clique_plus_big_edge_is_acyclic() {
+        // Example 5 of the paper: E(x_i, x_j) for all i<j plus T_n(x_1..x_n).
+        let n = 5;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push(vec![i, j]);
+            }
+        }
+        edges.push((0..n).collect());
+        let h = Hypergraph::new(n, edges);
+        assert!(is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let h = Hypergraph::new(3, vec![vec![0, 1, 2]]);
+        assert!(is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn no_edges_is_acyclic() {
+        let h = Hypergraph::new(0, Vec::<Vec<usize>>::new());
+        assert!(is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn disconnected_acyclic_components() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let jt = join_tree(&h).expect("acyclic forest");
+        assert_eq!(jt.parent.len(), 2);
+    }
+
+    #[test]
+    fn cycle_of_length_four_is_cyclic() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]);
+        assert!(!is_alpha_acyclic(&h));
+    }
+
+    #[test]
+    fn join_tree_parents_point_to_absorbers() {
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let jt = join_tree(&h).unwrap();
+        // Exactly one root.
+        assert_eq!(jt.parent.iter().filter(|p| p.is_none()).count(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Hypergraphs with dense `usize` vertices.
+
+use std::collections::BTreeSet;
+
+/// A finite hypergraph `H = (V, E)` with `V = {0, …, n-1}` and hyperedges as
+/// sorted, deduplicated vertex sets. The hypergraph of a CQ has one vertex
+/// per variable and one hyperedge per atom (the atom's variable set), exactly
+/// as in Section 3.1 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph on `num_vertices` vertices from edge vertex-lists.
+    /// Edges are sorted and deduplicated internally; empty edges are kept
+    /// (they arise from variable-free atoms and are harmless).
+    ///
+    /// # Panics
+    /// Panics if an edge mentions a vertex `≥ num_vertices`.
+    pub fn new(num_vertices: usize, edges: impl IntoIterator<Item = Vec<usize>>) -> Self {
+        let edges: Vec<Vec<usize>> = edges
+            .into_iter()
+            .map(|mut e| {
+                e.sort_unstable();
+                e.dedup();
+                assert!(
+                    e.last().is_none_or(|&v| v < num_vertices),
+                    "edge mentions vertex out of range"
+                );
+                e
+            })
+            .collect();
+        Hypergraph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges, each a sorted vertex list.
+    pub fn edges(&self) -> &[Vec<usize>] {
+        &self.edges
+    }
+
+    /// The edge at index `i`.
+    pub fn edge(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
+
+    /// Adjacency lists of the *primal graph* (a.k.a. Gaifman graph): two
+    /// vertices are adjacent iff they co-occur in some hyperedge.
+    pub fn primal_adjacency(&self) -> Vec<BTreeSet<usize>> {
+        let mut adj = vec![BTreeSet::new(); self.num_vertices];
+        for e in &self.edges {
+            for (i, &u) in e.iter().enumerate() {
+                for &v in &e[i + 1..] {
+                    adj[u].insert(v);
+                    adj[v].insert(u);
+                }
+            }
+        }
+        adj
+    }
+
+    /// The subhypergraph induced by a subset of the edges (vertex set is kept
+    /// as-is; isolated vertices are allowed and do not affect widths).
+    pub fn edge_subgraph(&self, edge_indices: &[usize]) -> Hypergraph {
+        Hypergraph {
+            num_vertices: self.num_vertices,
+            edges: edge_indices.iter().map(|&i| self.edges[i].clone()).collect(),
+        }
+    }
+
+    /// Vertices that occur in at least one edge.
+    pub fn covered_vertices(&self) -> BTreeSet<usize> {
+        self.edges.iter().flatten().copied().collect()
+    }
+
+    /// Connected components of the set `vertices`, where connectivity is via
+    /// the primal graph restricted to `vertices`.
+    pub fn components_within(&self, vertices: &BTreeSet<usize>) -> Vec<BTreeSet<usize>> {
+        let adj = self.primal_adjacency();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut comps = Vec::new();
+        for &start in vertices {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut comp = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                if !comp.insert(v) {
+                    continue;
+                }
+                seen.insert(v);
+                for &w in &adj[v] {
+                    if vertices.contains(&w) && !comp.contains(&w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]])
+    }
+
+    #[test]
+    fn primal_graph_of_triangle() {
+        let adj = triangle().primal_adjacency();
+        assert_eq!(adj[0].len(), 2);
+        assert_eq!(adj[1].len(), 2);
+        assert_eq!(adj[2].len(), 2);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_deduped() {
+        let h = Hypergraph::new(3, vec![vec![2, 0, 2]]);
+        assert_eq!(h.edge(0), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vertex_panics() {
+        Hypergraph::new(2, vec![vec![0, 5]]);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        // Two disjoint edges {0,1} and {2,3}.
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3]]);
+        let all: BTreeSet<usize> = (0..4).collect();
+        let comps = h.components_within(&all);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn components_respect_restriction() {
+        // Path 0-1-2; removing vertex 1 disconnects 0 and 2.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let sub: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let comps = h.components_within(&sub);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn edge_subgraph_selects_edges() {
+        let h = triangle();
+        let sub = h.edge_subgraph(&[0, 2]);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edge(1), &[0, 2]);
+    }
+
+    #[test]
+    fn covered_vertices_ignores_isolated() {
+        let h = Hypergraph::new(5, vec![vec![0, 1]]);
+        assert_eq!(h.covered_vertices().len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # wdpt-decomp — hypergraphs and width measures
+//!
+//! The tractable CQ classes of the paper (Section 3.1) are defined through
+//! decompositions of the query hypergraph:
+//!
+//! * `TW(k)` — CQs whose hypergraph has **treewidth** ≤ k
+//!   (Chekuri–Rajaraman; Theorem 2).
+//! * `HW(k)` — CQs whose hypergraph has **(generalized) hypertreewidth** ≤ k
+//!   (Gottlob–Leone–Scarcello; Theorem 3). `HW(1)` is exactly the class of
+//!   α-acyclic CQs.
+//! * `HW'(k)` — the restriction of `HW(k)` closed under subqueries
+//!   (β-hypertreewidth, Section 5); `HW'(1)` is β-acyclicity.
+//!
+//! This crate implements those width measures from scratch:
+//!
+//! * [`Hypergraph`] — vertices are dense `usize` ids, hyperedges are sorted
+//!   vertex sets; callers (the CQ layer) map variables to vertices.
+//! * [`TreeDecomposition`] — bags + tree, with a full validity checker.
+//! * [`treewidth`] — exact treewidth via the Bodlaender et al. subset
+//!   dynamic program, plus min-fill / min-degree heuristics and a degeneracy
+//!   lower bound; decompositions are extracted from elimination orderings.
+//! * [`gyo`] — the GYO ear-removal algorithm for α-acyclicity and join-tree
+//!   construction (the substrate of Yannakakis evaluation).
+//! * [`hypertree`] — exact width-`k` generalized hypertree decompositions by
+//!   memoized component/separator search (the decomposition style of
+//!   det-k-decomp / BalancedGo), returning bag + edge-cover pairs.
+//! * [`beta`] — β-acyclicity by nest-point elimination and bounded
+//!   β-hypertreewidth by subquery enumeration.
+
+pub mod beta;
+pub mod gyo;
+pub mod hypergraph;
+pub mod hypertree;
+pub mod treedecomp;
+pub mod treewidth;
+
+pub use beta::{beta_hypertreewidth_at_most, is_beta_acyclic};
+pub use gyo::{is_alpha_acyclic, join_tree, JoinTree};
+pub use hypergraph::Hypergraph;
+pub use hypertree::{hypertree_width_at_most, HypertreeDecomposition};
+pub use treedecomp::TreeDecomposition;
+pub use treewidth::{treewidth_at_most, treewidth_exact, treewidth_upper_bound};

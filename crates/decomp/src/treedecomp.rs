@@ -1,0 +1,198 @@
+//! Tree decompositions `(S, ν)` and their validity conditions.
+
+use crate::hypergraph::Hypergraph;
+use std::collections::BTreeSet;
+
+/// A tree decomposition of a hypergraph: a tree whose nodes carry *bags* of
+/// vertices such that (1) every hyperedge is contained in some bag and
+/// (2) for every vertex, the bags containing it form a connected subtree
+/// (Section 3.1 of the paper).
+#[derive(Debug, Clone)]
+pub struct TreeDecomposition {
+    /// `bags[i]` is the bag `ν(i)`.
+    pub bags: Vec<BTreeSet<usize>>,
+    /// Undirected tree edges between bag indices.
+    pub tree_edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// A decomposition with a single bag (always valid when the bag covers
+    /// all edges).
+    pub fn single_bag(bag: BTreeSet<usize>) -> Self {
+        TreeDecomposition {
+            bags: vec![bag],
+            tree_edges: Vec::new(),
+        }
+    }
+
+    /// The width: `max |ν(s)| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(BTreeSet::len).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    /// Neighbor lists of the decomposition tree.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.tree_edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// Checks all tree-decomposition conditions for `h`:
+    /// the node graph is a tree (connected, acyclic), every hyperedge is
+    /// covered by a bag, and every vertex's bags are connected.
+    pub fn is_valid_for(&self, h: &Hypergraph) -> bool {
+        if self.bags.is_empty() {
+            return h.num_edges() == 0;
+        }
+        // Tree check: n-1 edges and connected.
+        if self.tree_edges.len() + 1 != self.bags.len() {
+            return false;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.bags.len()];
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut seen[v], true) {
+                continue;
+            }
+            stack.extend(adj[v].iter().copied().filter(|&w| !seen[w]));
+        }
+        if seen.iter().any(|&s| !s) {
+            return false;
+        }
+        // Edge coverage.
+        for e in h.edges() {
+            let eset: BTreeSet<usize> = e.iter().copied().collect();
+            if !self.bags.iter().any(|b| eset.is_subset(b)) {
+                return false;
+            }
+        }
+        // Vertex connectedness: for each vertex, bags containing it induce a
+        // connected subtree.
+        for v in 0..h.num_vertices() {
+            let holders: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].contains(&v))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            let hset: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![holders[0]];
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                for &w in &adj[n] {
+                    if hset.contains(&w) && !seen.contains(&w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns the decomposition rooted at bag 0 as `(parent, order)` where
+    /// `order` is a topological (root-first) ordering — used by Yannakakis
+    /// passes.
+    pub fn rooted(&self) -> (Vec<Option<usize>>, Vec<usize>) {
+        let adj = self.adjacency();
+        let mut parent = vec![None; self.bags.len()];
+        let mut order = Vec::with_capacity(self.bags.len());
+        let mut seen = vec![false; self.bags.len()];
+        if self.bags.is_empty() {
+            return (parent, order);
+        }
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    parent[w] = Some(v);
+                    stack.push(w);
+                }
+            }
+        }
+        (parent, order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]])
+    }
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn valid_path_decomposition() {
+        let td = TreeDecomposition {
+            bags: vec![set(&[0, 1]), set(&[1, 2])],
+            tree_edges: vec![(0, 1)],
+        };
+        assert!(td.is_valid_for(&path_graph()));
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn missing_edge_cover_is_invalid() {
+        let td = TreeDecomposition {
+            bags: vec![set(&[0, 1]), set(&[2])],
+            tree_edges: vec![(0, 1)],
+        };
+        assert!(!td.is_valid_for(&path_graph()));
+    }
+
+    #[test]
+    fn broken_connectedness_is_invalid() {
+        // Vertex 1 appears in bags 0 and 2 but not in bag 1 between them.
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let td = TreeDecomposition {
+            bags: vec![set(&[0, 1]), set(&[0, 2]), set(&[1, 2])],
+            tree_edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(!td.is_valid_for(&h));
+    }
+
+    #[test]
+    fn disconnected_tree_is_invalid() {
+        let td = TreeDecomposition {
+            bags: vec![set(&[0, 1]), set(&[1, 2]), set(&[1])],
+            tree_edges: vec![(0, 1)],
+        };
+        assert!(!td.is_valid_for(&path_graph()));
+    }
+
+    #[test]
+    fn single_bag_is_valid() {
+        let td = TreeDecomposition::single_bag(set(&[0, 1, 2]));
+        assert!(td.is_valid_for(&path_graph()));
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn rooted_order_starts_at_root() {
+        let td = TreeDecomposition {
+            bags: vec![set(&[0, 1]), set(&[1, 2])],
+            tree_edges: vec![(0, 1)],
+        };
+        let (parent, order) = td.rooted();
+        assert_eq!(order[0], 0);
+        assert_eq!(parent[1], Some(0));
+        assert_eq!(parent[0], None);
+    }
+}

@@ -1,0 +1,91 @@
+//! Random and structured databases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdpt_model::{Const, Database, Interner, Pred};
+
+/// Deterministic RNG from a seed (all generators in this crate are
+/// reproducible).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Interns the constants `c0 … c{n-1}`.
+pub fn domain(interner: &mut Interner, n: usize) -> Vec<Const> {
+    (0..n).map(|j| interner.constant(&format!("c{j}"))).collect()
+}
+
+/// A directed path graph `e(c0,c1), …, e(c{n-1},c{n})`.
+pub fn path_graph_db(interner: &mut Interner, n: usize) -> (Database, Pred) {
+    let e = interner.pred("e");
+    let dom = domain(interner, n + 1);
+    let mut db = Database::new();
+    for w in dom.windows(2) {
+        db.insert(e, vec![w[0], w[1]]);
+    }
+    (db, e)
+}
+
+/// A random directed graph over `dom_size` constants with `edges` edges
+/// (duplicates collapse), predicate `e/2`.
+pub fn random_graph_db(
+    interner: &mut Interner,
+    dom_size: usize,
+    edges: usize,
+    seed: u64,
+) -> (Database, Pred) {
+    let e = interner.pred("e");
+    let dom = domain(interner, dom_size);
+    let mut r = rng(seed);
+    let mut db = Database::new();
+    for _ in 0..edges {
+        let a = dom[r.gen_range(0..dom.len())];
+        let b = dom[r.gen_range(0..dom.len())];
+        db.insert(e, vec![a, b]);
+    }
+    (db, e)
+}
+
+/// A random undirected simple graph as an adjacency list, for the
+/// 3-colorability reduction. Edge probability `p` (Erdős–Rényi).
+pub fn random_undirected_graph(n: usize, p: f64, seed: u64) -> Vec<(usize, usize)> {
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if r.gen_bool(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_has_n_edges() {
+        let mut i = Interner::new();
+        let (db, _) = path_graph_db(&mut i, 5);
+        assert_eq!(db.size(), 5);
+        assert_eq!(db.active_domain().len(), 6);
+    }
+
+    #[test]
+    fn random_graph_is_reproducible() {
+        let mut i1 = Interner::new();
+        let mut i2 = Interner::new();
+        let (db1, _) = random_graph_db(&mut i1, 10, 30, 7);
+        let (db2, _) = random_graph_db(&mut i2, 10, 30, 7);
+        assert_eq!(db1.size(), db2.size());
+        assert_eq!(db1.display(&i1), db2.display(&i2));
+    }
+
+    #[test]
+    fn random_undirected_graph_respects_probability_extremes() {
+        assert!(random_undirected_graph(6, 0.0, 1).is_empty());
+        assert_eq!(random_undirected_graph(6, 1.0, 1).len(), 15);
+    }
+}

@@ -1,0 +1,26 @@
+//! # wdpt-gen — workload generators and hardness reductions
+//!
+//! Parameterized instance families for the experiments that regenerate the
+//! paper's tables and figures (see `DESIGN.md`, experiments E1–E11):
+//!
+//! * [`db`] — random graph databases, path/grid graphs, and deterministic
+//!   seeding helpers.
+//! * [`trees`] — WDPT families with controlled class membership: chain and
+//!   star trees inside `ℓ-TW(k) ∩ BI(c)` (the LogCFL column of Table 1),
+//!   wide-interface trees inside `g-TW(k) ∖ BI(c)` (Proposition 2(2)), and
+//!   random well-designed trees for differential testing.
+//! * [`reductions`] — the Proposition 3 reduction from 3-colorability
+//!   (hard instances for EVAL under global tractability) and the Theorem 5
+//!   flavored instances showing local tractability alone does not help.
+//! * [`music`] — the paper's motivating scenario at scale: an RDF music
+//!   catalog with optional ratings and formation years.
+
+pub mod db;
+pub mod music;
+pub mod reductions;
+pub mod trees;
+
+pub use db::{path_graph_db, random_graph_db};
+pub use music::music_catalog;
+pub use reductions::{three_col_instance, ThreeColInstance};
+pub use trees::{chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt};

@@ -1,0 +1,336 @@
+//! Hardness reductions from the paper, as reusable instance builders.
+//!
+//! The central one is Proposition 3: 3-COLORABILITY reduces to
+//! EVAL(g-TW(1)). Given an undirected graph `G = (V, E)`:
+//!
+//! * `D = {c(1,1), c(2,2), c(3,3)}`;
+//! * the WDPT's root carries `c(u_i, u_i)` for every vertex plus `c(x, x)`;
+//! * for every edge `e_j = {v, w}` and every color `κ ∈ {1,2,3}` a child
+//!   carries `c(u_v, κ), c(u_w, κ), c(x_j^κ, x_j^κ)`;
+//! * free variables: `x` and all `x_j^κ`; the candidate answer is
+//!   `h = {x ↦ 1}`.
+//!
+//! `h ∈ p(D)` iff some coloring of the `u_i` leaves **every** child
+//! non-extendable — i.e. iff `G` is 3-colorable. The instances are in
+//! `g-TW(1)` (and `g-HW(1)`), so they realize the NP-hardness of exact
+//! evaluation under global tractability, while PARTIAL-EVAL and MAX-EVAL on
+//! the same instances stay polynomial (Theorems 8 and 9) — exactly the
+//! Table 1 contrast.
+
+use wdpt_core::{Wdpt, WdptBuilder};
+use wdpt_model::{Atom, Database, Interner, Mapping, Var};
+
+/// A Proposition 3 instance: the WDPT, the 3-element database, and the
+/// candidate mapping `h = {x ↦ 1}`.
+#[derive(Debug, Clone)]
+pub struct ThreeColInstance {
+    /// The reduction WDPT (in `g-TW(1)`).
+    pub wdpt: Wdpt,
+    /// The fixed database `{c(1,1), c(2,2), c(3,3)}`.
+    pub db: Database,
+    /// The candidate answer `{x ↦ 1}`.
+    pub candidate: Mapping,
+}
+
+/// Builds the Proposition 3 instance for graph `(n, edges)` (vertices
+/// `0..n`).
+pub fn three_col_instance(
+    interner: &mut Interner,
+    n: usize,
+    edges: &[(usize, usize)],
+) -> ThreeColInstance {
+    let c = interner.pred("c");
+    let colors: Vec<_> = (1..=3).map(|k| interner.constant(&k.to_string())).collect();
+    let mut db = Database::new();
+    for &col in &colors {
+        db.insert(c, vec![col, col]);
+    }
+    let x = interner.var("x");
+    let us: Vec<Var> = (0..n).map(|j| interner.var(&format!("u{j}"))).collect();
+    let mut root: Vec<Atom> = us
+        .iter()
+        .map(|&u| Atom::new(c, vec![u.into(), u.into()]))
+        .collect();
+    root.push(Atom::new(c, vec![x.into(), x.into()]));
+    let mut b = WdptBuilder::new(root);
+    let mut free = vec![x];
+    for (j, &(v, w)) in edges.iter().enumerate() {
+        for (kidx, &col) in colors.iter().enumerate() {
+            let xjk = interner.var(&format!("x_{j}_{kidx}"));
+            b.child(
+                0,
+                vec![
+                    Atom::new(c, vec![us[v].into(), col.into()]),
+                    Atom::new(c, vec![us[w].into(), col.into()]),
+                    Atom::new(c, vec![xjk.into(), xjk.into()]),
+                ],
+            );
+            free.push(xjk);
+        }
+    }
+    let wdpt = b.build(free).expect("reduction tree is well-designed");
+    let candidate = Mapping::from_pairs(vec![(x, colors[0])]);
+    ThreeColInstance {
+        wdpt,
+        db,
+        candidate,
+    }
+}
+
+/// Reference 3-colorability check by brute force (for validating the
+/// reduction in tests and experiments).
+pub fn is_three_colorable(n: usize, edges: &[(usize, usize)]) -> bool {
+    let mut coloring = vec![0u8; n];
+    fn rec(i: usize, n: usize, edges: &[(usize, usize)], coloring: &mut [u8]) -> bool {
+        if i == n {
+            return true;
+        }
+        for c in 1..=3u8 {
+            coloring[i] = c;
+            let ok = edges
+                .iter()
+                .all(|&(a, b)| a != i && b != i || {
+                    let other = if a == i { b } else { a };
+                    other >= i || coloring[other] != c
+                });
+            if ok && rec(i + 1, n, edges, coloring) {
+                return true;
+            }
+        }
+        coloring[i] = 0;
+        false
+    }
+    rec(0, n, edges, &mut coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_core::{eval_decide, is_globally_in, partial_eval_decide, Engine, WidthKind};
+
+    #[test]
+    fn instances_are_globally_tractable() {
+        let mut i = Interner::new();
+        let inst = three_col_instance(&mut i, 3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(is_globally_in(&inst.wdpt, WidthKind::Tw, 1));
+        assert!(is_globally_in(&inst.wdpt, WidthKind::Hw, 1));
+    }
+
+    #[test]
+    fn reduction_is_correct_on_small_graphs() {
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (3, vec![(0, 1), (1, 2), (0, 2)]),                     // K3: yes
+            (4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]), // K4: no
+            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),             // C4: yes
+            (1, vec![]),                                           // trivial
+        ];
+        for (n, edges) in cases {
+            let mut i = Interner::new();
+            let inst = three_col_instance(&mut i, n, &edges);
+            let expected = is_three_colorable(n, &edges);
+            assert_eq!(
+                eval_decide(&inst.wdpt, &inst.db, &inst.candidate),
+                expected,
+                "reduction disagreed on n={n}, edges={edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_eval_is_trivially_yes_on_these_instances() {
+        // The Table 1 contrast: the same instance is easy for PARTIAL-EVAL.
+        let mut i = Interner::new();
+        let inst = three_col_instance(
+            &mut i,
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        assert!(partial_eval_decide(
+            &inst.wdpt,
+            &inst.db,
+            &inst.candidate,
+            Engine::Tw(1)
+        ));
+        // …even though exact EVAL says no (K4 is not 3-colorable).
+        assert!(!eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
+    }
+
+    #[test]
+    fn brute_force_reference_is_sane() {
+        assert!(is_three_colorable(3, &[(0, 1), (1, 2), (0, 2)]));
+        assert!(!is_three_colorable(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        ));
+        assert!(is_three_colorable(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+    }
+}
+
+/// A literal of a ∃X∀Y 3-CNF QBF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QbfLit {
+    /// Positive/negative occurrence of the existential variable `x_i`.
+    X(usize, bool),
+    /// Positive/negative occurrence of the universal variable `y_i`.
+    Y(usize, bool),
+}
+
+/// A Σ₂ᵖ-hardness instance (Theorem 1): an ∃X∀Y CNF formula reduced to
+/// EVAL over a WDPT with projection.
+#[derive(Debug, Clone)]
+pub struct QbfInstance {
+    /// The reduction WDPT.
+    pub wdpt: Wdpt,
+    /// The fixed Boolean database.
+    pub db: Database,
+    /// The candidate answer; `h ∈ p(D)` iff the formula is valid.
+    pub candidate: Mapping,
+}
+
+/// Reduces validity of `∃x_1…x_n ∀Y ⋀_j C_j` to EVAL (the Σ₂ᵖ-complete
+/// general case of Theorem 1).
+///
+/// Construction: the root carries `bool(u_i)` for every existential
+/// variable (the database holds `bool(0)`, `bool(1)`) plus a free anchor
+/// `anchor(x)`. For every clause `C_j` a child carries `is0(u_i)`/`is1(u_i)`
+/// for each X-literal of the clause (the values falsifying it), satisfiable
+/// `is0/is1` atoms over fresh existential variables for each Y-literal, and
+/// a fresh free variable `x_j`. The child is extendable iff `C_j` can be
+/// falsified given the chosen X-assignment; maximality then forces the new
+/// free variable `x_j`, destroying the candidate answer `h = {x ↦ a}`.
+/// Hence `h ∈ p(D)` iff some X-assignment leaves every clause
+/// unfalsifiable — validity of the QBF.
+pub fn qbf_instance(
+    interner: &mut Interner,
+    n_x: usize,
+    clauses: &[Vec<QbfLit>],
+) -> QbfInstance {
+    let boolp = interner.pred("bool");
+    let is0 = interner.pred("is0");
+    let is1 = interner.pred("is1");
+    let anchor = interner.pred("anchor");
+    let zero = interner.constant("0");
+    let one = interner.constant("1");
+    let a = interner.constant("a");
+    let mut db = Database::new();
+    db.insert(boolp, vec![zero]);
+    db.insert(boolp, vec![one]);
+    db.insert(is0, vec![zero]);
+    db.insert(is1, vec![one]);
+    db.insert(anchor, vec![a]);
+
+    let x = interner.var("x");
+    let us: Vec<Var> = (0..n_x).map(|i| interner.var(&format!("u{i}"))).collect();
+    let mut root: Vec<Atom> = us.iter().map(|&u| Atom::new(boolp, vec![u.into()])).collect();
+    root.push(Atom::new(anchor, vec![x.into()]));
+    let mut b = WdptBuilder::new(root);
+    let mut free = vec![x];
+    for (j, clause) in clauses.iter().enumerate() {
+        let mut atoms = Vec::new();
+        for lit in clause.iter() {
+            match *lit {
+                // Positive literal is false when the variable is 0.
+                QbfLit::X(i, positive) => {
+                    assert!(i < n_x, "X index out of range");
+                    let pred = if positive { is0 } else { is1 };
+                    atoms.push(Atom::new(pred, vec![us[i].into()]));
+                }
+                QbfLit::Y(i, positive) => {
+                    // The falsifying value for a universal variable can
+                    // always be picked, but all occurrences of y_i within
+                    // the clause must agree (tautologies like y ∨ ¬y are
+                    // never falsifiable): one existential per (clause, y).
+                    let w = interner.var(&format!("w_{j}_{i}"));
+                    let pred = if positive { is0 } else { is1 };
+                    atoms.push(Atom::new(pred, vec![w.into()]));
+                }
+            }
+        }
+        let xj = interner.var(&format!("xc{j}"));
+        atoms.push(Atom::new(anchor, vec![xj.into()]));
+        b.child(0, atoms);
+        free.push(xj);
+    }
+    let wdpt = b.build(free).expect("reduction tree is well-designed");
+    let candidate = Mapping::from_pairs(vec![(x, a)]);
+    QbfInstance {
+        wdpt,
+        db,
+        candidate,
+    }
+}
+
+/// Brute-force ∃X∀Y CNF validity check (reference for tests).
+pub fn qbf_valid(n_x: usize, n_y: usize, clauses: &[Vec<QbfLit>]) -> bool {
+    let eval_clause = |clause: &[QbfLit], sx: u64, sy: u64| -> bool {
+        clause.iter().any(|&l| match l {
+            QbfLit::X(i, pos) => ((sx >> i) & 1 == 1) == pos,
+            QbfLit::Y(i, pos) => ((sy >> i) & 1 == 1) == pos,
+        })
+    };
+    (0..(1u64 << n_x)).any(|sx| {
+        (0..(1u64 << n_y)).all(|sy| clauses.iter().all(|c| eval_clause(c, sx, sy)))
+    })
+}
+
+#[cfg(test)]
+mod qbf_tests {
+    use super::*;
+    use wdpt_core::eval_decide;
+
+    #[test]
+    fn reduction_matches_brute_force_on_random_formulas() {
+        let mut state = 0xfeed_beefu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for case in 0..40 {
+            let n_x = 1 + next() % 3;
+            let n_y = 1 + next() % 3;
+            let n_clauses = 1 + next() % 4;
+            let clauses: Vec<Vec<QbfLit>> = (0..n_clauses)
+                .map(|_| {
+                    (0..(1 + next() % 3))
+                        .map(|_| {
+                            if next() % 2 == 0 {
+                                QbfLit::X(next() % n_x, next() % 2 == 0)
+                            } else {
+                                QbfLit::Y(next() % n_y, next() % 2 == 0)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let expected = qbf_valid(n_x, n_y, &clauses);
+            let mut i = Interner::new();
+            let inst = qbf_instance(&mut i, n_x, &clauses);
+            assert_eq!(
+                eval_decide(&inst.wdpt, &inst.db, &inst.candidate),
+                expected,
+                "case {case}: clauses {clauses:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_valid_and_invalid_formulas() {
+        // ∃x ∀y (x ∨ y) ∧ (x ∨ ¬y): valid via x = 1.
+        let clauses = vec![
+            vec![QbfLit::X(0, true), QbfLit::Y(0, true)],
+            vec![QbfLit::X(0, true), QbfLit::Y(0, false)],
+        ];
+        assert!(qbf_valid(1, 1, &clauses));
+        let mut i = Interner::new();
+        let inst = qbf_instance(&mut i, 1, &clauses);
+        assert!(eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
+        // ∃x ∀y (y): invalid (pure-universal clause).
+        let clauses = vec![vec![QbfLit::Y(0, true)]];
+        assert!(!qbf_valid(1, 1, &clauses));
+        let mut i = Interner::new();
+        let inst = qbf_instance(&mut i, 1, &clauses);
+        assert!(!eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
+    }
+}

@@ -1,0 +1,142 @@
+//! Relational atoms `R(v̄)`.
+
+use crate::interner::Interner;
+use crate::mapping::Mapping;
+use crate::term::{Const, Pred, Term, Var};
+use std::collections::BTreeSet;
+
+/// A relational atom `R(v̄)` over a schema: a predicate symbol applied to a
+/// tuple of terms (variables and constants).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate symbol `R`.
+    pub pred: Pred,
+    /// The argument tuple `v̄`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom from a predicate and argument terms.
+    pub fn new(pred: Pred, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterates over the variables occurring in the atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// The set of distinct variables in the atom.
+    pub fn var_set(&self) -> BTreeSet<Var> {
+        self.vars().collect()
+    }
+
+    /// True iff the atom is ground (contains no variables).
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+
+    /// Applies a partial mapping to the atom, replacing every variable in the
+    /// mapping's domain by its image. Variables outside the domain remain.
+    pub fn apply(&self, h: &Mapping) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => match h.get(*v) {
+                        Some(c) => Term::Const(c),
+                        None => *t,
+                    },
+                    Term::Const(_) => *t,
+                })
+                .collect(),
+        }
+    }
+
+    /// Converts a ground atom into its constant tuple; `None` if not ground.
+    pub fn ground_tuple(&self) -> Option<Vec<Const>> {
+        self.args.iter().map(|t| t.as_const()).collect()
+    }
+
+    /// Renders the atom using `interner`, e.g. `edge(?x, a)`.
+    pub fn display(&self, interner: &Interner) -> String {
+        format!(
+            "{}({})",
+            interner.pred_name(self.pred),
+            crate::interner::join_display(&self.args, |t| t.display(interner))
+        )
+    }
+}
+
+/// The set of distinct variables occurring in a slice of atoms.
+pub fn vars_of_atoms(atoms: &[Atom]) -> BTreeSet<Var> {
+    atoms.iter().flat_map(|a| a.vars()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Interner, Atom) {
+        let mut i = Interner::new();
+        let e = i.pred("edge");
+        let x = i.var("x");
+        let a = i.constant("a");
+        let atom = Atom::new(e, vec![x.into(), a.into()]);
+        (i, atom)
+    }
+
+    #[test]
+    fn arity_and_vars() {
+        let (_, atom) = setup();
+        assert_eq!(atom.arity(), 2);
+        assert_eq!(atom.var_set().len(), 1);
+        assert!(!atom.is_ground());
+    }
+
+    #[test]
+    fn apply_mapping_grounds_atom() {
+        let (mut i, atom) = setup();
+        let x = i.var("x");
+        let b = i.constant("b");
+        let h = Mapping::from_pairs(vec![(x, b)]);
+        let g = atom.apply(&h);
+        assert!(g.is_ground());
+        assert_eq!(g.ground_tuple().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn apply_leaves_unmapped_vars() {
+        let (mut i, atom) = setup();
+        let y = i.var("y");
+        let b = i.constant("b");
+        let h = Mapping::from_pairs(vec![(y, b)]);
+        let g = atom.apply(&h);
+        assert!(!g.is_ground());
+        assert_eq!(g, atom);
+    }
+
+    #[test]
+    fn display_format() {
+        let (i, atom) = setup();
+        assert_eq!(atom.display(&i), "edge(?x, a)");
+    }
+
+    #[test]
+    fn vars_of_atoms_dedups() {
+        let mut i = Interner::new();
+        let e = i.pred("e");
+        let x = i.var("x");
+        let y = i.var("y");
+        let a1 = Atom::new(e, vec![x.into(), y.into()]);
+        let a2 = Atom::new(e, vec![y.into(), x.into()]);
+        assert_eq!(vars_of_atoms(&[a1, a2]).len(), 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Databases: finite sets of ground atoms with per-column indexes.
+//!
+//! A database `D` over schema `σ` is a set of ground relational atoms
+//! (Section 2 of the paper). [`Database`] stores one [`Relation`] per
+//! predicate; each relation keeps its tuples densely plus lazily-built
+//! per-column hash indexes that the CQ engines use for index-nested-loop
+//! matching.
+
+use crate::atom::Atom;
+use crate::interner::Interner;
+use crate::term::{Const, Pred};
+use std::cell::OnceCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// The extension of a single predicate: a set of constant tuples.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Box<[Const]>>,
+    seen: HashSet<Box<[Const]>>,
+    /// Lazily built per-column index: `column -> constant -> tuple indices`.
+    column_index: Vec<OnceCell<HashMap<Const, Vec<u32>>>>,
+}
+
+impl Relation {
+    fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+            column_index: (0..arity).map(|_| OnceCell::new()).collect(),
+        }
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over all tuples.
+    pub fn tuples(&self) -> impl Iterator<Item = &[Const]> + '_ {
+        self.tuples.iter().map(|t| &**t)
+    }
+
+    /// Set-membership test.
+    pub fn contains(&self, tuple: &[Const]) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    fn insert(&mut self, tuple: Box<[Const]>) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.seen.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            // Invalidate indexes (cheap: they are rebuilt on next use).
+            self.column_index = (0..self.arity).map(|_| OnceCell::new()).collect();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn index_for(&self, col: usize) -> &HashMap<Const, Vec<u32>> {
+        self.column_index[col].get_or_init(|| {
+            let mut idx: HashMap<Const, Vec<u32>> = HashMap::new();
+            for (i, t) in self.tuples.iter().enumerate() {
+                idx.entry(t[col]).or_default().push(i as u32);
+            }
+            idx
+        })
+    }
+
+    /// Like [`Relation::matching`] but always performs a full scan,
+    /// ignoring the column indexes. Exists for the index-ablation
+    /// benchmarks (`benches/ablations.rs`) — never faster in practice.
+    pub fn matching_unindexed<'a>(
+        &'a self,
+        pattern: &'a [Option<Const>],
+    ) -> impl Iterator<Item = &'a [Const]> + 'a {
+        debug_assert_eq!(pattern.len(), self.arity);
+        self.tuples().filter(move |t| {
+            pattern
+                .iter()
+                .zip(t.iter())
+                .all(|(p, v)| p.is_none_or(|c| c == *v))
+        })
+    }
+
+    /// Iterates over tuples matching `pattern`: position `i` must equal
+    /// `pattern[i]` when it is `Some(c)`. Uses the column index of the most
+    /// selective bound position when one exists.
+    pub fn matching<'a>(
+        &'a self,
+        pattern: &'a [Option<Const>],
+    ) -> Box<dyn Iterator<Item = &'a [Const]> + 'a> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        // Pick the bound column whose posting list is shortest.
+        let mut best: Option<(usize, usize)> = None; // (column, postings len)
+        for (col, p) in pattern.iter().enumerate() {
+            if let Some(c) = p {
+                let len = self.index_for(col).get(c).map_or(0, Vec::len);
+                if best.is_none_or(|(_, bl)| len < bl) {
+                    best = Some((col, len));
+                }
+            }
+        }
+        let matches = move |t: &&[Const]| {
+            pattern
+                .iter()
+                .zip(t.iter())
+                .all(|(p, v)| p.is_none_or(|c| c == *v))
+        };
+        match best {
+            Some((col, _)) => {
+                let c = pattern[col].expect("bound column");
+                let postings = self.index_for(col).get(&c).map(Vec::as_slice).unwrap_or(&[]);
+                Box::new(
+                    postings
+                        .iter()
+                        .map(move |&i| &*self.tuples[i as usize])
+                        .filter(matches),
+                )
+            }
+            None => Box::new(self.tuples().filter(matches)),
+        }
+    }
+}
+
+/// A database: one [`Relation`] per predicate, plus the active domain.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: HashMap<Pred, Relation>,
+    active_domain: BTreeSet<Const>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts a ground tuple into predicate `pred`. Returns `true` if the
+    /// tuple was new.
+    ///
+    /// # Panics
+    /// Panics if `pred` was already used at a different arity (malformed
+    /// schema — a programming error in the caller).
+    pub fn insert(&mut self, pred: Pred, tuple: Vec<Const>) -> bool {
+        let arity = tuple.len();
+        let rel = self
+            .relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity));
+        assert_eq!(
+            rel.arity(),
+            arity,
+            "predicate used with inconsistent arities"
+        );
+        for &c in &tuple {
+            self.active_domain.insert(c);
+        }
+        rel.insert(tuple.into_boxed_slice())
+    }
+
+    /// Inserts a ground atom. Returns `true` if new.
+    ///
+    /// # Panics
+    /// Panics if the atom contains variables.
+    pub fn insert_atom(&mut self, atom: &Atom) -> bool {
+        let tuple = atom
+            .ground_tuple()
+            .expect("Database::insert_atom requires a ground atom");
+        self.insert(atom.pred, tuple)
+    }
+
+    /// The relation for `pred`, if any tuple was ever inserted for it.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// True iff the ground atom is in the database.
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        match atom.ground_tuple() {
+            Some(t) => self.relations.get(&atom.pred).is_some_and(|r| r.contains(&t)),
+            None => false,
+        }
+    }
+
+    /// The active domain: all constants occurring in some tuple.
+    pub fn active_domain(&self) -> &BTreeSet<Const> {
+        &self.active_domain
+    }
+
+    /// Total number of tuples across relations (the paper's `|D|` up to a
+    /// constant factor).
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Number of distinct predicates with at least one tuple.
+    pub fn predicate_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterates over `(predicate, relation)` pairs in unspecified order.
+    pub fn relations(&self) -> impl Iterator<Item = (Pred, &Relation)> + '_ {
+        self.relations.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Renders the database as a sorted list of ground atoms.
+    pub fn display(&self, interner: &Interner) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (p, rel) in &self.relations {
+            for t in rel.tuples() {
+                lines.push(format!(
+                    "{}({})",
+                    interner.pred_name(*p),
+                    crate::interner::join_display(t, |c| interner.const_name(*c).to_owned())
+                ));
+            }
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db3() -> (Interner, Database, Pred) {
+        let mut i = Interner::new();
+        let e = i.pred("e");
+        let (a, b, c) = (i.constant("a"), i.constant("b"), i.constant("c"));
+        let mut db = Database::new();
+        db.insert(e, vec![a, b]);
+        db.insert(e, vec![b, c]);
+        db.insert(e, vec![a, c]);
+        (i, db, e)
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let (mut i, mut db, e) = db3();
+        let a = i.constant("a");
+        let b = i.constant("b");
+        assert!(!db.insert(e, vec![a, b]));
+        assert_eq!(db.size(), 3);
+    }
+
+    #[test]
+    fn active_domain_tracks_constants() {
+        let (_, db, _) = db3();
+        assert_eq!(db.active_domain().len(), 3);
+    }
+
+    #[test]
+    fn matching_with_bound_first_column() {
+        let (mut i, db, e) = db3();
+        let a = i.constant("a");
+        assert_eq!(rel_count(&db, e, &[Some(a), None]), 2);
+    }
+
+    #[test]
+    fn matching_with_bound_second_column() {
+        let (mut i, db, e) = db3();
+        let c = i.constant("c");
+        assert_eq!(rel_count(&db, e, &[None, Some(c)]), 2);
+    }
+
+    #[test]
+    fn matching_fully_bound() {
+        let (mut i, db, e) = db3();
+        let a = i.constant("a");
+        let b = i.constant("b");
+        assert_eq!(rel_count(&db, e, &[Some(a), Some(b)]), 1);
+        assert_eq!(rel_count(&db, e, &[Some(b), Some(a)]), 0);
+    }
+
+    fn rel_count(db: &Database, p: Pred, pat: &[Option<Const>]) -> usize {
+        db.relation(p).unwrap().matching(pat).count()
+    }
+
+    #[test]
+    fn matching_unbound_scans_all() {
+        let (_, db, e) = db3();
+        assert_eq!(rel_count(&db, e, &[None, None]), 3);
+    }
+
+    #[test]
+    fn contains_atom_checks_groundness() {
+        let (mut i, db, e) = db3();
+        let a = i.constant("a");
+        let b = i.constant("b");
+        let x = i.var("x");
+        let ground = Atom::new(e, vec![a.into(), b.into()]);
+        let open = Atom::new(e, vec![x.into(), b.into()]);
+        assert!(db.contains_atom(&ground));
+        assert!(!db.contains_atom(&open));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent arities")]
+    fn arity_mismatch_panics() {
+        let (mut i, mut db, e) = db3();
+        let a = i.constant("a");
+        db.insert(e, vec![a]);
+    }
+
+    #[test]
+    fn insert_after_query_rebuilds_index() {
+        let (mut i, mut db, e) = db3();
+        let a = i.constant("a");
+        // Build the index.
+        assert_eq!(rel_count(&db, e, &[Some(a), None]), 2);
+        // Mutate, then query again: index must reflect the new tuple.
+        let d = i.constant("d");
+        db.insert(e, vec![a, d]);
+        assert_eq!(rel_count(&db, e, &[Some(a), None]), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! String interner shared by variables, constants, and predicate symbols.
+//!
+//! All identifiers in a query/database universe are interned once and
+//! referred to by dense `u32` ids afterwards, so that comparisons, hashing,
+//! and copying of terms are cheap (see the typed wrappers in [`crate::term`]).
+//! Each kind (variable / constant / predicate) has its own namespace: the
+//! variable `x` and the constant `x` receive independent ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The three disjoint namespaces managed by an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Space {
+    Var,
+    Const,
+    Pred,
+}
+
+/// Interns strings for one "universe" of queries and databases.
+///
+/// Structures from `wdpt-model` and the crates above it only store ids; an
+/// `Interner` is needed to create them from names and to render them back.
+/// Typical usage keeps one `Interner` per test / example / benchmark run.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    lookup: HashMap<(Space, String), u32>,
+    fresh_counter: u64,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, space: Space, name: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(&(space, name.to_owned())) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.lookup.insert((space, name.to_owned()), id);
+        id
+    }
+
+    /// Interns a variable name and returns its [`crate::term::Var`] id.
+    pub fn var(&mut self, name: &str) -> crate::term::Var {
+        crate::term::Var(self.intern(Space::Var, name))
+    }
+
+    /// Interns a constant name and returns its [`crate::term::Const`] id.
+    pub fn constant(&mut self, name: &str) -> crate::term::Const {
+        crate::term::Const(self.intern(Space::Const, name))
+    }
+
+    /// Interns a predicate name and returns its [`crate::term::Pred`] id.
+    pub fn pred(&mut self, name: &str) -> crate::term::Pred {
+        crate::term::Pred(self.intern(Space::Pred, name))
+    }
+
+    /// Returns a fresh constant guaranteed not to collide with any constant
+    /// interned so far. Used for "freezing" variables when building canonical
+    /// databases (Chandra–Merlin containment, subsumption tests).
+    pub fn fresh_const(&mut self, hint: &str) -> crate::term::Const {
+        loop {
+            let candidate = format!("\u{2022}{}#{}", hint, self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.lookup.contains_key(&(Space::Const, candidate.clone())) {
+                return self.constant(&candidate);
+            }
+        }
+    }
+
+    /// Returns a fresh variable guaranteed not to collide with any variable
+    /// interned so far.
+    pub fn fresh_var(&mut self, hint: &str) -> crate::term::Var {
+        loop {
+            let candidate = format!("\u{2022}{}#{}", hint, self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.lookup.contains_key(&(Space::Var, candidate.clone())) {
+                return self.var(&candidate);
+            }
+        }
+    }
+
+    /// Resolves any interned id back to its name.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Renders a variable.
+    pub fn var_name(&self, v: crate::term::Var) -> &str {
+        self.name(v.0)
+    }
+
+    /// Renders a constant.
+    pub fn const_name(&self, c: crate::term::Const) -> &str {
+        self.name(c.0)
+    }
+
+    /// Renders a predicate symbol.
+    pub fn pred_name(&self, p: crate::term::Pred) -> &str {
+        self.name(p.0)
+    }
+
+    /// Number of interned symbols across all namespaces.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Helper joining interned display of a list of items.
+pub(crate) fn join_display<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+    let mut out = String::new();
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&f(item));
+    }
+    out
+}
+
+impl fmt::Display for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interner({} symbols)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.var("x");
+        let b = i.var("x");
+        assert_eq!(a, b);
+        assert_eq!(i.var_name(a), "x");
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let mut i = Interner::new();
+        let v = i.var("x");
+        let c = i.constant("x");
+        let p = i.pred("x");
+        // Ids live in one arena but the lookups are independent.
+        assert_eq!(i.var_name(v), "x");
+        assert_eq!(i.const_name(c), "x");
+        assert_eq!(i.pred_name(p), "x");
+        assert_ne!(v.0, c.0);
+        assert_ne!(c.0, p.0);
+    }
+
+    #[test]
+    fn fresh_constants_never_collide() {
+        let mut i = Interner::new();
+        let c1 = i.fresh_const("x");
+        let c2 = i.fresh_const("x");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn fresh_vars_never_collide() {
+        let mut i = Interner::new();
+        let v1 = i.fresh_var("v");
+        let v2 = i.fresh_var("v");
+        assert_ne!(v1, v2);
+        assert!(i.len() >= 2);
+        assert!(!i.is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! A tiny text format for atoms, databases, and mappings.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! atoms   := atom ((',')? atom)*
+//! atom    := ident '(' term (',' term)* ')'   |   ident '(' ')'
+//! term    := '?' ident            // variable
+//!          | ident                // constant (bare)
+//!          | '"' chars '"'        // constant (quoted, may contain spaces)
+//! ident   := [A-Za-z0-9_.'-]+
+//! ```
+//!
+//! Examples: `edge(?x, ?y)`, `published(?x, "after_2010")`,
+//! `c(1, 1) c(2, 2) c(3, 3)`.
+//!
+//! This format exists so that tests, examples, and generators can state
+//! queries and databases at the same granularity the paper does.
+
+use crate::atom::Atom;
+use crate::database::Database;
+use crate::interner::Interner;
+use crate::mapping::Mapping;
+use crate::term::Term;
+use std::fmt;
+
+/// Error produced by the parser, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eof(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest().chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{c}'")))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let is_ident = |c: char| c.is_alphanumeric() || "_.'-".contains(c);
+        while self.rest().chars().next().is_some_and(is_ident) {
+            self.bump();
+        }
+        if self.pos == start {
+            Err(self.error("expected identifier"))
+        } else {
+            Ok(&self.src[start..self.pos])
+        }
+    }
+
+    fn quoted(&mut self) -> Result<&'a str, ParseError> {
+        self.expect('"')?;
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c == '"' {
+                let s = &self.src[start..self.pos];
+                self.bump();
+                return Ok(s);
+            }
+            self.bump();
+        }
+        Err(self.error("unterminated string literal"))
+    }
+
+    fn term(&mut self, interner: &mut Interner) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Ok(Term::Var(interner.var(self.ident()?)))
+            }
+            Some('"') => Ok(Term::Const(interner.constant(self.quoted()?))),
+            Some(_) => Ok(Term::Const(interner.constant(self.ident()?))),
+            None => Err(self.error("expected term")),
+        }
+    }
+
+    fn atom(&mut self, interner: &mut Interner) -> Result<Atom, ParseError> {
+        let pred = interner.pred(self.ident()?);
+        self.expect('(')?;
+        let mut args = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                args.push(self.term(interner)?);
+                match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                    }
+                    Some(')') => break,
+                    _ => return Err(self.error("expected ',' or ')'")),
+                }
+            }
+        }
+        self.expect(')')?;
+        Ok(Atom::new(pred, args))
+    }
+}
+
+/// Parses a single atom like `edge(?x, a)`.
+pub fn parse_atom(interner: &mut Interner, src: &str) -> Result<Atom, ParseError> {
+    let mut c = Cursor::new(src);
+    let atom = c.atom(interner)?;
+    if !c.eof() {
+        return Err(c.error("trailing input after atom"));
+    }
+    Ok(atom)
+}
+
+/// Parses a whitespace/comma-separated sequence of atoms.
+pub fn parse_atoms(interner: &mut Interner, src: &str) -> Result<Vec<Atom>, ParseError> {
+    let mut c = Cursor::new(src);
+    let mut atoms = Vec::new();
+    while !c.eof() {
+        atoms.push(c.atom(interner)?);
+        if c.peek() == Some(',') {
+            c.bump();
+        }
+    }
+    Ok(atoms)
+}
+
+/// Parses a sequence of *ground* atoms into a [`Database`].
+pub fn parse_database(interner: &mut Interner, src: &str) -> Result<Database, ParseError> {
+    let atoms = parse_atoms(interner, src)?;
+    let mut db = Database::new();
+    for a in &atoms {
+        if !a.is_ground() {
+            return Err(ParseError {
+                at: 0,
+                message: format!("database atom contains a variable: {}", a.display(interner)),
+            });
+        }
+        db.insert_atom(a);
+    }
+    Ok(db)
+}
+
+/// Parses a mapping like `?x -> Swim, ?y -> Caribou` (also accepts `↦` and
+/// `=` as the arrow). The empty string yields the empty mapping.
+pub fn parse_mapping(interner: &mut Interner, src: &str) -> Result<Mapping, ParseError> {
+    let mut c = Cursor::new(src);
+    let mut m = Mapping::empty();
+    while !c.eof() {
+        c.expect('?')?;
+        let v = interner.var(c.ident()?);
+        c.skip_ws();
+        // Accept "->", "↦", or "=".
+        match c.peek() {
+            Some('-') => {
+                c.bump();
+                c.expect('>')?;
+            }
+            Some('↦') | Some('=') => {
+                c.bump();
+            }
+            _ => return Err(c.error("expected '->', '↦', or '='")),
+        }
+        let value = match c.peek() {
+            Some('"') => c.quoted()?,
+            _ => c.ident()?,
+        };
+        let cst = interner.constant(value);
+        if !m.insert(v, cst) {
+            return Err(c.error("conflicting binding in mapping"));
+        }
+        if c.peek() == Some(',') {
+            c.bump();
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_atom() {
+        let mut i = Interner::new();
+        let a = parse_atom(&mut i, "edge(?x, ?y)").unwrap();
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.var_set().len(), 2);
+        assert_eq!(a.display(&i), "edge(?x, ?y)");
+    }
+
+    #[test]
+    fn parses_quoted_constants() {
+        let mut i = Interner::new();
+        let a = parse_atom(&mut i, r#"published(?x, "after 2010")"#).unwrap();
+        assert_eq!(a.display(&i), "published(?x, after 2010)");
+        assert_eq!(a.var_set().len(), 1);
+    }
+
+    #[test]
+    fn parses_nullary_atom() {
+        let mut i = Interner::new();
+        let a = parse_atom(&mut i, "p()").unwrap();
+        assert_eq!(a.arity(), 0);
+    }
+
+    #[test]
+    fn parses_atom_list_with_and_without_commas() {
+        let mut i = Interner::new();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z) e(?z,?x)").unwrap();
+        assert_eq!(atoms.len(), 3);
+    }
+
+    #[test]
+    fn parses_database() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "c(1,1) c(2,2), c(3,3)").unwrap();
+        assert_eq!(db.size(), 3);
+        assert_eq!(db.active_domain().len(), 3);
+    }
+
+    #[test]
+    fn database_rejects_variables() {
+        let mut i = Interner::new();
+        assert!(parse_database(&mut i, "c(?x, 1)").is_err());
+    }
+
+    #[test]
+    fn parses_mapping() {
+        let mut i = Interner::new();
+        let m = parse_mapping(&mut i, "?x -> Swim, ?y -> Caribou").unwrap();
+        assert_eq!(m.len(), 2);
+        let x = i.var("x");
+        let swim = i.constant("Swim");
+        assert_eq!(m.get(x), Some(swim));
+    }
+
+    #[test]
+    fn parses_empty_mapping() {
+        let mut i = Interner::new();
+        assert!(parse_mapping(&mut i, "  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn mapping_rejects_conflicts() {
+        let mut i = Interner::new();
+        assert!(parse_mapping(&mut i, "?x -> a, ?x -> b").is_err());
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let mut i = Interner::new();
+        assert!(parse_atom(&mut i, "e(?x) junk").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let mut i = Interner::new();
+        let err = parse_atom(&mut i, "e(?x").unwrap_err();
+        assert!(err.at >= 4, "offset was {}", err.at);
+        assert!(err.to_string().contains("parse error"));
+    }
+}

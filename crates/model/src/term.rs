@@ -1,0 +1,115 @@
+//! Terms: variables, constants, predicate symbols.
+//!
+//! The paper (Section 2) fixes disjoint countably infinite sets **X** of
+//! variables and **U** of constants; a term is an element of `X ∪ U`. All
+//! three symbol kinds are thin `u32` newtypes over [`crate::Interner`] ids,
+//! so terms are `Copy` and comparisons are integer comparisons.
+
+use crate::interner::Interner;
+use std::fmt;
+
+/// A variable from the set **X**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A constant from the set **U**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Const(pub u32);
+
+/// A predicate (relation) symbol from the schema `σ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub u32);
+
+/// A term: either a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable `?x ∈ X`.
+    Var(Var),
+    /// A constant `u ∈ U`.
+    Const(Const),
+}
+
+impl Term {
+    /// Returns the variable inside, if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant inside, if this term is one.
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// True iff the term is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Renders the term using `interner`. Variables get a `?` sigil, matching
+    /// the text format of [`crate::parse`].
+    pub fn display(self, interner: &Interner) -> String {
+        match self {
+            Term::Var(v) => format!("?{}", interner.var_name(v)),
+            Term::Const(c) => interner.const_name(c).to_owned(),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?v{}", self.0)
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let mut i = Interner::new();
+        let x = i.var("x");
+        let c = i.constant("a");
+        let tv: Term = x.into();
+        let tc: Term = c.into();
+        assert_eq!(tv.as_var(), Some(x));
+        assert_eq!(tv.as_const(), None);
+        assert_eq!(tc.as_const(), Some(c));
+        assert_eq!(tc.as_var(), None);
+        assert!(tv.is_var());
+        assert!(!tc.is_var());
+    }
+
+    #[test]
+    fn term_display_uses_sigil() {
+        let mut i = Interner::new();
+        let x = i.var("x");
+        let c = i.constant("Swim");
+        assert_eq!(Term::Var(x).display(&i), "?x");
+        assert_eq!(Term::Const(c).display(&i), "Swim");
+    }
+}

@@ -1,0 +1,319 @@
+//! Parser for the paper's algebraic {AND, OPT} notation.
+//!
+//! ```text
+//! query   := 'SELECT' var+ 'WHERE' '{' pattern '}'   |   pattern
+//! pattern := unit (('AND' | 'OPT') unit)*            // left-associative
+//! unit    := triple | '(' pattern ')'
+//! triple  := '(' term ',' term ',' term ')'
+//! term    := '?' ident | ident | '"' chars '"'
+//! ```
+//!
+//! Example (query (1) of the paper):
+//!
+//! ```text
+//! (((?x, recorded_by, ?y) AND (?x, published, "after_2010"))
+//!    OPT (?x, NME_rating, ?z)) OPT (?y, formed_in, ?z2)
+//! ```
+
+use crate::algebra::{GraphPattern, SparqlQuery, TriplePattern};
+use wdpt_model::{Interner, Term, Var};
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SparqlParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SPARQL parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for SparqlParseError {}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn skip_ws(&mut self) {
+        let t = self.src[self.pos..].trim_start();
+        self.pos = self.src.len() - t.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn err(&self, m: impl Into<String>) -> SparqlParseError {
+        SparqlParseError {
+            at: self.pos,
+            message: m.into(),
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), SparqlParseError> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, SparqlParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let ok = |c: char| c.is_alphanumeric() || "_.'-".contains(c);
+        while self.src[self.pos..].chars().next().is_some_and(ok) {
+            self.bump();
+        }
+        if self.pos == start {
+            Err(self.err("expected identifier"))
+        } else {
+            Ok(&self.src[start..self.pos])
+        }
+    }
+
+    /// Consumes a keyword if present (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            let after = rest[kw.len()..].chars().next();
+            if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn term(&mut self, i: &mut Interner) -> Result<Term, SparqlParseError> {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Ok(Term::Var(i.var(self.ident()?)))
+            }
+            Some('"') => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.src[self.pos..].chars().next() {
+                    if c == '"' {
+                        let s = &self.src[start..self.pos];
+                        self.bump();
+                        return Ok(Term::Const(i.constant(s)));
+                    }
+                    self.bump();
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(_) => Ok(Term::Const(i.constant(self.ident()?))),
+            None => Err(self.err("expected term")),
+        }
+    }
+
+    fn unit(&mut self, i: &mut Interner) -> Result<GraphPattern, SparqlParseError> {
+        self.expect('(')?;
+        // Try a triple first: term ',' term ',' term ')'.
+        let save = self.pos;
+        if let Ok(s) = self.term(i) {
+            if self.peek() == Some(',') {
+                self.bump();
+                let p = self.term(i)?;
+                self.expect(',')?;
+                let o = self.term(i)?;
+                self.expect(')')?;
+                return Ok(GraphPattern::Triple(TriplePattern { s, p, o }));
+            }
+        }
+        // Not a triple: parenthesized pattern.
+        self.pos = save;
+        let inner = self.pattern(i)?;
+        self.expect(')')?;
+        Ok(inner)
+    }
+
+    fn pattern(&mut self, i: &mut Interner) -> Result<GraphPattern, SparqlParseError> {
+        let mut acc = self.unit(i)?;
+        loop {
+            if self.keyword("AND") {
+                let rhs = self.unit(i)?;
+                acc = GraphPattern::And(Box::new(acc), Box::new(rhs));
+            } else if self.keyword("OPT") {
+                let rhs = self.unit(i)?;
+                acc = GraphPattern::Opt(Box::new(acc), Box::new(rhs));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn union(&mut self, i: &mut Interner) -> Result<Vec<GraphPattern>, SparqlParseError> {
+        let mut branches = vec![self.pattern(i)?];
+        while self.keyword("UNION") {
+            branches.push(self.pattern(i)?);
+        }
+        Ok(branches)
+    }
+
+    fn query(&mut self, i: &mut Interner) -> Result<SparqlQuery, SparqlParseError> {
+        if self.keyword("SELECT") {
+            let mut select: Vec<Var> = Vec::new();
+            while self.peek() == Some('?') {
+                self.bump();
+                select.push(i.var(self.ident()?));
+            }
+            if !self.keyword("WHERE") {
+                return Err(self.err("expected WHERE"));
+            }
+            self.expect('{')?;
+            let pattern = self.pattern(i)?;
+            self.expect('}')?;
+            Ok(SparqlQuery {
+                pattern,
+                select: Some(select),
+            })
+        } else {
+            Ok(SparqlQuery {
+                pattern: self.pattern(i)?,
+                select: None,
+            })
+        }
+    }
+}
+
+/// Parses a query in the algebraic notation (with optional `SELECT`).
+pub fn parse_query(interner: &mut Interner, src: &str) -> Result<SparqlQuery, SparqlParseError> {
+    let mut p = P { src, pos: 0 };
+    let q = p.query(interner)?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(q)
+}
+
+/// Parses a union query `P₁ UNION P₂ UNION …` (optionally wrapped in
+/// `SELECT … WHERE { … }`) into a [`crate::algebra::UnionQuery`].
+pub fn parse_union_query(
+    interner: &mut Interner,
+    src: &str,
+) -> Result<crate::algebra::UnionQuery, SparqlParseError> {
+    let mut p = P { src, pos: 0 };
+    let q = if p.keyword("SELECT") {
+        let mut select: Vec<Var> = Vec::new();
+        while p.peek() == Some('?') {
+            p.bump();
+            select.push(interner.var(p.ident()?));
+        }
+        if !p.keyword("WHERE") {
+            return Err(p.err("expected WHERE"));
+        }
+        p.expect('{')?;
+        let branches = p.union(interner)?;
+        p.expect('}')?;
+        crate::algebra::UnionQuery {
+            branches,
+            select: Some(select),
+        }
+    } else {
+        crate::algebra::UnionQuery {
+            branches: p.union(interner)?,
+            select: None,
+        }
+    };
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = r#"(((?x, recorded_by, ?y) AND (?x, published, "after_2010"))
+        OPT (?x, NME_rating, ?z)) OPT (?y, formed_in, ?z2)"#;
+
+    #[test]
+    fn parses_example1() {
+        let mut i = Interner::new();
+        let q = parse_query(&mut i, EXAMPLE1).unwrap();
+        assert!(q.select.is_none());
+        assert!(q.pattern.is_well_designed());
+        let p = q.to_wdpt(&mut i).unwrap();
+        assert_eq!(p.node_count(), 3);
+    }
+
+    #[test]
+    fn parses_select_form() {
+        let mut i = Interner::new();
+        let src = format!("SELECT ?y ?z WHERE {{ {EXAMPLE1} }}");
+        let q = parse_query(&mut i, &src).unwrap();
+        assert_eq!(q.select.as_ref().unwrap().len(), 2);
+        let p = q.to_wdpt(&mut i).unwrap();
+        assert_eq!(p.free_vars().len(), 2);
+    }
+
+    #[test]
+    fn left_associative_chain() {
+        let mut i = Interner::new();
+        let q = parse_query(&mut i, "(?a, p, ?b) OPT (?a, q, ?c) OPT (?a, r, ?d)").unwrap();
+        // ((t OPT t) OPT t): root with child; outer OPT attaches second
+        // child to the root after normal form.
+        let p = q.to_wdpt(&mut i).unwrap();
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.children(0).len(), 2);
+    }
+
+    #[test]
+    fn nested_opt_right_side() {
+        let mut i = Interner::new();
+        let q =
+            parse_query(&mut i, "(?a, p, ?b) OPT ((?b, q, ?c) OPT (?c, r, ?d))").unwrap();
+        let p = q.to_wdpt(&mut i).unwrap();
+        // Chain: root → child → grandchild.
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.children(0).len(), 1);
+        assert_eq!(p.children(1).len(), 1);
+    }
+
+    #[test]
+    fn and_chain_is_one_node() {
+        let mut i = Interner::new();
+        let q = parse_query(&mut i, "(?a, p, ?b) AND (?b, q, ?c) AND (?c, r, ?d)").unwrap();
+        let p = q.to_wdpt(&mut i).unwrap();
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.atoms(0).len(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut i = Interner::new();
+        assert!(parse_query(&mut i, "(?a, p)").is_err());
+        assert!(parse_query(&mut i, "(?a, p, ?b) AND").is_err());
+        assert!(parse_query(&mut i, "(?a, p, ?b) XYZ (?a, p, ?c)").is_err());
+        assert!(parse_query(&mut i, "SELECT ?x FROM { (?x, p, ?y) }").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let mut i = Interner::new();
+        let q = parse_query(&mut i, "(?a, p, ?b) opt (?b, q, ?c)").unwrap();
+        assert!(matches!(q.pattern, GraphPattern::Opt(_, _)));
+    }
+}

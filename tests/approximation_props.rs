@@ -1,0 +1,133 @@
+//! Properties of the approximation machinery (Sections 5–6): soundness,
+//! maximality, class membership, and agreement between the CQ-level and
+//! UWDPT-level pipelines.
+
+use proptest::prelude::*;
+use wdpt::approx::cq_approx::{cq_approximations, semantically_in};
+use wdpt::approx::uwdpt::{
+    in_m_uwb, phi_cq, uwb_approximation, uwdpt_equivalent, uwdpt_subsumed, Uwdpt,
+};
+use wdpt::approx::wb::{find_wb_equivalent, wb_approximations};
+use wdpt::core::{in_wb, subsumed, Engine, Wdpt, WdptBuilder, WidthKind};
+use wdpt::cq::{contained_in, core_of, equivalent, in_tw, ConjunctiveQuery};
+use wdpt::model::{Atom, Interner};
+
+/// A random Boolean CQ over `e/2` with `nv` variables.
+fn build_cq(i: &mut Interner, spec: &[(u8, u8)], nv: u8) -> ConjunctiveQuery {
+    let e = i.pred("e");
+    let atoms: Vec<Atom> = spec
+        .iter()
+        .map(|&(a, b)| {
+            let va = i.var(&format!("v{}", a % nv));
+            let vb = i.var(&format!("v{}", b % nv));
+            Atom::new(e, vec![va.into(), vb.into()])
+        })
+        .collect();
+    ConjunctiveQuery::boolean(atoms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Core is equivalent to the query and idempotent.
+    #[test]
+    fn core_properties(spec in prop::collection::vec((0u8..5, 0u8..5), 1..6)) {
+        let mut i = Interner::new();
+        let q = build_cq(&mut i, &spec, 5);
+        let core = core_of(&q, &mut i);
+        prop_assert!(equivalent(&q, &core, &mut i));
+        let twice = core_of(&core, &mut i);
+        prop_assert_eq!(&core, &twice);
+        prop_assert!(core.body().len() <= q.body().len());
+    }
+
+    /// Semantic TW(1) membership coincides with "core has treewidth ≤ 1".
+    #[test]
+    fn semantic_membership_via_core(spec in prop::collection::vec((0u8..4, 0u8..4), 1..6)) {
+        let mut i = Interner::new();
+        let q = build_cq(&mut i, &spec, 4);
+        let via_core = in_tw(&core_of(&q, &mut i), 1);
+        prop_assert_eq!(semantically_in(&q, WidthKind::Tw, 1, &mut i), via_core);
+    }
+
+    /// Every TW(1)-approximation is contained in q, lies in TW(1), and is
+    /// maximal among the returned set.
+    #[test]
+    fn cq_approximations_are_sound_and_incomparable(
+        spec in prop::collection::vec((0u8..4, 0u8..4), 1..6),
+    ) {
+        let mut i = Interner::new();
+        let q = build_cq(&mut i, &spec, 4);
+        let approxs = cq_approximations(&q, WidthKind::Tw, 1, &mut i);
+        prop_assert!(!approxs.is_empty());
+        for a in &approxs {
+            prop_assert!(in_tw(a, 1));
+            prop_assert!(contained_in(a, &q, &mut i));
+        }
+        for (idx, a) in approxs.iter().enumerate() {
+            for b in &approxs[idx + 1..] {
+                prop_assert!(
+                    !contained_in(a, b, &mut i) || !contained_in(b, a, &mut i),
+                    "two returned approximations are strictly comparable"
+                );
+            }
+        }
+        // If q is semantically in TW(1), its approximation is equivalent
+        // to q itself.
+        if semantically_in(&q, WidthKind::Tw, 1, &mut i) {
+            prop_assert!(approxs.iter().any(|a| equivalent(a, &q, &mut i)));
+        }
+    }
+
+    /// UWDPT pipeline: φ ≡ₛ φ_cq, the approximation is subsumed by φ, and
+    /// membership matches the witness constructor.
+    #[test]
+    fn uwdpt_pipeline_properties(spec in prop::collection::vec((0u8..3, 0u8..3), 1..5)) {
+        let mut i = Interner::new();
+        let q = build_cq(&mut i, &spec, 3);
+        let e = i.pred("e");
+        let x = i.var("px");
+        let y = i.var("py");
+        // A two-node disjunct plus the random CQ as a single-node disjunct.
+        let mut b = WdptBuilder::new(vec![Atom::new(e, vec![x.into(), y.into()])]);
+        b.child(0, vec![Atom::new(e, vec![y.into(), y.into()])]);
+        let p1 = b.build(vec![x]).unwrap();
+        let p2 = Wdpt::from_cq(&q);
+        let phi = Uwdpt::new(vec![p1, p2]);
+        // φ ≡ₛ φ_cq.
+        let as_union = Uwdpt::new(phi_cq(&phi).iter().map(Wdpt::from_cq).collect());
+        prop_assert!(uwdpt_equivalent(&phi, &as_union, Engine::Backtrack, &mut i));
+        // Approximation soundness.
+        let approx = uwb_approximation(&phi, WidthKind::Tw, 1, &mut i);
+        prop_assert!(uwdpt_subsumed(&approx, &phi, Engine::Backtrack, &mut i));
+        // Membership ⇒ the approximation is even ≡ₛ-equivalent to φ.
+        if in_m_uwb(&phi, WidthKind::Tw, 1, &mut i) {
+            prop_assert!(uwdpt_subsumed(&phi, &approx, Engine::Backtrack, &mut i));
+        }
+    }
+}
+
+#[test]
+fn wb_search_and_approximations_on_known_cases() {
+    let mut i = Interner::new();
+    // Foldable triangle: in M(WB(1)).
+    let fold = WdptBuilder::new(
+        wdpt::model::parse::parse_atoms(&mut i, "e(?x,?y) e(?y,?z) e(?z,?x) e(?w,?w) e(?x,?w)")
+            .unwrap(),
+    )
+    .build(vec![])
+    .unwrap();
+    let w = find_wb_equivalent(&fold, WidthKind::Tw, 1, &mut i).expect("foldable");
+    assert!(in_wb(&w, WidthKind::Tw, 1));
+    // Genuine triangle: not in M(WB(1)); its approximations are sound.
+    let tri = WdptBuilder::new(
+        wdpt::model::parse::parse_atoms(&mut i, "e(?x,?y) e(?y,?z) e(?z,?x)").unwrap(),
+    )
+    .build(vec![])
+    .unwrap();
+    assert!(find_wb_equivalent(&tri, WidthKind::Tw, 1, &mut i).is_none());
+    for a in wb_approximations(&tri, WidthKind::Tw, 1, &mut i) {
+        assert!(in_wb(&a, WidthKind::Tw, 1));
+        assert!(subsumed(&a, &tri, Engine::Backtrack, &mut i));
+    }
+}

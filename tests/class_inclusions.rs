@@ -1,0 +1,99 @@
+//! Experiment E10: the class landscape of Section 3 — Proposition 2's
+//! inclusions and the separations between local tractability, bounded
+//! interface, and global tractability, verified on generated trees.
+
+use wdpt::core::{
+    has_bounded_interface, interface_width, is_globally_in, is_locally_in, WidthKind,
+};
+use wdpt::gen::db::rng;
+use wdpt::gen::trees::{chain_wdpt, clique_chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt};
+use wdpt::Interner;
+
+#[test]
+fn proposition2_part1_on_random_trees() {
+    // ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k + 2c).
+    let mut r = rng(2026);
+    let mut checked = 0;
+    for _ in 0..80 {
+        let mut i = Interner::new();
+        let p = random_wdpt(&mut i, 2 + checked % 6, &mut r);
+        if !is_locally_in(&p, WidthKind::Tw, 1) {
+            continue;
+        }
+        let c = interface_width(&p);
+        assert!(
+            is_globally_in(&p, WidthKind::Tw, 1 + 2 * c),
+            "Proposition 2(1) violated on a random tree"
+        );
+        checked += 1;
+    }
+    assert!(checked > 40, "generator should produce many valid samples");
+}
+
+#[test]
+fn proposition2_part2_witnesses() {
+    // g-TW(1) trees with unbounded interface.
+    for n in 1..=7 {
+        let mut i = Interner::new();
+        let p = wide_interface_wdpt(&mut i, n);
+        assert!(is_globally_in(&p, WidthKind::Tw, 1));
+        assert_eq!(interface_width(&p), n + 1);
+        assert!(!has_bounded_interface(&p, n));
+    }
+}
+
+#[test]
+fn local_plus_bounded_interface_families() {
+    for d in [1usize, 3, 6] {
+        let mut i = Interner::new();
+        let p = chain_wdpt(&mut i, d, None);
+        assert!(is_locally_in(&p, WidthKind::Tw, 1));
+        assert!(has_bounded_interface(&p, 1));
+        assert!(is_globally_in(&p, WidthKind::Tw, 1));
+    }
+    for b in [1usize, 4, 8] {
+        let mut i = Interner::new();
+        let p = star_wdpt(&mut i, b);
+        assert!(is_locally_in(&p, WidthKind::Tw, 1));
+        assert!(has_bounded_interface(&p, 1));
+        assert!(is_globally_in(&p, WidthKind::Tw, 1));
+    }
+}
+
+#[test]
+fn clique_chain_separates_local_from_global() {
+    // Locally TW(1) (star labels) but the full subtree CQ is a clique:
+    // global tractability fails for every fixed k once m is large enough.
+    let m = 6;
+    let mut i = Interner::new();
+    let p = clique_chain_wdpt(&mut i, m);
+    assert!(is_locally_in(&p, WidthKind::Tw, 1));
+    assert!(!is_globally_in(&p, WidthKind::Tw, m - 2));
+    assert!(is_globally_in(&p, WidthKind::Tw, m));
+    // Its interface is unbounded (node j shares j variables with child).
+    assert!(interface_width(&p) >= m - 1);
+}
+
+#[test]
+fn tw_k_is_contained_in_hw_k_plus_1_for_node_labels() {
+    // TW(k) ⊆ HW(k+1) (cited as [1]); check on the clique-chain labels and
+    // the star/chain families via the class predicates.
+    let mut i = Interner::new();
+    let p = chain_wdpt(&mut i, 4, None);
+    assert!(is_locally_in(&p, WidthKind::Tw, 1));
+    assert!(is_locally_in(&p, WidthKind::Hw, 2));
+    assert!(is_globally_in(&p, WidthKind::Hw, 1)); // paths are acyclic
+}
+
+#[test]
+fn global_hw_prime_is_stricter_than_global_hw() {
+    // A node containing Example 5's pattern: g-HW(1) holds but g-HW'(1)
+    // fails (the subquery closure breaks).
+    let mut i = Interner::new();
+    let body = "e(?x1,?x2) e(?x1,?x3) e(?x2,?x3) t(?x1,?x2,?x3)";
+    let atoms = wdpt::model::parse::parse_atoms(&mut i, body).unwrap();
+    let p = wdpt::core::WdptBuilder::new(atoms).build(vec![]).unwrap();
+    assert!(is_globally_in(&p, WidthKind::Hw, 1));
+    assert!(!is_globally_in(&p, WidthKind::HwPrime, 1));
+    assert!(is_globally_in(&p, WidthKind::HwPrime, 2));
+}

@@ -1,0 +1,208 @@
+//! Property-based differential tests: every specialized algorithm must
+//! agree with the reference semantics on random instances.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wdpt::core::{
+    eval_bounded_interface, eval_decide, max_eval_decide, partial_eval_decide, semantics, Engine,
+    Wdpt, WdptBuilder,
+};
+use wdpt::cq::{backtrack, structured, ConjunctiveQuery};
+use wdpt::model::{Atom, Database, Interner, Mapping, Var};
+
+/// A random database over `e/2`, `f/2` with constants `c0..c{dom}`.
+fn arb_db(dom: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec(
+        (0u8..2, 0u8..dom as u8, 0u8..dom as u8),
+        1..=max_edges,
+    )
+}
+
+fn build_db(i: &mut Interner, facts: &[(u8, u8, u8)]) -> Database {
+    let e = i.pred("e");
+    let f = i.pred("f");
+    let mut db = Database::new();
+    for &(p, a, b) in facts {
+        let pa = i.constant(&format!("c{a}"));
+        let pb = i.constant(&format!("c{b}"));
+        db.insert(if p == 0 { e } else { f }, vec![pa, pb]);
+    }
+    db
+}
+
+/// Random small CQ body over at most `nv` variables.
+fn arb_body(nv: usize, max_atoms: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec(
+        (0u8..2, 0u8..nv as u8, 0u8..nv as u8),
+        1..=max_atoms,
+    )
+}
+
+fn build_body(i: &mut Interner, spec: &[(u8, u8, u8)]) -> Vec<Atom> {
+    let e = i.pred("e");
+    let f = i.pred("f");
+    spec.iter()
+        .map(|&(p, a, b)| {
+            let va = i.var(&format!("v{a}"));
+            let vb = i.var(&format!("v{b}"));
+            Atom::new(if p == 0 { e } else { f }, vec![va.into(), vb.into()])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structured TW evaluation agrees with backtracking on satisfiability.
+    #[test]
+    fn structured_tw_matches_backtracking(
+        facts in arb_db(4, 12),
+        body in arb_body(4, 5),
+    ) {
+        let mut i = Interner::new();
+        let db = build_db(&mut i, &facts);
+        let q = ConjunctiveQuery::boolean(build_body(&mut i, &body));
+        let reference = backtrack::extend_exists(&db, q.body(), &Mapping::empty());
+        let plan = structured::StructuredPlan::for_query_tw(&q, 4).expect("≤4 vars");
+        let got = structured::boolean_eval_structured(&q, &db, &plan, &Mapping::empty());
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Structured HW evaluation agrees with backtracking on satisfiability.
+    #[test]
+    fn structured_hw_matches_backtracking(
+        facts in arb_db(4, 12),
+        body in arb_body(4, 4),
+    ) {
+        let mut i = Interner::new();
+        let db = build_db(&mut i, &facts);
+        let q = ConjunctiveQuery::boolean(build_body(&mut i, &body));
+        let reference = backtrack::extend_exists(&db, q.body(), &Mapping::empty());
+        let plan = structured::StructuredPlan::for_query_hw(&q, 4).expect("≤4 atoms");
+        let got = structured::boolean_eval_structured(&q, &db, &plan, &Mapping::empty());
+        prop_assert_eq!(got, reference);
+    }
+
+    /// EVAL decision procedures agree with the enumeration semantics, and
+    /// the Theorem 6 algorithm agrees with the general one.
+    #[test]
+    fn eval_procedures_agree(
+        facts in arb_db(3, 10),
+        use_f in any::<bool>(),
+        deep in any::<bool>(),
+    ) {
+        let mut i = Interner::new();
+        let db = build_db(&mut i, &facts);
+        let e = i.pred("e");
+        let f = i.pred("f");
+        let x = i.var("x");
+        let u = i.var("u");
+        let y = i.var("y");
+        let z = i.var("z");
+        let mut b = WdptBuilder::new(vec![Atom::new(e, vec![x.into(), u.into()])]);
+        let c1 = b.child(0, vec![Atom::new(if use_f { f } else { e }, vec![u.into(), y.into()])]);
+        if deep {
+            b.child(c1, vec![Atom::new(e, vec![y.into(), z.into()])]);
+        } else {
+            b.child(0, vec![Atom::new(f, vec![u.into(), z.into()])]);
+        }
+        let p = b.build(vec![x, y, z]).unwrap();
+        let answers = semantics::evaluate(&p, &db);
+        // Every enumerated answer is accepted by both procedures…
+        for h in &answers {
+            prop_assert!(eval_decide(&p, &db, h));
+            prop_assert!(eval_bounded_interface(&p, &db, h, Engine::Backtrack));
+            prop_assert!(eval_bounded_interface(&p, &db, h, Engine::Tw(1)));
+        }
+        // …and probes agree in both directions.
+        let dom = db.active_domain().iter().copied().collect::<Vec<_>>();
+        for &c0 in dom.iter().take(3) {
+            let probe = Mapping::from_pairs(vec![(x, c0)]);
+            let expected = answers.contains(&probe);
+            prop_assert_eq!(eval_decide(&p, &db, &probe), expected);
+            prop_assert_eq!(
+                eval_bounded_interface(&p, &db, &probe, Engine::Backtrack),
+                expected
+            );
+            for &c1 in dom.iter().take(2) {
+                let probe2 = Mapping::from_pairs(vec![(x, c0), (y, c1)]);
+                let expected2 = answers.contains(&probe2);
+                prop_assert_eq!(eval_decide(&p, &db, &probe2), expected2);
+                prop_assert_eq!(
+                    eval_bounded_interface(&p, &db, &probe2, Engine::Tw(1)),
+                    expected2
+                );
+            }
+        }
+    }
+
+    /// PARTIAL-EVAL matches the definition "∃ answer extending h", and
+    /// MAX-EVAL matches membership in p_m(D).
+    #[test]
+    fn partial_and_max_match_semantics(
+        facts in arb_db(3, 10),
+        probe_x in 0u8..3,
+        probe_y in 0u8..3,
+    ) {
+        let mut i = Interner::new();
+        let db = build_db(&mut i, &facts);
+        let e = i.pred("e");
+        let f = i.pred("f");
+        let x = i.var("x");
+        let y = i.var("y");
+        let z = i.var("z");
+        let mut b = WdptBuilder::new(vec![Atom::new(e, vec![x.into(), y.into()])]);
+        b.child(0, vec![Atom::new(f, vec![y.into(), z.into()])]);
+        let p = b.build(vec![x, y, z]).unwrap();
+        let answers = semantics::evaluate(&p, &db);
+        let max_answers = semantics::evaluate_max(&p, &db);
+        let cx = i.constant(&format!("c{probe_x}"));
+        let cy = i.constant(&format!("c{probe_y}"));
+        for probe in [
+            Mapping::from_pairs(vec![(x, cx)]),
+            Mapping::from_pairs(vec![(x, cx), (y, cy)]),
+            Mapping::empty(),
+        ] {
+            let expect_partial = answers.iter().any(|a| probe.subsumed_by(a));
+            prop_assert_eq!(
+                partial_eval_decide(&p, &db, &probe, Engine::Backtrack),
+                expect_partial
+            );
+            prop_assert_eq!(
+                partial_eval_decide(&p, &db, &probe, Engine::Tw(1)),
+                expect_partial
+            );
+            let expect_max = max_answers.contains(&probe);
+            prop_assert_eq!(
+                max_eval_decide(&p, &db, &probe, Engine::Backtrack),
+                expect_max
+            );
+            prop_assert_eq!(
+                max_eval_decide(&p, &db, &probe, Engine::Tw(1)),
+                expect_max
+            );
+        }
+    }
+
+    /// `p(D)` answers are pairwise consistent with Definition 2: every
+    /// answer is the projection of a maximal homomorphism.
+    #[test]
+    fn answers_are_projections_of_maximal_homs(facts in arb_db(3, 8)) {
+        let mut i = Interner::new();
+        let db = build_db(&mut i, &facts);
+        let e = i.pred("e");
+        let x = i.var("x");
+        let y = i.var("y");
+        let z = i.var("z");
+        let mut b = WdptBuilder::new(vec![Atom::new(e, vec![x.into(), y.into()])]);
+        b.child(0, vec![Atom::new(e, vec![y.into(), z.into()])]);
+        let p: Wdpt = b.build(vec![x, z]).unwrap();
+        let free: BTreeSet<Var> = p.free_set();
+        let homs = semantics::maximal_homomorphisms(&p, &db);
+        let answers = semantics::evaluate(&p, &db);
+        for h in &homs {
+            prop_assert!(semantics::is_maximal_homomorphism(&p, &db, h));
+            prop_assert!(answers.contains(&h.restrict(&free)));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests asserting the paper's worked examples verbatim
+//! (experiments E1 and E11 of `DESIGN.md`).
+
+use wdpt::approx::uwdpt::{phi_cq, Uwdpt};
+use wdpt::core::{
+    evaluate, evaluate_max, has_bounded_interface, interface_width, is_locally_in, WidthKind,
+};
+use wdpt::model::parse::parse_mapping;
+use wdpt::sparql::{parse_query, TripleStore};
+use wdpt::Interner;
+
+const QUERY1: &str = r#"(((?x, recorded_by, ?y) AND (?x, published, "after_2010"))
+    OPT (?x, NME_rating, ?z)) OPT (?y, formed_in, ?z2)"#;
+
+fn example2_store(i: &mut Interner) -> TripleStore {
+    let mut ts = TripleStore::new();
+    for (s, p, o) in [
+        ("Our_love", "recorded_by", "Caribou"),
+        ("Our_love", "published", "after_2010"),
+        ("Swim", "recorded_by", "Caribou"),
+        ("Swim", "published", "after_2010"),
+        ("Swim", "NME_rating", "2"),
+    ] {
+        ts.insert_str(i, s, p, o);
+    }
+    ts
+}
+
+#[test]
+fn example1_query_is_well_designed_and_is_figure1() {
+    let mut i = Interner::new();
+    let q = parse_query(&mut i, QUERY1).unwrap();
+    assert!(q.pattern.is_well_designed());
+    let p = q.to_wdpt(&mut i).unwrap();
+    assert_eq!(p.node_count(), 3);
+    assert_eq!(p.children(0).len(), 2);
+    assert_eq!(p.atoms(0).len(), 2);
+}
+
+#[test]
+fn example2_evaluation() {
+    let mut i = Interner::new();
+    let ts = example2_store(&mut i);
+    let p = parse_query(&mut i, QUERY1).unwrap().to_wdpt(&mut i).unwrap();
+    let mut answers = evaluate(&p, ts.database());
+    answers.sort();
+    let mu1 = parse_mapping(&mut i, r#"?x -> "Our_love", ?y -> "Caribou""#).unwrap();
+    let mu2 = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou", ?z -> "2""#).unwrap();
+    let mut expected = vec![mu1, mu2];
+    expected.sort();
+    assert_eq!(answers, expected);
+}
+
+#[test]
+fn example3_projection() {
+    let mut i = Interner::new();
+    let ts = example2_store(&mut i);
+    let src = format!("SELECT ?y ?z ?z2 WHERE {{ {QUERY1} }}");
+    let p = parse_query(&mut i, &src).unwrap().to_wdpt(&mut i).unwrap();
+    let mut answers = evaluate(&p, ts.database());
+    answers.sort();
+    let m1 = parse_mapping(&mut i, r#"?y -> "Caribou""#).unwrap();
+    let m2 = parse_mapping(&mut i, r#"?y -> "Caribou", ?z -> "2""#).unwrap();
+    let mut expected = vec![m1, m2];
+    expected.sort();
+    assert_eq!(answers, expected);
+}
+
+#[test]
+fn example6_class_membership() {
+    let mut i = Interner::new();
+    let p = parse_query(&mut i, QUERY1).unwrap().to_wdpt(&mut i).unwrap();
+    assert!(is_locally_in(&p, WidthKind::Tw, 1));
+    assert_eq!(interface_width(&p), 2);
+    assert!(has_bounded_interface(&p, 2));
+}
+
+#[test]
+fn example7_maximal_mappings() {
+    let mut i = Interner::new();
+    let ts = example2_store(&mut i);
+    let src = format!("SELECT ?y ?z WHERE {{ {QUERY1} }}");
+    let p = parse_query(&mut i, &src).unwrap().to_wdpt(&mut i).unwrap();
+    let all = evaluate(&p, ts.database());
+    let max = evaluate_max(&p, ts.database());
+    assert_eq!(all.len(), 2);
+    let m2 = parse_mapping(&mut i, r#"?y -> "Caribou", ?z -> "2""#).unwrap();
+    assert_eq!(max, vec![m2]);
+}
+
+#[test]
+fn example8_phi_cq_translation() {
+    // The union of four CQs from Example 8, with the advertised heads.
+    let mut i = Interner::new();
+    let src = format!("SELECT ?y ?z ?z2 WHERE {{ {QUERY1} }}");
+    let p = parse_query(&mut i, &src).unwrap().to_wdpt(&mut i).unwrap();
+    let cqs = phi_cq(&Uwdpt::singleton(p));
+    assert_eq!(cqs.len(), 4);
+    let y = i.var("y");
+    let z = i.var("z");
+    let z2 = i.var("z2");
+    let mut heads: Vec<Vec<wdpt::Var>> = cqs.iter().map(|q| q.head().to_vec()).collect();
+    heads.iter_mut().for_each(|h| h.sort());
+    let mut expected = vec![vec![y], vec![y, z], vec![y, z2], vec![y, z, z2]];
+    expected.iter_mut().for_each(|h| h.sort());
+    for e in &expected {
+        assert!(heads.contains(e), "missing CQ with head {e:?}");
+    }
+    // Body sizes: 2, 3, 3, 4 atoms.
+    let mut sizes: Vec<usize> = cqs.iter().map(|q| q.body().len()).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![2, 3, 3, 4]);
+}

@@ -1,0 +1,107 @@
+//! Round-trip and semantics properties of the {AND, OPT} front end.
+
+use proptest::prelude::*;
+use wdpt::core::evaluate;
+use wdpt::sparql::{parse_query, GraphPattern, TriplePattern, TripleStore};
+use wdpt::{Interner, Term};
+
+/// Builds a random *well-designed-by-construction* pattern: a chain of OPTs
+/// whose right-hand sides reuse exactly one variable from the mandatory
+/// part and introduce one fresh variable each.
+fn arb_pattern() -> impl Strategy<Value = (u8, Vec<(u8, u8)>)> {
+    (1u8..4, prop::collection::vec((0u8..3, 0u8..4), 0..4))
+}
+
+fn build_pattern(i: &mut Interner, core_triples: u8, opts: &[(u8, u8)]) -> GraphPattern {
+    let preds = ["p", "q", "r"];
+    let mut core: Option<GraphPattern> = None;
+    for t in 0..core_triples {
+        let s = Term::Var(i.var(&format!("a{t}")));
+        let p = Term::Const(i.constant(preds[t as usize % 3]));
+        let o = Term::Var(i.var(&format!("a{}", t + 1)));
+        let g = GraphPattern::Triple(TriplePattern { s, p, o });
+        core = Some(match core {
+            None => g,
+            Some(acc) => GraphPattern::And(Box::new(acc), Box::new(g)),
+        });
+    }
+    let mut pattern = core.expect("at least one core triple");
+    for (j, &(pred, anchor)) in opts.iter().enumerate() {
+        let anchor = anchor % (core_triples + 1);
+        let s = Term::Var(i.var(&format!("a{anchor}")));
+        let p = Term::Const(i.constant(preds[pred as usize % 3]));
+        let o = Term::Var(i.var(&format!("o{j}")));
+        pattern = GraphPattern::Opt(
+            Box::new(pattern),
+            Box::new(GraphPattern::Triple(TriplePattern { s, p, o })),
+        );
+    }
+    pattern
+}
+
+fn build_store(i: &mut Interner, facts: &[(u8, u8, u8)]) -> TripleStore {
+    let preds = ["p", "q", "r"];
+    let mut ts = TripleStore::new();
+    for &(s, p, o) in facts {
+        let sc = format!("n{s}");
+        let oc = format!("n{o}");
+        ts.insert_str(i, &sc, preds[p as usize % 3], &oc);
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// display → parse round-trips structurally.
+    #[test]
+    fn display_parse_roundtrip((core, opts) in arb_pattern()) {
+        let mut i = Interner::new();
+        let pat = build_pattern(&mut i, core, &opts);
+        prop_assert!(pat.is_well_designed());
+        let text = pat.display(&i);
+        let parsed = parse_query(&mut i, &text).unwrap();
+        prop_assert_eq!(parsed.pattern, pat);
+    }
+
+    /// wdpt → pattern → wdpt preserves the tree and the semantics.
+    #[test]
+    fn wdpt_roundtrip_preserves_semantics(
+        (core, opts) in arb_pattern(),
+        facts in prop::collection::vec((0u8..4, 0u8..3, 0u8..4), 1..10),
+    ) {
+        let mut i = Interner::new();
+        let pat = build_pattern(&mut i, core, &opts);
+        let p = pat.to_wdpt(None, &mut i).unwrap();
+        let back = GraphPattern::from_wdpt(&p).unwrap();
+        let p2 = back.to_wdpt(None, &mut i).unwrap();
+        prop_assert_eq!(&p, &p2);
+        let ts = build_store(&mut i, &facts);
+        let mut a1 = evaluate(&p, ts.database());
+        let mut a2 = evaluate(&p2, ts.database());
+        a1.sort();
+        a2.sort();
+        prop_assert_eq!(a1, a2);
+    }
+
+    /// Answers of a well-designed pattern over any store are closed under
+    /// the WDPT semantics invariants: domains contain the core variables.
+    #[test]
+    fn answers_always_bind_the_mandatory_core(
+        (core, opts) in arb_pattern(),
+        facts in prop::collection::vec((0u8..4, 0u8..3, 0u8..4), 1..12),
+    ) {
+        let mut i = Interner::new();
+        let pat = build_pattern(&mut i, core, &opts);
+        let p = pat.to_wdpt(None, &mut i).unwrap();
+        let ts = build_store(&mut i, &facts);
+        let answers = evaluate(&p, ts.database());
+        let core_vars: Vec<wdpt::Var> =
+            (0..=core).map(|t| i.var(&format!("a{t}"))).collect();
+        for h in &answers {
+            for v in &core_vars {
+                prop_assert!(h.defines(*v), "mandatory variable unbound in {h}");
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Unions of WDPTs through the SPARQL front end (Section 6): parsing
+//! `UNION`, evaluating unions, and the full `φ_cq` optimization pipeline.
+
+use wdpt::approx::uwdpt::{in_m_uwb, phi_cq, uwb_approximation, uwdpt_subsumed, Uwdpt};
+use wdpt::core::{Engine, WidthKind};
+use wdpt::sparql::{parse_union_query, TripleStore};
+use wdpt::{Interner, Mapping};
+
+#[test]
+fn parses_union_of_patterns() {
+    let mut i = Interner::new();
+    let q = parse_union_query(
+        &mut i,
+        "(?x, type, album) OPT (?x, rating, ?r) UNION (?x, type, single)",
+    )
+    .unwrap();
+    assert_eq!(q.branches.len(), 2);
+    let wdpts = q.to_wdpts(&mut i).unwrap();
+    assert_eq!(wdpts.len(), 2);
+    assert_eq!(wdpts[0].node_count(), 2);
+    assert_eq!(wdpts[1].node_count(), 1);
+}
+
+#[test]
+fn union_select_restricts_per_branch() {
+    let mut i = Interner::new();
+    let q = parse_union_query(
+        &mut i,
+        "SELECT ?x ?r WHERE { (?x, type, album) OPT (?x, rating, ?r) UNION (?y, type, single) }",
+    )
+    .unwrap();
+    let wdpts = q.to_wdpts(&mut i).unwrap();
+    // Branch 1 keeps {x, r}; branch 2 mentions neither, so its projection
+    // is empty (a Boolean disjunct).
+    assert_eq!(wdpts[0].free_vars().len(), 2);
+    assert_eq!(wdpts[1].free_vars().len(), 0);
+}
+
+#[test]
+fn union_evaluation_combines_branch_answers() {
+    let mut i = Interner::new();
+    let q = parse_union_query(
+        &mut i,
+        "(?x, type, album) OPT (?x, rating, ?r) UNION (?x, type, single)",
+    )
+    .unwrap();
+    let phi = Uwdpt::new(q.to_wdpts(&mut i).unwrap());
+    let mut ts = TripleStore::new();
+    ts.insert_str(&mut i, "Swim", "type", "album");
+    ts.insert_str(&mut i, "Swim", "rating", "9");
+    ts.insert_str(&mut i, "Odessa", "type", "single");
+    let answers = phi.evaluate(ts.database());
+    // {x ↦ Swim, r ↦ 9} from branch 1 and {x ↦ Odessa} from branch 2.
+    assert_eq!(answers.len(), 2);
+    let x = i.var("x");
+    let r = i.var("r");
+    let swim = Mapping::from_pairs(vec![(x, i.constant("Swim")), (r, i.constant("9"))]);
+    let odessa = Mapping::from_pairs(vec![(x, i.constant("Odessa"))]);
+    assert!(answers.contains(&swim));
+    assert!(answers.contains(&odessa));
+    assert!(phi.eval_decide(ts.database(), &swim));
+    assert!(phi.max_eval_decide(ts.database(), &swim, Engine::Tw(1)));
+}
+
+#[test]
+fn union_pipeline_membership_and_approximation() {
+    let mut i = Interner::new();
+    // Acyclic branches: the union is in M(UWB(1)) and its approximation is
+    // ≡ₛ-equivalent to itself.
+    let q = parse_union_query(
+        &mut i,
+        "(?x, p, ?y) OPT (?y, q, ?z) UNION (?a, r, ?b) AND (?b, r, ?c)",
+    )
+    .unwrap();
+    let phi = Uwdpt::new(q.to_wdpts(&mut i).unwrap());
+    assert!(in_m_uwb(&phi, WidthKind::Tw, 1, &mut i));
+    let approx = uwb_approximation(&phi, WidthKind::Tw, 1, &mut i);
+    assert!(uwdpt_subsumed(&approx, &phi, Engine::Backtrack, &mut i));
+    assert!(uwdpt_subsumed(&phi, &approx, Engine::Backtrack, &mut i));
+}
+
+#[test]
+fn phi_cq_counts_subtrees_across_branches() {
+    let mut i = Interner::new();
+    let q = parse_union_query(
+        &mut i,
+        "(?x, p, ?y) OPT (?y, q, ?z) UNION (?a, r, ?b)",
+    )
+    .unwrap();
+    let phi = Uwdpt::new(q.to_wdpts(&mut i).unwrap());
+    // Branch 1 has 2 rooted subtrees; branch 2 has 1.
+    assert_eq!(phi_cq(&phi).len(), 3);
+}
