@@ -13,8 +13,7 @@
 
 use crate::cq_approx::{cq_approximations, semantically_in};
 use wdpt_core::{
-    eval_decide, partial_eval_decide, variants::has_proper_extension,
-    Engine, Wdpt, WidthKind,
+    eval_decide, partial_eval_decide, variants::has_proper_extension, Engine, Wdpt, WidthKind,
 };
 use wdpt_cq::containment::{contained_in, freeze, subsumed_cq};
 use wdpt_cq::core_of::core_of;
@@ -105,12 +104,7 @@ fn is_exact_projection(p: &Wdpt, db: &Database, h: &Mapping, engine: Engine) -> 
 /// rooted subtree `T₁` of `p`, the frozen identity on `T₁`'s free variables
 /// must be a partial answer of `φ'` over the canonical database of
 /// `q_{T₁}`.
-pub fn uwdpt_subsumed(
-    phi: &Uwdpt,
-    phi2: &Uwdpt,
-    engine: Engine,
-    interner: &mut Interner,
-) -> bool {
+pub fn uwdpt_subsumed(phi: &Uwdpt, phi2: &Uwdpt, engine: Engine, interner: &mut Interner) -> bool {
     for p in &phi.disjuncts {
         let mut subtrees = Vec::new();
         p.for_each_rooted_subtree(&mut |t| subtrees.push(t.clone()));
@@ -201,12 +195,7 @@ pub fn uwb_equivalent_union(
 /// Theorem 18: the unique (up to ≡ₛ) `UWB(k)`-approximation of `φ` — the
 /// union of the `C(k)`-approximations of the CQs in `φ_cq`, pruned by
 /// CQ-subsumption. Exact and single-exponential.
-pub fn uwb_approximation(
-    phi: &Uwdpt,
-    kind: WidthKind,
-    k: usize,
-    interner: &mut Interner,
-) -> Uwdpt {
+pub fn uwb_approximation(phi: &Uwdpt, kind: WidthKind, k: usize, interner: &mut Interner) -> Uwdpt {
     let mut pool: Vec<ConjunctiveQuery> = Vec::new();
     for q in reduced_phi_cq(phi, interner) {
         pool.extend(cq_approximations(&q, kind, k, interner));
@@ -383,7 +372,13 @@ mod tests {
         let phi = Uwdpt::singleton(tri);
         let approx = uwb_approximation(&phi, WidthKind::Tw, 1, &mut i);
         assert!(uwdpt_subsumed(&approx, &phi, Engine::Backtrack, &mut i));
-        assert!(is_uwb_approximation(&approx, &phi, WidthKind::Tw, 1, &mut i));
+        assert!(is_uwb_approximation(
+            &approx,
+            &phi,
+            WidthKind::Tw,
+            1,
+            &mut i
+        ));
         // The original φ is NOT its own UWB(1)-approximation (not in the
         // class and not subsumed-equal)… the checker only requires φ' ⊑ φ
         // and approx ⊑ φ'; φ itself satisfies both, but is outside UWB(1).

@@ -122,7 +122,9 @@ fn build_candidate(
         match p.parent(t) {
             None => builder = Some(WdptBuilder::new(atoms)),
             Some(parent) => {
-                let b = builder.as_mut().expect("root comes first in BTreeSet order");
+                let b = builder
+                    .as_mut()
+                    .expect("root comes first in BTreeSet order");
                 let mapped = *id_of.get(&parent).expect("subtree is parent-closed");
                 b.child(mapped, atoms);
             }
@@ -242,11 +244,7 @@ mod tests {
         let mut i = Interner::new();
         // Undirected triangle with a loop: folds onto the loop, which is
         // TW(1). (Boolean single-node tree = CQ case.)
-        let p = single(
-            &mut i,
-            &[],
-            "e(?x,?y) e(?y,?z) e(?z,?x) e(?w,?w) e(?x,?w)",
-        );
+        let p = single(&mut i, &[], "e(?x,?y) e(?y,?z) e(?z,?x) e(?w,?w) e(?x,?w)");
         assert!(!in_wb(&p, WidthKind::Tw, 1));
         let w = find_wb_equivalent(&p, WidthKind::Tw, 1, &mut i);
         assert!(w.is_some(), "triangle with loop folds to the loop");
@@ -281,8 +279,20 @@ mod tests {
         let p = single(&mut i, &[], "e(?a,?b) e(?b,?c)");
         let weak = single(&mut i, &[], "e(?a,?b) e(?b,?a)");
         assert!(subsumed(&weak, &p, Engine::Backtrack, &mut i));
-        assert!(!is_wb_approximation_witness(&weak, &p, WidthKind::Tw, 1, &mut i));
-        assert!(is_wb_approximation_witness(&p, &p, WidthKind::Tw, 1, &mut i));
+        assert!(!is_wb_approximation_witness(
+            &weak,
+            &p,
+            WidthKind::Tw,
+            1,
+            &mut i
+        ));
+        assert!(is_wb_approximation_witness(
+            &p,
+            &p,
+            WidthKind::Tw,
+            1,
+            &mut i
+        ));
     }
 
     #[test]
@@ -308,7 +318,10 @@ mod tests {
         // root already requires e(?x,?y).
         let root = parse_atoms(&mut i, "e(?x,?y) e(?y,?x)").unwrap();
         let mut b = WdptBuilder::new(root);
-        b.child(0, parse_atoms(&mut i, "e(?x,?y) e(?y,?x) e(?x,?x)").unwrap());
+        b.child(
+            0,
+            parse_atoms(&mut i, "e(?x,?y) e(?y,?x) e(?x,?x)").unwrap(),
+        );
         let p = b.build(vec![i.var("x"), i.var("y")]).unwrap();
         // The full tree IS in g-TW(1)? Root is a 2-cycle (tw 1); with the
         // child the subtree gains e(x,x): still tw 1. So p ∈ WB(1) already.

@@ -1,13 +1,21 @@
 //! Ablation benchmarks for the engine design choices called out in
 //! `DESIGN.md` §2: per-column hash indexes, the dynamic most-constrained
-//! atom ordering, and the structured engines versus raw backtracking on
-//! instances inside the tractable classes.
+//! atom ordering, the structured engines versus raw backtracking on
+//! instances inside the tractable classes, and the thread-parallel WDPT
+//! evaluator versus the sequential one.
+//!
+//! Plain `fn main` driven by the std-only runner (`harness = false`).
+//! Every case prints the per-iteration engine-counter deltas
+//! (`wdpt_model::stats`) so the configurations are compared on *work done*
+//! (index builds, tuples scanned, nodes expanded), not just wall-clock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdpt_bench::{bench_case_with_stats, section};
+use wdpt_core::evaluate_parallel;
 use wdpt_cq::backtrack::{extend_exists_config, BacktrackConfig};
 use wdpt_cq::structured::{boolean_eval_structured, StructuredPlan};
 use wdpt_cq::ConjunctiveQuery;
 use wdpt_gen::db::random_graph_db;
+use wdpt_gen::music::{figure1_wdpt, music_catalog, MusicParams};
 use wdpt_model::{Atom, Interner, Mapping, Var};
 
 fn path_cq(i: &mut Interner, n: usize) -> ConjunctiveQuery {
@@ -44,62 +52,69 @@ const CONFIGS: [(&str, BacktrackConfig); 3] = [
     ),
 ];
 
-fn bench_index_and_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/backtracking_features");
-    group.sample_size(15);
+fn bench_index_and_ordering() {
+    section("ablation/backtracking_features");
     for db_edges in [400usize, 1600] {
         let mut i = Interner::new();
         let (db, _) = random_graph_db(&mut i, db_edges / 4, db_edges, 99);
         let q = path_cq(&mut i, 6);
         for (name, config) in CONFIGS {
-            group.bench_with_input(
-                BenchmarkId::new(name, db_edges),
-                &config,
-                |b, &config| {
-                    b.iter(|| extend_exists_config(&db, q.body(), &Mapping::empty(), config))
-                },
-            );
+            bench_case_with_stats(&format!("{name}/{db_edges}"), || {
+                extend_exists_config(&db, q.body(), &Mapping::empty(), config);
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_structured_vs_backtracking_in_class(c: &mut Criterion) {
+fn bench_structured_vs_backtracking_in_class() {
     // On TW(1) queries both engines are polynomial; this quantifies the
     // constant-factor cost of bag materialization vs raw search.
-    let mut group = c.benchmark_group("ablation/structured_overhead_on_tw1");
-    group.sample_size(15);
+    section("ablation/structured_overhead_on_tw1");
     for n in [4usize, 8, 12] {
         let mut i = Interner::new();
         let (db, _) = random_graph_db(&mut i, 50, 400, 5);
         let q = path_cq(&mut i, n);
         let plan = StructuredPlan::for_query_tw(&q, 1).unwrap();
-        group.bench_with_input(BenchmarkId::new("backtrack", n), &q, |b, q| {
-            b.iter(|| {
-                extend_exists_config(
-                    &db,
-                    q.body(),
-                    &Mapping::empty(),
-                    BacktrackConfig::default(),
-                )
-            })
+        bench_case_with_stats(&format!("backtrack/{n}"), || {
+            extend_exists_config(&db, q.body(), &Mapping::empty(), BacktrackConfig::default());
         });
-        group.bench_with_input(BenchmarkId::new("tw1_structured", n), &q, |b, q| {
-            b.iter(|| boolean_eval_structured(q, &db, &plan, &Mapping::empty()))
+        bench_case_with_stats(&format!("tw1_structured/{n}"), || {
+            boolean_eval_structured(&q, &db, &plan, &Mapping::empty());
         });
-        group.bench_with_input(BenchmarkId::new("tw1_with_planning", n), &q, |b, q| {
-            b.iter(|| {
-                let plan = StructuredPlan::for_query_tw(q, 1).unwrap();
-                boolean_eval_structured(q, &db, &plan, &Mapping::empty())
-            })
+        bench_case_with_stats(&format!("tw1_with_planning/{n}"), || {
+            let plan = StructuredPlan::for_query_tw(&q, 1).unwrap();
+            boolean_eval_structured(&q, &db, &plan, &Mapping::empty());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_index_and_ordering,
-    bench_structured_vs_backtracking_in_class
-);
-criterion_main!(benches);
+fn bench_parallel_evaluation() {
+    // Sequential vs scoped-thread evaluation of the Figure 1 query on a
+    // growing music catalog: `parallel_tasks` shows the fan-out.
+    section("ablation/parallel_wdpt_evaluation");
+    for bands in [100usize, 400] {
+        let mut i = Interner::new();
+        let db = music_catalog(
+            &mut i,
+            MusicParams {
+                bands,
+                ..MusicParams::default()
+            },
+        );
+        let p = figure1_wdpt(&mut i);
+        bench_case_with_stats(&format!("sequential/{bands}"), || {
+            wdpt_core::evaluate(&p, &db);
+        });
+        for threads in [2usize, 4, 8] {
+            bench_case_with_stats(&format!("parallel{threads}/{bands}"), || {
+                evaluate_parallel(&p, &db, threads);
+            });
+        }
+    }
+}
+
+fn main() {
+    bench_index_and_ordering();
+    bench_structured_vs_backtracking_in_class();
+    bench_parallel_evaluation();
+}

@@ -1,11 +1,14 @@
 //! Micro-benchmarks for semantic optimization and approximation (Table 2
 //! and Figure 2): CQ quotient approximations, UWDPT pipelines, and the
 //! Figure 2 constructors.
+//!
+//! Plain `fn main` driven by the std-only [`wdpt_bench::bench_case`]
+//! runner (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wdpt_approx::cq_approx::{cq_approximations, semantically_in};
 use wdpt_approx::figure2::{figure2_p1, figure2_p2};
 use wdpt_approx::uwdpt::{in_m_uwb, uwb_approximation, Uwdpt};
+use wdpt_bench::{bench_case, section};
 use wdpt_core::{Wdpt, WdptBuilder, WidthKind};
 use wdpt_cq::ConjunctiveQuery;
 use wdpt_model::{Atom, Interner};
@@ -20,77 +23,50 @@ fn cycle_query(i: &mut Interner, n: usize) -> ConjunctiveQuery {
     )
 }
 
-fn bench_cq_approximations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx/cq_tw1_approximation");
-    group.sample_size(10);
+fn bench_cq_approximations() {
+    section("approx/cq_tw1_approximation");
     for n in [3usize, 5, 7] {
-        group.bench_with_input(BenchmarkId::new("cycle", n), &n, |b, &n| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let q = cycle_query(&mut i, n);
-                    (i, q)
-                },
-                |(mut i, q)| cq_approximations(&q, WidthKind::Tw, 1, &mut i),
-            )
+        let mut i = Interner::new();
+        let q = cycle_query(&mut i, n);
+        bench_case(&format!("cycle/{n}"), || {
+            cq_approximations(&q, WidthKind::Tw, 1, &mut i);
         });
     }
-    group.finish();
 }
 
-fn bench_semantic_membership(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx/semantic_membership_core");
-    group.sample_size(10);
+fn bench_semantic_membership() {
+    section("approx/semantic_membership_core");
     for n in [4usize, 6, 8] {
-        group.bench_with_input(BenchmarkId::new("undirected_cycle", n), &n, |b, &n| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    // Undirected cycle: folds iff even.
-                    let e = i.pred("e");
-                    let vs: Vec<_> = (0..n).map(|j| i.var(&format!("v{j}"))).collect();
-                    let mut atoms = Vec::new();
-                    for j in 0..n {
-                        let a = vs[j];
-                        let bq = vs[(j + 1) % n];
-                        atoms.push(Atom::new(e, vec![a.into(), bq.into()]));
-                        atoms.push(Atom::new(e, vec![bq.into(), a.into()]));
-                    }
-                    (i, ConjunctiveQuery::boolean(atoms))
-                },
-                |(mut i, q)| semantically_in(&q, WidthKind::Tw, 1, &mut i),
-            )
+        let mut i = Interner::new();
+        // Undirected cycle: folds iff even.
+        let e = i.pred("e");
+        let vs: Vec<_> = (0..n).map(|j| i.var(&format!("v{j}"))).collect();
+        let mut atoms = Vec::new();
+        for j in 0..n {
+            let a = vs[j];
+            let bq = vs[(j + 1) % n];
+            atoms.push(Atom::new(e, vec![a.into(), bq.into()]));
+            atoms.push(Atom::new(e, vec![bq.into(), a.into()]));
+        }
+        let q = ConjunctiveQuery::boolean(atoms);
+        bench_case(&format!("undirected_cycle/{n}"), || {
+            semantically_in(&q, WidthKind::Tw, 1, &mut i);
         });
     }
-    group.finish();
 }
 
-fn bench_uwdpt_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx/uwb_pipeline");
-    group.sample_size(10);
+fn bench_uwdpt_pipeline() {
+    section("approx/uwb_pipeline");
     for u in [4usize, 12, 24] {
-        group.bench_with_input(BenchmarkId::new("membership", u), &u, |b, &u| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let phi = union_of_trees(&mut i, u);
-                    (i, phi)
-                },
-                |(mut i, phi)| in_m_uwb(&phi, WidthKind::Tw, 1, &mut i),
-            )
+        let mut i = Interner::new();
+        let phi = union_of_trees(&mut i, u);
+        bench_case(&format!("membership/{u}"), || {
+            in_m_uwb(&phi, WidthKind::Tw, 1, &mut i);
         });
-        group.bench_with_input(BenchmarkId::new("approximation", u), &u, |b, &u| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let phi = union_of_trees(&mut i, u);
-                    (i, phi)
-                },
-                |(mut i, phi)| uwb_approximation(&phi, WidthKind::Tw, 1, &mut i),
-            )
+        bench_case(&format!("approximation/{u}"), || {
+            uwb_approximation(&phi, WidthKind::Tw, 1, &mut i);
         });
     }
-    group.finish();
 }
 
 fn union_of_trees(i: &mut Interner, u: usize) -> Uwdpt {
@@ -108,25 +84,22 @@ fn union_of_trees(i: &mut Interner, u: usize) -> Uwdpt {
     Uwdpt::new(disjuncts)
 }
 
-fn bench_figure2_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx/figure2_construction");
-    group.sample_size(10);
+fn bench_figure2_construction() {
+    section("approx/figure2_construction");
     for n in [6usize, 10, 14] {
-        group.bench_with_input(BenchmarkId::new("p1", n), &n, |b, &n| {
-            b.iter_with_setup(Interner::new, |mut i| figure2_p1(&mut i, n, 2))
+        let mut i = Interner::new();
+        bench_case(&format!("p1/{n}"), || {
+            figure2_p1(&mut i, n, 2);
         });
-        group.bench_with_input(BenchmarkId::new("p2_exponential", n), &n, |b, &n| {
-            b.iter_with_setup(Interner::new, |mut i| figure2_p2(&mut i, n, 2))
+        bench_case(&format!("p2_exponential/{n}"), || {
+            figure2_p2(&mut i, n, 2);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cq_approximations,
-    bench_semantic_membership,
-    bench_uwdpt_pipeline,
-    bench_figure2_construction
-);
-criterion_main!(benches);
+fn main() {
+    bench_cq_approximations();
+    bench_semantic_membership();
+    bench_uwdpt_pipeline();
+    bench_figure2_construction();
+}

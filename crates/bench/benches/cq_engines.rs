@@ -1,8 +1,12 @@
 //! Micro-benchmarks for the CQ engines (Theorems 2 and 3): generic
 //! backtracking vs tree-decomposition-guided vs hypertree-guided Boolean
 //! evaluation, over growing databases and query sizes.
+//!
+//! Plain `fn main` driven by the std-only [`wdpt_bench::bench_case`]
+//! runner (`harness = false`); set `BENCH_MIN_RUNTIME` to control the
+//! per-case measurement window.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdpt_bench::{bench_case, section};
 use wdpt_cq::structured::{boolean_eval_structured, StructuredPlan};
 use wdpt_cq::{backtrack, ConjunctiveQuery};
 use wdpt_gen::db::random_graph_db;
@@ -30,70 +34,62 @@ fn cycle_cq(i: &mut Interner, n: usize) -> ConjunctiveQuery {
     )
 }
 
-fn bench_path_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cq/path_query_over_db_size");
-    group.sample_size(20);
+fn bench_path_queries() {
+    section("cq/path_query_over_db_size");
     for db_edges in [200usize, 800, 3200] {
         let mut i = Interner::new();
         let (db, _) = random_graph_db(&mut i, db_edges / 4, db_edges, 42);
         let q = path_cq(&mut i, 6);
         let tw_plan = StructuredPlan::for_query_tw(&q, 1).unwrap();
         let hw_plan = StructuredPlan::for_query_hw(&q, 1).unwrap();
-        group.bench_with_input(BenchmarkId::new("backtrack", db_edges), &db, |b, db| {
-            b.iter(|| backtrack::extend_exists(db, q.body(), &Mapping::empty()))
+        bench_case(&format!("backtrack/{db_edges}"), || {
+            backtrack::extend_exists(&db, q.body(), &Mapping::empty());
         });
-        group.bench_with_input(BenchmarkId::new("tw1", db_edges), &db, |b, db| {
-            b.iter(|| boolean_eval_structured(&q, db, &tw_plan, &Mapping::empty()))
+        bench_case(&format!("tw1/{db_edges}"), || {
+            boolean_eval_structured(&q, &db, &tw_plan, &Mapping::empty());
         });
-        group.bench_with_input(BenchmarkId::new("hw1", db_edges), &db, |b, db| {
-            b.iter(|| boolean_eval_structured(&q, db, &hw_plan, &Mapping::empty()))
+        bench_case(&format!("hw1/{db_edges}"), || {
+            boolean_eval_structured(&q, &db, &hw_plan, &Mapping::empty());
         });
     }
-    group.finish();
 }
 
-fn bench_cycle_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cq/cycle_query_over_cycle_length");
-    group.sample_size(15);
+fn bench_cycle_queries() {
+    section("cq/cycle_query_over_cycle_length");
     let mut i = Interner::new();
     let (db, _) = random_graph_db(&mut i, 40, 400, 7);
     for n in [4usize, 6, 8] {
         let q = cycle_cq(&mut i, n);
         let tw_plan = StructuredPlan::for_query_tw(&q, 2).unwrap();
         let hw_plan = StructuredPlan::for_query_hw(&q, 2).unwrap();
-        group.bench_with_input(BenchmarkId::new("backtrack", n), &q, |b, q| {
-            b.iter(|| backtrack::extend_exists(&db, q.body(), &Mapping::empty()))
+        bench_case(&format!("backtrack/{n}"), || {
+            backtrack::extend_exists(&db, q.body(), &Mapping::empty());
         });
-        group.bench_with_input(BenchmarkId::new("tw2", n), &q, |b, q| {
-            b.iter(|| boolean_eval_structured(q, &db, &tw_plan, &Mapping::empty()))
+        bench_case(&format!("tw2/{n}"), || {
+            boolean_eval_structured(&q, &db, &tw_plan, &Mapping::empty());
         });
-        group.bench_with_input(BenchmarkId::new("hw2", n), &q, |b, q| {
-            b.iter(|| boolean_eval_structured(q, &db, &hw_plan, &Mapping::empty()))
+        bench_case(&format!("hw2/{n}"), || {
+            boolean_eval_structured(&q, &db, &hw_plan, &Mapping::empty());
         });
     }
-    group.finish();
 }
 
-fn bench_plan_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cq/decomposition_construction");
-    group.sample_size(20);
+fn bench_plan_construction() {
+    section("cq/decomposition_construction");
     let mut i = Interner::new();
     for n in [6usize, 10, 14] {
         let q = cycle_cq(&mut i, n);
-        group.bench_with_input(BenchmarkId::new("tw_plan", n), &q, |b, q| {
-            b.iter(|| StructuredPlan::for_query_tw(q, 2).unwrap())
+        bench_case(&format!("tw_plan/{n}"), || {
+            StructuredPlan::for_query_tw(&q, 2).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("hw_plan", n), &q, |b, q| {
-            b.iter(|| StructuredPlan::for_query_hw(q, 2).unwrap())
+        bench_case(&format!("hw_plan/{n}"), || {
+            StructuredPlan::for_query_hw(&q, 2).unwrap();
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_path_queries,
-    bench_cycle_queries,
-    bench_plan_construction
-);
-criterion_main!(benches);
+fn main() {
+    bench_path_queries();
+    bench_cycle_queries();
+    bench_plan_construction();
+}

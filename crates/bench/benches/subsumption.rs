@@ -1,84 +1,59 @@
 //! Micro-benchmarks for subsumption and subsumption-equivalence (Table 1,
 //! rows ⊑ and ≡ₛ): the exponential outer loop over rooted subtrees vs the
 //! polynomial inner PARTIAL-EVAL checks under global tractability.
+//!
+//! Plain `fn main` driven by the std-only [`wdpt_bench::bench_case`]
+//! runner (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdpt_bench::{bench_case, section};
 use wdpt_core::{subsumed, subsumption_equivalent, Engine};
 use wdpt_gen::trees::{chain_wdpt, star_wdpt};
 use wdpt_model::Interner;
 
-fn bench_outer_loop(c: &mut Criterion) {
+fn bench_outer_loop() {
     // Star trees have 2^branches rooted subtrees: the outer loop dominates.
-    let mut group = c.benchmark_group("subsumption/outer_loop_star");
-    group.sample_size(10);
+    section("subsumption/outer_loop_star");
     for n in [4usize, 7, 10] {
-        group.bench_with_input(BenchmarkId::new("star_vs_star", n), &n, |b, &n| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let p1 = star_wdpt(&mut i, n);
-                    let p2 = star_wdpt(&mut i, n);
-                    (i, p1, p2)
-                },
-                |(mut i, p1, p2)| subsumed(&p1, &p2, Engine::Tw(1), &mut i),
-            )
+        let mut i = Interner::new();
+        let p1 = star_wdpt(&mut i, n);
+        let p2 = star_wdpt(&mut i, n);
+        bench_case(&format!("star_vs_star/{n}"), || {
+            subsumed(&p1, &p2, Engine::Tw(1), &mut i);
         });
     }
-    group.finish();
 }
 
-fn bench_inner_checks(c: &mut Criterion) {
+fn bench_inner_checks() {
     // Chain trees have linearly many subtrees: the inner check dominates,
     // and the structured engine keeps it polynomial.
-    let mut group = c.benchmark_group("subsumption/inner_checks_chain");
-    group.sample_size(10);
+    section("subsumption/inner_checks_chain");
     for d in [5usize, 15, 30] {
-        group.bench_with_input(BenchmarkId::new("tw1", d), &d, |b, &d| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let p1 = chain_wdpt(&mut i, d, Some(2));
-                    let p2 = chain_wdpt(&mut i, d, Some(2));
-                    (i, p1, p2)
-                },
-                |(mut i, p1, p2)| subsumed(&p1, &p2, Engine::Tw(1), &mut i),
-            )
+        let mut i = Interner::new();
+        let p1 = chain_wdpt(&mut i, d, Some(2));
+        let p2 = chain_wdpt(&mut i, d, Some(2));
+        bench_case(&format!("tw1/{d}"), || {
+            subsumed(&p1, &p2, Engine::Tw(1), &mut i);
         });
-        group.bench_with_input(BenchmarkId::new("backtrack", d), &d, |b, &d| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let p1 = chain_wdpt(&mut i, d, Some(2));
-                    let p2 = chain_wdpt(&mut i, d, Some(2));
-                    (i, p1, p2)
-                },
-                |(mut i, p1, p2)| subsumed(&p1, &p2, Engine::Backtrack, &mut i),
-            )
+        bench_case(&format!("backtrack/{d}"), || {
+            subsumed(&p1, &p2, Engine::Backtrack, &mut i);
         });
     }
-    group.finish();
 }
 
-fn bench_equivalence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subsumption/equivalence");
-    group.sample_size(10);
+fn bench_equivalence() {
+    section("subsumption/equivalence");
     for d in [5usize, 10, 20] {
-        group.bench_with_input(BenchmarkId::new("chain_eq", d), &d, |b, &d| {
-            b.iter_with_setup(
-                || {
-                    let mut i = Interner::new();
-                    let p1 = chain_wdpt(&mut i, d, Some(2));
-                    let p2 = chain_wdpt(&mut i, d, Some(2));
-                    (i, p1, p2)
-                },
-                |(mut i, p1, p2)| {
-                    subsumption_equivalent(&p1, &p2, Engine::Tw(1), Engine::Tw(1), &mut i)
-                },
-            )
+        let mut i = Interner::new();
+        let p1 = chain_wdpt(&mut i, d, Some(2));
+        let p2 = chain_wdpt(&mut i, d, Some(2));
+        bench_case(&format!("chain_eq/{d}"), || {
+            subsumption_equivalent(&p1, &p2, Engine::Tw(1), Engine::Tw(1), &mut i);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_outer_loop, bench_inner_checks, bench_equivalence);
-criterion_main!(benches);
+fn main() {
+    bench_outer_loop();
+    bench_inner_checks();
+    bench_equivalence();
+}

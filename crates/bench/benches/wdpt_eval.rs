@@ -1,19 +1,23 @@
 //! Micro-benchmarks for the WDPT evaluation variants (Table 1 cells):
 //! EVAL via the general Σ₂ᵖ procedure vs the Theorem 6 algorithm,
-//! PARTIAL-EVAL and MAX-EVAL with the structured engines.
+//! PARTIAL-EVAL and MAX-EVAL with the structured engines, and the
+//! sequential vs thread-parallel enumeration of `p(D)`.
+//!
+//! Plain `fn main` driven by the std-only [`wdpt_bench::bench_case`]
+//! runner (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdpt_bench::{bench_case, section};
 use wdpt_core::{
-    eval_bounded_interface, eval_decide, max_eval_decide, partial_eval_decide, Engine,
+    eval_bounded_interface, eval_decide, evaluate_parallel, max_eval_decide, partial_eval_decide,
+    Engine,
 };
 use wdpt_gen::music::{figure1_wdpt, music_catalog, MusicParams};
 use wdpt_gen::reductions::three_col_instance;
 use wdpt_gen::trees::chain_wdpt;
 use wdpt_model::{Interner, Mapping};
 
-fn bench_eval_on_figure1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wdpt/eval_figure1_catalog");
-    group.sample_size(20);
+fn bench_eval_on_figure1() {
+    section("wdpt/eval_figure1_catalog");
     for bands in [50usize, 200, 800] {
         let mut i = Interner::new();
         let db = music_catalog(
@@ -26,59 +30,76 @@ fn bench_eval_on_figure1(c: &mut Criterion) {
         let p = figure1_wdpt(&mut i);
         let answers = wdpt_core::evaluate(&p, &db);
         let h = answers.iter().max_by_key(|m| m.len()).unwrap().clone();
-        group.bench_with_input(BenchmarkId::new("thm6_tw1", bands), &h, |b, h| {
-            b.iter(|| eval_bounded_interface(&p, &db, h, Engine::Tw(1)))
+        bench_case(&format!("thm6_tw1/{bands}"), || {
+            eval_bounded_interface(&p, &db, &h, Engine::Tw(1));
         });
-        group.bench_with_input(BenchmarkId::new("thm6_backtrack", bands), &h, |b, h| {
-            b.iter(|| eval_bounded_interface(&p, &db, h, Engine::Backtrack))
+        bench_case(&format!("thm6_backtrack/{bands}"), || {
+            eval_bounded_interface(&p, &db, &h, Engine::Backtrack);
         });
-        group.bench_with_input(BenchmarkId::new("general", bands), &h, |b, h| {
-            b.iter(|| eval_decide(&p, &db, h))
+        bench_case(&format!("general/{bands}"), || {
+            eval_decide(&p, &db, &h);
         });
     }
-    group.finish();
 }
 
-fn bench_eval_hard_instances(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wdpt/eval_3col_reduction");
-    group.sample_size(10);
+fn bench_enumeration_parallel() {
+    section("wdpt/enumerate_figure1_catalog");
+    for bands in [100usize, 400] {
+        let mut i = Interner::new();
+        let db = music_catalog(
+            &mut i,
+            MusicParams {
+                bands,
+                ..MusicParams::default()
+            },
+        );
+        let p = figure1_wdpt(&mut i);
+        bench_case(&format!("sequential/{bands}"), || {
+            wdpt_core::evaluate(&p, &db);
+        });
+        for threads in [2usize, 4] {
+            bench_case(&format!("parallel{threads}/{bands}"), || {
+                evaluate_parallel(&p, &db, threads);
+            });
+        }
+    }
+}
+
+fn bench_eval_hard_instances() {
+    section("wdpt/eval_3col_reduction");
     for n in [4usize, 6, 8] {
         let mut i = Interner::new();
         let edges = wdpt_gen::db::random_undirected_graph(n, (5.0 / n as f64).min(0.9), n as u64);
         let inst = three_col_instance(&mut i, n, &edges);
-        group.bench_with_input(BenchmarkId::new("general", n), &inst, |b, inst| {
-            b.iter(|| eval_decide(&inst.wdpt, &inst.db, &inst.candidate))
+        bench_case(&format!("general/{n}"), || {
+            eval_decide(&inst.wdpt, &inst.db, &inst.candidate);
         });
     }
-    group.finish();
 }
 
-fn bench_partial_and_max(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wdpt/partial_and_max_eval");
-    group.sample_size(20);
+fn bench_partial_and_max() {
+    section("wdpt/partial_and_max_eval");
     for depth in [5usize, 15, 30] {
         let mut i = Interner::new();
         let p = chain_wdpt(&mut i, depth, Some(2));
         let (db, _) = wdpt_gen::db::random_graph_db(&mut i, 30, 120, 3);
         let y0 = i.var("y0");
         let h = Mapping::from_pairs(vec![(y0, i.constant("c0"))]);
-        group.bench_with_input(BenchmarkId::new("partial_tw1", depth), &h, |b, h| {
-            b.iter(|| partial_eval_decide(&p, &db, h, Engine::Tw(1)))
+        bench_case(&format!("partial_tw1/{depth}"), || {
+            partial_eval_decide(&p, &db, &h, Engine::Tw(1));
         });
-        group.bench_with_input(BenchmarkId::new("partial_backtrack", depth), &h, |b, h| {
-            b.iter(|| partial_eval_decide(&p, &db, h, Engine::Backtrack))
+        bench_case(&format!("partial_backtrack/{depth}"), || {
+            partial_eval_decide(&p, &db, &h, Engine::Backtrack);
         });
-        group.bench_with_input(BenchmarkId::new("max_tw1", depth), &h, |b, h| {
-            b.iter(|| max_eval_decide(&p, &db, h, Engine::Tw(1)))
+        bench_case(&format!("max_tw1/{depth}"), || {
+            max_eval_decide(&p, &db, &h, Engine::Tw(1));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_eval_on_figure1,
-    bench_eval_hard_instances,
-    bench_partial_and_max
-);
-criterion_main!(benches);
+fn main() {
+    bench_eval_on_figure1();
+    bench_enumeration_parallel();
+    bench_eval_hard_instances();
+    bench_partial_and_max();
+}

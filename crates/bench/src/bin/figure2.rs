@@ -23,7 +23,10 @@ fn main() {
         match a.as_str() {
             "--max-n" => max_n = it.next().and_then(|s| s.parse().ok()).unwrap_or(max_n),
             "--verify-up-to" => {
-                verify_up_to = it.next().and_then(|s| s.parse().ok()).unwrap_or(verify_up_to)
+                verify_up_to = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(verify_up_to)
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -32,7 +35,9 @@ fn main() {
         }
     }
     let k = 2;
-    println!("Figure 2 / Theorem 15 reproduction — exponential WB(k)-approximation blow-up (k = {k})");
+    println!(
+        "Figure 2 / Theorem 15 reproduction — exponential WB(k)-approximation blow-up (k = {k})"
+    );
     println!();
     println!("   n   |p1| atoms   |p2| atoms    |p2|/|p1|   2^n");
     for n in 1..=max_n {
@@ -62,7 +67,10 @@ fn main() {
             "  n={n}: p2 ⊑ p1: {forward}   p1 ⊑ p2: {backward}   p2 ∈ g-TW({k}): {g2}   p1 ∈ g-TW({k}): {g1}   ({:.2?})",
             start.elapsed()
         );
-        assert!(forward && !backward && g2 && !g1, "Theorem 15 premises violated");
+        assert!(
+            forward && !backward && g2 && !g1,
+            "Theorem 15 premises violated"
+        );
     }
     println!();
     println!(

@@ -7,20 +7,24 @@
 //! the general algorithms blow up exponentially. Every row below prints
 //! measured series plus a fitted growth verdict.
 //!
-//! Usage: `table1 [--row eval|partial|max|subsumption|classes] [--quick]`
+//! Usage:
+//! `table1 [--row eval|partial|max|subsumption|parallel|classes] [--quick] [--threads N]`
+//!
+//! The `parallel` row compares the sequential evaluator with the
+//! `std::thread::scope` fan-out (`--threads 0` auto-detects) and prints
+//! the engine-counter deltas (`wdpt_model::stats`) alongside wall-clock.
 
-use rand::Rng;
 use wdpt_bench::{measure, render, section, Series};
 use wdpt_core::{
-    eval_bounded_interface, eval_decide, has_bounded_interface, interface_width, is_globally_in,
-    is_locally_in, max_eval_decide, partial_eval_decide, subsumed, Engine, WidthKind,
+    eval_bounded_interface, eval_decide, evaluate_parallel, has_bounded_interface, interface_width,
+    is_globally_in, is_locally_in, max_eval_decide, partial_eval_decide, subsumed, Engine,
+    WidthKind,
 };
 use wdpt_gen::db::{random_graph_db, random_undirected_graph, rng};
 use wdpt_gen::music::{music_catalog, MusicParams};
 use wdpt_gen::reductions::{qbf_instance, three_col_instance, QbfLit};
 use wdpt_gen::trees::{
-    chain_wdpt, clique_chain_wdpt, clique_pattern_wdpt, random_wdpt, star_wdpt,
-    wide_interface_wdpt,
+    chain_wdpt, clique_chain_wdpt, clique_pattern_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt,
 };
 use wdpt_model::{Interner, Mapping};
 
@@ -28,17 +32,25 @@ struct Config {
     row: Option<String>,
     min_runtime: f64,
     scale: usize,
+    threads: usize,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut row = None;
     let mut quick = false;
+    let mut threads = 0usize; // 0 = available_parallelism
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--row" => row = it.next().cloned(),
             "--quick" => quick = true,
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads expects a number");
+                    std::process::exit(2);
+                })
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -49,6 +61,7 @@ fn main() {
         row,
         min_runtime: if quick { 0.005 } else { 0.05 },
         scale: if quick { 0 } else { 1 },
+        threads,
     };
     println!("Table 1 reproduction — complexity of WDPT evaluation and query analysis");
     println!("(paper: Barceló & Pichler, PODS'15; see DESIGN.md experiments E2–E5, E10)");
@@ -65,6 +78,9 @@ fn main() {
     if want("subsumption") {
         row_subsumption(&cfg);
     }
+    if want("parallel") {
+        row_parallel(&cfg);
+    }
     if want("classes") {
         row_classes();
     }
@@ -75,12 +91,17 @@ fn main() {
 fn row_eval(cfg: &Config) {
     section("EVAL  | general & ℓ-TW(1) & g-TW(1): NP-hard (Prop. 3 reduction)");
     let ns: Vec<usize> = (4..=9 + cfg.scale * 2).collect();
-    let s = measure("eval_decide on 3-colorability instances (x = graph vertices)", &ns, cfg.min_runtime, |n| {
-        let mut i = Interner::new();
-        let edges = random_undirected_graph(n, (5.0 / n as f64).min(0.95), 7 + n as u64);
-        let inst = three_col_instance(&mut i, n, &edges);
-        std::hint::black_box(eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
-    });
+    let s = measure(
+        "eval_decide on 3-colorability instances (x = graph vertices)",
+        &ns,
+        cfg.min_runtime,
+        |n| {
+            let mut i = Interner::new();
+            let edges = random_undirected_graph(n, (5.0 / n as f64).min(0.95), 7 + n as u64);
+            let inst = three_col_instance(&mut i, n, &edges);
+            std::hint::black_box(eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
+        },
+    );
     print!("{}", render(&s));
     verify_reduction_classes();
 
@@ -144,10 +165,8 @@ fn row_eval(cfg: &Config) {
             let p = wdpt_gen::music::figure1_wdpt(&mut i);
             let x = i.var("x");
             let y = i.var("y");
-            let h = Mapping::from_pairs(vec![
-                (x, i.constant("record0_0")),
-                (y, i.constant("band0")),
-            ]);
+            let h =
+                Mapping::from_pairs(vec![(x, i.constant("record0_0")), (y, i.constant("band0"))]);
             std::hint::black_box(eval_bounded_interface(&p, &db, &h, Engine::Tw(1)));
         },
     );
@@ -284,6 +303,60 @@ fn row_subsumption(cfg: &Config) {
     println!("  (≡ₛ runs both directions of ⊑ and inherits these shapes; Prop. 5 equates it with ≡_max.)");
 }
 
+/// Row "parallel": sequential vs thread-parallel enumeration of `p(D)` on
+/// the Figure-1 query over growing catalogs, with engine-counter deltas
+/// making the fan-out and the index behaviour observable.
+fn row_parallel(cfg: &Config) {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    };
+    section(&format!(
+        "Parallel | p(D) enumeration: sequential vs {threads} scoped threads (identical answers)"
+    ));
+    let bands: Vec<usize> = (100..=400 + cfg.scale * 400).step_by(150).collect();
+    let s = measure(
+        "evaluate (sequential) on the Figure-1 query (x = bands)",
+        &bands,
+        cfg.min_runtime,
+        |bands| {
+            let mut i = Interner::new();
+            let db = music_catalog(
+                &mut i,
+                MusicParams {
+                    bands,
+                    ..MusicParams::default()
+                },
+            );
+            let p = wdpt_gen::music::figure1_wdpt(&mut i);
+            std::hint::black_box(wdpt_core::evaluate(&p, &db));
+        },
+    );
+    print!("{}", render(&s));
+    let before = wdpt_model::stats::snapshot();
+    let s = measure(
+        "evaluate_parallel on the Figure-1 query (x = bands)",
+        &bands,
+        cfg.min_runtime,
+        |bands| {
+            let mut i = Interner::new();
+            let db = music_catalog(
+                &mut i,
+                MusicParams {
+                    bands,
+                    ..MusicParams::default()
+                },
+            );
+            let p = wdpt_gen::music::figure1_wdpt(&mut i);
+            std::hint::black_box(evaluate_parallel(&p, &db, threads));
+        },
+    );
+    print!("{}", render(&s));
+    let delta = wdpt_model::stats::snapshot().since(&before);
+    println!("  engine counters over the parallel sweep: {delta}");
+}
+
 /// Row "classes" (E10): Proposition 2's inclusions verified empirically.
 fn row_classes() {
     section("Classes | Proposition 2: ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k+2c); g-TW(k) ⊄ BI(c)");
@@ -292,7 +365,7 @@ fn row_classes() {
     let total = 60;
     for _ in 0..total {
         let mut i = Interner::new();
-        let p = random_wdpt(&mut i, 2 + r.gen::<usize>() % 6, &mut r);
+        let p = random_wdpt(&mut i, 2 + r.gen_range(0..6), &mut r);
         if is_locally_in(&p, WidthKind::Tw, 1) {
             let c = interface_width(&p);
             assert!(has_bounded_interface(&p, c));

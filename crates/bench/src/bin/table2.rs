@@ -62,7 +62,9 @@ fn foldable_cycle(i: &mut Interner, m: usize) -> Wdpt {
     let l = i.var("loopvar");
     atoms.push(Atom::new(e, vec![l.into(), l.into()]));
     atoms.push(Atom::new(e, vec![vs[0].into(), l.into()]));
-    WdptBuilder::new(atoms).build(Vec::new()).expect("single node")
+    WdptBuilder::new(atoms)
+        .build(Vec::new())
+        .expect("single node")
 }
 
 /// A single-node WDPT with a genuine directed cycle (its own core).
@@ -72,7 +74,9 @@ fn genuine_cycle(i: &mut Interner, m: usize) -> Wdpt {
     let atoms: Vec<Atom> = (0..m)
         .map(|j| Atom::new(e, vec![vs[j].into(), vs[(j + 1) % m].into()]))
         .collect();
-    WdptBuilder::new(atoms).build(Vec::new()).expect("single node")
+    WdptBuilder::new(atoms)
+        .build(Vec::new())
+        .expect("single node")
 }
 
 /// Row WB(k)-MEMBERSHIP (Theorem 13, NEXPTIME^NP upper / Π₂ᵖ lower): the

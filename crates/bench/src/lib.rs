@@ -173,6 +173,60 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Minimum measured wall-clock per bench case, in seconds; override with
+/// the `BENCH_MIN_RUNTIME` environment variable.
+fn bench_min_runtime() -> f64 {
+    std::env::var("BENCH_MIN_RUNTIME")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Runs `f` repeatedly (after one untimed warmup that populates lazy
+/// indexes) for at least [`bench_min_runtime`] seconds and prints one
+/// `name  mean-time  (iters)` line. The std-only runner behind the
+/// `[[bench]]` targets (`harness = false`).
+pub fn bench_case<F: FnMut()>(name: &str, f: F) {
+    let (mean, iters, _) = run_case(f);
+    println!("  {name:<48} {} ({iters} iters)", human_time(mean));
+}
+
+/// Like [`bench_case`], but also prints the per-iteration engine-counter
+/// deltas ([`wdpt_model::stats`]) averaged over the measured iterations —
+/// this is how the ablation benchmarks show *why* a configuration is slow
+/// (index rebuilds, tuples scanned, nodes expanded), not just that it is.
+pub fn bench_case_with_stats<F: FnMut()>(name: &str, f: F) {
+    let (mean, iters, delta) = run_case(f);
+    let per = |v: u64| v / u64::from(iters);
+    println!(
+        "  {name:<48} {} ({iters} iters)  [builds={} probes={} scanned={} nodes={} tasks={} per iter]",
+        human_time(mean),
+        per(delta.index_builds),
+        per(delta.index_probes),
+        per(delta.tuples_scanned),
+        per(delta.nodes_expanded),
+        per(delta.parallel_tasks),
+    );
+}
+
+fn run_case<F: FnMut()>(mut f: F) -> (f64, u32, wdpt_model::StatsSnapshot) {
+    let min = bench_min_runtime();
+    f(); // warmup
+    let before = wdpt_model::stats::snapshot();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= min || iters >= 100_000 {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let delta = wdpt_model::stats::snapshot().since(&before);
+    (elapsed / f64::from(iters), iters, delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,11 +43,8 @@ pub fn interface_width(p: &Wdpt) -> usize {
     (0..p.node_count())
         .map(|t| {
             let vt = p.node_vars(t);
-            let child_vars: BTreeSet<Var> = p
-                .children(t)
-                .iter()
-                .flat_map(|&c| p.node_vars(c))
-                .collect();
+            let child_vars: BTreeSet<Var> =
+                p.children(t).iter().flat_map(|&c| p.node_vars(c)).collect();
             vt.intersection(&child_vars).count()
         })
         .max()

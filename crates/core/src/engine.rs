@@ -97,9 +97,8 @@ mod tests {
     fn tw_engine_rejects_wide_queries() {
         let mut i = Interner::new();
         let db = parse_database(&mut i, "e(a,b)").unwrap();
-        let q = ConjunctiveQuery::boolean(
-            parse_atoms(&mut i, "e(?x,?y) e(?y,?z) e(?z,?x)").unwrap(),
-        );
+        let q =
+            ConjunctiveQuery::boolean(parse_atoms(&mut i, "e(?x,?y) e(?y,?z) e(?z,?x)").unwrap());
         Engine::Tw(1).hom_exists(&q, &db, &Mapping::empty());
     }
 

@@ -43,11 +43,7 @@ fn coverages(
     inherited: &Mapping,
 ) -> Option<Vec<BTreeSet<Var>>> {
     let free = p.free_set();
-    let node_free: BTreeSet<Var> = p
-        .node_vars(t)
-        .intersection(&free)
-        .copied()
-        .collect();
+    let node_free: BTreeSet<Var> = p.node_vars(t).intersection(&free).copied().collect();
     if !node_free.is_subset(dom) {
         return None;
     }
@@ -214,8 +210,7 @@ mod tests {
         ] {
             let c = i.pred("c");
             let x = i.var("x");
-            let us: Vec<wdpt_model::Var> =
-                (0..n).map(|j| i.var(&format!("u{j}"))).collect();
+            let us: Vec<wdpt_model::Var> = (0..n).map(|j| i.var(&format!("u{j}"))).collect();
             let mut root: Vec<wdpt_model::Atom> = us
                 .iter()
                 .map(|&u| wdpt_model::Atom::new(c, vec![u.into(), u.into()]))

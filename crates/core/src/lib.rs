@@ -6,7 +6,9 @@
 //!
 //! * [`tree`] — the WDPT type `(T, λ, x̄)` with well-designedness checking
 //!   and rooted-subtree machinery (Definitions 1–2).
-//! * [`semantics`] — maximal homomorphisms, `p(D)`, `p_m(D)`.
+//! * [`semantics`] — maximal homomorphisms, `p(D)`, `p_m(D)`, and the
+//!   thread-parallel evaluator fanning out over root homomorphisms and
+//!   independent OPT children.
 //! * [`classes`] — local tractability `ℓ-C(k)`, bounded interface `BI(c)`,
 //!   global tractability `g-C(k)`, the well-behaved classes `WB(k)`
 //!   (Sections 3 and 5).
@@ -42,7 +44,10 @@ pub use eval::eval_decide;
 pub use eval_bi::eval_bounded_interface;
 pub use optimize::normalize;
 pub use projection_free::eval_projection_free;
-pub use semantics::{evaluate, evaluate_max, maximal_homomorphisms};
+pub use semantics::{
+    evaluate, evaluate_max, evaluate_max_parallel, evaluate_parallel, maximal_homomorphisms,
+    maximal_homomorphisms_parallel,
+};
 pub use subsumption::{max_equivalent, subsumed, subsumption_equivalent};
 pub use text::{parse_wdpt, to_text};
 pub use tree::{NodeId, Subtree, Wdpt, WdptBuilder, WdptError};

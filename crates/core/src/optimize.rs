@@ -43,9 +43,9 @@ pub fn prune_branches(p: &Wdpt) -> Wdpt {
     // introduces[t] ⇔ some free variable has its top occurrence at t.
     let introduces: Vec<bool> = (0..p.node_count())
         .map(|t| {
-            p.node_vars(t).iter().any(|v| {
-                free.contains(v) && p.top_node_of(*v) == Some(t)
-            })
+            p.node_vars(t)
+                .iter()
+                .any(|v| free.contains(v) && p.top_node_of(*v) == Some(t))
         })
         .collect();
     // keep[t] ⇔ t or some descendant introduces a free variable.
@@ -204,10 +204,7 @@ mod tests {
             let u = i.var("u");
             let v = i.var("v");
             let y = i.var("y");
-            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(
-                e,
-                vec![x.into(), u.into()],
-            )]);
+            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(e, vec![x.into(), u.into()])]);
             let c1 = b.child(
                 0,
                 vec![wdpt_model::Atom::new(
@@ -263,7 +260,19 @@ mod tests {
         for j in 0..6 {
             prev = b.child(
                 prev,
-                parse_atoms(&mut i, &format!("e(?{}, ?u{})", if j == 0 { "x".into() } else { format!("u{}", j - 1) }, j)).unwrap(),
+                parse_atoms(
+                    &mut i,
+                    &format!(
+                        "e(?{}, ?u{})",
+                        if j == 0 {
+                            "x".into()
+                        } else {
+                            format!("u{}", j - 1)
+                        },
+                        j
+                    ),
+                )
+                .unwrap(),
             );
         }
         b.child(prev, parse_atoms(&mut i, "e(?u5, ?y)").unwrap());
@@ -302,7 +311,7 @@ mod tests {
         let a_norm = evaluate(&n, &db);
         assert_eq!(a_orig.len(), 2); // {x↦1} and {x↦1, y↦9}
         assert_eq!(a_norm.len(), 1); // only {x↦1, y↦9}
-        // …but the ≡ₛ-level semantics agree.
+                                     // …but the ≡ₛ-level semantics agree.
         assert_eq!(
             crate::semantics::evaluate_max(&p, &db),
             crate::semantics::evaluate_max(&n, &db)

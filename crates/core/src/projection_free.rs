@@ -35,8 +35,7 @@ pub fn eval_projection_free(p: &Wdpt, db: &Database, h: &Mapping, engine: Engine
     }
     // Step 1: grow T*.
     let satisfied = |t: usize| -> bool {
-        p.node_vars(t).is_subset(&dom)
-            && p.atoms(t).iter().all(|a| db.contains_atom(&a.apply(h)))
+        p.node_vars(t).is_subset(&dom) && p.atoms(t).iter().all(|a| db.contains_atom(&a.apply(h)))
     };
     if !satisfied(p.root()) {
         return false;
@@ -160,10 +159,7 @@ mod tests {
             let y = i.var("y");
             let z = i.var("z");
             let w = i.var("w");
-            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(
-                e,
-                vec![x.into(), y.into()],
-            )]);
+            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(e, vec![x.into(), y.into()])]);
             let c1 = b.child(
                 0,
                 vec![wdpt_model::Atom::new(
@@ -209,8 +205,18 @@ mod tests {
         let atoms = parse_atoms(&mut i, "marker(on)").unwrap();
         let p = WdptBuilder::new(atoms).build(vec![]).unwrap();
         let db = parse_database(&mut i, "marker(on)").unwrap();
-        assert!(eval_projection_free(&p, &db, &Mapping::empty(), Engine::Backtrack));
+        assert!(eval_projection_free(
+            &p,
+            &db,
+            &Mapping::empty(),
+            Engine::Backtrack
+        ));
         let db2 = parse_database(&mut i, "marker(off)").unwrap();
-        assert!(!eval_projection_free(&p, &db2, &Mapping::empty(), Engine::Backtrack));
+        assert!(!eval_projection_free(
+            &p,
+            &db2,
+            &Mapping::empty(),
+            Engine::Backtrack
+        ));
     }
 }

@@ -86,6 +86,108 @@ pub fn evaluate_max(p: &Wdpt, db: &Database) -> Vec<Mapping> {
     maximal_mappings(evaluate(p, db))
 }
 
+/// Fewest (root local homomorphism × OPT child) work items for which
+/// spawning threads can pay off; below this the sequential path runs.
+const MIN_PARALLEL_JOBS: usize = 2;
+
+/// [`maximal_homomorphisms`], computed with up to `threads` worker threads
+/// (`0` means [`std::thread::available_parallelism`]).
+///
+/// Well-designedness is what makes the split safe: sibling OPT subtrees
+/// share variables only through their common ancestors, so once a root
+/// local homomorphism fixes the ancestor valuation, every `(local hom,
+/// child subtree)` pair is an independent work item. The items are strided
+/// over scoped threads (`Database` is `Sync` — the column indexes live in
+/// `OnceLock`s), each computing the child's maximal extensions, and the
+/// per-context cartesian products are assembled sequentially afterwards.
+/// Falls back to the sequential evaluator when there are fewer than
+/// [`MIN_PARALLEL_JOBS`] items or a single thread; the result is always
+/// identical to [`maximal_homomorphisms`].
+pub fn maximal_homomorphisms_parallel(p: &Wdpt, db: &Database, threads: usize) -> Vec<Mapping> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let root = p.root();
+    let locals = extend_all(db, p.atoms(root), &Mapping::empty());
+    let children = p.children(root);
+    let jobs: Vec<(usize, usize)> = (0..locals.len())
+        .flat_map(|ci| children.iter().map(move |&c| (ci, c)))
+        .collect();
+    if threads <= 1 || jobs.len() < MIN_PARALLEL_JOBS {
+        return maximal_homomorphisms(p, db);
+    }
+    // Child extensions for every (context, child) pair, computed in
+    // parallel. The workers only read `p`, `db`, `locals`, and `jobs`.
+    let mut results: Vec<Vec<Mapping>> = vec![Vec::new(); jobs.len()];
+    let workers = threads.min(jobs.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (jobs, locals) = (&jobs, &locals);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut idx = w;
+                    while idx < jobs.len() {
+                        let (ci, child) = jobs[idx];
+                        wdpt_model::stats::record_parallel_task();
+                        out.push((idx, extensions(p, db, child, &locals[ci])));
+                        idx += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, exts) in handle.join().expect("worker thread panicked") {
+                results[idx] = exts;
+            }
+        }
+    });
+    // Sequential assembly, mirroring `extensions` at the root: for each
+    // local homomorphism, the cartesian product over its extendable
+    // children, then canonical dedup.
+    let mut out: BTreeSet<Mapping> = BTreeSet::new();
+    for (ci, ctx) in locals.iter().enumerate() {
+        let mut acc: Vec<Mapping> = vec![ctx.clone()];
+        for (j, _) in children.iter().enumerate() {
+            let part = &results[ci * children.len() + j];
+            if part.is_empty() {
+                continue; // not extendable: maximality holds vacuously
+            }
+            let mut next = Vec::with_capacity(acc.len() * part.len());
+            for base in &acc {
+                for ext in part {
+                    next.push(
+                        base.union(ext)
+                            .expect("sibling subtrees only share ancestor variables"),
+                    );
+                }
+            }
+            acc = next;
+        }
+        out.extend(acc);
+    }
+    out.into_iter().collect()
+}
+
+/// [`evaluate`] via the thread-parallel evaluator; agrees with the
+/// sequential result exactly (same answers, same canonical order).
+pub fn evaluate_parallel(p: &Wdpt, db: &Database, threads: usize) -> Vec<Mapping> {
+    let free = p.free_set();
+    let set: BTreeSet<Mapping> = maximal_homomorphisms_parallel(p, db, threads)
+        .into_iter()
+        .map(|h| h.restrict(&free))
+        .collect();
+    set.into_iter().collect()
+}
+
+/// [`evaluate_max`] via the thread-parallel evaluator.
+pub fn evaluate_max_parallel(p: &Wdpt, db: &Database, threads: usize) -> Vec<Mapping> {
+    maximal_mappings(evaluate_parallel(p, db, threads))
+}
+
 /// All homomorphisms from `p` to `db` (not only maximal ones): full
 /// homomorphisms of `q_{T'}` over every rooted subtree `T'`. Exponential;
 /// used by tests and as the reference implementation for the decision
@@ -174,8 +276,7 @@ mod tests {
         let mut answers = evaluate(&p, &db);
         answers.sort();
         let mu1 = parse_mapping(&mut i, r#"?x -> "Our_love", ?y -> "Caribou""#).unwrap();
-        let mu2 =
-            parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou", ?z -> "2""#).unwrap();
+        let mu2 = parse_mapping(&mut i, r#"?x -> "Swim", ?y -> "Caribou", ?z -> "2""#).unwrap();
         let mut expected = vec![mu1, mu2];
         expected.sort();
         assert_eq!(answers, expected);
@@ -187,7 +288,10 @@ mod tests {
         // μ'2 = {y ↦ Caribou, z ↦ 2}.
         let mut i = Interner::new();
         let (p0, db) = example2(&mut i);
-        let free = ["y", "z", "z2"].iter().map(|n| i.var(n)).collect::<Vec<_>>();
+        let free = ["y", "z", "z2"]
+            .iter()
+            .map(|n| i.var(n))
+            .collect::<Vec<_>>();
         let p = rebuild_with_free(&p0, free);
         let mut answers = evaluate(&p, &db);
         answers.sort();
@@ -277,7 +381,10 @@ mod tests {
         // x=1: no b — answer {x↦1}. x=2,y=5: no c — {x↦2,y↦5}.
         // x=2,y=6: c(6,9) — {x↦2,y↦6,z↦9}.
         assert_eq!(ans.len(), 3);
-        assert_eq!(ans.iter().map(Mapping::len).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            ans.iter().map(Mapping::len).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -292,6 +399,118 @@ mod tests {
             if is_maximal_homomorphism(&p, &db, &h) {
                 assert!(maximal_homomorphisms(&p, &db).contains(&h));
             }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_paper_examples() {
+        let mut i = Interner::new();
+        let (p, db) = example2(&mut i);
+        for threads in [0, 1, 2, 4, 16] {
+            assert_eq!(evaluate_parallel(&p, &db, threads), evaluate(&p, &db));
+            assert_eq!(
+                maximal_homomorphisms_parallel(&p, &db, threads),
+                maximal_homomorphisms(&p, &db)
+            );
+            assert_eq!(
+                evaluate_max_parallel(&p, &db, threads),
+                evaluate_max(&p, &db)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_on_single_node_trees() {
+        let mut i = Interner::new();
+        let root = parse_atoms(&mut i, "a(?x)").unwrap();
+        let p = WdptBuilder::new(root).build(vec![i.var("x")]).unwrap();
+        let db = parse_database(&mut i, "a(1) a(2)").unwrap();
+        let before = wdpt_model::stats::snapshot();
+        let ans = evaluate_parallel(&p, &db, 8);
+        let delta = wdpt_model::stats::snapshot().since(&before);
+        assert_eq!(ans, evaluate(&p, &db));
+        // No children means no work items, so nothing is fanned out.
+        assert_eq!(delta.parallel_tasks, 0);
+    }
+
+    #[test]
+    fn parallel_fans_out_one_task_per_context_child_pair() {
+        let mut i = Interner::new();
+        // 3 root homomorphisms × 2 children = 6 work items.
+        let root = parse_atoms(&mut i, "a(?x)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        b.child(0, parse_atoms(&mut i, "b(?x,?y)").unwrap());
+        b.child(0, parse_atoms(&mut i, "c(?x,?z)").unwrap());
+        let free = ["x", "y", "z"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(&mut i, "a(1) a(2) a(3) b(1,10) b(2,20) c(2,30) c(3,31)").unwrap();
+        let before = wdpt_model::stats::snapshot();
+        let ans = evaluate_parallel(&p, &db, 4);
+        let delta = wdpt_model::stats::snapshot().since(&before);
+        assert_eq!(ans, evaluate(&p, &db));
+        assert_eq!(ans.len(), 3);
+        assert!(delta.parallel_tasks >= 6);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_random_trees() {
+        // Deterministic LCG in place of an external RNG (same pattern as
+        // `eval::tests::agrees_with_enumeration_on_random_trees`).
+        let mut state = 0x5eed_cafe_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _case in 0..30 {
+            let mut i = Interner::new();
+            let e = i.pred("e");
+            let f = i.pred("f");
+            let g = i.pred("g");
+            let mut db = Database::new();
+            for _ in 0..(4 + next() % 10) {
+                let a = i.constant(&format!("c{}", next() % 4));
+                let b = i.constant(&format!("c{}", next() % 4));
+                db.insert(e, vec![a, b]);
+                if next() % 2 == 0 {
+                    db.insert(f, vec![b, a]);
+                }
+                if next() % 3 == 0 {
+                    db.insert(g, vec![a, a]);
+                }
+            }
+            let x = i.var("x");
+            let y = i.var("y");
+            let z = i.var("z");
+            let w = i.var("w");
+            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(e, vec![x.into(), y.into()])]);
+            let c1 = b.child(
+                0,
+                vec![wdpt_model::Atom::new(
+                    if next() % 2 == 0 { e } else { f },
+                    vec![y.into(), z.into()],
+                )],
+            );
+            b.child(0, vec![wdpt_model::Atom::new(g, vec![x.into(), w.into()])]);
+            if next() % 2 == 0 {
+                // ?v is existential; reusing ?x here would break
+                // well-designedness (x occurs at the root but not at c1).
+                let v = i.var("v");
+                b.child(c1, vec![wdpt_model::Atom::new(f, vec![z.into(), v.into()])]);
+            }
+            let p = b.build(vec![x, y, z, w]).unwrap();
+            let threads = 1 + next() % 5;
+            assert_eq!(
+                evaluate_parallel(&p, &db, threads),
+                evaluate(&p, &db),
+                "threads={threads}"
+            );
+            assert_eq!(
+                evaluate_max_parallel(&p, &db, threads),
+                evaluate_max(&p, &db),
+                "threads={threads}"
+            );
         }
     }
 

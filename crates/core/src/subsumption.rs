@@ -189,7 +189,13 @@ mod tests {
         let mut b = WdptBuilder::new(root);
         b.child(0, parse_atoms(&mut i, "a(?x)").unwrap());
         let p2 = b.build(vec![i.var("x")]).unwrap();
-        assert!(max_equivalent(&p1, &p2, Engine::Backtrack, Engine::Backtrack, &mut i));
+        assert!(max_equivalent(
+            &p1,
+            &p2,
+            Engine::Backtrack,
+            Engine::Backtrack,
+            &mut i
+        ));
         let db = parse_database(&mut i, "a(1) a(2)").unwrap();
         assert_eq!(evaluate_max(&p1, &db), evaluate_max(&p2, &db));
     }

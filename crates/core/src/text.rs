@@ -118,8 +118,8 @@ pub fn parse_wdpt(interner: &mut Interner, src: &str) -> Result<Wdpt, TreeTextEr
             }
         }
     }
-    let builder = builder
-        .ok_or_else(|| TreeTextError::Structure(0, "no NODE lines found".to_owned()))?;
+    let builder =
+        builder.ok_or_else(|| TreeTextError::Structure(0, "no NODE lines found".to_owned()))?;
     let free = if free.is_empty() {
         // No FREE line: projection-free.
         let tmp = builder
@@ -197,8 +197,8 @@ NODE formed PARENT root { formed_in(?y, ?z2) }
     #[test]
     fn rejects_unknown_parent() {
         let mut i = Interner::new();
-        let err = parse_wdpt(&mut i, "NODE r { e(?a,?b) }\nNODE c PARENT nope { f(?b) }")
-            .unwrap_err();
+        let err =
+            parse_wdpt(&mut i, "NODE r { e(?a,?b) }\nNODE c PARENT nope { f(?b) }").unwrap_err();
         assert!(matches!(err, TreeTextError::Structure(2, _)));
     }
 

@@ -514,7 +514,9 @@ mod tests {
         let mut i = Interner::new();
         let p = figure1(&mut i);
         let nope = i.var("nonexistent");
-        assert!(p.minimal_subtree_covering(&[nope].into_iter().collect()).is_none());
+        assert!(p
+            .minimal_subtree_covering(&[nope].into_iter().collect())
+            .is_none());
     }
 
     #[test]

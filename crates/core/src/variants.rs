@@ -154,10 +154,7 @@ mod tests {
             let x = i.var("x");
             let y = i.var("y");
             let z = i.var("z");
-            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(
-                e,
-                vec![x.into(), y.into()],
-            )]);
+            let mut b = WdptBuilder::new(vec![wdpt_model::Atom::new(e, vec![x.into(), y.into()])]);
             b.child(
                 0,
                 vec![wdpt_model::Atom::new(

@@ -52,14 +52,21 @@ fn pattern(atom: &Atom, h: &Mapping) -> Vec<Option<Const>> {
         .collect()
 }
 
-/// Estimated number of matching tuples for ordering heuristics.
-fn estimate(db: &Database, atom: &Atom, h: &Mapping) -> usize {
+/// Estimated number of matching tuples for ordering heuristics: exact for
+/// fully-bound atoms, the shortest posting list among bound columns for
+/// partially-bound atoms (the seed returned `rel.len()` there, which
+/// mis-ranked selective partially-bound atoms behind small relations), and
+/// the relation size for unbound atoms. With `use_index = false` (the
+/// index-ablation config) posting lists are off limits, so partially-bound
+/// atoms fall back to the relation size.
+pub(crate) fn estimate(db: &Database, atom: &Atom, h: &Mapping, use_index: bool) -> usize {
     match db.relation(atom.pred) {
         None => 0,
         Some(rel) => {
             let pat = pattern(atom, h);
-            if pat.iter().all(Option::is_some) {
-                // Fully bound: 0 or 1.
+            if use_index {
+                rel.estimate_matching(&pat)
+            } else if pat.iter().all(Option::is_some) {
                 usize::from(rel.contains(&pat.iter().map(|c| c.unwrap()).collect::<Vec<_>>()))
             } else {
                 rel.len()
@@ -85,8 +92,8 @@ fn search<F: FnMut(&Mapping) -> Found>(
             .filter(|&(i, _)| !done[i])
             .max_by_key(|&(_, a)| {
                 let bound = pattern(a, h).iter().filter(|p| p.is_some()).count();
-                // Prefer many bound positions; break ties toward small relations.
-                (bound, usize::MAX - estimate(db, a, h))
+                // Prefer many bound positions; break ties toward few matches.
+                (bound, usize::MAX - estimate(db, a, h, config.use_index))
             })
             .map(|(i, _)| i)
     } else {
@@ -96,16 +103,22 @@ fn search<F: FnMut(&Mapping) -> Found>(
         return on_hom(h);
     };
     done[i] = true;
+    wdpt_model::stats::record_node_expanded();
     let atom = atoms[i];
     let result = (|| {
         let Some(rel) = db.relation(atom.pred) else {
             return Found::Continue; // empty relation: no match, backtrack
         };
         let pat = pattern(atom, h);
-        let tuples: Vec<Vec<Const>> = if config.use_index {
-            rel.matching(&pat).map(<[Const]>::to_vec).collect()
+        // Iterate the postings directly — `db` is borrowed immutably for
+        // the whole search, only `h`/`done` mutate, so there is no need to
+        // materialize a `Vec<Vec<Const>>` of matches at every search node
+        // (the seed did, making allocation the dominant cost on large
+        // relations).
+        let tuples: Box<dyn Iterator<Item = &[Const]>> = if config.use_index {
+            rel.matching(&pat)
         } else {
-            rel.matching_unindexed(&pat).map(<[Const]>::to_vec).collect()
+            Box::new(rel.matching_unindexed(&pat))
         };
         for tuple in tuples {
             // Extend h with the new bindings; tuples matching `pat` can only
@@ -162,10 +175,17 @@ pub fn extend_all_config(
     let mut done = vec![false; refs.len()];
     let mut h = relevant_seed(atoms, seed);
     let mut out = Vec::new();
-    search(db, &refs, &mut done, &mut h, &mut |hom| {
-        out.push(hom.clone());
-        Found::Continue
-    }, config);
+    search(
+        db,
+        &refs,
+        &mut done,
+        &mut h,
+        &mut |hom| {
+            out.push(hom.clone());
+            Found::Continue
+        },
+        config,
+    );
     out
 }
 
@@ -205,10 +225,17 @@ pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Vec<Mapping> {
     let refs: Vec<&Atom> = q.body().iter().collect();
     let mut done = vec![false; refs.len()];
     let mut h = Mapping::empty();
-    search(db, &refs, &mut done, &mut h, &mut |hom| {
-        out.insert(hom.restrict(&head));
-        Found::Continue
-    }, BacktrackConfig::default());
+    search(
+        db,
+        &refs,
+        &mut done,
+        &mut h,
+        &mut |hom| {
+            out.insert(hom.restrict(&head));
+            Found::Continue
+        },
+        BacktrackConfig::default(),
+    );
     out.into_iter().collect()
 }
 
@@ -240,7 +267,9 @@ mod tests {
         let seed = parse_mapping(&mut i, "?x -> a").unwrap();
         let homs = extend_all(&db, &atoms, &seed);
         assert_eq!(homs.len(), 2); // a-b-c and a-c-d
-        assert!(homs.iter().all(|h| h.get(i.var("x")) == Some(i.constant("a"))));
+        assert!(homs
+            .iter()
+            .all(|h| h.get(i.var("x")) == Some(i.constant("a"))));
     }
 
     #[test]
@@ -302,6 +331,64 @@ mod tests {
         let homs = extend_all(&db, &atoms, &seed);
         assert_eq!(homs.len(), 4);
         assert!(homs.iter().all(|h| h.len() == 2));
+    }
+
+    #[test]
+    fn estimate_ranks_partially_bound_atoms_by_posting_list() {
+        let mut i = Interner::new();
+        // big/2 has 60 tuples but at most one per ?y value; small/2 has 10.
+        let mut spec = String::new();
+        for j in 0..60 {
+            spec.push_str(&format!("big(s{j},t{j}) "));
+        }
+        for j in 0..10 {
+            spec.push_str(&format!("small(a{j},b{j}) "));
+        }
+        let db = parse_database(&mut i, &spec).unwrap();
+        let atoms = parse_atoms(&mut i, "big(?x,?y), small(?z,?w)").unwrap();
+        let seed = parse_mapping(&mut i, "?y -> t7").unwrap();
+        // Bound on ?y, the big atom has a 1-element posting list; the seed
+        // implementation returned rel.len() = 60 and ranked it *behind* the
+        // unbound small atom (10).
+        assert_eq!(estimate(&db, &atoms[0], &seed, true), 1);
+        assert_eq!(estimate(&db, &atoms[1], &seed, true), 10);
+        // Unbound, the big atom estimates its full size.
+        assert_eq!(estimate(&db, &atoms[0], &Mapping::empty(), true), 60);
+        // The index-free ablation cannot consult posting lists.
+        assert_eq!(estimate(&db, &atoms[0], &seed, false), 60);
+    }
+
+    #[test]
+    fn dynamic_order_picks_the_selective_atom_first() {
+        let mut i = Interner::new();
+        // Both atoms have one bound position under the seed, so only the
+        // match estimate decides the order. a/2 is the larger relation but
+        // its x=c0 posting list has a single entry; every b/2 tuple has
+        // x=c0. The seed estimate (relation size) ranked b first and
+        // expanded 1 + |b| nodes; the posting-list estimate expands a
+        // first, for 2 nodes total.
+        let mut spec = String::from("a(c0,u0) ");
+        for j in 0..1100 {
+            spec.push_str(&format!("a(g{j},h{j}) "));
+        }
+        for j in 0..1000 {
+            spec.push_str(&format!("b(c0,v{j}) "));
+        }
+        let db = parse_database(&mut i, &spec).unwrap();
+        let atoms = parse_atoms(&mut i, "a(?x,?u), b(?x,?v)").unwrap();
+        let seed = parse_mapping(&mut i, "?x -> c0").unwrap();
+        let before = wdpt_model::stats::snapshot();
+        let homs = extend_all(&db, &atoms, &seed);
+        let delta = wdpt_model::stats::snapshot().since(&before);
+        assert_eq!(homs.len(), 1000);
+        // The mis-ranked order expands 1001 nodes; the fixed one expands 2.
+        // The slack absorbs other tests running concurrently (the counters
+        // are process-wide).
+        assert!(
+            delta.nodes_expanded <= 500,
+            "selective atom was not processed first: {} nodes",
+            delta.nodes_expanded
+        );
     }
 
     #[test]

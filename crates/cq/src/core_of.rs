@@ -21,11 +21,7 @@ use wdpt_model::{Atom, Const, Interner, Mapping, Term, Var};
 
 /// Applies an endomorphism (expressed as variable → frozen-constant mapping
 /// plus the unfreeze table) to the body, yielding the image subquery.
-fn image_of(
-    body: &[Atom],
-    hom: &Mapping,
-    unfreeze: &BTreeMap<Const, Var>,
-) -> Vec<Atom> {
+fn image_of(body: &[Atom], hom: &Mapping, unfreeze: &BTreeMap<Const, Var>) -> Vec<Atom> {
     let mut out: BTreeSet<Atom> = BTreeSet::new();
     for atom in body {
         let args = atom

@@ -40,10 +40,7 @@ pub fn count_homomorphisms(q: &ConjunctiveQuery, db: &Database, plan: &Structure
     }
     // Count of variables introduced below must each appear in some bag;
     // process bottom-up accumulating N.
-    let mut counts: Vec<Vec<u128>> = relations
-        .iter()
-        .map(|r| vec![1u128; r.len()])
-        .collect();
+    let mut counts: Vec<Vec<u128>> = relations.iter().map(|r| vec![1u128; r.len()]).collect();
     for &t in order.iter().rev() {
         let p = parent[t];
         if p == usize::MAX {

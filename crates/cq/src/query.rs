@@ -78,8 +78,7 @@ impl ConjunctiveQuery {
     /// hypergraph together with the vertex → variable table.
     pub fn hypergraph(&self) -> (Hypergraph, Vec<Var>) {
         let vars: Vec<Var> = self.variables().into_iter().collect();
-        let index: BTreeMap<Var, usize> =
-            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let index: BTreeMap<Var, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let edges: Vec<Vec<usize>> = self
             .body
             .iter()

@@ -183,7 +183,10 @@ mod tests {
     #[should_panic(expected = "limited to")]
     fn refuses_huge_queries() {
         let mut i = Interner::new();
-        let body: String = (0..14).map(|j| format!("e(?v{j},?v{})", j + 1)).collect::<Vec<_>>().join(" ");
+        let body: String = (0..14)
+            .map(|j| format!("e(?v{j},?v{})", j + 1))
+            .collect::<Vec<_>>()
+            .join(" ");
         let query = q(&mut i, &[], &body);
         let _ = quotients(&query);
     }

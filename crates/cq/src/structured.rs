@@ -59,10 +59,7 @@ impl StructuredPlan {
 
     /// Builds a plan from a generalized hypertree decomposition (edge `i` of
     /// the hypergraph is body atom `i`).
-    pub fn from_hypertree_decomposition(
-        htd: &HypertreeDecomposition,
-        vertex_vars: &[Var],
-    ) -> Self {
+    pub fn from_hypertree_decomposition(htd: &HypertreeDecomposition, vertex_vars: &[Var]) -> Self {
         StructuredPlan {
             bags: htd
                 .nodes
@@ -280,7 +277,16 @@ fn materialize_bag(
                     h.remove(bag_vars[depth]);
                 }
             }
-            rec(db, atoms, &bag_vars, &cands, &check_after, 0, &mut h, &mut out);
+            rec(
+                db,
+                atoms,
+                &bag_vars,
+                &cands,
+                &check_after,
+                0,
+                &mut h,
+                &mut out,
+            );
             out
         }
     }
@@ -366,10 +372,8 @@ pub fn boolean_eval_structured(
             continue;
         }
         let shared: BTreeSet<Var> = bags[t].intersection(&bags[p]).copied().collect();
-        let child_keys: HashSet<Mapping> = relations[t]
-            .iter()
-            .map(|m| m.restrict(&shared))
-            .collect();
+        let child_keys: HashSet<Mapping> =
+            relations[t].iter().map(|m| m.restrict(&shared)).collect();
         if child_keys.is_empty() {
             return false;
         }
@@ -425,7 +429,17 @@ pub fn enumerate_projections(
         }
         for &c in &cands[depth] {
             assignment.insert(targets[depth], c);
-            rec(q, db, plan, seed, targets, cands, depth + 1, assignment, out);
+            rec(
+                q,
+                db,
+                plan,
+                seed,
+                targets,
+                cands,
+                depth + 1,
+                assignment,
+                out,
+            );
             assignment.remove(targets[depth]);
         }
     }
@@ -445,10 +459,7 @@ pub fn enumerate_projections(
 
 /// Builds a `BTreeMap` index keyed by variable for quick diagnostics in
 /// tests (candidate set sizes per variable).
-pub fn candidate_profile(
-    db: &Database,
-    q: &ConjunctiveQuery,
-) -> BTreeMap<Var, usize> {
+pub fn candidate_profile(db: &Database, q: &ConjunctiveQuery) -> BTreeMap<Var, usize> {
     q.variables()
         .into_iter()
         .map(|v| (v, candidate_values(db, q.body(), v).len()))
@@ -497,7 +508,12 @@ mod tests {
         // A cycle query on a path database: unsatisfiable.
         let query = q(&mut i, &[], "e(?a,?b) e(?b,?a)");
         let plan = StructuredPlan::for_query_tw(&query, 2).unwrap();
-        assert!(!boolean_eval_structured(&query, &db, &plan, &Mapping::empty()));
+        assert!(!boolean_eval_structured(
+            &query,
+            &db,
+            &plan,
+            &Mapping::empty()
+        ));
     }
 
     #[test]
@@ -506,10 +522,20 @@ mod tests {
         let db = parse_database(&mut i, "e(1,2) e(2,3) e(3,1)").unwrap();
         let query = q(&mut i, &[], "e(?x,?y) e(?y,?z) e(?z,?x)");
         let plan = StructuredPlan::for_query_hw(&query, 2).expect("triangle is HW(2)");
-        assert!(boolean_eval_structured(&query, &db, &plan, &Mapping::empty()));
+        assert!(boolean_eval_structured(
+            &query,
+            &db,
+            &plan,
+            &Mapping::empty()
+        ));
         // Remove an edge: no triangle.
         let db2 = parse_database(&mut i, "e(1,2) e(2,3)").unwrap();
-        assert!(!boolean_eval_structured(&query, &db2, &plan, &Mapping::empty()));
+        assert!(!boolean_eval_structured(
+            &query,
+            &db2,
+            &plan,
+            &Mapping::empty()
+        ));
     }
 
     #[test]
@@ -530,8 +556,7 @@ mod tests {
         let plan = StructuredPlan::for_query_tw(&query, 1).unwrap();
         let a = i.var("a");
         let targets: BTreeSet<Var> = [a].into_iter().collect();
-        let mut structured =
-            enumerate_projections(&query, &db, &plan, &targets, &Mapping::empty());
+        let mut structured = enumerate_projections(&query, &db, &plan, &targets, &Mapping::empty());
         structured.sort();
         let mut reference: Vec<Mapping> = backtrack::evaluate(&query, &db);
         reference.sort();
@@ -557,7 +582,9 @@ mod tests {
         // backtracking engines must agree on satisfiability.
         let mut state = 0x9e3779b9u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for case in 0..30 {

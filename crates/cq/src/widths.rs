@@ -2,8 +2,8 @@
 
 use crate::query::ConjunctiveQuery;
 use wdpt_decomp::{
-    beta_hypertreewidth_at_most, hypertree_width_at_most, treewidth_exact,
-    HypertreeDecomposition, treewidth_at_most,
+    beta_hypertreewidth_at_most, hypertree_width_at_most, treewidth_at_most, treewidth_exact,
+    HypertreeDecomposition,
 };
 
 /// The exact treewidth of the query's hypergraph.
@@ -24,10 +24,7 @@ pub fn in_hw(q: &ConjunctiveQuery, k: usize) -> bool {
 }
 
 /// Witness decomposition for `q ∈ HW(k)`, if any.
-pub fn hypertreewidth_at_most_cq(
-    q: &ConjunctiveQuery,
-    k: usize,
-) -> Option<HypertreeDecomposition> {
+pub fn hypertreewidth_at_most_cq(q: &ConjunctiveQuery, k: usize) -> Option<HypertreeDecomposition> {
     let (h, _) = q.hypergraph();
     hypertree_width_at_most(&h, k)
 }
@@ -96,7 +93,10 @@ mod tests {
         }
         body.push_str(&format!(
             "t({})",
-            (1..=n).map(|j| format!("?x{j}")).collect::<Vec<_>>().join(",")
+            (1..=n)
+                .map(|j| format!("?x{j}"))
+                .collect::<Vec<_>>()
+                .join(",")
         ));
         let theta = q(&mut i, &body);
         assert!(in_hw(&theta, 1));

@@ -32,13 +32,10 @@ pub fn is_beta_acyclic(h: &Hypergraph) -> bool {
             return true;
         }
         let nest = vertices.iter().copied().find(|&v| {
-            let holders: Vec<&BTreeSet<usize>> =
-                edges.iter().filter(|e| e.contains(&v)).collect();
-            holders.iter().all(|a| {
-                holders
-                    .iter()
-                    .all(|b| a.is_subset(b) || b.is_subset(a))
-            })
+            let holders: Vec<&BTreeSet<usize>> = edges.iter().filter(|e| e.contains(&v)).collect();
+            holders
+                .iter()
+                .all(|a| holders.iter().all(|b| a.is_subset(b) || b.is_subset(a)))
         });
         match nest {
             Some(v) => {
@@ -103,10 +100,7 @@ mod tests {
     fn alpha_but_not_beta() {
         // Triangle plus the covering edge is α-acyclic but NOT β-acyclic:
         // dropping the big edge leaves a cyclic subquery.
-        let h = Hypergraph::new(
-            3,
-            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
-        );
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
         assert!(crate::gyo::is_alpha_acyclic(&h));
         assert!(!is_beta_acyclic(&h));
     }
@@ -119,10 +113,7 @@ mod tests {
 
     #[test]
     fn beta_width_of_triangle_plus_cover_is_two() {
-        let h = Hypergraph::new(
-            3,
-            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
-        );
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
         assert!(!beta_hypertreewidth_at_most(&h, 1));
         assert!(beta_hypertreewidth_at_most(&h, 2));
     }

@@ -80,9 +80,7 @@ pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
             if !alive[i] {
                 continue;
             }
-            let absorber = (0..m).find(|&j| {
-                j != i && alive[j] && edges[i].is_subset(&edges[j])
-            });
+            let absorber = (0..m).find(|&j| j != i && alive[j] && edges[i].is_subset(&edges[j]));
             if let Some(j) = absorber {
                 alive[i] = false;
                 alive_count -= 1;
@@ -132,10 +130,7 @@ mod tests {
         // α-acyclicity is not closed under subqueries: adding the big edge
         // makes the triangle acyclic (this is the classic example behind the
         // paper's Example 5 and the need for HW'(k)).
-        let h = Hypergraph::new(
-            3,
-            vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
-        );
+        let h = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
         assert!(is_alpha_acyclic(&h));
     }
 

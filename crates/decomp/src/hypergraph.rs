@@ -78,7 +78,10 @@ impl Hypergraph {
     pub fn edge_subgraph(&self, edge_indices: &[usize]) -> Hypergraph {
         Hypergraph {
             num_vertices: self.num_vertices,
-            edges: edge_indices.iter().map(|&i| self.edges[i].clone()).collect(),
+            edges: edge_indices
+                .iter()
+                .map(|&i| self.edges[i].clone())
+                .collect(),
         }
     }
 

@@ -80,7 +80,12 @@ impl<'a> Search<'a> {
         let vsets: Vec<BTreeSet<usize>> = edges
             .iter()
             .map(|&e| {
-                self.h.edge(e).iter().copied().filter(|v| !bag.contains(v)).collect()
+                self.h
+                    .edge(e)
+                    .iter()
+                    .copied()
+                    .filter(|v| !bag.contains(v))
+                    .collect()
             })
             .collect();
         for i in 0..edges.len() {
@@ -129,9 +134,7 @@ impl<'a> Search<'a> {
             let remaining: Vec<usize> = comp
                 .iter()
                 .copied()
-                .filter(|&e| {
-                    !self.h.edge(e).iter().all(|v| bag.contains(v))
-                })
+                .filter(|&e| !self.h.edge(e).iter().all(|v| bag.contains(v)))
                 .collect();
             let sub_comps = self.split(&remaining, &bag);
             // Progress requirement: every sub-component must be strictly
@@ -146,8 +149,7 @@ impl<'a> Search<'a> {
                     .iter()
                     .flat_map(|&e| self.h.edge(e).iter().copied())
                     .collect();
-                let child_conn: Vec<usize> =
-                    sub_vertices.intersection(&bag).copied().collect();
+                let child_conn: Vec<usize> = sub_vertices.intersection(&bag).copied().collect();
                 match self.solve(sub, child_conn) {
                     Some(t) => children.push(t),
                     None => continue 'covers,

@@ -27,7 +27,12 @@ impl TreeDecomposition {
 
     /// The width: `max |ν(s)| − 1`.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(BTreeSet::len).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Neighbor lists of the decomposition tree.

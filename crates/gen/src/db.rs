@@ -1,18 +1,19 @@
 //! Random and structured databases.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Lcg;
 use wdpt_model::{Const, Database, Interner, Pred};
 
 /// Deterministic RNG from a seed (all generators in this crate are
 /// reproducible).
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Lcg {
+    Lcg::new(seed)
 }
 
 /// Interns the constants `c0 … c{n-1}`.
 pub fn domain(interner: &mut Interner, n: usize) -> Vec<Const> {
-    (0..n).map(|j| interner.constant(&format!("c{j}"))).collect()
+    (0..n)
+        .map(|j| interner.constant(&format!("c{j}")))
+        .collect()
 }
 
 /// A directed path graph `e(c0,c1), …, e(c{n-1},c{n})`.

@@ -3,6 +3,7 @@
 //! Parameterized instance families for the experiments that regenerate the
 //! paper's tables and figures (see `DESIGN.md`, experiments E1–E11):
 //!
+//! * [`rng`] — the deterministic std-only PRNG every generator seeds from.
 //! * [`db`] — random graph databases, path/grid graphs, and deterministic
 //!   seeding helpers.
 //! * [`trees`] — WDPT families with controlled class membership: chain and
@@ -18,9 +19,11 @@
 pub mod db;
 pub mod music;
 pub mod reductions;
+pub mod rng;
 pub mod trees;
 
 pub use db::{path_graph_db, random_graph_db};
 pub use music::music_catalog;
 pub use reductions::{three_col_instance, ThreeColInstance};
+pub use rng::Lcg;
 pub use trees::{chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt};

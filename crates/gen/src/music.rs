@@ -10,7 +10,6 @@
 //! demonstrations.
 
 use crate::db::rng;
-use rand::Rng;
 use wdpt_model::{Database, Interner};
 
 /// Shape parameters for the generated catalog.
@@ -100,7 +99,8 @@ pub fn figure1_wdpt(interner: &mut Interner) -> wdpt_core::Wdpt {
     ]);
     b.child(0, vec![Atom::new(nme, vec![x.into(), z.into()])]);
     b.child(0, vec![Atom::new(formed, vec![y.into(), z2.into()])]);
-    b.build(vec![x, y, z, z2]).expect("Figure 1 is well-designed")
+    b.build(vec![x, y, z, z2])
+        .expect("Figure 1 is well-designed")
 }
 
 #[cfg(test)]

@@ -87,12 +87,12 @@ pub fn is_three_colorable(n: usize, edges: &[(usize, usize)]) -> bool {
         }
         for c in 1..=3u8 {
             coloring[i] = c;
-            let ok = edges
-                .iter()
-                .all(|&(a, b)| a != i && b != i || {
+            let ok = edges.iter().all(|&(a, b)| {
+                a != i && b != i || {
                     let other = if a == i { b } else { a };
                     other >= i || coloring[other] != c
-                });
+                }
+            });
             if ok && rec(i + 1, n, edges, coloring) {
                 return true;
             }
@@ -119,10 +119,10 @@ mod tests {
     #[test]
     fn reduction_is_correct_on_small_graphs() {
         let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
-            (3, vec![(0, 1), (1, 2), (0, 2)]),                     // K3: yes
+            (3, vec![(0, 1), (1, 2), (0, 2)]), // K3: yes
             (4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]), // K4: no
-            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),             // C4: yes
-            (1, vec![]),                                           // trivial
+            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]), // C4: yes
+            (1, vec![]),                       // trivial
         ];
         for (n, edges) in cases {
             let mut i = Interner::new();
@@ -140,11 +140,7 @@ mod tests {
     fn partial_eval_is_trivially_yes_on_these_instances() {
         // The Table 1 contrast: the same instance is easy for PARTIAL-EVAL.
         let mut i = Interner::new();
-        let inst = three_col_instance(
-            &mut i,
-            4,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
-        );
+        let inst = three_col_instance(&mut i, 4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert!(partial_eval_decide(
             &inst.wdpt,
             &inst.db,
@@ -200,11 +196,7 @@ pub struct QbfInstance {
 /// free variable `x_j`, destroying the candidate answer `h = {x ↦ a}`.
 /// Hence `h ∈ p(D)` iff some X-assignment leaves every clause
 /// unfalsifiable — validity of the QBF.
-pub fn qbf_instance(
-    interner: &mut Interner,
-    n_x: usize,
-    clauses: &[Vec<QbfLit>],
-) -> QbfInstance {
+pub fn qbf_instance(interner: &mut Interner, n_x: usize, clauses: &[Vec<QbfLit>]) -> QbfInstance {
     let boolp = interner.pred("bool");
     let is0 = interner.pred("is0");
     let is1 = interner.pred("is1");
@@ -221,7 +213,10 @@ pub fn qbf_instance(
 
     let x = interner.var("x");
     let us: Vec<Var> = (0..n_x).map(|i| interner.var(&format!("u{i}"))).collect();
-    let mut root: Vec<Atom> = us.iter().map(|&u| Atom::new(boolp, vec![u.into()])).collect();
+    let mut root: Vec<Atom> = us
+        .iter()
+        .map(|&u| Atom::new(boolp, vec![u.into()]))
+        .collect();
     root.push(Atom::new(anchor, vec![x.into()]));
     let mut b = WdptBuilder::new(root);
     let mut free = vec![x];
@@ -268,9 +263,8 @@ pub fn qbf_valid(n_x: usize, n_y: usize, clauses: &[Vec<QbfLit>]) -> bool {
             QbfLit::Y(i, pos) => ((sy >> i) & 1 == 1) == pos,
         })
     };
-    (0..(1u64 << n_x)).any(|sx| {
-        (0..(1u64 << n_y)).all(|sy| clauses.iter().all(|c| eval_clause(c, sx, sy)))
-    })
+    (0..(1u64 << n_x))
+        .any(|sx| (0..(1u64 << n_y)).all(|sy| clauses.iter().all(|c| eval_clause(c, sx, sy))))
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! WDPT families with controlled class membership.
 
-use rand::Rng;
+use crate::rng::Lcg;
 use wdpt_core::{Wdpt, WdptBuilder};
 use wdpt_model::{Atom, Interner, Var};
 
@@ -13,11 +13,16 @@ use wdpt_model::{Atom, Interner, Var};
 pub fn chain_wdpt(interner: &mut Interner, depth: usize, project_prefix: Option<usize>) -> Wdpt {
     assert!(depth >= 1);
     let e = interner.pred("e");
-    let ys: Vec<Var> = (0..=depth).map(|j| interner.var(&format!("y{j}"))).collect();
+    let ys: Vec<Var> = (0..=depth)
+        .map(|j| interner.var(&format!("y{j}")))
+        .collect();
     let mut b = WdptBuilder::new(vec![Atom::new(e, vec![ys[0].into(), ys[1].into()])]);
     let mut prev = 0;
     for j in 1..depth {
-        prev = b.child(prev, vec![Atom::new(e, vec![ys[j].into(), ys[j + 1].into()])]);
+        prev = b.child(
+            prev,
+            vec![Atom::new(e, vec![ys[j].into(), ys[j + 1].into()])],
+        );
     }
     let free: Vec<Var> = match project_prefix {
         Some(k) => ys.iter().copied().take(k).collect(),
@@ -66,7 +71,7 @@ pub fn wide_interface_wdpt(interner: &mut Interner, n: usize) -> Wdpt {
 /// each carrying 1–2 binary atoms over a fresh variable plus one variable
 /// inherited from the parent (guaranteeing well-designedness by
 /// construction). Roughly half of the variables are free.
-pub fn random_wdpt<R: Rng>(interner: &mut Interner, nodes: usize, r: &mut R) -> Wdpt {
+pub fn random_wdpt(interner: &mut Interner, nodes: usize, r: &mut Lcg) -> Wdpt {
     assert!(nodes >= 1);
     let e = interner.pred("e");
     let f = interner.pred("f");
@@ -94,7 +99,8 @@ pub fn random_wdpt<R: Rng>(interner: &mut Interner, nodes: usize, r: &mut R) -> 
         .filter(|(idx, _)| idx % 2 == 0)
         .map(|(_, v)| v)
         .collect();
-    b.build(free).expect("construction keeps occurrences connected")
+    b.build(free)
+        .expect("construction keeps occurrences connected")
 }
 
 /// A "clique chain": a path-shaped WDPT whose node `j` carries the star
@@ -145,11 +151,11 @@ pub fn clique_pattern_wdpt(interner: &mut Interner, m: usize) -> Wdpt {
 /// pattern on `n` variables with about `edges` undirected edges — the
 /// left-hand side of the hard subsumption family (checking whether the
 /// clique pattern maps into it is exactly clique-finding).
-pub fn random_graph_pattern_wdpt<R: Rng>(
+pub fn random_graph_pattern_wdpt(
     interner: &mut Interner,
     n: usize,
     edges: usize,
-    r: &mut R,
+    r: &mut Lcg,
 ) -> Wdpt {
     let e = interner.pred("e");
     let vs: Vec<Var> = (0..n).map(|j| interner.var(&format!("g{j}"))).collect();
@@ -218,7 +224,7 @@ mod tests {
         let mut r = crate::db::rng(42);
         for _ in 0..20 {
             let mut i = Interner::new();
-            let p = random_wdpt(&mut i, 1 + (r.gen::<usize>() % 8), &mut r);
+            let p = random_wdpt(&mut i, 1 + r.gen_range(0..8), &mut r);
             assert!(p.node_count() >= 1);
             // building succeeded ⇒ well-designed; also sanity-check classes
             assert!(is_locally_in(&p, WidthKind::Tw, 1));

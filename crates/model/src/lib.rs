@@ -20,16 +20,20 @@
 //!   (`h ⊑ h'` iff `h'` extends `h`), the central comparison of the paper.
 //! * [`parse`] — a tiny text format (`edge(?x, ?y)`, `c("Swim", 2)`) used by
 //!   tests, examples and generators.
+//! * [`stats`] — process-wide engine counters (index builds/probes, tuples
+//!   scanned, nodes expanded) that make the hot path observable.
 
 pub mod atom;
 pub mod database;
 pub mod interner;
 pub mod mapping;
 pub mod parse;
+pub mod stats;
 pub mod term;
 
 pub use atom::Atom;
 pub use database::{Database, Relation};
 pub use interner::Interner;
 pub use mapping::Mapping;
+pub use stats::StatsSnapshot;
 pub use term::{Const, Pred, Term, Var};

@@ -1,0 +1,160 @@
+//! Lightweight engine counters.
+//!
+//! Process-wide relaxed atomics recording what the evaluation substrate
+//! actually does: how often a column index is (re)built, how many posting
+//! lists are probed, how many candidate tuples the match iterators scan,
+//! how many search nodes the backtracking engine expands, and how many
+//! tasks the parallel WDPT evaluator fans out. The benchmark harness
+//! (`crates/bench`) snapshots them around measured runs so that the
+//! index-maintenance fix and the parallel path are *observable*, not just
+//! asserted; tests use them to pin down asymptotics (e.g. inserts must not
+//! trigger per-insert index rebuilds).
+//!
+//! Relaxed ordering is deliberate: the counters are monotone event tallies
+//! with no synchronizing role, so the increments stay cheap enough to live
+//! on the hot path, and they aggregate correctly across the worker threads
+//! of the parallel evaluator. Snapshots taken while other threads are
+//! mid-run are approximate; take them around joined work for exact counts.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
+static INDEX_PROBES: AtomicU64 = AtomicU64::new(0);
+static TUPLES_SCANNED: AtomicU64 = AtomicU64::new(0);
+static NODES_EXPANDED: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Column indexes built from scratch (`Relation::index_for` misses).
+    pub index_builds: u64,
+    /// Posting-list lookups in a column index.
+    pub index_probes: u64,
+    /// Candidate tuples examined by `Relation::matching*` iterators.
+    pub tuples_scanned: u64,
+    /// Search nodes expanded by the backtracking CQ engine.
+    pub nodes_expanded: u64,
+    /// Work items executed by the parallel WDPT evaluator.
+    pub parallel_tasks: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference since an earlier snapshot (saturating, so a
+    /// concurrent `reset` cannot produce wrap-around nonsense).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            index_builds: self.index_builds.saturating_sub(earlier.index_builds),
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            tuples_scanned: self.tuples_scanned.saturating_sub(earlier.tuples_scanned),
+            nodes_expanded: self.nodes_expanded.saturating_sub(earlier.nodes_expanded),
+            parallel_tasks: self.parallel_tasks.saturating_sub(earlier.parallel_tasks),
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "index_builds={} index_probes={} tuples_scanned={} nodes_expanded={} parallel_tasks={}",
+            self.index_builds,
+            self.index_probes,
+            self.tuples_scanned,
+            self.nodes_expanded,
+            self.parallel_tasks
+        )
+    }
+}
+
+/// Copies all counters.
+pub fn snapshot() -> StatsSnapshot {
+    StatsSnapshot {
+        index_builds: INDEX_BUILDS.load(Relaxed),
+        index_probes: INDEX_PROBES.load(Relaxed),
+        tuples_scanned: TUPLES_SCANNED.load(Relaxed),
+        nodes_expanded: NODES_EXPANDED.load(Relaxed),
+        parallel_tasks: PARALLEL_TASKS.load(Relaxed),
+    }
+}
+
+/// Zeroes all counters. Tests that assert on absolute counts should prefer
+/// [`StatsSnapshot::since`] — the counters are process-wide and the test
+/// harness runs tests concurrently.
+pub fn reset() {
+    INDEX_BUILDS.store(0, Relaxed);
+    INDEX_PROBES.store(0, Relaxed);
+    TUPLES_SCANNED.store(0, Relaxed);
+    NODES_EXPANDED.store(0, Relaxed);
+    PARALLEL_TASKS.store(0, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_index_build() {
+    INDEX_BUILDS.fetch_add(1, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_index_probe() {
+    INDEX_PROBES.fetch_add(1, Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_tuple_scanned() {
+    TUPLES_SCANNED.fetch_add(1, Relaxed);
+}
+
+/// Records one expanded search node (called by the CQ engines).
+#[inline]
+pub fn record_node_expanded() {
+    NODES_EXPANDED.fetch_add(1, Relaxed);
+}
+
+/// Records one executed parallel work item (called by the WDPT evaluator).
+#[inline]
+pub fn record_parallel_task() {
+    PARALLEL_TASKS.fetch_add(1, Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_is_monotone_and_saturating() {
+        let a = StatsSnapshot {
+            index_builds: 5,
+            index_probes: 10,
+            tuples_scanned: 2,
+            nodes_expanded: 1,
+            parallel_tasks: 0,
+        };
+        let b = StatsSnapshot {
+            index_builds: 7,
+            index_probes: 10,
+            tuples_scanned: 1,
+            nodes_expanded: 4,
+            parallel_tasks: 2,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.index_builds, 2);
+        assert_eq!(d.index_probes, 0);
+        assert_eq!(d.tuples_scanned, 0); // saturates instead of wrapping
+        assert_eq!(d.nodes_expanded, 3);
+        assert_eq!(d.parallel_tasks, 2);
+    }
+
+    #[test]
+    fn display_names_every_counter() {
+        let s = snapshot().to_string();
+        for key in [
+            "index_builds",
+            "index_probes",
+            "tuples_scanned",
+            "nodes_expanded",
+            "parallel_tasks",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

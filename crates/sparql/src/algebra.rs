@@ -172,20 +172,21 @@ impl GraphPattern {
     pub fn opt_normal_form(&self) -> GraphPattern {
         match self {
             GraphPattern::Triple(_) => self.clone(),
-            GraphPattern::Opt(a, b) => GraphPattern::Opt(
-                Box::new(a.opt_normal_form()),
-                Box::new(b.opt_normal_form()),
-            ),
+            GraphPattern::Opt(a, b) => {
+                GraphPattern::Opt(Box::new(a.opt_normal_form()), Box::new(b.opt_normal_form()))
+            }
             GraphPattern::And(a, b) => {
                 let a = a.opt_normal_form();
                 let b = b.opt_normal_form();
                 match (a, b) {
-                    (GraphPattern::Opt(a1, a2), b) => {
-                        GraphPattern::Opt(Box::new(GraphPattern::And(a1, Box::new(b)).opt_normal_form()), a2)
-                    }
-                    (a, GraphPattern::Opt(b1, b2)) => {
-                        GraphPattern::Opt(Box::new(GraphPattern::And(Box::new(a), b1).opt_normal_form()), b2)
-                    }
+                    (GraphPattern::Opt(a1, a2), b) => GraphPattern::Opt(
+                        Box::new(GraphPattern::And(a1, Box::new(b)).opt_normal_form()),
+                        a2,
+                    ),
+                    (a, GraphPattern::Opt(b1, b2)) => GraphPattern::Opt(
+                        Box::new(GraphPattern::And(Box::new(a), b1).opt_normal_form()),
+                        b2,
+                    ),
                     (a, b) => GraphPattern::And(Box::new(a), Box::new(b)),
                 }
             }
@@ -256,13 +257,11 @@ impl GraphPattern {
             }
         }
         attach(&mut builder, 0, &root);
-        builder
-            .build(free)
-            .map_err(|e| match e {
-                wdpt_core::WdptError::NotWellDesigned(v) => SparqlError::NotWellDesigned(v),
-                wdpt_core::WdptError::FreeVarNotMentioned(v)
-                | wdpt_core::WdptError::DuplicateFreeVar(v) => SparqlError::UnknownSelectVar(v),
-            })
+        builder.build(free).map_err(|e| match e {
+            wdpt_core::WdptError::NotWellDesigned(v) => SparqlError::NotWellDesigned(v),
+            wdpt_core::WdptError::FreeVarNotMentioned(v)
+            | wdpt_core::WdptError::DuplicateFreeVar(v) => SparqlError::UnknownSelectVar(v),
+        })
     }
 
     /// The inverse translation: a WDPT over the `triple/3` schema back into
@@ -302,7 +301,6 @@ impl GraphPattern {
     }
 }
 
-
 /// A union query `P₁ UNION … UNION P_n` — the UWDPTs of Section 6. Each
 /// branch is translated independently; with a `SELECT` clause, each branch
 /// keeps the selected variables that occur in it (the paper does not
@@ -325,8 +323,7 @@ impl UnionQuery {
                 None => b.to_wdpt(None, interner),
                 Some(sel) => {
                     let vars = b.variables();
-                    let kept: Vec<Var> =
-                        sel.iter().copied().filter(|v| vars.contains(v)).collect();
+                    let kept: Vec<Var> = sel.iter().copied().filter(|v| vars.contains(v)).collect();
                     b.to_wdpt(Some(&kept), interner)
                 }
             })

@@ -29,7 +29,11 @@ pub struct SparqlParseError {
 
 impl std::fmt::Display for SparqlParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SPARQL parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "SPARQL parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -283,8 +287,7 @@ mod tests {
     #[test]
     fn nested_opt_right_side() {
         let mut i = Interner::new();
-        let q =
-            parse_query(&mut i, "(?a, p, ?b) OPT ((?b, q, ?c) OPT (?c, r, ?d))").unwrap();
+        let q = parse_query(&mut i, "(?a, p, ?b) OPT ((?b, q, ?c) OPT (?c, r, ?d))").unwrap();
         let p = q.to_wdpt(&mut i).unwrap();
         // Chain: root → child → grandchild.
         assert_eq!(p.node_count(), 3);

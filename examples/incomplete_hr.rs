@@ -32,7 +32,13 @@ fn main() {
 
     // The rigid CQ: requires ALL optional fields to be present.
     let cq = ConjunctiveQuery::new(
-        vec![i.var("emp"), i.var("dept"), i.var("band"), i.var("boss"), i.var("room")],
+        vec![
+            i.var("emp"),
+            i.var("dept"),
+            i.var("band"),
+            i.var("boss"),
+            i.var("room"),
+        ],
         parse_atoms(
             &mut i,
             "works_in(?emp,?dept) salary(?emp,?band) manager(?emp,?boss) office(?emp,?room)",
@@ -59,7 +65,10 @@ fn main() {
     let p = b.build(free).unwrap();
 
     let answers = evaluate(&p, &db);
-    println!("\nWDPT with optional salary/manager/office: {} answers:", answers.len());
+    println!(
+        "\nWDPT with optional salary/manager/office: {} answers:",
+        answers.len()
+    );
     for a in &answers {
         println!("  {}", a.display(&i));
     }
@@ -84,9 +93,7 @@ fn main() {
         (i.var("band"), i.constant("band9")),
     ]);
     let possible = partial_eval_decide(&p_proj, &db, &probe, Engine::Tw(1));
-    println!(
-        "\nPARTIAL-EVAL {{dept ↦ verification, band ↦ band9}}: {possible}"
-    );
+    println!("\nPARTIAL-EVAL {{dept ↦ verification, band ↦ band9}}: {possible}");
     assert!(possible);
     println!("\nincomplete_hr: done ✓");
 }

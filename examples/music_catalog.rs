@@ -39,11 +39,7 @@ fn main() {
     // Full evaluation (answers are one per recent record).
     let start = Instant::now();
     let answers = evaluate(&p, &db);
-    println!(
-        "p(D): {} answers in {:.2?}",
-        answers.len(),
-        start.elapsed()
-    );
+    println!("p(D): {} answers in {:.2?}", answers.len(), start.elapsed());
     let by_len = |l: usize| answers.iter().filter(|m| m.len() == l).count();
     println!(
         "  coverage: {} bare, {} with one optional field, {} with both",

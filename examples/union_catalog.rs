@@ -40,8 +40,14 @@ fn main() {
     // The Lemma 1 normalizer on each disjunct (no-ops here, but shows the
     // API; on machine-generated trees it shrinks node counts).
     let normalized = Uwdpt::new(phi.disjuncts.iter().map(normalize).collect());
-    assert!(uwdpt_equivalent(&phi, &normalized, Engine::Backtrack, &mut i));
-    println!("\nnormalize(): verified ≡ₛ-preserving node counts {:?}",
+    assert!(uwdpt_equivalent(
+        &phi,
+        &normalized,
+        Engine::Backtrack,
+        &mut i
+    ));
+    println!(
+        "\nnormalize(): verified ≡ₛ-preserving node counts {:?}",
         normalized
             .disjuncts
             .iter()

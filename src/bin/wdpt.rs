@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 use wdpt::core::{
     classes, eval_bounded_interface, evaluate, evaluate_max, max_eval_decide, normalize,
-    partial_eval_decide, parse_wdpt, subsumed, to_text, Engine, Wdpt, WidthKind,
+    parse_wdpt, partial_eval_decide, subsumed, to_text, Engine, Wdpt, WidthKind,
 };
 use wdpt::model::parse::{parse_database, parse_mapping};
 use wdpt::sparql::parse_query;
@@ -92,9 +92,7 @@ fn load_tree(args: &Args, i: &mut Interner) -> Result<Wdpt, String> {
 }
 
 fn load_db(args: &Args, i: &mut Interner) -> Result<Database, String> {
-    let src = args
-        .content("db")?
-        .ok_or_else(|| "need --db".to_owned())?;
+    let src = args.content("db")?.ok_or_else(|| "need --db".to_owned())?;
     parse_database(i, &src).map_err(|e| e.to_string())
 }
 
@@ -111,7 +109,9 @@ fn engine(args: &Args) -> Result<Engine, String> {
                     .map(Engine::Hw)
                     .map_err(|_| format!("--engine hw:K needs a positive integer, got '{k}'"))
             } else {
-                Err(format!("unknown engine '{s}' (expected backtrack, tw:K, or hw:K)"))
+                Err(format!(
+                    "unknown engine '{s}' (expected backtrack, tw:K, or hw:K)"
+                ))
             }
         }
     }
@@ -173,7 +173,10 @@ fn run() -> Result<(), String> {
                     );
                 }
             } else {
-                println!("globally in TW(k): skipped ({} subtrees)", p.rooted_subtree_count());
+                println!(
+                    "globally in TW(k): skipped ({} subtrees)",
+                    p.rooted_subtree_count()
+                );
             }
             Ok(())
         }

@@ -6,7 +6,9 @@ use wdpt::core::{
     has_bounded_interface, interface_width, is_globally_in, is_locally_in, WidthKind,
 };
 use wdpt::gen::db::rng;
-use wdpt::gen::trees::{chain_wdpt, clique_chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt};
+use wdpt::gen::trees::{
+    chain_wdpt, clique_chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt,
+};
 use wdpt::Interner;
 
 #[test]

@@ -1,107 +1,134 @@
 //! Property tests for the width machinery underlying the tractable classes:
 //! consistency between exact treewidth, heuristics, lower bounds,
-//! hypertree decompositions, and the acyclicity notions.
+//! hypertree decompositions, and the acyclicity notions — on
+//! deterministically generated random hypergraphs ([`wdpt::gen::Lcg`],
+//! fixed seeds).
 
-use proptest::prelude::*;
-use wdpt::decomp::{
-    beta_hypertreewidth_at_most, hypertree_width_at_most, is_alpha_acyclic, is_beta_acyclic,
-    treewidth_at_most, Hypergraph,
-};
 use wdpt::decomp::treewidth::{
     decomposition_from_order, degeneracy_lower_bound, treewidth_exact, treewidth_exact_with_order,
     treewidth_upper_bound,
 };
+use wdpt::decomp::{
+    beta_hypertreewidth_at_most, hypertree_width_at_most, is_alpha_acyclic, is_beta_acyclic,
+    treewidth_at_most, Hypergraph,
+};
+use wdpt::gen::Lcg;
 
 /// Random hypergraph on ≤ 7 vertices with binary and ternary edges.
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (2usize..=7).prop_flat_map(|n| {
-        prop::collection::vec(
-            prop::collection::vec(0usize..n, 2..=3),
-            1..=8,
-        )
-        .prop_map(move |edges| Hypergraph::new(n, edges))
-    })
+fn random_hypergraph(r: &mut Lcg) -> Hypergraph {
+    let n = 2 + r.gen_range(0..6); // 2..=7 vertices
+    let m = 1 + r.gen_range(0..8); // 1..=8 edges
+    let edges: Vec<Vec<usize>> = (0..m)
+        .map(|_| {
+            let arity = 2 + r.gen_range(0..2); // binary or ternary
+            (0..arity).map(|_| r.gen_range(0..n)).collect()
+        })
+        .collect();
+    Hypergraph::new(n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The min-fill heuristic never beats the exact treewidth, and its
-    /// decomposition is always valid.
-    #[test]
-    fn heuristic_bounds_exact_from_above(h in arb_hypergraph()) {
+/// The min-fill heuristic never beats the exact treewidth, and its
+/// decomposition is always valid.
+#[test]
+fn heuristic_bounds_exact_from_above() {
+    let mut r = Lcg::new(0xDEC0_0001);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
         let exact = treewidth_exact(&h);
         let (ub, td) = treewidth_upper_bound(&h);
-        prop_assert!(ub >= exact);
-        prop_assert!(td.is_valid_for(&h));
-        prop_assert_eq!(td.width(), ub);
+        assert!(ub >= exact);
+        assert!(td.is_valid_for(&h));
+        assert_eq!(td.width(), ub);
     }
+}
 
-    /// Degeneracy is a valid lower bound.
-    #[test]
-    fn degeneracy_bounds_exact_from_below(h in arb_hypergraph()) {
-        prop_assert!(degeneracy_lower_bound(&h) <= treewidth_exact(&h));
+/// Degeneracy is a valid lower bound.
+#[test]
+fn degeneracy_bounds_exact_from_below() {
+    let mut r = Lcg::new(0xDEC0_0002);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
+        assert!(degeneracy_lower_bound(&h) <= treewidth_exact(&h));
     }
+}
 
-    /// The exact DP's elimination order rebuilds a decomposition of exactly
-    /// the optimal width.
-    #[test]
-    fn exact_order_is_a_witness(h in arb_hypergraph()) {
+/// The exact DP's elimination order rebuilds a decomposition of exactly
+/// the optimal width.
+#[test]
+fn exact_order_is_a_witness() {
+    let mut r = Lcg::new(0xDEC0_0003);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
         let (tw, order) = treewidth_exact_with_order(&h);
         let td = decomposition_from_order(&h, &order);
-        prop_assert!(td.is_valid_for(&h));
-        prop_assert_eq!(td.width(), tw);
+        assert!(td.is_valid_for(&h));
+        assert_eq!(td.width(), tw);
     }
+}
 
-    /// `treewidth_at_most` agrees with the exact value on both sides.
-    #[test]
-    fn at_most_is_consistent(h in arb_hypergraph()) {
+/// `treewidth_at_most` agrees with the exact value on both sides.
+#[test]
+fn at_most_is_consistent() {
+    let mut r = Lcg::new(0xDEC0_0004);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
         let tw = treewidth_exact(&h);
         if tw > 0 {
-            prop_assert!(treewidth_at_most(&h, tw - 1).is_none());
+            assert!(treewidth_at_most(&h, tw - 1).is_none());
         }
         let td = treewidth_at_most(&h, tw).expect("exact width must be accepted");
-        prop_assert!(td.is_valid_for(&h));
-        prop_assert!(td.width() <= tw);
+        assert!(td.is_valid_for(&h));
+        assert!(td.width() <= tw);
     }
+}
 
-    /// α-acyclicity coincides with generalized hypertreewidth 1, and every
-    /// hypergraph has ghw ≤ tw + 1 (bags covered edge-by-edge).
-    #[test]
-    fn acyclicity_and_width_relations(h in arb_hypergraph()) {
+/// α-acyclicity coincides with generalized hypertreewidth 1, and every
+/// hypergraph has ghw ≤ tw + 1 (bags covered edge-by-edge).
+#[test]
+fn acyclicity_and_width_relations() {
+    let mut r = Lcg::new(0xDEC0_0005);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
         let acyclic = is_alpha_acyclic(&h);
         let width1 = hypertree_width_at_most(&h, 1).is_some();
-        prop_assert_eq!(acyclic, width1);
+        assert_eq!(acyclic, width1);
         let tw = treewidth_exact(&h);
         let d = hypertree_width_at_most(&h, tw + 1);
-        prop_assert!(d.is_some(), "ghw ≤ tw + 1 must hold");
-        prop_assert!(d.unwrap().is_valid_for(&h));
+        assert!(d.is_some(), "ghw ≤ tw + 1 must hold");
+        assert!(d.unwrap().is_valid_for(&h));
     }
+}
 
-    /// β-acyclic implies α-acyclic, and β-hypertreewidth is monotone in k.
-    #[test]
-    fn beta_implies_alpha(h in arb_hypergraph()) {
+/// β-acyclic implies α-acyclic, and β-hypertreewidth is monotone in k.
+#[test]
+fn beta_implies_alpha() {
+    let mut r = Lcg::new(0xDEC0_0006);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
         if is_beta_acyclic(&h) {
-            prop_assert!(is_alpha_acyclic(&h));
+            assert!(is_alpha_acyclic(&h));
         }
-        if h.num_edges() <= 6
-            && beta_hypertreewidth_at_most(&h, 2) {
-                prop_assert!(beta_hypertreewidth_at_most(&h, 3));
-            }
+        if h.num_edges() <= 6 && beta_hypertreewidth_at_most(&h, 2) {
+            assert!(beta_hypertreewidth_at_most(&h, 3));
+        }
     }
+}
 
-    /// Hypertree decompositions found for increasing k never report a
-    /// larger width than requested.
-    #[test]
-    fn hypertree_width_respects_bound(h in arb_hypergraph()) {
+/// Hypertree decompositions found for increasing k never report a larger
+/// width than requested.
+#[test]
+fn hypertree_width_respects_bound() {
+    let mut r = Lcg::new(0xDEC0_0007);
+    for _case in 0..64 {
+        let h = random_hypergraph(&mut r);
         for k in 1..=3usize {
             if let Some(d) = hypertree_width_at_most(&h, k) {
-                prop_assert!(d.width() <= k);
-                prop_assert!(d.is_valid_for(&h));
+                assert!(d.width() <= k);
+                assert!(d.is_valid_for(&h));
             }
         }
         // k = m always works: cover every bag with all edges.
         let m = h.num_edges().max(1);
-        prop_assert!(hypertree_width_at_most(&h, m).is_some());
+        assert!(hypertree_width_at_most(&h, m).is_some());
     }
 }

@@ -1,21 +1,32 @@
-//! Property-based differential tests: every specialized algorithm must
-//! agree with the reference semantics on random instances.
+//! Differential tests: every specialized algorithm must agree with the
+//! reference semantics on deterministically generated random instances.
+//!
+//! The instances are driven by the std-only [`wdpt::gen::Lcg`] PRNG (fixed
+//! seeds, so every run explores the same cases) instead of an external
+//! property-testing framework.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use wdpt::core::{
     eval_bounded_interface, eval_decide, max_eval_decide, partial_eval_decide, semantics, Engine,
     Wdpt, WdptBuilder,
 };
 use wdpt::cq::{backtrack, structured, ConjunctiveQuery};
+use wdpt::gen::Lcg;
 use wdpt::model::{Atom, Database, Interner, Mapping, Var};
 
-/// A random database over `e/2`, `f/2` with constants `c0..c{dom}`.
-fn arb_db(dom: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-    prop::collection::vec(
-        (0u8..2, 0u8..dom as u8, 0u8..dom as u8),
-        1..=max_edges,
-    )
+/// A random fact list over `e/2`, `f/2` with constants `c0..c{dom}`:
+/// triples `(predicate, subject, object)`.
+fn random_facts(r: &mut Lcg, dom: usize, max_edges: usize) -> Vec<(u8, u8, u8)> {
+    let n = 1 + r.gen_range(0..max_edges);
+    (0..n)
+        .map(|_| {
+            (
+                r.gen_range(0..2) as u8,
+                r.gen_range(0..dom) as u8,
+                r.gen_range(0..dom) as u8,
+            )
+        })
+        .collect()
 }
 
 fn build_db(i: &mut Interner, facts: &[(u8, u8, u8)]) -> Database {
@@ -30,12 +41,18 @@ fn build_db(i: &mut Interner, facts: &[(u8, u8, u8)]) -> Database {
     db
 }
 
-/// Random small CQ body over at most `nv` variables.
-fn arb_body(nv: usize, max_atoms: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
-    prop::collection::vec(
-        (0u8..2, 0u8..nv as u8, 0u8..nv as u8),
-        1..=max_atoms,
-    )
+/// A random small CQ body over at most `nv` variables.
+fn random_body(r: &mut Lcg, nv: usize, max_atoms: usize) -> Vec<(u8, u8, u8)> {
+    let n = 1 + r.gen_range(0..max_atoms);
+    (0..n)
+        .map(|_| {
+            (
+                r.gen_range(0..2) as u8,
+                r.gen_range(0..nv) as u8,
+                r.gen_range(0..nv) as u8,
+            )
+        })
+        .collect()
 }
 
 fn build_body(i: &mut Interner, spec: &[(u8, u8, u8)]) -> Vec<Atom> {
@@ -50,47 +67,49 @@ fn build_body(i: &mut Interner, spec: &[(u8, u8, u8)]) -> Vec<Atom> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Structured TW evaluation agrees with backtracking on satisfiability.
-    #[test]
-    fn structured_tw_matches_backtracking(
-        facts in arb_db(4, 12),
-        body in arb_body(4, 5),
-    ) {
+/// Structured TW evaluation agrees with backtracking on satisfiability.
+#[test]
+fn structured_tw_matches_backtracking() {
+    let mut r = Lcg::new(0x7157_0001);
+    for _case in 0..64 {
+        let facts = random_facts(&mut r, 4, 12);
+        let body = random_body(&mut r, 4, 5);
         let mut i = Interner::new();
         let db = build_db(&mut i, &facts);
         let q = ConjunctiveQuery::boolean(build_body(&mut i, &body));
         let reference = backtrack::extend_exists(&db, q.body(), &Mapping::empty());
         let plan = structured::StructuredPlan::for_query_tw(&q, 4).expect("≤4 vars");
         let got = structured::boolean_eval_structured(&q, &db, &plan, &Mapping::empty());
-        prop_assert_eq!(got, reference);
+        assert_eq!(got, reference, "facts={facts:?} body={body:?}");
     }
+}
 
-    /// Structured HW evaluation agrees with backtracking on satisfiability.
-    #[test]
-    fn structured_hw_matches_backtracking(
-        facts in arb_db(4, 12),
-        body in arb_body(4, 4),
-    ) {
+/// Structured HW evaluation agrees with backtracking on satisfiability.
+#[test]
+fn structured_hw_matches_backtracking() {
+    let mut r = Lcg::new(0x7157_0002);
+    for _case in 0..64 {
+        let facts = random_facts(&mut r, 4, 12);
+        let body = random_body(&mut r, 4, 4);
         let mut i = Interner::new();
         let db = build_db(&mut i, &facts);
         let q = ConjunctiveQuery::boolean(build_body(&mut i, &body));
         let reference = backtrack::extend_exists(&db, q.body(), &Mapping::empty());
         let plan = structured::StructuredPlan::for_query_hw(&q, 4).expect("≤4 atoms");
         let got = structured::boolean_eval_structured(&q, &db, &plan, &Mapping::empty());
-        prop_assert_eq!(got, reference);
+        assert_eq!(got, reference, "facts={facts:?} body={body:?}");
     }
+}
 
-    /// EVAL decision procedures agree with the enumeration semantics, and
-    /// the Theorem 6 algorithm agrees with the general one.
-    #[test]
-    fn eval_procedures_agree(
-        facts in arb_db(3, 10),
-        use_f in any::<bool>(),
-        deep in any::<bool>(),
-    ) {
+/// EVAL decision procedures agree with the enumeration semantics, and the
+/// Theorem 6 algorithm agrees with the general one.
+#[test]
+fn eval_procedures_agree() {
+    let mut r = Lcg::new(0x7157_0003);
+    for _case in 0..64 {
+        let facts = random_facts(&mut r, 3, 10);
+        let use_f = r.gen_bool(0.5);
+        let deep = r.gen_bool(0.5);
         let mut i = Interner::new();
         let db = build_db(&mut i, &facts);
         let e = i.pred("e");
@@ -100,7 +119,13 @@ proptest! {
         let y = i.var("y");
         let z = i.var("z");
         let mut b = WdptBuilder::new(vec![Atom::new(e, vec![x.into(), u.into()])]);
-        let c1 = b.child(0, vec![Atom::new(if use_f { f } else { e }, vec![u.into(), y.into()])]);
+        let c1 = b.child(
+            0,
+            vec![Atom::new(
+                if use_f { f } else { e },
+                vec![u.into(), y.into()],
+            )],
+        );
         if deep {
             b.child(c1, vec![Atom::new(e, vec![y.into(), z.into()])]);
         } else {
@@ -110,40 +135,42 @@ proptest! {
         let answers = semantics::evaluate(&p, &db);
         // Every enumerated answer is accepted by both procedures…
         for h in &answers {
-            prop_assert!(eval_decide(&p, &db, h));
-            prop_assert!(eval_bounded_interface(&p, &db, h, Engine::Backtrack));
-            prop_assert!(eval_bounded_interface(&p, &db, h, Engine::Tw(1)));
+            assert!(eval_decide(&p, &db, h));
+            assert!(eval_bounded_interface(&p, &db, h, Engine::Backtrack));
+            assert!(eval_bounded_interface(&p, &db, h, Engine::Tw(1)));
         }
         // …and probes agree in both directions.
         let dom = db.active_domain().iter().copied().collect::<Vec<_>>();
         for &c0 in dom.iter().take(3) {
             let probe = Mapping::from_pairs(vec![(x, c0)]);
             let expected = answers.contains(&probe);
-            prop_assert_eq!(eval_decide(&p, &db, &probe), expected);
-            prop_assert_eq!(
+            assert_eq!(eval_decide(&p, &db, &probe), expected);
+            assert_eq!(
                 eval_bounded_interface(&p, &db, &probe, Engine::Backtrack),
                 expected
             );
             for &c1 in dom.iter().take(2) {
                 let probe2 = Mapping::from_pairs(vec![(x, c0), (y, c1)]);
                 let expected2 = answers.contains(&probe2);
-                prop_assert_eq!(eval_decide(&p, &db, &probe2), expected2);
-                prop_assert_eq!(
+                assert_eq!(eval_decide(&p, &db, &probe2), expected2);
+                assert_eq!(
                     eval_bounded_interface(&p, &db, &probe2, Engine::Tw(1)),
                     expected2
                 );
             }
         }
     }
+}
 
-    /// PARTIAL-EVAL matches the definition "∃ answer extending h", and
-    /// MAX-EVAL matches membership in p_m(D).
-    #[test]
-    fn partial_and_max_match_semantics(
-        facts in arb_db(3, 10),
-        probe_x in 0u8..3,
-        probe_y in 0u8..3,
-    ) {
+/// PARTIAL-EVAL matches the definition "∃ answer extending h", and
+/// MAX-EVAL matches membership in p_m(D).
+#[test]
+fn partial_and_max_match_semantics() {
+    let mut r = Lcg::new(0x7157_0004);
+    for _case in 0..64 {
+        let facts = random_facts(&mut r, 3, 10);
+        let probe_x = r.gen_range(0..3);
+        let probe_y = r.gen_range(0..3);
         let mut i = Interner::new();
         let db = build_db(&mut i, &facts);
         let e = i.pred("e");
@@ -164,30 +191,31 @@ proptest! {
             Mapping::empty(),
         ] {
             let expect_partial = answers.iter().any(|a| probe.subsumed_by(a));
-            prop_assert_eq!(
+            assert_eq!(
                 partial_eval_decide(&p, &db, &probe, Engine::Backtrack),
                 expect_partial
             );
-            prop_assert_eq!(
+            assert_eq!(
                 partial_eval_decide(&p, &db, &probe, Engine::Tw(1)),
                 expect_partial
             );
             let expect_max = max_answers.contains(&probe);
-            prop_assert_eq!(
+            assert_eq!(
                 max_eval_decide(&p, &db, &probe, Engine::Backtrack),
                 expect_max
             );
-            prop_assert_eq!(
-                max_eval_decide(&p, &db, &probe, Engine::Tw(1)),
-                expect_max
-            );
+            assert_eq!(max_eval_decide(&p, &db, &probe, Engine::Tw(1)), expect_max);
         }
     }
+}
 
-    /// `p(D)` answers are pairwise consistent with Definition 2: every
-    /// answer is the projection of a maximal homomorphism.
-    #[test]
-    fn answers_are_projections_of_maximal_homs(facts in arb_db(3, 8)) {
+/// `p(D)` answers are pairwise consistent with Definition 2: every answer
+/// is the projection of a maximal homomorphism.
+#[test]
+fn answers_are_projections_of_maximal_homs() {
+    let mut r = Lcg::new(0x7157_0005);
+    for _case in 0..64 {
+        let facts = random_facts(&mut r, 3, 8);
         let mut i = Interner::new();
         let db = build_db(&mut i, &facts);
         let e = i.pred("e");
@@ -201,8 +229,49 @@ proptest! {
         let homs = semantics::maximal_homomorphisms(&p, &db);
         let answers = semantics::evaluate(&p, &db);
         for h in &homs {
-            prop_assert!(semantics::is_maximal_homomorphism(&p, &db, h));
-            prop_assert!(answers.contains(&h.restrict(&free)));
+            assert!(semantics::is_maximal_homomorphism(&p, &db, h));
+            assert!(answers.contains(&h.restrict(&free)));
         }
+    }
+}
+
+/// The thread-parallel evaluator is answer-for-answer identical to the
+/// sequential one — on the generator's random well-designed trees over
+/// random graph databases, across thread counts (including the
+/// auto-detecting `0` and the degenerate `1`).
+#[test]
+fn parallel_evaluator_agrees_with_sequential() {
+    let mut r = Lcg::new(0x7157_0006);
+    for case in 0..40 {
+        let mut i = Interner::new();
+        let (db, _) = wdpt::gen::random_graph_db(&mut i, 4, 3 + r.gen_range(0..12), 1000 + case);
+        // `random_wdpt` uses e/2 and f/2; mirror some e-facts into f so the
+        // optional branches are sometimes satisfiable.
+        let mut db = db;
+        let f = i.pred("f");
+        let e_tuples: Vec<Vec<_>> = match db.relation(i.pred("e")) {
+            Some(rel) => rel.tuples().map(|t| t.to_vec()).collect(),
+            None => Vec::new(),
+        };
+        for t in e_tuples {
+            if r.gen_bool(0.5) {
+                db.insert(f, t);
+            }
+        }
+        let p = wdpt::gen::random_wdpt(&mut i, 1 + r.gen_range(0..7), &mut r);
+        let threads = r.gen_range(0..6);
+        let sequential = semantics::evaluate(&p, &db);
+        let parallel = semantics::evaluate_parallel(&p, &db, threads);
+        assert_eq!(parallel, sequential, "case={case} threads={threads}");
+        assert_eq!(
+            semantics::evaluate_max_parallel(&p, &db, threads),
+            semantics::evaluate_max(&p, &db),
+            "case={case} threads={threads}"
+        );
+        assert_eq!(
+            semantics::maximal_homomorphisms_parallel(&p, &db, threads),
+            semantics::maximal_homomorphisms(&p, &db),
+            "case={case} threads={threads}"
+        );
     }
 }

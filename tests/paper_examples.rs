@@ -41,7 +41,10 @@ fn example1_query_is_well_designed_and_is_figure1() {
 fn example2_evaluation() {
     let mut i = Interner::new();
     let ts = example2_store(&mut i);
-    let p = parse_query(&mut i, QUERY1).unwrap().to_wdpt(&mut i).unwrap();
+    let p = parse_query(&mut i, QUERY1)
+        .unwrap()
+        .to_wdpt(&mut i)
+        .unwrap();
     let mut answers = evaluate(&p, ts.database());
     answers.sort();
     let mu1 = parse_mapping(&mut i, r#"?x -> "Our_love", ?y -> "Caribou""#).unwrap();
@@ -69,7 +72,10 @@ fn example3_projection() {
 #[test]
 fn example6_class_membership() {
     let mut i = Interner::new();
-    let p = parse_query(&mut i, QUERY1).unwrap().to_wdpt(&mut i).unwrap();
+    let p = parse_query(&mut i, QUERY1)
+        .unwrap()
+        .to_wdpt(&mut i)
+        .unwrap();
     assert!(is_locally_in(&p, WidthKind::Tw, 1));
     assert_eq!(interface_width(&p), 2);
     assert!(has_bounded_interface(&p, 2));

@@ -1,15 +1,36 @@
-//! Round-trip and semantics properties of the {AND, OPT} front end.
+//! Round-trip and semantics properties of the {AND, OPT} front end, on
+//! deterministically generated random patterns and stores
+//! ([`wdpt::gen::Lcg`], fixed seeds).
 
-use proptest::prelude::*;
 use wdpt::core::evaluate;
+use wdpt::gen::Lcg;
 use wdpt::sparql::{parse_query, GraphPattern, TriplePattern, TripleStore};
 use wdpt::{Interner, Term};
 
-/// Builds a random *well-designed-by-construction* pattern: a chain of OPTs
-/// whose right-hand sides reuse exactly one variable from the mandatory
-/// part and introduce one fresh variable each.
-fn arb_pattern() -> impl Strategy<Value = (u8, Vec<(u8, u8)>)> {
-    (1u8..4, prop::collection::vec((0u8..3, 0u8..4), 0..4))
+/// A random *well-designed-by-construction* pattern spec: the number of
+/// mandatory core triples plus `(predicate, anchor)` choices for a chain of
+/// OPTs whose right-hand sides reuse exactly one variable from the
+/// mandatory part and introduce one fresh variable each.
+fn random_pattern_spec(r: &mut Lcg) -> (u8, Vec<(u8, u8)>) {
+    let core = 1 + r.gen_range(0..3) as u8;
+    let n = r.gen_range(0..4);
+    let opts = (0..n)
+        .map(|_| (r.gen_range(0..3) as u8, r.gen_range(0..4) as u8))
+        .collect();
+    (core, opts)
+}
+
+fn random_facts(r: &mut Lcg, max: usize) -> Vec<(u8, u8, u8)> {
+    let n = 1 + r.gen_range(0..max);
+    (0..n)
+        .map(|_| {
+            (
+                r.gen_range(0..4) as u8,
+                r.gen_range(0..3) as u8,
+                r.gen_range(0..4) as u8,
+            )
+        })
+        .collect()
 }
 
 fn build_pattern(i: &mut Interner, core_triples: u8, opts: &[(u8, u8)]) -> GraphPattern {
@@ -50,57 +71,60 @@ fn build_store(i: &mut Interner, facts: &[(u8, u8, u8)]) -> TripleStore {
     ts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// display → parse round-trips structurally.
-    #[test]
-    fn display_parse_roundtrip((core, opts) in arb_pattern()) {
+/// display → parse round-trips structurally.
+#[test]
+fn display_parse_roundtrip() {
+    let mut r = Lcg::new(0x5A59_0001);
+    for _case in 0..48 {
+        let (core, opts) = random_pattern_spec(&mut r);
         let mut i = Interner::new();
         let pat = build_pattern(&mut i, core, &opts);
-        prop_assert!(pat.is_well_designed());
+        assert!(pat.is_well_designed());
         let text = pat.display(&i);
         let parsed = parse_query(&mut i, &text).unwrap();
-        prop_assert_eq!(parsed.pattern, pat);
+        assert_eq!(parsed.pattern, pat, "core={core} opts={opts:?}");
     }
+}
 
-    /// wdpt → pattern → wdpt preserves the tree and the semantics.
-    #[test]
-    fn wdpt_roundtrip_preserves_semantics(
-        (core, opts) in arb_pattern(),
-        facts in prop::collection::vec((0u8..4, 0u8..3, 0u8..4), 1..10),
-    ) {
+/// wdpt → pattern → wdpt preserves the tree and the semantics.
+#[test]
+fn wdpt_roundtrip_preserves_semantics() {
+    let mut r = Lcg::new(0x5A59_0002);
+    for _case in 0..48 {
+        let (core, opts) = random_pattern_spec(&mut r);
+        let facts = random_facts(&mut r, 10);
         let mut i = Interner::new();
         let pat = build_pattern(&mut i, core, &opts);
         let p = pat.to_wdpt(None, &mut i).unwrap();
         let back = GraphPattern::from_wdpt(&p).unwrap();
         let p2 = back.to_wdpt(None, &mut i).unwrap();
-        prop_assert_eq!(&p, &p2);
+        assert_eq!(&p, &p2);
         let ts = build_store(&mut i, &facts);
         let mut a1 = evaluate(&p, ts.database());
         let mut a2 = evaluate(&p2, ts.database());
         a1.sort();
         a2.sort();
-        prop_assert_eq!(a1, a2);
+        assert_eq!(a1, a2, "core={core} opts={opts:?}");
     }
+}
 
-    /// Answers of a well-designed pattern over any store are closed under
-    /// the WDPT semantics invariants: domains contain the core variables.
-    #[test]
-    fn answers_always_bind_the_mandatory_core(
-        (core, opts) in arb_pattern(),
-        facts in prop::collection::vec((0u8..4, 0u8..3, 0u8..4), 1..12),
-    ) {
+/// Answers of a well-designed pattern over any store are closed under the
+/// WDPT semantics invariants: domains contain the core variables.
+#[test]
+fn answers_always_bind_the_mandatory_core() {
+    let mut r = Lcg::new(0x5A59_0003);
+    for _case in 0..48 {
+        let (core, opts) = random_pattern_spec(&mut r);
+        let facts = random_facts(&mut r, 12);
         let mut i = Interner::new();
         let pat = build_pattern(&mut i, core, &opts);
         let p = pat.to_wdpt(None, &mut i).unwrap();
         let ts = build_store(&mut i, &facts);
         let answers = evaluate(&p, ts.database());
-        let core_vars: Vec<wdpt::Var> =
-            (0..=core).map(|t| i.var(&format!("a{t}"))).collect();
+        let core_vars: Vec<wdpt::Var> = (0..=core).map(|t| i.var(&format!("a{t}"))).collect();
         for h in &answers {
             for v in &core_vars {
-                prop_assert!(h.defines(*v), "mandatory variable unbound in {h}");
+                assert!(h.defines(*v), "mandatory variable unbound in {h}");
             }
         }
     }

@@ -3,9 +3,10 @@
 //! answer of `p1` is extended by an answer of `p2`. Completeness is probed
 //! in the other direction: when the test rejects, some database must
 //! witness the violation (checked on the canonical databases themselves).
+//! Instances are deterministic ([`wdpt::gen::Lcg`], fixed seeds).
 
-use proptest::prelude::*;
 use wdpt::core::{evaluate, subsumed, Engine, Wdpt, WdptBuilder};
+use wdpt::gen::Lcg;
 use wdpt::model::{Atom, Database, Interner};
 
 fn build_db(i: &mut Interner, facts: &[(u8, u8, u8)]) -> Database {
@@ -30,20 +31,38 @@ fn build_tree(i: &mut Interner, root_pred: u8, child_pred: u8, free_z: bool) -> 
     let y = i.var("y");
     let z = i.var("z");
     let mut b = WdptBuilder::new(vec![Atom::new(pick(root_pred), vec![x.into(), y.into()])]);
-    b.child(0, vec![Atom::new(pick(child_pred), vec![y.into(), z.into()])]);
+    b.child(
+        0,
+        vec![Atom::new(pick(child_pred), vec![y.into(), z.into()])],
+    );
     let free = if free_z { vec![x, y, z] } else { vec![x, y] };
     b.build(free).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn subsumption_verdicts_hold_on_random_databases(
-        rp1 in 0u8..2, cp1 in 0u8..2, fz1 in any::<bool>(),
-        rp2 in 0u8..2, cp2 in 0u8..2, fz2 in any::<bool>(),
-        facts in prop::collection::vec((0u8..2, 0u8..3, 0u8..3), 1..10),
-    ) {
+#[test]
+fn subsumption_verdicts_hold_on_random_databases() {
+    let mut r = Lcg::new(0x50B5_0001);
+    for _case in 0..48 {
+        let (rp1, cp1, fz1) = (
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            r.gen_bool(0.5),
+        );
+        let (rp2, cp2, fz2) = (
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            r.gen_bool(0.5),
+        );
+        let n = 1 + r.gen_range(0..9);
+        let facts: Vec<(u8, u8, u8)> = (0..n)
+            .map(|_| {
+                (
+                    r.gen_range(0..2) as u8,
+                    r.gen_range(0..3) as u8,
+                    r.gen_range(0..3) as u8,
+                )
+            })
+            .collect();
         let mut i = Interner::new();
         let p1 = build_tree(&mut i, rp1, cp1, fz1);
         let p2 = build_tree(&mut i, rp2, cp2, fz2);
@@ -53,49 +72,73 @@ proptest! {
         let a2 = evaluate(&p2, &db);
         if verdict {
             for h in &a1 {
-                prop_assert!(
+                assert!(
                     a2.iter().any(|h2| h.subsumed_by(h2)),
                     "subsumed() accepted but answer {h} of p1 is not extended"
                 );
             }
         }
     }
+}
 
-    /// Reflexivity and transitivity of ⊑ on the small family.
-    #[test]
-    fn subsumption_is_a_preorder(
-        rp1 in 0u8..2, cp1 in 0u8..2,
-        rp2 in 0u8..2, cp2 in 0u8..2,
-        rp3 in 0u8..2, cp3 in 0u8..2,
-    ) {
+/// Reflexivity and transitivity of ⊑ on the small family.
+#[test]
+fn subsumption_is_a_preorder() {
+    let mut r = Lcg::new(0x50B5_0002);
+    for _case in 0..48 {
         let mut i = Interner::new();
-        let p1 = build_tree(&mut i, rp1, cp1, true);
-        let p2 = build_tree(&mut i, rp2, cp2, true);
-        let p3 = build_tree(&mut i, rp3, cp3, true);
-        prop_assert!(subsumed(&p1, &p1, Engine::Backtrack, &mut i));
+        let p1 = build_tree(
+            &mut i,
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            true,
+        );
+        let p2 = build_tree(
+            &mut i,
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            true,
+        );
+        let p3 = build_tree(
+            &mut i,
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            true,
+        );
+        assert!(subsumed(&p1, &p1, Engine::Backtrack, &mut i));
         let ab = subsumed(&p1, &p2, Engine::Backtrack, &mut i);
         let bc = subsumed(&p2, &p3, Engine::Backtrack, &mut i);
         let ac = subsumed(&p1, &p3, Engine::Backtrack, &mut i);
         if ab && bc {
-            prop_assert!(ac, "transitivity violated");
+            assert!(ac, "transitivity violated");
         }
     }
+}
 
-    /// The structured engine never changes a subsumption verdict when the
-    /// right-hand side is globally tractable.
-    #[test]
-    fn engines_agree_on_subsumption(
-        rp1 in 0u8..2, cp1 in 0u8..2,
-        rp2 in 0u8..2, cp2 in 0u8..2,
-    ) {
+/// The structured engine never changes a subsumption verdict when the
+/// right-hand side is globally tractable.
+#[test]
+fn engines_agree_on_subsumption() {
+    let mut r = Lcg::new(0x50B5_0003);
+    for _case in 0..48 {
         let mut i = Interner::new();
-        let p1 = build_tree(&mut i, rp1, cp1, true);
-        let p2 = build_tree(&mut i, rp2, cp2, true);
+        let p1 = build_tree(
+            &mut i,
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            true,
+        );
+        let p2 = build_tree(
+            &mut i,
+            r.gen_range(0..2) as u8,
+            r.gen_range(0..2) as u8,
+            true,
+        );
         let bt = subsumed(&p1, &p2, Engine::Backtrack, &mut i);
         let tw = subsumed(&p1, &p2, Engine::Tw(1), &mut i);
         let hw = subsumed(&p1, &p2, Engine::Hw(1), &mut i);
-        prop_assert_eq!(bt, tw);
-        prop_assert_eq!(bt, hw);
+        assert_eq!(bt, tw);
+        assert_eq!(bt, hw);
     }
 }
 

@@ -82,11 +82,7 @@ fn union_pipeline_membership_and_approximation() {
 #[test]
 fn phi_cq_counts_subtrees_across_branches() {
     let mut i = Interner::new();
-    let q = parse_union_query(
-        &mut i,
-        "(?x, p, ?y) OPT (?y, q, ?z) UNION (?a, r, ?b)",
-    )
-    .unwrap();
+    let q = parse_union_query(&mut i, "(?x, p, ?y) OPT (?y, q, ?z) UNION (?a, r, ?b)").unwrap();
     let phi = Uwdpt::new(q.to_wdpts(&mut i).unwrap());
     // Branch 1 has 2 rooted subtrees; branch 2 has 1.
     assert_eq!(phi_cq(&phi).len(), 3);
