@@ -105,6 +105,7 @@ fn is_exact_projection(p: &Wdpt, db: &Database, h: &Mapping, engine: Engine) -> 
 /// must be a partial answer of `φ'` over the canonical database of
 /// `q_{T₁}`.
 pub fn uwdpt_subsumed(phi: &Uwdpt, phi2: &Uwdpt, engine: Engine, interner: &mut Interner) -> bool {
+    let _span = wdpt_obs::span!("approx.uwdpt.subsumed");
     for p in &phi.disjuncts {
         let mut subtrees = Vec::new();
         p.for_each_rooted_subtree(&mut |t| subtrees.push(t.clone()));
@@ -196,6 +197,7 @@ pub fn uwb_equivalent_union(
 /// union of the `C(k)`-approximations of the CQs in `φ_cq`, pruned by
 /// CQ-subsumption. Exact and single-exponential.
 pub fn uwb_approximation(phi: &Uwdpt, kind: WidthKind, k: usize, interner: &mut Interner) -> Uwdpt {
+    let _span = wdpt_obs::span!("approx.uwdpt.uwb_approximation");
     let mut pool: Vec<ConjunctiveQuery> = Vec::new();
     for q in reduced_phi_cq(phi, interner) {
         pool.extend(cq_approximations(&q, kind, k, interner));

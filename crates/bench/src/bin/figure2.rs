@@ -7,20 +7,27 @@
 //! feasible — verifies the theorem's premises: `p₂ ⊑ p₁`, `p₁ ⋢ p₂`,
 //! `p₂ ∈ g-TW(k)`, `p₁ ∉ g-TW(k)`.
 //!
-//! Usage: `figure2 [--max-n N] [--verify-up-to N]`
+//! Usage: `figure2 [--max-n N] [--verify-up-to N] [--json]`
+//!
+//! With `--json`, prose is suppressed and each size row / verification row
+//! becomes one machine-readable JSON object on stdout.
 
 use std::time::Instant;
 use wdpt_approx::figure2::{atom_count, figure2_p1, figure2_p2};
+use wdpt_bench::Report;
 use wdpt_core::{is_globally_in, subsumed, Engine, WidthKind};
 use wdpt_model::Interner;
+use wdpt_obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut max_n = 12usize;
     let mut verify_up_to = 4usize;
+    let mut json = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json = true,
             "--max-n" => max_n = it.next().and_then(|s| s.parse().ok()).unwrap_or(max_n),
             "--verify-up-to" => {
                 verify_up_to = it
@@ -35,25 +42,40 @@ fn main() {
         }
     }
     let k = 2;
-    println!(
+    let r = Report::new(json);
+    r.note(&format!(
         "Figure 2 / Theorem 15 reproduction — exponential WB(k)-approximation blow-up (k = {k})"
-    );
-    println!();
-    println!("   n   |p1| atoms   |p2| atoms    |p2|/|p1|   2^n");
+    ));
+    r.note("");
+    r.note("   n   |p1| atoms   |p2| atoms    |p2|/|p1|   2^n");
     for n in 1..=max_n {
         let mut i = Interner::new();
         let p1 = figure2_p1(&mut i, n, k);
         let p2 = figure2_p2(&mut i, n, k);
         let a1 = atom_count(&p1);
         let a2 = atom_count(&p2);
-        println!(
-            "  {n:3} {a1:10} {a2:12} {:12.2} {:5}",
-            a2 as f64 / a1 as f64,
-            1u64 << n
-        );
+        if json {
+            println!(
+                "{}",
+                Json::obj([
+                    ("kind", Json::str("figure2_size")),
+                    ("n", Json::int(n as u64)),
+                    ("p1_atoms", Json::int(a1 as u64)),
+                    ("p2_atoms", Json::int(a2 as u64)),
+                    ("ratio", Json::num(a2 as f64 / a1 as f64)),
+                    ("pow2", Json::int(1u64 << n)),
+                ])
+            );
+        } else {
+            println!(
+                "  {n:3} {a1:10} {a2:12} {:12.2} {:5}",
+                a2 as f64 / a1 as f64,
+                1u64 << n
+            );
+        }
     }
-    println!();
-    println!("Verification on small prefixes (subsumption is Π₂ᵖ — exponential):");
+    r.note("");
+    r.note("Verification on small prefixes (subsumption is Π₂ᵖ — exponential):");
     for n in 1..=verify_up_to {
         let mut i = Interner::new();
         let p1 = figure2_p1(&mut i, n, k);
@@ -63,17 +85,32 @@ fn main() {
         let backward = subsumed(&p1, &p2, Engine::Backtrack, &mut i);
         let g2 = is_globally_in(&p2, WidthKind::Tw, k);
         let g1 = is_globally_in(&p1, WidthKind::Tw, k);
-        println!(
-            "  n={n}: p2 ⊑ p1: {forward}   p1 ⊑ p2: {backward}   p2 ∈ g-TW({k}): {g2}   p1 ∈ g-TW({k}): {g1}   ({:.2?})",
-            start.elapsed()
-        );
+        if json {
+            println!(
+                "{}",
+                Json::obj([
+                    ("kind", Json::str("figure2_verify")),
+                    ("n", Json::int(n as u64)),
+                    ("p2_subsumed_by_p1", Json::Bool(forward)),
+                    ("p1_subsumed_by_p2", Json::Bool(backward)),
+                    ("p2_globally_tractable", Json::Bool(g2)),
+                    ("p1_globally_tractable", Json::Bool(g1)),
+                    ("secs", Json::num(start.elapsed().as_secs_f64())),
+                ])
+            );
+        } else {
+            println!(
+                "  n={n}: p2 ⊑ p1: {forward}   p1 ⊑ p2: {backward}   p2 ∈ g-TW({k}): {g2}   p1 ∈ g-TW({k}): {g1}   ({:.2?})",
+                start.elapsed()
+            );
+        }
         assert!(
             forward && !backward && g2 && !g1,
             "Theorem 15 premises violated"
         );
     }
-    println!();
-    println!(
+    r.note("");
+    r.note(
         "Shape check: |p1| grows quadratically, |p2| doubles with every n —\nthe approximation is necessarily exponentially larger (Theorem 15)."
     );
 }

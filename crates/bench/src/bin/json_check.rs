@@ -1,0 +1,47 @@
+//! Validates a stream of JSON lines — the CI smoke check behind the
+//! `--json` mode of `table1`/`table2`/`figure2`.
+//!
+//! Reads stdin, requires every non-empty line to parse as a JSON object,
+//! and exits nonzero on any parse failure or if no line was seen at all
+//! (an empty stream means the producer silently emitted nothing).
+//!
+//! Usage: `table1 --row parallel --quick --json | json_check`
+
+use std::io::BufRead;
+use wdpt_obs::Json;
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut valid = 0usize;
+    let mut errors = 0usize;
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = line.expect("stdin is readable");
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Json::parse(trimmed) {
+            Ok(Json::Obj(_)) => valid += 1,
+            Ok(other) => {
+                eprintln!(
+                    "json_check: line {}: expected a JSON object, got {other}",
+                    lineno + 1
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("json_check: line {}: {e}", lineno + 1);
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        eprintln!("json_check: {errors} invalid line(s), {valid} valid");
+        std::process::exit(1);
+    }
+    if valid == 0 {
+        eprintln!("json_check: no JSON lines on stdin");
+        std::process::exit(1);
+    }
+    eprintln!("json_check: {valid} valid JSON object line(s)");
+}

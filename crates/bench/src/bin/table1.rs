@@ -8,13 +8,16 @@
 //! measured series plus a fitted growth verdict.
 //!
 //! Usage:
-//! `table1 [--row eval|partial|max|subsumption|parallel|classes] [--quick] [--threads N]`
+//! `table1 [--row eval|partial|max|subsumption|parallel|classes] [--quick] [--threads N] [--json]`
 //!
 //! The `parallel` row compares the sequential evaluator with the
-//! `std::thread::scope` fan-out (`--threads 0` auto-detects) and prints
-//! the engine-counter deltas (`wdpt_model::stats`) alongside wall-clock.
+//! `std::thread::scope` fan-out (`--threads 0` auto-detects), prints the
+//! engine-counter deltas alongside wall-clock, and finishes with an
+//! EXPLAIN-style [`wdpt_core::evaluate_parallel_profiled`] profile of one
+//! representative run. With `--json`, all prose is suppressed and every row
+//! becomes one machine-readable JSON object on stdout.
 
-use wdpt_bench::{measure, render, section, Series};
+use wdpt_bench::{measure, Report, Series};
 use wdpt_core::{
     eval_bounded_interface, eval_decide, evaluate_parallel, has_bounded_interface, interface_width,
     is_globally_in, is_locally_in, max_eval_decide, partial_eval_decide, subsumed, Engine,
@@ -33,6 +36,13 @@ struct Config {
     min_runtime: f64,
     scale: usize,
     threads: usize,
+    json: bool,
+}
+
+impl Config {
+    fn report(&self) -> Report {
+        Report::new(self.json)
+    }
 }
 
 fn main() {
@@ -40,11 +50,13 @@ fn main() {
     let mut row = None;
     let mut quick = false;
     let mut threads = 0usize; // 0 = available_parallelism
+    let mut json = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--row" => row = it.next().cloned(),
             "--quick" => quick = true,
+            "--json" => json = true,
             "--threads" => {
                 threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--threads expects a number");
@@ -62,9 +74,11 @@ fn main() {
         min_runtime: if quick { 0.005 } else { 0.05 },
         scale: if quick { 0 } else { 1 },
         threads,
+        json,
     };
-    println!("Table 1 reproduction — complexity of WDPT evaluation and query analysis");
-    println!("(paper: Barceló & Pichler, PODS'15; see DESIGN.md experiments E2–E5, E10)");
+    let r = cfg.report();
+    r.note("Table 1 reproduction — complexity of WDPT evaluation and query analysis");
+    r.note("(paper: Barceló & Pichler, PODS'15; see DESIGN.md experiments E2–E5, E10)");
     let want = |name: &str| cfg.row.as_deref().is_none_or(|r| r == name);
     if want("eval") {
         row_eval(&cfg);
@@ -82,14 +96,15 @@ fn main() {
         row_parallel(&cfg);
     }
     if want("classes") {
-        row_classes();
+        row_classes(&cfg);
     }
 }
 
 /// Row EVAL: Σ₂ᵖ/NP-hard for general, ℓ-C(k), g-C(k); LogCFL for
 /// ℓ-C(k) ∩ BI(c) (Theorems 1, 5, 7; Proposition 3).
 fn row_eval(cfg: &Config) {
-    section("EVAL  | general & ℓ-TW(1) & g-TW(1): NP-hard (Prop. 3 reduction)");
+    let r = cfg.report();
+    r.section("EVAL  | general & ℓ-TW(1) & g-TW(1): NP-hard (Prop. 3 reduction)");
     let ns: Vec<usize> = (4..=9 + cfg.scale * 2).collect();
     let s = measure(
         "eval_decide on 3-colorability instances (x = graph vertices)",
@@ -102,10 +117,10 @@ fn row_eval(cfg: &Config) {
             std::hint::black_box(eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
         },
     );
-    print!("{}", render(&s));
-    verify_reduction_classes();
+    r.series(&s);
+    verify_reduction_classes(&r);
 
-    section("EVAL  | general WDPTs: Σ₂ᵖ (QBF ∃X∀Y reduction, Theorem 1)");
+    r.section("EVAL  | general WDPTs: Σ₂ᵖ (QBF ∃X∀Y reduction, Theorem 1)");
     let nxs: Vec<usize> = (4..=11 + cfg.scale * 2).collect();
     let s = measure(
         "eval_decide on ∃X∀Y-QBF instances (x = existential variables)",
@@ -131,9 +146,9 @@ fn row_eval(cfg: &Config) {
             std::hint::black_box(eval_decide(&inst.wdpt, &inst.db, &inst.candidate));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 
-    section("EVAL  | ℓ-TW(1) ∩ BI(1): LogCFL algorithm (Theorem 6)");
+    r.section("EVAL  | ℓ-TW(1) ∩ BI(1): LogCFL algorithm (Theorem 6)");
     let sizes: Vec<usize> = (4..=40).step_by(4).collect();
     let s = measure(
         "eval_bounded_interface on star trees (x = optional branches, fixed DB)",
@@ -147,7 +162,7 @@ fn row_eval(cfg: &Config) {
             std::hint::black_box(eval_bounded_interface(&p, &db, &h, Engine::Tw(1)));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
     let dbs: Vec<usize> = (20..=200).step_by(20).collect();
     let s = measure(
         "eval_bounded_interface on the Figure-1 query over growing catalogs (x = bands)",
@@ -170,13 +185,14 @@ fn row_eval(cfg: &Config) {
             std::hint::black_box(eval_bounded_interface(&p, &db, &h, Engine::Tw(1)));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 }
 
 /// Row PARTIAL-EVAL: NP-hard under local tractability alone (Prop. 1),
 /// LogCFL under global tractability (Theorem 8).
 fn row_partial(cfg: &Config) {
-    section("P-EVAL | ℓ-TW(1) without global tractability: NP-hard (clique chains)");
+    let r = cfg.report();
+    r.section("P-EVAL | ℓ-TW(1) without global tractability: NP-hard (clique chains)");
     let ms: Vec<usize> = (3..=6 + cfg.scale).collect();
     let s = measure(
         "partial_eval (backtracking) on clique-chain trees (x = clique size)",
@@ -193,9 +209,9 @@ fn row_partial(cfg: &Config) {
             std::hint::black_box(partial_eval_decide(&p, &db, &h, Engine::Backtrack));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 
-    section("P-EVAL | g-TW(1): LogCFL algorithm (Theorem 8)");
+    r.section("P-EVAL | g-TW(1): LogCFL algorithm (Theorem 8)");
     let depths: Vec<usize> = (4..=40).step_by(4).collect();
     let s = measure(
         "partial_eval (TW engine) on chain trees (x = tree depth)",
@@ -210,13 +226,14 @@ fn row_partial(cfg: &Config) {
             std::hint::black_box(partial_eval_decide(&p, &db, &h, Engine::Tw(1)));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 }
 
 /// Row MAX-EVAL: DP-hard under local tractability (Prop. 4), LogCFL under
 /// global tractability (Theorem 9).
 fn row_max(cfg: &Config) {
-    section("M-EVAL | ℓ-TW(1) without global tractability: DP-hard (clique chains)");
+    let r = cfg.report();
+    r.section("M-EVAL | ℓ-TW(1) without global tractability: DP-hard (clique chains)");
     let ms: Vec<usize> = (3..=6 + cfg.scale).collect();
     let s = measure(
         "max_eval (backtracking) on clique-chain trees (x = clique size)",
@@ -231,9 +248,9 @@ fn row_max(cfg: &Config) {
             std::hint::black_box(max_eval_decide(&p, &db, &h, Engine::Backtrack));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 
-    section("M-EVAL | g-TW(1): LogCFL algorithm (Theorem 9)");
+    r.section("M-EVAL | g-TW(1): LogCFL algorithm (Theorem 9)");
     let sizes: Vec<usize> = (4..=28).step_by(3).collect();
     let s = measure(
         "max_eval (TW engine) on star trees over the music catalog (x = branches)",
@@ -247,13 +264,14 @@ fn row_max(cfg: &Config) {
             std::hint::black_box(max_eval_decide(&p, &db, &h, Engine::Tw(1)));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 }
 
 /// Rows ⊑ and ≡ₛ: Π₂ᵖ in general, coNP when the right-hand side is
 /// globally tractable (Theorems 11, 12).
 fn row_subsumption(cfg: &Config) {
-    section("⊑ / ≡ₛ | outer co-nondeterminism: exponential in |p₁| (rooted subtrees)");
+    let r = cfg.report();
+    r.section("⊑ / ≡ₛ | outer co-nondeterminism: exponential in |p₁| (rooted subtrees)");
     let ns: Vec<usize> = (2..=11 + cfg.scale).collect();
     let s = measure(
         "subsumed(star_n ⊑ star_n) with TW-engine inner checks (x = branches)",
@@ -266,9 +284,9 @@ fn row_subsumption(cfg: &Config) {
             std::hint::black_box(subsumed(&p1, &p2, Engine::Tw(1), &mut i));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 
-    section("⊑      | inner check, arbitrary right side: NP-hard (clique ⊑ graph)");
+    r.section("⊑      | inner check, arbitrary right side: NP-hard (clique ⊑ graph)");
     let ms: Vec<usize> = (3..=5 + cfg.scale).collect();
     let s = measure(
         "subsumed(random-graph-pattern ⊑ clique-pattern), backtracking (x = clique size)",
@@ -284,9 +302,9 @@ fn row_subsumption(cfg: &Config) {
             std::hint::black_box(subsumed(&p1, &p2, Engine::Backtrack, &mut i));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 
-    section("⊑      | inner check, g-TW(1) right side: coNP algorithm (Theorem 11)");
+    r.section("⊑      | inner check, g-TW(1) right side: coNP algorithm (Theorem 11)");
     let ds: Vec<usize> = (4..=40).step_by(4).collect();
     let s = measure(
         "subsumed(chain_d ⊑ chain_d) with TW-engine inner checks (x = depth)",
@@ -299,20 +317,21 @@ fn row_subsumption(cfg: &Config) {
             std::hint::black_box(subsumed(&p1, &p2, Engine::Tw(1), &mut i));
         },
     );
-    print!("{}", render(&s));
-    println!("  (≡ₛ runs both directions of ⊑ and inherits these shapes; Prop. 5 equates it with ≡_max.)");
+    r.series(&s);
+    r.note("  (≡ₛ runs both directions of ⊑ and inherits these shapes; Prop. 5 equates it with ≡_max.)");
 }
 
 /// Row "parallel": sequential vs thread-parallel enumeration of `p(D)` on
 /// the Figure-1 query over growing catalogs, with engine-counter deltas
 /// making the fan-out and the index behaviour observable.
 fn row_parallel(cfg: &Config) {
+    let r = cfg.report();
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         cfg.threads
     };
-    section(&format!(
+    r.section(&format!(
         "Parallel | p(D) enumeration: sequential vs {threads} scoped threads (identical answers)"
     ));
     let bands: Vec<usize> = (100..=400 + cfg.scale * 400).step_by(150).collect();
@@ -333,8 +352,8 @@ fn row_parallel(cfg: &Config) {
             std::hint::black_box(wdpt_core::evaluate(&p, &db));
         },
     );
-    print!("{}", render(&s));
-    let before = wdpt_model::stats::snapshot();
+    r.series(&s);
+    let before = wdpt_obs::metrics_snapshot();
     let s = measure(
         "evaluate_parallel on the Figure-1 query (x = bands)",
         &bands,
@@ -352,20 +371,40 @@ fn row_parallel(cfg: &Config) {
             std::hint::black_box(evaluate_parallel(&p, &db, threads));
         },
     );
-    print!("{}", render(&s));
-    let delta = wdpt_model::stats::snapshot().since(&before);
-    println!("  engine counters over the parallel sweep: {delta}");
+    r.series(&s);
+    let delta = wdpt_obs::metrics_snapshot().since(&before);
+    r.counters("the parallel sweep", &delta);
+    // EXPLAIN-style profile of one representative run at the largest scale:
+    // per-node homomorphism tallies, per-phase span times, counters.
+    let largest = *bands.last().expect("non-empty sweep");
+    let mut i = Interner::new();
+    let db = music_catalog(
+        &mut i,
+        MusicParams {
+            bands: largest,
+            ..MusicParams::default()
+        },
+    );
+    let p = wdpt_gen::music::figure1_wdpt(&mut i);
+    let (_, profile) = wdpt_core::evaluate_parallel_profiled(
+        &p,
+        &db,
+        threads,
+        &format!("figure1 evaluate_parallel ({largest} bands, {threads} threads)"),
+    );
+    r.profile(&profile);
 }
 
 /// Row "classes" (E10): Proposition 2's inclusions verified empirically.
-fn row_classes() {
-    section("Classes | Proposition 2: ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k+2c); g-TW(k) ⊄ BI(c)");
-    let mut r = rng(99);
+fn row_classes(cfg: &Config) {
+    let r = cfg.report();
+    r.section("Classes | Proposition 2: ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k+2c); g-TW(k) ⊄ BI(c)");
+    let mut rand = rng(99);
     let mut verified = 0;
     let total = 60;
     for _ in 0..total {
         let mut i = Interner::new();
-        let p = random_wdpt(&mut i, 2 + r.gen_range(0..6), &mut r);
+        let p = random_wdpt(&mut i, 2 + rand.gen_range(0..6), &mut rand);
         if is_locally_in(&p, WidthKind::Tw, 1) {
             let c = interface_width(&p);
             assert!(has_bounded_interface(&p, c));
@@ -376,27 +415,29 @@ fn row_classes() {
             verified += 1;
         }
     }
-    println!("  Prop. 2(1): verified on {verified}/{total} random locally-tractable trees");
+    r.note(&format!(
+        "  Prop. 2(1): verified on {verified}/{total} random locally-tractable trees"
+    ));
     for n in [2usize, 4, 6, 8] {
         let mut i = Interner::new();
         let p = wide_interface_wdpt(&mut i, n);
         assert!(is_globally_in(&p, WidthKind::Tw, 1));
-        println!(
+        r.note(&format!(
             "  Prop. 2(2): witness with n={n}: g-TW(1) holds, interface width = {} (unbounded)",
             interface_width(&p)
-        );
+        ));
     }
 }
 
 /// Sanity: the Prop. 3 instances really live in the classes the row claims.
-fn verify_reduction_classes() {
+fn verify_reduction_classes(r: &Report) {
     let mut i = Interner::new();
     let edges = vec![(0, 1), (1, 2), (0, 2)];
     let inst = three_col_instance(&mut i, 3, &edges);
     assert!(is_locally_in(&inst.wdpt, WidthKind::Tw, 1));
     assert!(is_globally_in(&inst.wdpt, WidthKind::Tw, 1));
     assert!(!has_bounded_interface(&inst.wdpt, 2));
-    println!("  (instances verified: ℓ-TW(1) ✓, g-TW(1) ✓, unbounded interface ✓)");
+    r.note("  (instances verified: ℓ-TW(1) ✓, g-TW(1) ✓, unbounded interface ✓)");
 }
 
 /// A database for the star family: `a(s_j, u_j)` with one `e(u_j, t_j)`

@@ -11,11 +11,14 @@
 //! * `UWB(k)`-membership / approximation via cores and quotients scales
 //!   polynomially in the number of disjuncts.
 //!
-//! Usage: `table2 [--row membership|approximation|union] [--quick]`
+//! Usage: `table2 [--row membership|approximation|union] [--quick] [--json]`
+//!
+//! With `--json`, prose is suppressed and each measured row becomes one
+//! machine-readable JSON object on stdout.
 
 use wdpt_approx::uwdpt::{in_m_uwb, uwb_approximation, Uwdpt};
 use wdpt_approx::wb::{find_wb_equivalent, wb_approximations};
-use wdpt_bench::{measure, render, section};
+use wdpt_bench::{measure, Report};
 use wdpt_core::{Wdpt, WdptBuilder, WidthKind};
 use wdpt_model::{Atom, Interner};
 
@@ -23,11 +26,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut row = None;
     let mut quick = false;
+    let mut json = false;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--row" => row = it.next().cloned(),
             "--quick" => quick = true,
+            "--json" => json = true,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -35,17 +40,18 @@ fn main() {
         }
     }
     let min_runtime = if quick { 0.002 } else { 0.02 };
-    println!("Table 2 reproduction — semantic optimization of WDPTs vs unions of WDPTs");
-    println!("(paper: Barceló & Pichler, PODS'15; see DESIGN.md experiments E6–E8)");
+    let rep = Report::new(json);
+    rep.note("Table 2 reproduction — semantic optimization of WDPTs vs unions of WDPTs");
+    rep.note("(paper: Barceló & Pichler, PODS'15; see DESIGN.md experiments E6–E8)");
     let want = |name: &str| row.as_deref().is_none_or(|r| r == name);
     if want("membership") {
-        row_membership(min_runtime);
+        row_membership(min_runtime, &rep);
     }
     if want("approximation") {
-        row_approximation(min_runtime);
+        row_approximation(min_runtime, &rep);
     }
     if want("union") {
-        row_union(min_runtime, quick);
+        row_union(min_runtime, quick, &rep);
     }
 }
 
@@ -81,8 +87,8 @@ fn genuine_cycle(i: &mut Interner, m: usize) -> Wdpt {
 
 /// Row WB(k)-MEMBERSHIP (Theorem 13, NEXPTIME^NP upper / Π₂ᵖ lower): the
 /// candidate search is exponential in the number of variables.
-fn row_membership(min_runtime: f64) {
-    section("WB(1)-Membership | candidate search, exponential in |p| (Theorem 13)");
+fn row_membership(min_runtime: f64, r: &Report) {
+    r.section("WB(1)-Membership | candidate search, exponential in |p| (Theorem 13)");
     let ms: Vec<usize> = (3..=7).collect();
     let s = measure(
         "find_wb_equivalent on foldable cycles (x = cycle length; vars = x+1)",
@@ -96,13 +102,13 @@ fn row_membership(min_runtime: f64) {
             std::hint::black_box(found);
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 }
 
 /// Row WB(k)-APPROXIMATION (Theorem 14 / Proposition 8): computing all
 /// pool-maximal approximations is exponential in |p|.
-fn row_approximation(min_runtime: f64) {
-    section("WB(1)-Approximation | candidate search, exponential in |p| (Theorem 14)");
+fn row_approximation(min_runtime: f64, r: &Report) {
+    r.section("WB(1)-Approximation | candidate search, exponential in |p| (Theorem 14)");
     let ms: Vec<usize> = (3..=6).collect();
     let s = measure(
         "wb_approximations on genuine odd cycles (x = cycle length)",
@@ -117,13 +123,13 @@ fn row_approximation(min_runtime: f64) {
             std::hint::black_box(approxs);
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 }
 
 /// Rows UWB(k)-MEMBERSHIP and UWB(k)-APPROXIMATION (Theorems 17–18,
 /// Π₂ᵖ/Π₃ᵖ): polynomial in the union size via `φ_cq` + cores + quotients.
-fn row_union(min_runtime: f64, quick: bool) {
-    section("UWB(1)-Membership | polynomial in the union size (Theorem 17)");
+fn row_union(min_runtime: f64, quick: bool, r: &Report) {
+    r.section("UWB(1)-Membership | polynomial in the union size (Theorem 17)");
     let top = if quick { 24 } else { 48 };
     let sizes: Vec<usize> = (4..=top).step_by(4).collect();
     let s = measure(
@@ -136,9 +142,9 @@ fn row_union(min_runtime: f64, quick: bool) {
             assert!(in_m_uwb(&phi, WidthKind::Tw, 1, &mut i));
         },
     );
-    print!("{}", render(&s));
+    r.series(&s);
 
-    section("UWB(1)-Approximation | polynomial in the union size (Theorem 18)");
+    r.section("UWB(1)-Approximation | polynomial in the union size (Theorem 18)");
     let s = measure(
         "uwb_approximation on unions of triangle CQs (x = number of disjuncts)",
         &sizes,
@@ -150,8 +156,8 @@ fn row_union(min_runtime: f64, quick: bool) {
             std::hint::black_box(approx);
         },
     );
-    print!("{}", render(&s));
-    println!(
+    r.series(&s);
+    r.note(
         "  Contrast: the single-WDPT rows above grow exponentially in |p|, while the\n  union rows grow polynomially in the number of disjuncts — Table 2's gap\n  between NEXPTIME^NP/coNEXPTIME^NP and Π₂ᵖ/Π₃ᵖ."
     );
 }

@@ -9,6 +9,7 @@
 //! plain-text table printer.
 
 use std::time::Instant;
+use wdpt_obs::{metrics_snapshot, Json, MetricsSnapshot, QueryProfile};
 
 /// One measured series: parameter values and mean runtimes (seconds).
 #[derive(Debug, Clone)]
@@ -19,6 +20,117 @@ pub struct Series {
     pub xs: Vec<f64>,
     /// Mean runtime in seconds per parameter value.
     pub secs: Vec<f64>,
+}
+
+impl Series {
+    /// One machine-readable object per row: label, sweep points, and the
+    /// fitted growth verdict.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str("series")),
+            ("label", Json::str(self.label.clone())),
+            (
+                "xs",
+                Json::Arr(self.xs.iter().map(|&x| Json::num(x)).collect()),
+            ),
+            (
+                "secs",
+                Json::Arr(self.secs.iter().map(|&t| Json::num(t)).collect()),
+            ),
+            ("growth", Json::str(classify(self).to_string())),
+        ])
+    }
+}
+
+/// Output sink shared by the table binaries: human-readable blocks by
+/// default, or — under `--json` — exactly one JSON object per emitted row on
+/// stdout, with all prose suppressed so the stream stays parseable
+/// line-by-line (the contract `json_check` validates in CI).
+pub struct Report {
+    json: bool,
+}
+
+impl Report {
+    /// `json = true` switches every emit to one-JSON-object-per-line.
+    pub fn new(json: bool) -> Report {
+        Report { json }
+    }
+
+    /// Whether this report emits JSON lines.
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// A section header (prose; suppressed in JSON mode).
+    pub fn section(&self, title: &str) {
+        if !self.json {
+            section(title);
+        }
+    }
+
+    /// A free-form commentary line (prose; suppressed in JSON mode).
+    pub fn note(&self, text: &str) {
+        if !self.json {
+            println!("{text}");
+        }
+    }
+
+    /// One measured series: a rendered block, or one `kind:"series"` line.
+    pub fn series(&self, s: &Series) {
+        if self.json {
+            println!("{}", s.to_json());
+        } else {
+            print!("{}", render(s));
+        }
+    }
+
+    /// A per-query profile: the EXPLAIN-style text, or one `kind:"profile"`
+    /// line wrapping [`QueryProfile::to_json`].
+    pub fn profile(&self, profile: &QueryProfile) {
+        if self.json {
+            println!(
+                "{}",
+                Json::obj([
+                    ("kind", Json::str("profile")),
+                    ("profile", profile.to_json()),
+                ])
+            );
+        } else {
+            print!("{}", profile.render());
+        }
+    }
+
+    /// Engine-counter totals over a sweep: a summary line, or one
+    /// `kind:"counters"` line.
+    pub fn counters(&self, context: &str, delta: &MetricsSnapshot) {
+        if self.json {
+            println!(
+                "{}",
+                Json::obj([
+                    ("kind", Json::str("counters")),
+                    ("context", Json::str(context)),
+                    (
+                        "counters",
+                        Json::obj(
+                            delta
+                                .counters
+                                .iter()
+                                .filter(|(_, v)| *v > 0)
+                                .map(|(n, v)| (n.clone(), Json::int(*v))),
+                        ),
+                    ),
+                ])
+            );
+        } else {
+            let body: Vec<String> = delta
+                .counters
+                .iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            println!("  engine counters over {context}: {}", body.join(" "));
+        }
+    }
 }
 
 /// Fitted growth shape of a series.
@@ -192,27 +304,28 @@ pub fn bench_case<F: FnMut()>(name: &str, f: F) {
 }
 
 /// Like [`bench_case`], but also prints the per-iteration engine-counter
-/// deltas ([`wdpt_model::stats`]) averaged over the measured iterations —
-/// this is how the ablation benchmarks show *why* a configuration is slow
-/// (index rebuilds, tuples scanned, nodes expanded), not just that it is.
+/// deltas (from the [`wdpt_obs`] metrics registry) averaged over the
+/// measured iterations — this is how the ablation benchmarks show *why* a
+/// configuration is slow (index rebuilds, tuples scanned, nodes expanded),
+/// not just that it is.
 pub fn bench_case_with_stats<F: FnMut()>(name: &str, f: F) {
     let (mean, iters, delta) = run_case(f);
-    let per = |v: u64| v / u64::from(iters);
+    let per = |metric: &str| delta.counter(metric) / u64::from(iters);
     println!(
         "  {name:<48} {} ({iters} iters)  [builds={} probes={} scanned={} nodes={} tasks={} per iter]",
         human_time(mean),
-        per(delta.index_builds),
-        per(delta.index_probes),
-        per(delta.tuples_scanned),
-        per(delta.nodes_expanded),
-        per(delta.parallel_tasks),
+        per(wdpt_model::stats::INDEX_BUILDS),
+        per(wdpt_model::stats::INDEX_PROBES),
+        per(wdpt_model::stats::TUPLES_SCANNED),
+        per(wdpt_model::stats::NODES_EXPANDED),
+        per(wdpt_model::stats::PARALLEL_TASKS),
     );
 }
 
-fn run_case<F: FnMut()>(mut f: F) -> (f64, u32, wdpt_model::StatsSnapshot) {
+fn run_case<F: FnMut()>(mut f: F) -> (f64, u32, MetricsSnapshot) {
     let min = bench_min_runtime();
     f(); // warmup
-    let before = wdpt_model::stats::snapshot();
+    let before = metrics_snapshot();
     let start = Instant::now();
     let mut iters = 0u32;
     loop {
@@ -223,7 +336,7 @@ fn run_case<F: FnMut()>(mut f: F) -> (f64, u32, wdpt_model::StatsSnapshot) {
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let delta = wdpt_model::stats::snapshot().since(&before);
+    let delta = metrics_snapshot().since(&before);
     (elapsed / f64::from(iters), iters, delta)
 }
 
@@ -279,6 +392,18 @@ mod tests {
         assert!(human_time(5e-6).contains("µs"));
         assert!(human_time(5e-3).contains("ms"));
         assert!(human_time(5.0).contains('s'));
+    }
+
+    #[test]
+    fn series_json_is_parseable_and_complete() {
+        let s = series(vec![1.0, 2.0, 3.0], vec![1e-6, 2e-6, 3e-6]);
+        let line = s.to_json().to_string();
+        let parsed = wdpt_obs::Json::parse(&line).expect("valid JSON");
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("series"));
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("test"));
+        assert_eq!(parsed.get("xs").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(parsed.get("secs").unwrap().as_arr().unwrap().len(), 3);
+        assert!(parsed.get("growth").unwrap().as_str().is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use wdpt_model::{Database, Mapping, Var};
 /// Decides `h ∈ p(D)` for an arbitrary WDPT (general, worst-case
 /// exponential — the paper's Σ₂ᵖ upper bound).
 pub fn eval_decide(p: &Wdpt, db: &Database, h: &Mapping) -> bool {
+    let _span = wdpt_obs::span!("wdpt.eval.decide");
     let free = p.free_set();
     let dom = h.domain();
     if !dom.is_subset(&free) {

@@ -17,6 +17,9 @@
 //! * [`eval`] — the general EVAL decision procedure (Σ₂ᵖ, Theorem 1).
 //! * [`eval_bi`] — the Theorem 6 polynomial algorithm for
 //!   `ℓ-C(k) ∩ BI(c)`.
+//! * [`profile`] — profiled evaluation entry points returning a
+//!   [`wdpt_obs::QueryProfile`] (per-node homomorphism tallies, time per
+//!   phase) alongside the answers.
 //! * [`projection_free`] — the Theorem 4 polynomial algorithm for
 //!   projection-free locally tractable trees.
 //! * [`variants`] — PARTIAL-EVAL (Theorem 8) and MAX-EVAL (Theorem 9),
@@ -29,6 +32,7 @@ pub mod engine;
 pub mod eval;
 pub mod eval_bi;
 pub mod optimize;
+pub mod profile;
 pub mod projection_free;
 pub mod semantics;
 pub mod subsumption;
@@ -43,6 +47,7 @@ pub use engine::Engine;
 pub use eval::eval_decide;
 pub use eval_bi::eval_bounded_interface;
 pub use optimize::normalize;
+pub use profile::{evaluate_max_profiled, evaluate_parallel_profiled, evaluate_profiled};
 pub use projection_free::eval_projection_free;
 pub use semantics::{
     evaluate, evaluate_max, evaluate_max_parallel, evaluate_parallel, maximal_homomorphisms,

@@ -1,0 +1,169 @@
+//! Profiled WDPT evaluation: the `EXPLAIN ANALYZE` entry points.
+//!
+//! [`evaluate_profiled`] / [`evaluate_parallel_profiled`] run the same
+//! evaluators as [`crate::semantics`] but bracket them with a
+//! [`wdpt_obs::ProfileRecorder`] (enabling span tracing for the duration)
+//! and collect exact per-tree-node homomorphism tallies via a query-local
+//! [`NodeTally`](crate::semantics). Because the tally is query-local — not
+//! a process-wide counter — the per-node numbers are deterministic: the
+//! parallel profile's node data equals the sequential one's exactly, which
+//! the observability-parity test relies on.
+
+use crate::semantics::{
+    maximal_homomorphisms_parallel_tallied, maximal_homomorphisms_tallied, NodeTally,
+};
+use crate::tree::Wdpt;
+use std::collections::BTreeSet;
+use wdpt_model::{mapping::maximal_mappings, Database, Mapping};
+use wdpt_obs::{NodeEntry, ProfileRecorder, QueryProfile};
+
+/// Builds the per-node profile entries from a finished tally: preorder ids,
+/// parent/depth for indentation, a label summarizing the node's pattern,
+/// and the homomorphism count.
+fn node_entries(p: &Wdpt, tally: &NodeTally) -> Vec<NodeEntry> {
+    let counts = tally.hom_counts();
+    (0..p.node_count())
+        .map(|t| NodeEntry {
+            id: t,
+            parent: p.parent(t),
+            depth: p.depth(t),
+            label: format!(
+                "{} atom(s), {} var(s)",
+                p.atoms(t).len(),
+                p.node_vars(t).len()
+            ),
+            metrics: vec![("homomorphisms", counts[t])],
+        })
+        .collect()
+}
+
+fn project_free(p: &Wdpt, homs: Vec<Mapping>) -> Vec<Mapping> {
+    let free = p.free_set();
+    let set: BTreeSet<Mapping> = homs.into_iter().map(|h| h.restrict(&free)).collect();
+    set.into_iter().collect()
+}
+
+/// [`crate::evaluate`] plus a [`QueryProfile`] of the run.
+pub fn evaluate_profiled(p: &Wdpt, db: &Database, label: &str) -> (Vec<Mapping>, QueryProfile) {
+    let mut rec = ProfileRecorder::start(label);
+    let tally = NodeTally::new(p.node_count());
+    let answers = project_free(p, maximal_homomorphisms_tallied(p, db, Some(&tally)));
+    rec.set_nodes(node_entries(p, &tally));
+    let profile = rec.finish(answers.len() as u64);
+    (answers, profile)
+}
+
+/// [`crate::evaluate_parallel`] plus a [`QueryProfile`] of the run. The
+/// profile's per-node homomorphism counts equal the sequential profile's
+/// exactly; its span and counter sections additionally show the fan-out
+/// (`wdpt.parallel.worker` spans, `wdpt.parallel_tasks` counter).
+pub fn evaluate_parallel_profiled(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    label: &str,
+) -> (Vec<Mapping>, QueryProfile) {
+    let mut rec = ProfileRecorder::start(label);
+    let tally = NodeTally::new(p.node_count());
+    let answers = project_free(
+        p,
+        maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally)),
+    );
+    rec.set_nodes(node_entries(p, &tally));
+    let profile = rec.finish(answers.len() as u64);
+    (answers, profile)
+}
+
+/// [`crate::evaluate_max`] plus a [`QueryProfile`] of the run.
+pub fn evaluate_max_profiled(p: &Wdpt, db: &Database, label: &str) -> (Vec<Mapping>, QueryProfile) {
+    let mut rec = ProfileRecorder::start(label);
+    let tally = NodeTally::new(p.node_count());
+    let answers = maximal_mappings(project_free(
+        p,
+        maximal_homomorphisms_tallied(p, db, Some(&tally)),
+    ));
+    rec.set_nodes(node_entries(p, &tally));
+    let profile = rec.finish(answers.len() as u64);
+    (answers, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{evaluate, evaluate_parallel};
+    use crate::tree::WdptBuilder;
+    use wdpt_model::parse::{parse_atoms, parse_database};
+    use wdpt_model::Interner;
+
+    fn fixture() -> (Interner, Wdpt, Database) {
+        let mut i = Interner::new();
+        let root = parse_atoms(&mut i, "a(?x)").unwrap();
+        let mut b = WdptBuilder::new(root);
+        let c1 = b.child(0, parse_atoms(&mut i, "b(?x,?y)").unwrap());
+        b.child(0, parse_atoms(&mut i, "c(?x,?z)").unwrap());
+        b.child(c1, parse_atoms(&mut i, "d(?y,?w)").unwrap());
+        let free = ["x", "y", "z", "w"].iter().map(|n| i.var(n)).collect();
+        let p = b.build(free).unwrap();
+        let db = parse_database(
+            &mut i,
+            "a(1) a(2) a(3) b(1,10) b(2,20) b(2,21) c(2,30) c(3,31) d(20,40)",
+        )
+        .unwrap();
+        (i, p, db)
+    }
+
+    #[test]
+    fn profiled_answers_match_unprofiled() {
+        let (_i, p, db) = fixture();
+        let (answers, profile) = evaluate_profiled(&p, &db, "test seq");
+        assert_eq!(answers, evaluate(&p, &db));
+        assert_eq!(profile.answers, answers.len() as u64);
+        assert_eq!(profile.nodes.len(), p.node_count());
+        // The root saw its 3 local homomorphisms.
+        assert_eq!(profile.nodes[0].metrics[0], ("homomorphisms", 3));
+        // Spans fired: the sequential evaluator and the backtrack engine.
+        assert!(profile.phase("wdpt.eval.sequential").is_some());
+        assert!(profile.phase("cq.backtrack.extend_all").is_some());
+    }
+
+    #[test]
+    fn parallel_profile_has_exact_node_parity_with_sequential() {
+        let (_i, p, db) = fixture();
+        let (seq_answers, seq_profile) = evaluate_profiled(&p, &db, "seq");
+        for threads in [2, 4, 8] {
+            let (par_answers, par_profile) = evaluate_parallel_profiled(&p, &db, threads, "par");
+            assert_eq!(par_answers, seq_answers);
+            assert_eq!(par_answers, evaluate_parallel(&p, &db, threads));
+            // Observability parity: identical per-node homomorphism tallies,
+            // merged across the scoped workers.
+            assert_eq!(par_profile.nodes, seq_profile.nodes);
+            // And the parallel run is visibly parallel.
+            assert!(par_profile.counter("wdpt.parallel_tasks") >= 6);
+            let worker = par_profile.phase("wdpt.parallel.worker").unwrap();
+            assert!(worker.calls >= 2, "expected ≥2 worker spans");
+        }
+    }
+
+    #[test]
+    fn profile_serializes_and_renders() {
+        let (_i, p, db) = fixture();
+        let (_, profile) = evaluate_parallel_profiled(&p, &db, 4, "render");
+        let text = profile.render();
+        assert!(text.contains("wdpt.eval.parallel"));
+        assert!(text.contains("homomorphisms="));
+        let json = profile.to_json().to_string();
+        let parsed = wdpt_obs::Json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("nodes").unwrap().as_arr().unwrap().len(),
+            p.node_count()
+        );
+    }
+
+    #[test]
+    fn max_profiled_matches_evaluate_max() {
+        let (_i, p, db) = fixture();
+        let (answers, profile) = evaluate_max_profiled(&p, &db, "max");
+        assert_eq!(answers, crate::semantics::evaluate_max(&p, &db));
+        assert_eq!(profile.answers, answers.len() as u64);
+    }
+}

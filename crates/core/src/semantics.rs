@@ -16,14 +16,57 @@
 
 use crate::tree::Wdpt;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use wdpt_cq::backtrack::{extend_all, extend_exists};
 use wdpt_model::{mapping::maximal_mappings, Database, Mapping};
+use wdpt_obs::span;
+
+/// Per-query, per-tree-node tallies collected while evaluating. One slot
+/// per WDPT node (preorder id); atomics so the parallel workers can share
+/// one tally. Unlike the process-wide metrics registry, a `NodeTally` is
+/// local to a single evaluation, so its counts are exact and deterministic
+/// even when other queries run concurrently — which is what lets the
+/// observability-parity test assert sequential == parallel exactly.
+#[derive(Debug)]
+pub(crate) struct NodeTally {
+    /// Local homomorphisms found at node `t`, summed over all ancestor
+    /// contexts the node was evaluated under.
+    homs: Vec<AtomicU64>,
+}
+
+impl NodeTally {
+    pub(crate) fn new(nodes: usize) -> Self {
+        NodeTally {
+            homs: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn add_homs(&self, t: usize, n: u64) {
+        self.homs[t].fetch_add(n, Relaxed);
+    }
+
+    /// Final per-node counts, indexed by preorder node id.
+    pub(crate) fn hom_counts(&self) -> Vec<u64> {
+        self.homs.iter().map(|a| a.load(Relaxed)).collect()
+    }
+}
 
 /// All maximal homomorphisms from `p` to `db` (on their various domains).
 /// Exponential in the size of the output; intended for exact small-scale
 /// semantics, tests, and the intractable baselines of the benchmarks.
 pub fn maximal_homomorphisms(p: &Wdpt, db: &Database) -> Vec<Mapping> {
-    let homs = extensions(p, db, p.root(), &Mapping::empty());
+    maximal_homomorphisms_tallied(p, db, None)
+}
+
+/// [`maximal_homomorphisms`] with an optional per-node tally (used by the
+/// profiled entry points in [`crate::profile`]).
+pub(crate) fn maximal_homomorphisms_tallied(
+    p: &Wdpt,
+    db: &Database,
+    tally: Option<&NodeTally>,
+) -> Vec<Mapping> {
+    let _span = span!("wdpt.eval.sequential");
+    let homs = extensions(p, db, p.root(), &Mapping::empty(), tally);
     let out: BTreeSet<Mapping> = homs.into_iter().collect();
     // The recursion can produce duplicates through different local homs
     // projecting equally; BTreeSet dedups canonically.
@@ -33,8 +76,17 @@ pub fn maximal_homomorphisms(p: &Wdpt, db: &Database) -> Vec<Mapping> {
 /// Maximal extensions into the subtree rooted at `t`, given the bindings of
 /// the ancestors. Empty result means "`t` is not extendable" (the OPT
 /// branch fails and is dropped).
-fn extensions(p: &Wdpt, db: &Database, t: usize, inherited: &Mapping) -> Vec<Mapping> {
+fn extensions(
+    p: &Wdpt,
+    db: &Database,
+    t: usize,
+    inherited: &Mapping,
+    tally: Option<&NodeTally>,
+) -> Vec<Mapping> {
     let local = extend_all(db, p.atoms(t), inherited);
+    if let Some(tally) = tally {
+        tally.add_homs(t, local.len() as u64);
+    }
     let mut out = Vec::new();
     for g in local {
         let ctx = inherited
@@ -43,7 +95,7 @@ fn extensions(p: &Wdpt, db: &Database, t: usize, inherited: &Mapping) -> Vec<Map
         // Children are independent given ctx (well-designedness).
         let mut parts: Vec<Vec<Mapping>> = Vec::new();
         for &c in p.children(t) {
-            let subs = extensions(p, db, c, &ctx);
+            let subs = extensions(p, db, c, &ctx, tally);
             if !subs.is_empty() {
                 parts.push(subs);
             }
@@ -104,6 +156,19 @@ const MIN_PARALLEL_JOBS: usize = 2;
 /// [`MIN_PARALLEL_JOBS`] items or a single thread; the result is always
 /// identical to [`maximal_homomorphisms`].
 pub fn maximal_homomorphisms_parallel(p: &Wdpt, db: &Database, threads: usize) -> Vec<Mapping> {
+    maximal_homomorphisms_parallel_tallied(p, db, threads, None)
+}
+
+/// [`maximal_homomorphisms_parallel`] with an optional per-node tally. The
+/// tally is shared by reference across the scoped workers; its atomics make
+/// the counts exact once the scope joins.
+pub(crate) fn maximal_homomorphisms_parallel_tallied(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    tally: Option<&NodeTally>,
+) -> Vec<Mapping> {
+    let _span = span!("wdpt.eval.parallel");
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -116,7 +181,12 @@ pub fn maximal_homomorphisms_parallel(p: &Wdpt, db: &Database, threads: usize) -
         .flat_map(|ci| children.iter().map(move |&c| (ci, c)))
         .collect();
     if threads <= 1 || jobs.len() < MIN_PARALLEL_JOBS {
-        return maximal_homomorphisms(p, db);
+        // The root locals just computed would be double-counted by the
+        // sequential fallback, which recomputes them.
+        return maximal_homomorphisms_tallied(p, db, tally);
+    }
+    if let Some(tally) = tally {
+        tally.add_homs(root, locals.len() as u64);
     }
     // Child extensions for every (context, child) pair, computed in
     // parallel. The workers only read `p`, `db`, `locals`, and `jobs`.
@@ -127,12 +197,13 @@ pub fn maximal_homomorphisms_parallel(p: &Wdpt, db: &Database, threads: usize) -
             .map(|w| {
                 let (jobs, locals) = (&jobs, &locals);
                 s.spawn(move || {
+                    let _span = span!("wdpt.parallel.worker");
                     let mut out = Vec::new();
                     let mut idx = w;
                     while idx < jobs.len() {
                         let (ci, child) = jobs[idx];
                         wdpt_model::stats::record_parallel_task();
-                        out.push((idx, extensions(p, db, child, &locals[ci])));
+                        out.push((idx, extensions(p, db, child, &locals[ci], tally)));
                         idx += workers;
                     }
                     out
@@ -148,6 +219,7 @@ pub fn maximal_homomorphisms_parallel(p: &Wdpt, db: &Database, threads: usize) -
     // Sequential assembly, mirroring `extensions` at the root: for each
     // local homomorphism, the cartesian product over its extendable
     // children, then canonical dedup.
+    let _assemble_span = span!("wdpt.eval.assemble");
     let mut out: BTreeSet<Mapping> = BTreeSet::new();
     for (ci, ctx) in locals.iter().enumerate() {
         let mut acc: Vec<Mapping> = vec![ctx.clone()];

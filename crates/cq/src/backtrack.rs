@@ -171,6 +171,7 @@ pub fn extend_all_config(
     seed: &Mapping,
     config: BacktrackConfig,
 ) -> Vec<Mapping> {
+    let _span = wdpt_obs::span!("cq.backtrack.extend_all");
     let refs: Vec<&Atom> = atoms.iter().collect();
     let mut done = vec![false; refs.len()];
     let mut h = relevant_seed(atoms, seed);
@@ -201,6 +202,7 @@ pub fn extend_exists_config(
     seed: &Mapping,
     config: BacktrackConfig,
 ) -> bool {
+    let _span = wdpt_obs::span!("cq.backtrack.extend_exists");
     let refs: Vec<&Atom> = atoms.iter().collect();
     let mut done = vec![false; refs.len()];
     let mut h = relevant_seed(atoms, seed);
@@ -220,6 +222,7 @@ fn relevant_seed(atoms: &[Atom], seed: &Mapping) -> Mapping {
 /// The paper's `q(D)`: the set of restrictions `h_x̄` of homomorphisms from
 /// `q` to `db`, as deduplicated mappings on the head variables.
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Vec<Mapping> {
+    let _span = wdpt_obs::span!("cq.backtrack.evaluate");
     let head = q.head_set();
     let mut out: std::collections::BTreeSet<Mapping> = Default::default();
     let refs: Vec<&Atom> = q.body().iter().collect();

@@ -20,6 +20,7 @@ use wdpt_decomp::{
     hypertree_width_at_most, treewidth_at_most, HypertreeDecomposition, TreeDecomposition,
 };
 use wdpt_model::{Atom, Const, Database, Mapping, Term, Var};
+use wdpt_obs::{counter, histogram, span};
 
 /// Fully materialized plan state: `(bags, bag relations, parent per node
 /// — `usize::MAX` for roots — and a root-first order)`. Produced by
@@ -111,7 +112,11 @@ impl StructuredPlan {
         let mut relations: Vec<Vec<Mapping>> = Vec::with_capacity(bags.len());
         for (b, bag) in bags.iter().enumerate() {
             let cover = self.covers.as_ref().map(|c| c[b].as_slice());
-            relations.push(materialize_bag(db, &atoms, bag, &contained[b], cover));
+            let tuples = materialize_bag(db, &atoms, bag, &contained[b], cover);
+            if wdpt_obs::tracing_enabled() {
+                histogram!("cq.structured.bag_size").record(tuples.len() as u64);
+            }
+            relations.push(tuples);
         }
         let n = bags.len();
         let mut adj = vec![Vec::new(); n];
@@ -196,6 +201,7 @@ fn materialize_bag(
     contained_atoms: &[usize],
     cover: Option<&[usize]>,
 ) -> Vec<Mapping> {
+    let _span = span!("cq.structured.materialize");
     match cover {
         Some(cover_atoms) => {
             // HW mode: join the ≤ k cover atoms, project to the bag, filter
@@ -302,6 +308,7 @@ pub fn boolean_eval_structured(
     plan: &StructuredPlan,
     seed: &Mapping,
 ) -> bool {
+    let _span = span!("cq.structured.eval");
     // Substitute the seed so bound variables become constants.
     let atoms: Vec<Atom> = q.body().iter().map(|a| a.apply(seed)).collect();
     let bags: Vec<BTreeSet<Var>> = plan
@@ -328,6 +335,9 @@ pub fn boolean_eval_structured(
     for (b, bag) in bags.iter().enumerate() {
         let cover = plan.covers.as_ref().map(|c| c[b].as_slice());
         let tuples = materialize_bag(db, &atoms, bag, &contained[b], cover);
+        if wdpt_obs::tracing_enabled() {
+            histogram!("cq.structured.bag_size").record(tuples.len() as u64);
+        }
         // An empty bag relation means failure unless the bag is trivial
         // (no variables and no atoms to satisfy).
         if tuples.is_empty() && (!bag.is_empty() || !contained[b].is_empty()) {
@@ -363,6 +373,7 @@ pub fn boolean_eval_structured(
         }
     }
     // Upward semijoins: children filter parents.
+    let _semijoin_span = span!("cq.structured.semijoin");
     for &t in order.iter().rev() {
         let p = parent[t];
         if p == usize::MAX {
@@ -377,7 +388,11 @@ pub fn boolean_eval_structured(
         if child_keys.is_empty() {
             return false;
         }
+        let before = relations[p].len() as u64;
         relations[p].retain(|m| child_keys.contains(&m.restrict(&shared)));
+        let kept = relations[p].len() as u64;
+        counter!("cq.structured.semijoin_kept").add(kept);
+        counter!("cq.structured.semijoin_dropped").add(before - kept);
         if relations[p].is_empty() {
             return false;
         }
@@ -396,6 +411,7 @@ pub fn enumerate_projections(
     targets: &BTreeSet<Var>,
     seed: &Mapping,
 ) -> Vec<Mapping> {
+    let _span = span!("cq.structured.enumerate");
     let atoms: Vec<Atom> = q.body().iter().map(|a| a.apply(seed)).collect();
     let target_list: Vec<Var> = targets
         .iter()

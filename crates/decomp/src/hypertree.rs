@@ -14,6 +14,7 @@ use crate::gyo;
 use crate::hypergraph::Hypergraph;
 use crate::treedecomp::TreeDecomposition;
 use std::collections::{BTreeSet, HashMap};
+use wdpt_obs::{counter, histogram, span};
 
 /// A generalized hypertree decomposition: a tree decomposition whose bags
 /// each carry a cover of at most `k` hyperedges.
@@ -114,6 +115,7 @@ impl<'a> Search<'a> {
         if let Some(hit) = self.memo.get(&(comp.clone(), conn.clone())) {
             return hit.clone();
         }
+        counter!("decomp.hw_search_nodes").incr();
         let conn_set: BTreeSet<usize> = conn.iter().copied().collect();
         let comp_vertices: BTreeSet<usize> = comp
             .iter()
@@ -184,6 +186,7 @@ fn flatten(tree: &Tree, out: &mut HypertreeDecomposition) -> usize {
 /// `O(m^k)` candidate covers per component, matching the recognizability
 /// caveat discussed in the paper's remark on hypertreewidth.
 pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDecomposition> {
+    let _span = span!("decomp.hypertree.at_most");
     assert!(k >= 1, "width bound must be positive");
     let m = h.num_edges();
     if m == 0 {
@@ -209,6 +212,7 @@ pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDeco
         for w in roots.windows(2) {
             tree_edges.push((w[0], w[1]));
         }
+        histogram!("decomp.hw_width").record(1);
         return Some(HypertreeDecomposition { nodes, tree_edges });
     }
     if k == 1 {
@@ -247,6 +251,7 @@ pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDeco
         tree_edges: Vec::new(),
     };
     flatten(&tree, &mut out);
+    histogram!("decomp.hw_width").record(out.width() as u64);
     Some(out)
 }
 

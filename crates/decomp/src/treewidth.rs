@@ -15,6 +15,7 @@
 use crate::hypergraph::Hypergraph;
 use crate::treedecomp::TreeDecomposition;
 use std::collections::BTreeSet;
+use wdpt_obs::{counter, histogram, span};
 
 /// Maximum vertex count supported by the exact subset DP.
 pub const EXACT_TW_VERTEX_LIMIT: usize = 26;
@@ -52,6 +53,7 @@ fn q_size(nbr: &[u64], n: usize, s: u64, v: usize) -> usize {
 /// occurring in edges — callers should consult [`treewidth_upper_bound`]
 /// first for larger inputs.
 pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
+    let _span = span!("decomp.treewidth.exact");
     let n = h.num_vertices();
     assert!(
         n <= EXACT_TW_VERTEX_LIMIT,
@@ -89,6 +91,8 @@ pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
         dp[s] = best;
         choice[s] = best_v;
     }
+    // Every DP state is one search node of the exact algorithm.
+    counter!("decomp.tw_search_nodes").add(full);
     // Recover the elimination ordering by backtracking.
     let mut order = vec![0usize; n];
     let mut s = full as usize;
@@ -197,6 +201,7 @@ fn connect_forest(td: &mut TreeDecomposition) {
 /// Min-fill heuristic: returns `(width, decomposition)`. Fast and never
 /// underestimates the true treewidth.
 pub fn treewidth_upper_bound(h: &Hypergraph) -> (usize, TreeDecomposition) {
+    let _span = span!("decomp.treewidth.minfill");
     let n = h.num_vertices();
     let mut adj = h.primal_adjacency();
     let mut remaining: BTreeSet<usize> = (0..n).collect();
@@ -262,8 +267,10 @@ pub fn degeneracy_lower_bound(h: &Hypergraph) -> usize {
 /// ≤ k on success. Tries the min-fill upper bound and the degeneracy lower
 /// bound before falling back to the exact DP.
 pub fn treewidth_at_most(h: &Hypergraph, k: usize) -> Option<TreeDecomposition> {
+    let _span = span!("decomp.treewidth.at_most");
     let (ub, td) = treewidth_upper_bound(h);
     if ub <= k {
+        histogram!("decomp.tw_width").record(ub as u64);
         return Some(td);
     }
     if degeneracy_lower_bound(h) > k {
@@ -271,6 +278,7 @@ pub fn treewidth_at_most(h: &Hypergraph, k: usize) -> Option<TreeDecomposition> 
     }
     let (tw, order) = treewidth_exact_with_order(h);
     if tw <= k {
+        histogram!("decomp.tw_width").record(tw as u64);
         Some(decomposition_from_order(h, &order))
     } else {
         None

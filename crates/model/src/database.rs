@@ -21,6 +21,46 @@ use crate::stats;
 use crate::term::{Const, Pred};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::OnceLock;
+use wdpt_obs::histogram;
+
+/// Iterator adapter that tallies how many candidate tuples pass through it
+/// and flushes the tally as **one** batched counter update on drop. The
+/// match iterators sit on the innermost loops of every engine, so paying a
+/// relaxed `fetch_add` per tuple (as the seed did via `inspect`) is
+/// measurable; a local `u64` increment is not.
+struct CountScans<I> {
+    inner: I,
+    scanned: u64,
+}
+
+impl<I> CountScans<I> {
+    fn new(inner: I) -> Self {
+        CountScans { inner, scanned: 0 }
+    }
+}
+
+impl<I: Iterator> Iterator for CountScans<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.scanned += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I> Drop for CountScans<I> {
+    fn drop(&mut self) {
+        stats::record_tuples_scanned(self.scanned);
+    }
+}
 
 /// The extension of a single predicate: a set of constant tuples.
 #[derive(Debug, Default, Clone)]
@@ -144,14 +184,12 @@ impl Relation {
         pattern: &'a [Option<Const>],
     ) -> impl Iterator<Item = &'a [Const]> + 'a {
         debug_assert_eq!(pattern.len(), self.arity);
-        self.tuples()
-            .inspect(|_| stats::record_tuple_scanned())
-            .filter(move |t| {
-                pattern
-                    .iter()
-                    .zip(t.iter())
-                    .all(|(p, v)| p.is_none_or(|c| c == *v))
-            })
+        CountScans::new(self.tuples()).filter(move |t| {
+            pattern
+                .iter()
+                .zip(t.iter())
+                .all(|(p, v)| p.is_none_or(|c| c == *v))
+        })
     }
 
     /// Iterates over tuples matching `pattern`: position `i` must equal
@@ -179,7 +217,14 @@ impl Relation {
                 .all(|(p, v)| p.is_none_or(|c| c == *v))
         };
         match best {
-            Some((col, _)) => {
+            Some((col, len)) => {
+                // Histogram recording costs several atomic RMWs per probe —
+                // too much for this hot path to pay unconditionally, so the
+                // distribution is only collected while tracing is on (i.e.
+                // during profiled runs).
+                if wdpt_obs::tracing_enabled() {
+                    histogram!("db.posting_list_len").record(len as u64);
+                }
                 let c = pattern[col].expect("bound column");
                 let postings = self
                     .index_for(col)
@@ -187,18 +232,11 @@ impl Relation {
                     .map(Vec::as_slice)
                     .unwrap_or(&[]);
                 Box::new(
-                    postings
-                        .iter()
-                        .map(move |&i| &*self.tuples[i as usize])
-                        .inspect(|_| stats::record_tuple_scanned())
+                    CountScans::new(postings.iter().map(move |&i| &*self.tuples[i as usize]))
                         .filter(matches),
                 )
             }
-            None => Box::new(
-                self.tuples()
-                    .inspect(|_| stats::record_tuple_scanned())
-                    .filter(matches),
-            ),
+            None => Box::new(CountScans::new(self.tuples()).filter(matches)),
         }
     }
 }
@@ -462,6 +500,25 @@ mod tests {
         // Bound to an absent constant: 0.
         let ghost = i.constant("ghost");
         assert_eq!(rel.estimate_matching(&[Some(ghost), None]), 0);
+    }
+
+    #[test]
+    fn scan_counts_flush_on_drop_even_when_not_exhausted() {
+        let (mut i, db, e) = db3();
+        let a = i.constant("a");
+        let rel = db.relation(e).unwrap();
+        let pat = [Some(a), None];
+        let before = crate::stats::snapshot();
+        {
+            let mut it = rel.matching(&pat);
+            let _ = it.next(); // examine one candidate, then abandon
+        }
+        let mid = crate::stats::snapshot().since(&before);
+        assert!(mid.tuples_scanned >= 1, "partial scan not flushed");
+        // Exhausting an iterator flushes the full candidate count.
+        assert_eq!(rel.matching(&[Some(a), None]).count(), 2);
+        let after = crate::stats::snapshot().since(&before);
+        assert!(after.tuples_scanned >= mid.tuples_scanned + 2);
     }
 
     #[test]

@@ -1,30 +1,33 @@
-//! Lightweight engine counters.
+//! Lightweight engine counters — compatibility facade over [`wdpt_obs`].
 //!
-//! Process-wide relaxed atomics recording what the evaluation substrate
-//! actually does: how often a column index is (re)built, how many posting
-//! lists are probed, how many candidate tuples the match iterators scan,
-//! how many search nodes the backtracking engine expands, and how many
-//! tasks the parallel WDPT evaluator fans out. The benchmark harness
-//! (`crates/bench`) snapshots them around measured runs so that the
-//! index-maintenance fix and the parallel path are *observable*, not just
-//! asserted; tests use them to pin down asymptotics (e.g. inserts must not
-//! trigger per-insert index rebuilds).
+//! The seed version of this module owned five hard-coded process-wide
+//! atomics. Those now live in the `wdpt-obs` metrics registry as named
+//! counters (so they show up in [`QueryProfile`](wdpt_obs::QueryProfile)s
+//! and machine-readable benchmark output alongside everything else), and
+//! this module keeps the original API — [`StatsSnapshot`], [`snapshot`],
+//! [`reset`], the `record_*` helpers — on top of it. Existing tests and
+//! benches keep working unchanged.
 //!
-//! Relaxed ordering is deliberate: the counters are monotone event tallies
-//! with no synchronizing role, so the increments stay cheap enough to live
-//! on the hot path, and they aggregate correctly across the worker threads
-//! of the parallel evaluator. Snapshots taken while other threads are
-//! mid-run are approximate; take them around joined work for exact counts.
+//! The counters remain relaxed monotone event tallies with no
+//! synchronizing role: increments stay cheap enough for the hot path and
+//! aggregate correctly across the worker threads of the parallel
+//! evaluator. Snapshots taken while other threads are mid-run are
+//! approximate; take them around joined work for exact counts.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use wdpt_obs::counter;
 
-static INDEX_BUILDS: AtomicU64 = AtomicU64::new(0);
-static INDEX_PROBES: AtomicU64 = AtomicU64::new(0);
-static TUPLES_SCANNED: AtomicU64 = AtomicU64::new(0);
-static NODES_EXPANDED: AtomicU64 = AtomicU64::new(0);
-static PARALLEL_TASKS: AtomicU64 = AtomicU64::new(0);
+/// Registry name of the index-build counter.
+pub const INDEX_BUILDS: &str = "db.index_builds";
+/// Registry name of the posting-list probe counter.
+pub const INDEX_PROBES: &str = "db.index_probes";
+/// Registry name of the candidate-tuple scan counter.
+pub const TUPLES_SCANNED: &str = "db.tuples_scanned";
+/// Registry name of the CQ search-node counter.
+pub const NODES_EXPANDED: &str = "cq.nodes_expanded";
+/// Registry name of the parallel work-item counter.
+pub const PARALLEL_TASKS: &str = "wdpt.parallel_tasks";
 
-/// A point-in-time copy of all counters.
+/// A point-in-time copy of the five engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Column indexes built from scratch (`Relation::index_for` misses).
@@ -67,53 +70,56 @@ impl std::fmt::Display for StatsSnapshot {
     }
 }
 
-/// Copies all counters.
+/// Copies the five engine counters out of the `wdpt-obs` registry.
 pub fn snapshot() -> StatsSnapshot {
     StatsSnapshot {
-        index_builds: INDEX_BUILDS.load(Relaxed),
-        index_probes: INDEX_PROBES.load(Relaxed),
-        tuples_scanned: TUPLES_SCANNED.load(Relaxed),
-        nodes_expanded: NODES_EXPANDED.load(Relaxed),
-        parallel_tasks: PARALLEL_TASKS.load(Relaxed),
+        index_builds: counter!(INDEX_BUILDS).get(),
+        index_probes: counter!(INDEX_PROBES).get(),
+        tuples_scanned: counter!(TUPLES_SCANNED).get(),
+        nodes_expanded: counter!(NODES_EXPANDED).get(),
+        parallel_tasks: counter!(PARALLEL_TASKS).get(),
     }
 }
 
-/// Zeroes all counters. Tests that assert on absolute counts should prefer
-/// [`StatsSnapshot::since`] — the counters are process-wide and the test
-/// harness runs tests concurrently.
+/// Zeroes the five engine counters. Tests that assert on absolute counts
+/// should prefer [`StatsSnapshot::since`] — the counters are process-wide
+/// and the test harness runs tests concurrently.
 pub fn reset() {
-    INDEX_BUILDS.store(0, Relaxed);
-    INDEX_PROBES.store(0, Relaxed);
-    TUPLES_SCANNED.store(0, Relaxed);
-    NODES_EXPANDED.store(0, Relaxed);
-    PARALLEL_TASKS.store(0, Relaxed);
+    counter!(INDEX_BUILDS).reset();
+    counter!(INDEX_PROBES).reset();
+    counter!(TUPLES_SCANNED).reset();
+    counter!(NODES_EXPANDED).reset();
+    counter!(PARALLEL_TASKS).reset();
 }
 
 #[inline]
 pub(crate) fn record_index_build() {
-    INDEX_BUILDS.fetch_add(1, Relaxed);
+    counter!(INDEX_BUILDS).incr();
 }
 
 #[inline]
 pub(crate) fn record_index_probe() {
-    INDEX_PROBES.fetch_add(1, Relaxed);
+    counter!(INDEX_PROBES).incr();
 }
 
+/// Records `n` candidate tuples scanned in one batch. Match iterators
+/// count locally and flush once on drop rather than paying one atomic RMW
+/// per tuple.
 #[inline]
-pub(crate) fn record_tuple_scanned() {
-    TUPLES_SCANNED.fetch_add(1, Relaxed);
+pub(crate) fn record_tuples_scanned(n: u64) {
+    counter!(TUPLES_SCANNED).add(n);
 }
 
 /// Records one expanded search node (called by the CQ engines).
 #[inline]
 pub fn record_node_expanded() {
-    NODES_EXPANDED.fetch_add(1, Relaxed);
+    counter!(NODES_EXPANDED).incr();
 }
 
 /// Records one executed parallel work item (called by the WDPT evaluator).
 #[inline]
 pub fn record_parallel_task() {
-    PARALLEL_TASKS.fetch_add(1, Relaxed);
+    counter!(PARALLEL_TASKS).incr();
 }
 
 #[cfg(test)]
@@ -156,5 +162,19 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn facade_and_registry_agree() {
+        let before = snapshot();
+        record_node_expanded();
+        record_tuples_scanned(3);
+        let delta = snapshot().since(&before);
+        assert!(delta.nodes_expanded >= 1);
+        assert!(delta.tuples_scanned >= 3);
+        // The same events are visible under their registry names.
+        let m = wdpt_obs::metrics_snapshot();
+        assert!(m.counter(NODES_EXPANDED) >= delta.nodes_expanded);
+        assert!(m.counter(TUPLES_SCANNED) >= delta.tuples_scanned);
     }
 }
