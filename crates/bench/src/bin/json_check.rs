@@ -7,31 +7,30 @@
 //!
 //! Usage: `table1 --row parallel --quick --json | json_check`
 
-use std::io::BufRead;
-use wdpt_obs::Json;
+use wdpt_obs::{read_json_line, Json};
 
 fn main() {
     let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
     let mut valid = 0usize;
     let mut errors = 0usize;
-    for (lineno, line) in stdin.lock().lines().enumerate() {
-        let line = line.expect("stdin is readable");
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        match Json::parse(trimmed) {
-            Ok(Json::Obj(_)) => valid += 1,
-            Ok(other) => {
-                eprintln!(
-                    "json_check: line {}: expected a JSON object, got {other}",
-                    lineno + 1
-                );
+    // The shared `wdpt_obs::json` line framing: blank lines are skipped,
+    // parse failures surface as InvalidData errors.
+    loop {
+        match read_json_line(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(Json::Obj(_))) => valid += 1,
+            Ok(Some(other)) => {
+                eprintln!("json_check: expected a JSON object, got {other}");
+                errors += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                eprintln!("json_check: {e}");
                 errors += 1;
             }
             Err(e) => {
-                eprintln!("json_check: line {}: {e}", lineno + 1);
-                errors += 1;
+                eprintln!("json_check: stdin read failed: {e}");
+                std::process::exit(1);
             }
         }
     }

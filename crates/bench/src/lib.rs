@@ -75,10 +75,18 @@ impl Report {
         }
     }
 
+    /// Emits one JSON line via the shared `wdpt_obs::json` framing helper —
+    /// the same writer the `wdpt-serve` wire protocol uses, so `json_check`
+    /// validates both streams against one implementation.
+    fn emit(&self, value: &Json) {
+        let stdout = std::io::stdout();
+        wdpt_obs::write_json_line(&mut stdout.lock(), value).expect("stdout is writable");
+    }
+
     /// One measured series: a rendered block, or one `kind:"series"` line.
     pub fn series(&self, s: &Series) {
         if self.json {
-            println!("{}", s.to_json());
+            self.emit(&s.to_json());
         } else {
             print!("{}", render(s));
         }
@@ -88,13 +96,10 @@ impl Report {
     /// line wrapping [`QueryProfile::to_json`].
     pub fn profile(&self, profile: &QueryProfile) {
         if self.json {
-            println!(
-                "{}",
-                Json::obj([
-                    ("kind", Json::str("profile")),
-                    ("profile", profile.to_json()),
-                ])
-            );
+            self.emit(&Json::obj([
+                ("kind", Json::str("profile")),
+                ("profile", profile.to_json()),
+            ]));
         } else {
             print!("{}", profile.render());
         }
@@ -104,23 +109,20 @@ impl Report {
     /// `kind:"counters"` line.
     pub fn counters(&self, context: &str, delta: &MetricsSnapshot) {
         if self.json {
-            println!(
-                "{}",
-                Json::obj([
-                    ("kind", Json::str("counters")),
-                    ("context", Json::str(context)),
-                    (
-                        "counters",
-                        Json::obj(
-                            delta
-                                .counters
-                                .iter()
-                                .filter(|(_, v)| *v > 0)
-                                .map(|(n, v)| (n.clone(), Json::int(*v))),
-                        ),
+            self.emit(&Json::obj([
+                ("kind", Json::str("counters")),
+                ("context", Json::str(context)),
+                (
+                    "counters",
+                    Json::obj(
+                        delta
+                            .counters
+                            .iter()
+                            .filter(|(_, v)| *v > 0)
+                            .map(|(n, v)| (n.clone(), Json::int(*v))),
                     ),
-                ])
-            );
+                ),
+            ]));
         } else {
             let body: Vec<String> = delta
                 .counters

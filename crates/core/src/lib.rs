@@ -47,11 +47,15 @@ pub use engine::Engine;
 pub use eval::eval_decide;
 pub use eval_bi::eval_bounded_interface;
 pub use optimize::normalize;
-pub use profile::{evaluate_max_profiled, evaluate_parallel_profiled, evaluate_profiled};
+pub use profile::{
+    evaluate_max_profiled, evaluate_parallel_profiled, evaluate_profiled,
+    try_evaluate_parallel_profiled,
+};
 pub use projection_free::eval_projection_free;
 pub use semantics::{
     evaluate, evaluate_max, evaluate_max_parallel, evaluate_parallel, maximal_homomorphisms,
-    maximal_homomorphisms_parallel,
+    maximal_homomorphisms_parallel, try_evaluate, try_evaluate_parallel, try_maximal_homomorphisms,
+    try_maximal_homomorphisms_parallel,
 };
 pub use subsumption::{max_equivalent, subsumed, subsumption_equivalent};
 pub use text::{parse_wdpt, to_text};

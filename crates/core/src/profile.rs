@@ -10,11 +10,12 @@
 //! the observability-parity test relies on.
 
 use crate::semantics::{
-    maximal_homomorphisms_parallel_tallied, maximal_homomorphisms_tallied, NodeTally,
+    maximal_homomorphisms_parallel_tallied, maximal_homomorphisms_tallied,
+    try_maximal_homomorphisms_parallel_tallied, NodeTally,
 };
 use crate::tree::Wdpt;
 use std::collections::BTreeSet;
-use wdpt_model::{mapping::maximal_mappings, Database, Mapping};
+use wdpt_model::{mapping::maximal_mappings, CancelToken, Cancelled, Database, Mapping};
 use wdpt_obs::{NodeEntry, ProfileRecorder, QueryProfile};
 
 /// Builds the per-node profile entries from a finished tally: preorder ids,
@@ -72,6 +73,32 @@ pub fn evaluate_parallel_profiled(
     rec.set_nodes(node_entries(p, &tally));
     let profile = rec.finish(answers.len() as u64);
     (answers, profile)
+}
+
+/// [`evaluate_parallel_profiled`] under a cancel token. On cancellation the
+/// partially-recorded profile is discarded (the recorder still runs to
+/// completion so the global tracing state is restored).
+pub fn try_evaluate_parallel_profiled(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    token: &CancelToken,
+    label: &str,
+) -> Result<(Vec<Mapping>, QueryProfile), Cancelled> {
+    let mut rec = ProfileRecorder::start(label);
+    let tally = NodeTally::new(p.node_count());
+    match try_maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally), token) {
+        Ok(homs) => {
+            let answers = project_free(p, homs);
+            rec.set_nodes(node_entries(p, &tally));
+            let profile = rec.finish(answers.len() as u64);
+            Ok((answers, profile))
+        }
+        Err(Cancelled) => {
+            rec.finish(0);
+            Err(Cancelled)
+        }
+    }
 }
 
 /// [`crate::evaluate_max`] plus a [`QueryProfile`] of the run.

@@ -17,8 +17,8 @@
 use crate::tree::Wdpt;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use wdpt_cq::backtrack::{extend_all, extend_exists};
-use wdpt_model::{mapping::maximal_mappings, Database, Mapping};
+use wdpt_cq::backtrack::{extend_all, extend_exists, try_extend_all};
+use wdpt_model::{mapping::maximal_mappings, CancelToken, Cancelled, Database, Mapping};
 use wdpt_obs::span;
 
 /// Per-query, per-tree-node tallies collected while evaluating. One slot
@@ -58,6 +58,16 @@ pub fn maximal_homomorphisms(p: &Wdpt, db: &Database) -> Vec<Mapping> {
     maximal_homomorphisms_tallied(p, db, None)
 }
 
+/// [`maximal_homomorphisms`] under a cancel token: `Err(Cancelled)` if the
+/// token fires (or its deadline passes) mid-evaluation.
+pub fn try_maximal_homomorphisms(
+    p: &Wdpt,
+    db: &Database,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    try_maximal_homomorphisms_tallied(p, db, None, token)
+}
+
 /// [`maximal_homomorphisms`] with an optional per-node tally (used by the
 /// profiled entry points in [`crate::profile`]).
 pub(crate) fn maximal_homomorphisms_tallied(
@@ -65,37 +75,52 @@ pub(crate) fn maximal_homomorphisms_tallied(
     db: &Database,
     tally: Option<&NodeTally>,
 ) -> Vec<Mapping> {
+    try_maximal_homomorphisms_tallied(p, db, tally, CancelToken::never())
+        .expect("the never token cannot cancel")
+}
+
+pub(crate) fn try_maximal_homomorphisms_tallied(
+    p: &Wdpt,
+    db: &Database,
+    tally: Option<&NodeTally>,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
     let _span = span!("wdpt.eval.sequential");
-    let homs = extensions(p, db, p.root(), &Mapping::empty(), tally);
+    let homs = extensions(p, db, p.root(), &Mapping::empty(), tally, token)?;
     let out: BTreeSet<Mapping> = homs.into_iter().collect();
     // The recursion can produce duplicates through different local homs
     // projecting equally; BTreeSet dedups canonically.
-    out.into_iter().collect()
+    Ok(out.into_iter().collect())
 }
 
 /// Maximal extensions into the subtree rooted at `t`, given the bindings of
 /// the ancestors. Empty result means "`t` is not extendable" (the OPT
-/// branch fails and is dropped).
+/// branch fails and is dropped). The token is polled inside the per-node
+/// backtracking search and between cartesian-product assembly rounds.
 fn extensions(
     p: &Wdpt,
     db: &Database,
     t: usize,
     inherited: &Mapping,
     tally: Option<&NodeTally>,
-) -> Vec<Mapping> {
-    let local = extend_all(db, p.atoms(t), inherited);
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    let local = try_extend_all(db, p.atoms(t), inherited, token)?;
     if let Some(tally) = tally {
         tally.add_homs(t, local.len() as u64);
     }
     let mut out = Vec::new();
     for g in local {
+        if token.is_cancelled() {
+            return Err(Cancelled);
+        }
         let ctx = inherited
             .union(&g)
             .expect("local homomorphism agrees with inherited bindings");
         // Children are independent given ctx (well-designedness).
         let mut parts: Vec<Vec<Mapping>> = Vec::new();
         for &c in p.children(t) {
-            let subs = extensions(p, db, c, &ctx, tally);
+            let subs = extensions(p, db, c, &ctx, tally, token)?;
             if !subs.is_empty() {
                 parts.push(subs);
             }
@@ -105,6 +130,9 @@ fn extensions(
         // Cartesian product of the children's maximal extensions.
         let mut acc: Vec<Mapping> = vec![ctx.clone()];
         for part in parts {
+            if token.is_cancelled() {
+                return Err(Cancelled);
+            }
             let mut next = Vec::with_capacity(acc.len() * part.len());
             for base in &acc {
                 for ext in &part {
@@ -118,7 +146,7 @@ fn extensions(
         }
         out.extend(acc);
     }
-    out
+    Ok(out)
 }
 
 /// The evaluation `p(D)`: projections of the maximal homomorphisms onto the
@@ -130,6 +158,20 @@ pub fn evaluate(p: &Wdpt, db: &Database) -> Vec<Mapping> {
         .map(|h| h.restrict(&free))
         .collect();
     set.into_iter().collect()
+}
+
+/// [`evaluate`] under a cancel token.
+pub fn try_evaluate(
+    p: &Wdpt,
+    db: &Database,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    let free = p.free_set();
+    let set: BTreeSet<Mapping> = try_maximal_homomorphisms(p, db, token)?
+        .into_iter()
+        .map(|h| h.restrict(&free))
+        .collect();
+    Ok(set.into_iter().collect())
 }
 
 /// The maximal-mapping semantics `p_m(D)` (Section 3.4): the ⊑-maximal
@@ -159,6 +201,18 @@ pub fn maximal_homomorphisms_parallel(p: &Wdpt, db: &Database, threads: usize) -
     maximal_homomorphisms_parallel_tallied(p, db, threads, None)
 }
 
+/// [`maximal_homomorphisms_parallel`] under a cancel token. The token is
+/// shared by every scoped worker, so one worker hitting the deadline stops
+/// the rest within one poll interval.
+pub fn try_maximal_homomorphisms_parallel(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    try_maximal_homomorphisms_parallel_tallied(p, db, threads, None, token)
+}
+
 /// [`maximal_homomorphisms_parallel`] with an optional per-node tally. The
 /// tally is shared by reference across the scoped workers; its atomics make
 /// the counts exact once the scope joins.
@@ -168,6 +222,17 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
     threads: usize,
     tally: Option<&NodeTally>,
 ) -> Vec<Mapping> {
+    try_maximal_homomorphisms_parallel_tallied(p, db, threads, tally, CancelToken::never())
+        .expect("the never token cannot cancel")
+}
+
+pub(crate) fn try_maximal_homomorphisms_parallel_tallied(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    tally: Option<&NodeTally>,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
     let _span = span!("wdpt.eval.parallel");
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -175,7 +240,7 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
         threads
     };
     let root = p.root();
-    let locals = extend_all(db, p.atoms(root), &Mapping::empty());
+    let locals = try_extend_all(db, p.atoms(root), &Mapping::empty(), token)?;
     let children = p.children(root);
     let jobs: Vec<(usize, usize)> = (0..locals.len())
         .flat_map(|ci| children.iter().map(move |&c| (ci, c)))
@@ -183,15 +248,18 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
     if threads <= 1 || jobs.len() < MIN_PARALLEL_JOBS {
         // The root locals just computed would be double-counted by the
         // sequential fallback, which recomputes them.
-        return maximal_homomorphisms_tallied(p, db, tally);
+        return try_maximal_homomorphisms_tallied(p, db, tally, token);
     }
     if let Some(tally) = tally {
         tally.add_homs(root, locals.len() as u64);
     }
     // Child extensions for every (context, child) pair, computed in
     // parallel. The workers only read `p`, `db`, `locals`, and `jobs`.
+    // A cancelled worker leaves a hole; the scope still joins everything
+    // before the error propagates.
     let mut results: Vec<Vec<Mapping>> = vec![Vec::new(); jobs.len()];
     let workers = threads.min(jobs.len());
+    let mut cancelled = false;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -203,7 +271,7 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
                     while idx < jobs.len() {
                         let (ci, child) = jobs[idx];
                         wdpt_model::stats::record_parallel_task();
-                        out.push((idx, extensions(p, db, child, &locals[ci], tally)));
+                        out.push((idx, extensions(p, db, child, &locals[ci], tally, token)));
                         idx += workers;
                     }
                     out
@@ -212,16 +280,25 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
             .collect();
         for handle in handles {
             for (idx, exts) in handle.join().expect("worker thread panicked") {
-                results[idx] = exts;
+                match exts {
+                    Ok(exts) => results[idx] = exts,
+                    Err(Cancelled) => cancelled = true,
+                }
             }
         }
     });
+    if cancelled {
+        return Err(Cancelled);
+    }
     // Sequential assembly, mirroring `extensions` at the root: for each
     // local homomorphism, the cartesian product over its extendable
     // children, then canonical dedup.
     let _assemble_span = span!("wdpt.eval.assemble");
     let mut out: BTreeSet<Mapping> = BTreeSet::new();
     for (ci, ctx) in locals.iter().enumerate() {
+        if token.is_cancelled() {
+            return Err(Cancelled);
+        }
         let mut acc: Vec<Mapping> = vec![ctx.clone()];
         for (j, _) in children.iter().enumerate() {
             let part = &results[ci * children.len() + j];
@@ -241,7 +318,7 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
         }
         out.extend(acc);
     }
-    out.into_iter().collect()
+    Ok(out.into_iter().collect())
 }
 
 /// [`evaluate`] via the thread-parallel evaluator; agrees with the
@@ -253,6 +330,22 @@ pub fn evaluate_parallel(p: &Wdpt, db: &Database, threads: usize) -> Vec<Mapping
         .map(|h| h.restrict(&free))
         .collect();
     set.into_iter().collect()
+}
+
+/// [`evaluate_parallel`] under a cancel token — the entry point the query
+/// service uses to enforce per-request deadlines.
+pub fn try_evaluate_parallel(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    let free = p.free_set();
+    let set: BTreeSet<Mapping> = try_maximal_homomorphisms_parallel(p, db, threads, token)?
+        .into_iter()
+        .map(|h| h.restrict(&free))
+        .collect();
+    Ok(set.into_iter().collect())
 }
 
 /// [`evaluate_max`] via the thread-parallel evaluator.
@@ -584,6 +677,28 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn cancelled_evaluation_returns_typed_error() {
+        let mut i = Interner::new();
+        let (p, db) = example2(&mut i);
+        let token = wdpt_model::CancelToken::new();
+        token.cancel();
+        assert_eq!(try_evaluate(&p, &db, &token), Err(wdpt_model::Cancelled));
+        for threads in [1, 4] {
+            assert_eq!(
+                try_evaluate_parallel(&p, &db, threads, &token),
+                Err(wdpt_model::Cancelled)
+            );
+        }
+        // A live token changes nothing about the answers.
+        let live = wdpt_model::CancelToken::new();
+        assert_eq!(try_evaluate(&p, &db, &live).unwrap(), evaluate(&p, &db));
+        assert_eq!(
+            try_evaluate_parallel(&p, &db, 4, &live).unwrap(),
+            evaluate_parallel(&p, &db, 4)
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! harness compares the structured engines against.
 
 use crate::query::ConjunctiveQuery;
-use wdpt_model::{Atom, Const, Database, Mapping, Term};
+use std::cell::Cell;
+use wdpt_model::{Atom, CancelToken, Cancelled, Const, Database, Mapping, Term};
 
 /// Tunables of the backtracking search, exposed for the ablation
 /// benchmarks. The default (`indexed matching + dynamic most-constrained
@@ -38,6 +39,35 @@ impl Default for BacktrackConfig {
 enum Found {
     Continue,
     Stop,
+    /// The cancel token fired: unwind immediately, discarding progress.
+    Cancelled,
+}
+
+/// Per-search cancellation state: the shared token plus the step counter
+/// that amortizes its deadline clock checks (a `Cell` so the recursive
+/// search can bump it through a shared reference).
+struct Ctl<'a> {
+    token: &'a CancelToken,
+    steps: Cell<u32>,
+}
+
+impl<'a> Ctl<'a> {
+    fn new(token: &'a CancelToken) -> Ctl<'a> {
+        Ctl {
+            token,
+            steps: Cell::new(0),
+        }
+    }
+
+    /// One relaxed load per call — the same fast-path budget as the obs
+    /// enabled-flag — with the clock consulted only every ~1k steps.
+    #[inline]
+    fn cancelled(&self) -> bool {
+        let mut steps = self.steps.get();
+        let stop = self.token.should_stop(&mut steps);
+        self.steps.set(steps);
+        stop
+    }
 }
 
 /// Returns the match pattern of `atom` under `h`: bound positions carry
@@ -82,7 +112,11 @@ fn search<F: FnMut(&Mapping) -> Found>(
     h: &mut Mapping,
     on_hom: &mut F,
     config: BacktrackConfig,
+    ctl: &Ctl<'_>,
 ) -> Found {
+    if ctl.cancelled() {
+        return Found::Cancelled;
+    }
     // Pick the next unprocessed atom: most constrained first by default,
     // fixed input order under the ablation config.
     let next = if config.dynamic_order {
@@ -139,11 +173,14 @@ fn search<F: FnMut(&Mapping) -> Found>(
                 }
             }
             if ok {
-                if let Found::Stop = search(db, atoms, done, h, on_hom, config) {
-                    for v in added {
-                        h.remove(v);
+                match search(db, atoms, done, h, on_hom, config, ctl) {
+                    Found::Continue => {}
+                    stop => {
+                        for v in added {
+                            h.remove(v);
+                        }
+                        return stop;
                     }
-                    return Found::Stop;
                 }
             }
             for v in added {
@@ -171,12 +208,36 @@ pub fn extend_all_config(
     seed: &Mapping,
     config: BacktrackConfig,
 ) -> Vec<Mapping> {
+    try_extend_all_config(db, atoms, seed, config, CancelToken::never())
+        .expect("the never token cannot cancel")
+}
+
+/// [`extend_all`] under a cancel token: `Err(Cancelled)` if the token
+/// fires mid-search, discarding partial results.
+pub fn try_extend_all(
+    db: &Database,
+    atoms: &[Atom],
+    seed: &Mapping,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    try_extend_all_config(db, atoms, seed, BacktrackConfig::default(), token)
+}
+
+/// [`try_extend_all`] with explicit search tunables.
+pub fn try_extend_all_config(
+    db: &Database,
+    atoms: &[Atom],
+    seed: &Mapping,
+    config: BacktrackConfig,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
     let _span = wdpt_obs::span!("cq.backtrack.extend_all");
     let refs: Vec<&Atom> = atoms.iter().collect();
     let mut done = vec![false; refs.len()];
     let mut h = relevant_seed(atoms, seed);
     let mut out = Vec::new();
-    search(
+    let ctl = Ctl::new(token);
+    match search(
         db,
         &refs,
         &mut done,
@@ -186,8 +247,11 @@ pub fn extend_all_config(
             Found::Continue
         },
         config,
-    );
-    out
+        &ctl,
+    ) {
+        Found::Cancelled => Err(Cancelled),
+        _ => Ok(out),
+    }
 }
 
 /// True iff at least one homomorphism extending `seed` exists.
@@ -202,14 +266,46 @@ pub fn extend_exists_config(
     seed: &Mapping,
     config: BacktrackConfig,
 ) -> bool {
+    try_extend_exists_config(db, atoms, seed, config, CancelToken::never())
+        .expect("the never token cannot cancel")
+}
+
+/// [`extend_exists`] under a cancel token.
+pub fn try_extend_exists(
+    db: &Database,
+    atoms: &[Atom],
+    seed: &Mapping,
+    token: &CancelToken,
+) -> Result<bool, Cancelled> {
+    try_extend_exists_config(db, atoms, seed, BacktrackConfig::default(), token)
+}
+
+/// [`try_extend_exists`] with explicit search tunables.
+pub fn try_extend_exists_config(
+    db: &Database,
+    atoms: &[Atom],
+    seed: &Mapping,
+    config: BacktrackConfig,
+    token: &CancelToken,
+) -> Result<bool, Cancelled> {
     let _span = wdpt_obs::span!("cq.backtrack.extend_exists");
     let refs: Vec<&Atom> = atoms.iter().collect();
     let mut done = vec![false; refs.len()];
     let mut h = relevant_seed(atoms, seed);
-    matches!(
-        search(db, &refs, &mut done, &mut h, &mut |_| Found::Stop, config),
-        Found::Stop
-    )
+    let ctl = Ctl::new(token);
+    match search(
+        db,
+        &refs,
+        &mut done,
+        &mut h,
+        &mut |_| Found::Stop,
+        config,
+        &ctl,
+    ) {
+        Found::Cancelled => Err(Cancelled),
+        Found::Stop => Ok(true),
+        Found::Continue => Ok(false),
+    }
 }
 
 /// Restricts `seed` to the variables occurring in `atoms` so that returned
@@ -228,6 +324,7 @@ pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Vec<Mapping> {
     let refs: Vec<&Atom> = q.body().iter().collect();
     let mut done = vec![false; refs.len()];
     let mut h = Mapping::empty();
+    let ctl = Ctl::new(CancelToken::never());
     search(
         db,
         &refs,
@@ -238,6 +335,7 @@ pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Vec<Mapping> {
             Found::Continue
         },
         BacktrackConfig::default(),
+        &ctl,
     );
     out.into_iter().collect()
 }
@@ -391,6 +489,38 @@ mod tests {
             delta.nodes_expanded <= 500,
             "selective atom was not processed first: {} nodes",
             delta.nodes_expanded
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_search() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z)").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            try_extend_all(&db, &atoms, &Mapping::empty(), &token),
+            Err(Cancelled)
+        );
+        assert_eq!(
+            try_extend_exists(&db, &atoms, &Mapping::empty(), &token),
+            Err(Cancelled)
+        );
+        // A live token behaves exactly like the plain entry points.
+        let live = CancelToken::new();
+        let homs = try_extend_all(&db, &atoms, &Mapping::empty(), &live).unwrap();
+        assert_eq!(homs, extend_all(&db, &atoms, &Mapping::empty()));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_search() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z)").unwrap();
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        token.poll_deadline(); // latch the expiry
+        assert_eq!(
+            try_extend_all(&db, &atoms, &Mapping::empty(), &token),
+            Err(Cancelled)
         );
     }
 

@@ -13,11 +13,11 @@
 //! with the image, repeat. Worst-case exponential — cores are NP-hard to
 //! recognize — but fast for the query sizes of the paper's constructions.
 
-use crate::backtrack::extend_all;
+use crate::backtrack::try_extend_all;
 use crate::containment::freeze;
 use crate::query::ConjunctiveQuery;
 use std::collections::{BTreeMap, BTreeSet};
-use wdpt_model::{Atom, Const, Interner, Mapping, Term, Var};
+use wdpt_model::{Atom, CancelToken, Cancelled, Const, Interner, Mapping, Term, Var};
 
 /// Applies an endomorphism (expressed as variable → frozen-constant mapping
 /// plus the unfreeze table) to the body, yielding the image subquery.
@@ -46,12 +46,24 @@ fn image_of(body: &[Atom], hom: &Mapping, unfreeze: &BTreeMap<Const, Var>) -> Ve
 /// Computes the core of `q` (head variables are fixed pointwise). The result
 /// is equivalent to `q` and has no proper retract.
 pub fn core_of(q: &ConjunctiveQuery, interner: &mut Interner) -> ConjunctiveQuery {
+    try_core_of(q, interner, CancelToken::never()).expect("the never token cannot cancel")
+}
+
+/// [`core_of`] with cooperative cancellation: the endomorphism enumeration
+/// is worst-case exponential in the query size (e.g. the n-fold cross
+/// product of one atom has `nⁿ` endomorphisms), so callers planning
+/// untrusted queries under a deadline thread their token through here too.
+pub fn try_core_of(
+    q: &ConjunctiveQuery,
+    interner: &mut Interner,
+    token: &CancelToken,
+) -> Result<ConjunctiveQuery, Cancelled> {
     let mut current = q.clone();
     loop {
         let (db, table) = freeze(&current, interner);
         let unfreeze: BTreeMap<Const, Var> = table.iter().map(|(&v, &c)| (c, v)).collect();
         let seed = Mapping::from_pairs(current.head().iter().map(|&x| (x, table[&x])));
-        let endos = extend_all(&db, current.body(), &seed);
+        let endos = try_extend_all(&db, current.body(), &seed, token)?;
         let n_atoms = current.body().len();
         let n_vars = current.variables().len();
         // Pick the endomorphism with the smallest image, if any shrinks it.
@@ -68,7 +80,7 @@ pub fn core_of(q: &ConjunctiveQuery, interner: &mut Interner) -> ConjunctiveQuer
             Some((_, _, img)) => {
                 current = ConjunctiveQuery::new(current.head().to_vec(), img);
             }
-            None => return current,
+            None => return Ok(current),
         }
     }
 }
@@ -164,6 +176,15 @@ mod tests {
         let query = q(&mut i, &[], "e(?x, a) e(?y, a)");
         let core = core_of(&query, &mut i);
         assert_eq!(core.body().len(), 1);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_core_computation() {
+        let mut i = Interner::new();
+        let query = q(&mut i, &[], "e(?a,?b) e(?c,?d) e(?x,?y)");
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(try_core_of(&query, &mut i, &token), Err(Cancelled));
     }
 
     #[test]

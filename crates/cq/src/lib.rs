@@ -31,9 +31,11 @@ pub mod quotient;
 pub mod structured;
 pub mod widths;
 
-pub use backtrack::{evaluate, extend_all, extend_exists, BacktrackConfig};
+pub use backtrack::{
+    evaluate, extend_all, extend_exists, try_extend_all, try_extend_exists, BacktrackConfig,
+};
 pub use containment::{contained_in, equivalent, freeze};
-pub use core_of::core_of;
+pub use core_of::{core_of, try_core_of};
 pub use counting::count_homomorphisms;
 pub use query::ConjunctiveQuery;
 pub use structured::{boolean_eval_structured, enumerate_projections, StructuredPlan};

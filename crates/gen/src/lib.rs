@@ -23,7 +23,7 @@ pub mod rng;
 pub mod trees;
 
 pub use db::{path_graph_db, random_graph_db};
-pub use music::music_catalog;
+pub use music::{music_catalog, music_triples};
 pub use reductions::{three_col_instance, ThreeColInstance};
 pub use rng::Lcg;
 pub use trees::{chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt};

@@ -78,6 +78,39 @@ pub fn music_catalog(interner: &mut Interner, params: MusicParams) -> Database {
     db
 }
 
+/// The same catalog rendered as an RDF triple store over the reserved
+/// `triple(subject, predicate, object)` relation — the schema that
+/// `wdpt-sparql` queries compile to, and the default dataset `wdpt-serve`
+/// loads with `--gen-music`. Predicate names of the binary schema become
+/// predicate *constants* here: `rec_by(r, b)` ⇒ `triple(r, rec_by, b)`.
+/// Same seed ⇒ the same catalog as [`music_catalog`], fact for fact.
+pub fn music_triples(interner: &mut Interner, params: MusicParams) -> wdpt_sparql::TripleStore {
+    let mut r = rng(params.seed);
+    let mut ts = wdpt_sparql::TripleStore::new();
+    for b in 0..params.bands {
+        let band = format!("band{b}");
+        if r.gen_bool(params.formed_in_probability) {
+            let year = format!("{}", 1960 + r.gen_range(0..60));
+            ts.insert_str(interner, &band, "formed_in", &year);
+        }
+        for t in 0..params.records_per_band {
+            let record = format!("record{b}_{t}");
+            ts.insert_str(interner, &record, "rec_by", &band);
+            let era = if r.gen_bool(params.recent_fraction) {
+                "after_2010"
+            } else {
+                "before_2010"
+            };
+            ts.insert_str(interner, &record, "publ", era);
+            if r.gen_bool(params.rating_probability) {
+                let rating = format!("{}", 1 + r.gen_range(0..10));
+                ts.insert_str(interner, &record, "nme_rating", &rating);
+            }
+        }
+    }
+    ts
+}
+
 /// The Figure 1 WDPT over the binary music schema (Example 8 rendering),
 /// with all four variables free.
 pub fn figure1_wdpt(interner: &mut Interner) -> wdpt_core::Wdpt {
@@ -151,6 +184,32 @@ mod tests {
         for h in answers.iter().take(5) {
             assert!(wdpt_core::eval_bounded_interface(&p, &db, h, Engine::Tw(1)));
         }
+    }
+
+    #[test]
+    fn triple_catalog_matches_binary_catalog() {
+        let mut i = Interner::new();
+        let params = MusicParams {
+            bands: 8,
+            records_per_band: 2,
+            ..Default::default()
+        };
+        let db = music_catalog(&mut i, params);
+        let ts = music_triples(&mut i, params);
+        // Fact for fact: each binary fact corresponds to one triple.
+        assert_eq!(db.size(), ts.len());
+        // The Figure 1 query in SPARQL form over the triple store yields
+        // exactly the relational WDPT's answers over the binary catalog.
+        let p_rel = figure1_wdpt(&mut i);
+        let rel_answers = evaluate(&p_rel, &db);
+        let q = wdpt_sparql::parse_query(
+            &mut i,
+            r#"(((?x, rec_by, ?y) AND (?x, publ, "after_2010"))
+                 OPT (?x, nme_rating, ?z)) OPT (?y, formed_in, ?z2)"#,
+        )
+        .unwrap();
+        let sparql_answers = q.evaluate(&ts, &mut i).unwrap();
+        assert_eq!(sparql_answers, rel_answers);
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //!   tests, examples and generators.
 //! * [`stats`] — process-wide engine counters (index builds/probes, tuples
 //!   scanned, nodes expanded) that make the hot path observable.
+//! * [`cancel`] — cooperative cancellation tokens with optional deadlines,
+//!   polled by the evaluation loops (one relaxed load per backtrack step).
 
 pub mod atom;
+pub mod cancel;
 pub mod database;
 pub mod interner;
 pub mod mapping;
@@ -32,6 +35,7 @@ pub mod stats;
 pub mod term;
 
 pub use atom::Atom;
+pub use cancel::{CancelToken, Cancelled};
 pub use database::{Database, Relation};
 pub use interner::Interner;
 pub use mapping::Mapping;

@@ -1,10 +1,16 @@
 //! A minimal in-tree JSON value: writer for profile / benchmark output and
-//! a recursive-descent parser for the `json_check` smoke-test binary. No
-//! external dependencies; covers exactly the JSON this workspace emits
-//! (objects, arrays, strings, finite numbers, booleans, null).
+//! a recursive-descent parser for the `json_check` smoke-test binary and
+//! the `wdpt-serve` wire protocol. No external dependencies; covers exactly
+//! the JSON this workspace emits (objects, arrays, strings, finite numbers,
+//! booleans, null).
+//!
+//! [`write_json_line`] / [`read_json_line`] are the one line = one document
+//! framing shared by every JSON surface in the workspace: the `--json` mode
+//! of the bench binaries, `json_check`, and the query-service protocol.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::{self, BufRead, Write};
 
 /// A JSON value. Object keys are kept in a `BTreeMap` so output is
 /// deterministic regardless of insertion order.
@@ -140,6 +146,33 @@ impl fmt::Display for Json {
                 f.write_str("}")
             }
         }
+    }
+}
+
+/// Writes `value` as exactly one newline-terminated line. The writer never
+/// emits a raw newline inside a document (strings escape `\n`), so the
+/// framing is unambiguous.
+pub fn write_json_line<W: Write>(w: &mut W, value: &Json) -> io::Result<()> {
+    writeln!(w, "{value}")
+}
+
+/// Reads the next newline-delimited JSON document from `r`, skipping blank
+/// lines. `Ok(None)` at end of input; a line that fails to parse is an
+/// [`io::ErrorKind::InvalidData`] error carrying the parser's message.
+pub fn read_json_line<R: BufRead>(r: &mut R) -> io::Result<Option<Json>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return Json::parse(trimmed)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
     }
 }
 
@@ -353,6 +386,46 @@ mod tests {
         assert_eq!(arr[0].as_num(), Some(1.0));
         assert_eq!(arr[1].as_num(), Some(-25.0));
         assert_eq!(arr[2].as_str(), Some("aA\tb"));
+    }
+
+    #[test]
+    fn line_framing_round_trips_escapes_and_non_ascii() {
+        // Strings with every escape class the writer produces, plus
+        // non-ASCII (both 2-byte and 4-byte UTF-8) which is written raw.
+        let docs = vec![
+            Json::obj([
+                (
+                    "query",
+                    Json::str("SELECT ?x WHERE { (?x, \"a\\b\", \"line\nbreak\") }"),
+                ),
+                ("label", Json::str("naïve τ ≤ 2 — δείγμα 🎶")),
+                ("tab", Json::str("a\tb\rc\u{1}d")),
+            ]),
+            Json::obj([("status", Json::str("ok")), ("answers", Json::int(3))]),
+        ];
+        let mut buf = Vec::new();
+        for d in &docs {
+            write_json_line(&mut buf, d).unwrap();
+        }
+        // Framing: exactly one '\n' per document, none embedded.
+        assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), docs.len());
+        let mut r = io::BufReader::new(&buf[..]);
+        for d in &docs {
+            assert_eq!(read_json_line(&mut r).unwrap().as_ref(), Some(d));
+        }
+        assert_eq!(read_json_line(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn read_json_line_skips_blanks_and_flags_garbage() {
+        let text = "\n  \n{\"a\":1}\nnot json\n";
+        let mut r = io::BufReader::new(text.as_bytes());
+        assert_eq!(
+            read_json_line(&mut r).unwrap(),
+            Some(Json::obj([("a", Json::int(1))]))
+        );
+        let err = read_json_line(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

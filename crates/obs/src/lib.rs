@@ -30,7 +30,7 @@ pub mod metrics;
 pub mod profile;
 pub mod span;
 
-pub use json::Json;
+pub use json::{read_json_line, write_json_line, Json};
 pub use metrics::{
     metrics_snapshot, Counter, CounterDelta, HistogramDelta, HistogramSnapshot, MetricsSnapshot,
 };

@@ -1,0 +1,450 @@
+//! `loadgen` — concurrent client for `wdpt-serve`.
+//!
+//! Drives the server with N concurrent connections and checks the
+//! responses, exercising every protocol path: valid queries (repeated and
+//! α-renamed, so the plan cache gets hits), malformed queries (parse and
+//! validation errors), deadline-exceeding queries (cancellation), and —
+//! in `flood` mode — enough simultaneous work to trip backpressure.
+//!
+//! Exit status: 0 when every per-mode assertion held, 1 on assertion
+//! failure, 2 on connection/setup failure.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wdpt_obs::{read_json_line, write_json_line, Json};
+
+const USAGE: &str = "\
+loadgen: concurrent load generator for wdpt-serve
+
+USAGE:
+    loadgen [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT   server address [default: 127.0.0.1:7878]
+    --clients N        concurrent connections [default: 8]
+    --requests N       requests per connection [default: 50]
+    --mode MODE        mix | repeat | replan | flood | deadline [default: mix]
+                       mix:      valid (repeated + renamed) and invalid
+                                 queries, small deadline sprinkled in
+                       repeat:   one query repeated (plan-cache throughput)
+                       replan:   one *expensive-to-plan* query repeated;
+                                 run against a tiny catalog to isolate
+                                 planning cost (plan-cache ablation)
+                       flood:    heavy queries, expects >=1 overloaded
+                       deadline: heavy queries under a tight deadline,
+                                 expects cancelled responses
+    --deadline-ms MS   deadline for the deadline/mix heavy queries
+                       [default: 150]
+    --shutdown         send a shutdown op after the run
+    --json             emit a one-line JSON summary on stdout
+    --help             print this help
+";
+
+/// The Figure 1 / Example 1 query over the generated music catalog.
+const BASE_QUERY: &str = r#"SELECT ?x ?y ?z WHERE { (((?x, rec_by, ?y) AND (?x, publ, "after_2010")) OPT (?x, nme_rating, ?z)) OPT (?y, formed_in, ?w) }"#;
+/// The same query α-renamed — must hit the same plan-cache entry.
+const RENAMED_QUERY: &str = r#"SELECT ?a ?b ?c WHERE { (((?a, rec_by, ?b) AND (?a, publ, "after_2010")) OPT (?a, nme_rating, ?c)) OPT (?b, formed_in, ?d) }"#;
+/// Parse error: a triple pattern needs three terms.
+const INVALID_QUERY: &str = "SELECT ?x WHERE { (?x, rec_by) }";
+/// Validation error: duplicate SELECT variable.
+const DUPLICATE_SELECT: &str = "SELECT ?x ?x WHERE { (?x, rec_by, ?y) }";
+/// A 4-way cross product over distinct predicates: trivial to plan (each
+/// atom has a unique predicate, so the core's endomorphism search is
+/// instant) but big enough to outlive tight deadlines and keep workers
+/// busy in flood mode.
+const HEAVY_QUERY: &str =
+    "((((?a, rec_by, ?b) AND (?c, rec_by, ?d)) AND (?e, publ, ?f)) AND (?g, nme_rating, ?h))";
+/// The opposite trade-off: a 6-way cross product over ONE predicate. The
+/// core computation must enumerate 6⁶ endomorphisms, so *planning* is the
+/// dominant cost; run it against a tiny catalog (`--gen-music 2x1`) and
+/// evaluation is trivial. Repeating it isolates what the plan cache buys.
+const PLAN_HEAVY_QUERY: &str = "(((((?a, rec_by, ?b) AND (?c, rec_by, ?d)) AND (?e, rec_by, ?f)) AND (?g, rec_by, ?h)) AND ((?i, rec_by, ?j) AND (?k, rec_by, ?l)))";
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    mode: String,
+    deadline_ms: u64,
+    shutdown: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        clients: 8,
+        requests: 50,
+        mode: "mix".to_string(),
+        deadline_ms: 150,
+        shutdown: false,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--addr" => args.addr = value("--addr")?,
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients expects a number".to_string())?
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests expects a number".to_string())?
+            }
+            "--mode" => {
+                args.mode = value("--mode")?;
+                if !matches!(
+                    args.mode.as_str(),
+                    "mix" | "repeat" | "replan" | "flood" | "deadline"
+                ) {
+                    return Err(format!("unknown mode {:?}", args.mode));
+                }
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms expects a number".to_string())?
+            }
+            "--shutdown" => args.shutdown = true,
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Aggregate tallies across all client threads.
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    rows: AtomicU64,
+    errors: AtomicU64,
+    cancelled: AtomicU64,
+    overloaded: AtomicU64,
+    cache_hits: AtomicU64,
+    failures: AtomicU64,
+    latency_us: AtomicU64,
+    max_latency_us: AtomicU64,
+}
+
+impl Tally {
+    fn fail(&self, msg: &str) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        eprintln!("loadgen: ASSERTION FAILED: {msg}");
+    }
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Connection, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        // A hung server must fail the run, not wedge it.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let writer = BufWriter::new(stream);
+        Ok(Connection { reader, writer })
+    }
+
+    /// Sends one request and reads lines until the terminal status line.
+    /// Returns `(status_line, row_count)`.
+    fn round_trip(&mut self, req: &Json) -> Result<(Json, u64), String> {
+        write_json_line(&mut self.writer, req).map_err(|e| format!("write: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut rows = 0u64;
+        loop {
+            let line = read_json_line(&mut self.reader)
+                .map_err(|e| format!("read: {e}"))?
+                .ok_or_else(|| "server closed the connection mid-response".to_string())?;
+            if line.get("kind").and_then(Json::as_str) == Some("row") {
+                rows += 1;
+                continue;
+            }
+            return Ok((line, rows));
+        }
+    }
+}
+
+fn query(id: &str, text: &str, deadline_ms: Option<u64>) -> Json {
+    let mut pairs = vec![
+        ("op".to_string(), Json::str("query")),
+        ("id".to_string(), Json::str(id)),
+        ("query".to_string(), Json::str(text)),
+    ];
+    if let Some(ms) = deadline_ms {
+        pairs.push(("deadline_ms".to_string(), Json::int(ms)));
+    }
+    Json::obj(pairs)
+}
+
+fn run_client(client: usize, args: &Args, tally: &Tally) -> Result<(), String> {
+    let mut conn = Connection::open(&args.addr)?;
+    for r in 0..args.requests {
+        let id = format!("c{client}r{r}");
+        let (req, expect) = match args.mode.as_str() {
+            "repeat" => (query(&id, BASE_QUERY, None), "ok"),
+            "replan" => (query(&id, PLAN_HEAVY_QUERY, None), "ok"),
+            "flood" => (query(&id, HEAVY_QUERY, Some(args.deadline_ms)), "any"),
+            "deadline" => (query(&id, HEAVY_QUERY, Some(args.deadline_ms)), "cancelled"),
+            _ => match r % 6 {
+                0 | 3 => (query(&id, BASE_QUERY, None), "ok"),
+                1 => (query(&id, RENAMED_QUERY, None), "ok"),
+                2 => (query(&id, INVALID_QUERY, None), "error"),
+                4 => (query(&id, DUPLICATE_SELECT, None), "error"),
+                _ => (query(&id, HEAVY_QUERY, Some(args.deadline_ms)), "any"),
+            },
+        };
+        let started = Instant::now();
+        let (status_line, rows) = conn.round_trip(&req)?;
+        let us = started.elapsed().as_micros() as u64;
+        tally.latency_us.fetch_add(us, Ordering::Relaxed);
+        tally.max_latency_us.fetch_max(us, Ordering::Relaxed);
+        tally.rows.fetch_add(rows, Ordering::Relaxed);
+
+        let status = status_line
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("missing")
+            .to_string();
+        if status_line.get("id").and_then(Json::as_str) != Some(id.as_str()) {
+            tally.fail(&format!("{id}: response id mismatch on {status_line}"));
+        }
+        match status.as_str() {
+            "ok" => {
+                tally.ok.fetch_add(1, Ordering::Relaxed);
+                if status_line.get("cache").and_then(Json::as_str) == Some("hit") {
+                    tally.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            "error" => {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            "cancelled" => {
+                tally.cancelled.fetch_add(1, Ordering::Relaxed);
+                // A cancelled query must come back within ~2x its deadline
+                // (scheduling slack aside); a cooperative check that never
+                // fires would blow far past this.
+                let budget_us = args
+                    .deadline_ms
+                    .saturating_mul(2_000)
+                    .saturating_add(500_000);
+                if us > budget_us {
+                    tally.fail(&format!(
+                        "{id}: cancelled after {us}us, over 2x the {}ms deadline",
+                        args.deadline_ms
+                    ));
+                }
+            }
+            "overloaded" => {
+                tally.overloaded.fetch_add(1, Ordering::Relaxed);
+                if status_line
+                    .get("retry_after_ms")
+                    .and_then(Json::as_num)
+                    .is_none()
+                {
+                    tally.fail(&format!("{id}: overloaded without retry_after_ms"));
+                }
+                // Honor the backpressure hint before the next request.
+                std::thread::sleep(Duration::from_millis(
+                    status_line
+                        .get("retry_after_ms")
+                        .and_then(Json::as_num)
+                        .unwrap_or(50.0) as u64,
+                ));
+            }
+            other => tally.fail(&format!("{id}: unexpected status {other:?}")),
+        }
+        match expect {
+            "ok" if status != "ok" => {
+                tally.fail(&format!("{id}: expected ok, got {status} ({status_line})"))
+            }
+            "error" if status != "error" => {
+                tally.fail(&format!("{id}: expected error, got {status}"))
+            }
+            "cancelled" if !matches!(status.as_str(), "cancelled" | "overloaded") => {
+                tally.fail(&format!("{id}: expected cancelled, got {status}"))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Reads the server's cache-hit counter via a `stats` op.
+fn server_stats(addr: &str) -> Result<Json, String> {
+    let mut conn = Connection::open(addr)?;
+    let (line, _) = conn.round_trip(&Json::obj([("op", Json::str("stats"))]))?;
+    Ok(line)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let tally = Arc::new(Tally::default());
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let args = args.clone();
+            let tally = Arc::clone(&tally);
+            std::thread::spawn(move || run_client(c, &args, &tally))
+        })
+        .collect();
+    let mut connect_failures = 0;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                eprintln!("loadgen: client failed: {e}");
+                connect_failures += 1;
+            }
+            Err(_) => {
+                eprintln!("loadgen: client thread panicked");
+                connect_failures += 1;
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    // Per-mode aggregate assertions.
+    let responded = tally.ok.load(Ordering::Relaxed)
+        + tally.errors.load(Ordering::Relaxed)
+        + tally.cancelled.load(Ordering::Relaxed)
+        + tally.overloaded.load(Ordering::Relaxed);
+    let expected = (args.clients * args.requests) as u64;
+    if connect_failures == 0 && responded != expected {
+        tally.fail(&format!("{responded} responses to {expected} requests"));
+    }
+    match args.mode.as_str() {
+        "flood" if tally.overloaded.load(Ordering::Relaxed) == 0 => {
+            tally.fail("flood mode saw no overloaded responses");
+        }
+        "deadline" if tally.cancelled.load(Ordering::Relaxed) == 0 => {
+            tally.fail("deadline mode saw no cancelled responses");
+        }
+        "mix" => {
+            if tally.ok.load(Ordering::Relaxed) == 0 {
+                tally.fail("mix mode saw no ok responses");
+            }
+            if tally.errors.load(Ordering::Relaxed) == 0 {
+                tally.fail("mix mode saw no error responses");
+            }
+        }
+        _ => {}
+    }
+
+    let stats = server_stats(&args.addr).ok();
+    if args.shutdown {
+        if let Ok(mut conn) = Connection::open(&args.addr) {
+            let _ = conn.round_trip(&Json::obj([("op", Json::str("shutdown"))]));
+        }
+    }
+
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let throughput = responded as f64 / wall.as_secs_f64().max(1e-9);
+    let mean_latency_ms = if responded > 0 {
+        tally.latency_us.load(Ordering::Relaxed) as f64 / responded as f64 / 1_000.0
+    } else {
+        0.0
+    };
+    let server_hits = stats
+        .as_ref()
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get("serve.plan_cache.hit"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0) as u64;
+
+    if args.json {
+        let summary = Json::obj([
+            ("mode".to_string(), Json::str(args.mode.clone())),
+            ("clients".to_string(), Json::int(args.clients as u64)),
+            ("requests".to_string(), Json::int(expected)),
+            ("responded".to_string(), Json::int(responded)),
+            ("ok".to_string(), Json::int(ok)),
+            (
+                "rows".to_string(),
+                Json::int(tally.rows.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors".to_string(),
+                Json::int(tally.errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "cancelled".to_string(),
+                Json::int(tally.cancelled.load(Ordering::Relaxed)),
+            ),
+            (
+                "overloaded".to_string(),
+                Json::int(tally.overloaded.load(Ordering::Relaxed)),
+            ),
+            (
+                "client_cache_hits".to_string(),
+                Json::int(tally.cache_hits.load(Ordering::Relaxed)),
+            ),
+            ("server_cache_hits".to_string(), Json::int(server_hits)),
+            ("wall_secs".to_string(), Json::num(wall.as_secs_f64())),
+            ("req_per_sec".to_string(), Json::num(throughput)),
+            ("mean_latency_ms".to_string(), Json::num(mean_latency_ms)),
+            (
+                "max_latency_ms".to_string(),
+                Json::num(tally.max_latency_us.load(Ordering::Relaxed) as f64 / 1_000.0),
+            ),
+            (
+                "failures".to_string(),
+                Json::int(tally.failures.load(Ordering::Relaxed) + connect_failures),
+            ),
+        ]);
+        let mut out = std::io::stdout().lock();
+        let _ = write_json_line(&mut out, &summary);
+    } else {
+        println!(
+            "loadgen[{}]: {responded}/{expected} responded in {:.2}s ({throughput:.0} req/s); \
+             ok {ok}, rows {}, errors {}, cancelled {}, overloaded {}; \
+             cache hits seen {} (server total {server_hits}); \
+             latency mean {mean_latency_ms:.1}ms max {:.1}ms",
+            args.mode,
+            wall.as_secs_f64(),
+            tally.rows.load(Ordering::Relaxed),
+            tally.errors.load(Ordering::Relaxed),
+            tally.cancelled.load(Ordering::Relaxed),
+            tally.overloaded.load(Ordering::Relaxed),
+            tally.cache_hits.load(Ordering::Relaxed),
+            tally.max_latency_us.load(Ordering::Relaxed) as f64 / 1_000.0,
+        );
+    }
+
+    if connect_failures > 0 {
+        ExitCode::from(2)
+    } else if tally.failures.load(Ordering::Relaxed) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,197 @@
+//! `wdpt-serve` — run the concurrent WDPT query service.
+//!
+//! ```text
+//! wdpt-serve --db music.nt --threads 8
+//! wdpt-serve --gen-music 200x4 --addr 127.0.0.1:7878
+//! ```
+//!
+//! Datasets come from `--db [name=]PATH` (repeatable; the first one is the
+//! default) or, when none is given, from `--gen-music` (the paper's music
+//! catalog as triples). The protocol is newline-delimited JSON; see
+//! `DESIGN.md` § "The query service".
+
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::path::Path;
+use std::process::ExitCode;
+use wdpt_gen::music::MusicParams;
+use wdpt_model::{Database, Interner};
+use wdpt_serve::{load_database, serve, ServeConfig, ServeState};
+
+const USAGE: &str = "\
+wdpt-serve: serve SPARQL {AND, OPT} queries over TCP (newline-delimited JSON)
+
+USAGE:
+    wdpt-serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT          listen address [default: 127.0.0.1:7878]
+    --db [NAME=]PATH          load a dataset (N-Triples or facts format);
+                              repeatable, first one is the default database
+    --gen-music BANDSxRECORDS generate the music catalog instead of loading
+                              a file (used when no --db is given)
+                              [default when no --db: 100x4]
+    --threads N               evaluation worker threads [default: 4]
+    --eval-threads N          threads inside one evaluation [default: 2]
+    --queue N                 bounded queue depth (backpressure threshold)
+                              [default: 64]
+    --default-deadline-ms MS  deadline when the request names none
+                              [default: 10000]
+    --max-deadline-ms MS      clamp on requested deadlines [default: 60000]
+    --max-rows N              default cap on streamed rows [default: 1000]
+    --no-plan-cache           disable the plan cache (ablation)
+    --cache-capacity N        plan-cache entries [default: 256]
+    --help                    print this help
+";
+
+struct Args {
+    addr: String,
+    dbs: Vec<(String, String)>,
+    gen_music: Option<(usize, usize)>,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        dbs: Vec::new(),
+        gen_music: None,
+        cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--addr" => args.addr = value("--addr")?,
+            "--db" => {
+                let spec = value("--db")?;
+                let (name, path) = match spec.split_once('=') {
+                    Some((n, p)) => (n.to_string(), p.to_string()),
+                    None => {
+                        let stem = Path::new(&spec)
+                            .file_stem()
+                            .and_then(|s| s.to_str())
+                            .unwrap_or("db")
+                            .to_string();
+                        (stem, spec)
+                    }
+                };
+                args.dbs.push((name, path));
+            }
+            "--gen-music" => {
+                let spec = value("--gen-music")?;
+                let (bands, records) = match spec.split_once('x') {
+                    Some((b, r)) => (
+                        b.parse().map_err(|_| format!("bad --gen-music {spec:?}"))?,
+                        r.parse().map_err(|_| format!("bad --gen-music {spec:?}"))?,
+                    ),
+                    None => (
+                        spec.parse()
+                            .map_err(|_| format!("bad --gen-music {spec:?}"))?,
+                        4,
+                    ),
+                };
+                args.gen_music = Some((bands, records));
+            }
+            "--threads" => args.cfg.workers = num(&flag, &value("--threads")?)?,
+            "--eval-threads" => args.cfg.eval_threads = num(&flag, &value("--eval-threads")?)?,
+            "--queue" => args.cfg.queue_capacity = num(&flag, &value("--queue")?)?,
+            "--default-deadline-ms" => {
+                args.cfg.default_deadline_ms = num(&flag, &value("--default-deadline-ms")?)? as u64
+            }
+            "--max-deadline-ms" => {
+                args.cfg.max_deadline_ms = num(&flag, &value("--max-deadline-ms")?)? as u64
+            }
+            "--max-rows" => args.cfg.max_rows = num(&flag, &value("--max-rows")?)?,
+            "--no-plan-cache" => args.cfg.plan_cache = false,
+            "--cache-capacity" => {
+                args.cfg.cache_capacity = num(&flag, &value("--cache-capacity")?)?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn num(flag: &str, text: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} expects a number, got {text:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut interner = Interner::new();
+    let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
+    let mut default_db = String::new();
+    for (name, path) in &args.dbs {
+        match load_database(&mut interner, Path::new(path)) {
+            Ok(db) => {
+                eprintln!("loaded {name:?}: {} facts from {path}", db.size());
+                if default_db.is_empty() {
+                    default_db = name.clone();
+                }
+                dbs.insert(name.clone(), db);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if dbs.is_empty() {
+        let (bands, records_per_band) = args.gen_music.unwrap_or((100, 4));
+        let params = MusicParams {
+            bands,
+            records_per_band,
+            ..MusicParams::default()
+        };
+        let ts = wdpt_gen::music_triples(&mut interner, params);
+        eprintln!(
+            "generated \"music\": {} triples ({bands} bands x {records_per_band} records)",
+            ts.len()
+        );
+        dbs.insert("music".to_string(), ts.into_database());
+        default_db = "music".to_string();
+    }
+
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let local = listener.local_addr().map(|a| a.to_string());
+    let state = ServeState::new(args.cfg, interner, dbs, default_db);
+    // Line-buffered so harnesses waiting for readiness see it immediately.
+    println!(
+        "wdpt-serve listening on {} ({} workers, queue {}, plan cache {})",
+        local.as_deref().unwrap_or(&args.addr),
+        state.cfg.workers,
+        state.cfg.queue_capacity,
+        if state.cfg.plan_cache { "on" } else { "off" },
+    );
+    match serve(listener, state) {
+        Ok(()) => {
+            println!("wdpt-serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

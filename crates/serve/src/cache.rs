@@ -1,0 +1,352 @@
+//! The plan cache: canonical query keys and memoized per-query artifacts.
+//!
+//! Decompositions and cores are the expensive per-query work — they depend
+//! only on the query's *structure*, not on which database it runs against
+//! or what its variables are called. The cache therefore keys on the
+//! query's **canonical form**: variables α-renamed to `#0, #1, …` in order
+//! of first occurrence over a fixed pre-order traversal (triple subjects
+//! before predicates before objects, left operands before right). Two
+//! queries that differ only by variable names — or by constant spelling,
+//! since `after_2010` and `"after_2010"` intern to the same constant — map
+//! to the same key and share one [`Plan`].
+//!
+//! A cached [`Plan`] lives in canonical variable space; each request keeps
+//! its own first-occurrence variable list ([`CanonicalQuery::request_vars`])
+//! to translate answer bindings back to the names the client wrote.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use wdpt_core::Wdpt;
+use wdpt_cq::{in_hw, treewidth_of, try_core_of};
+use wdpt_model::{CancelToken, Cancelled, Interner, Term, Var};
+use wdpt_obs::counter;
+use wdpt_sparql::algebra::SparqlError;
+use wdpt_sparql::{GraphPattern, SparqlQuery, TriplePattern};
+
+/// Why a plan could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The query is invalid (not well-designed, bad projection).
+    Sparql(SparqlError),
+    /// The request's deadline expired while planning — the endomorphism
+    /// search inside the core computation is itself worst-case exponential.
+    Cancelled,
+}
+
+impl From<SparqlError> for PlanError {
+    fn from(e: SparqlError) -> PlanError {
+        PlanError::Sparql(e)
+    }
+}
+
+impl From<Cancelled> for PlanError {
+    fn from(_: Cancelled) -> PlanError {
+        PlanError::Cancelled
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Sparql(e) => e.fmt(f),
+            PlanError::Cancelled => f.write_str("deadline expired during plan building"),
+        }
+    }
+}
+
+/// A query reduced to canonical form, plus what is needed to translate
+/// canonical answers back into the request's vocabulary.
+#[derive(Debug, Clone)]
+pub struct CanonicalQuery {
+    /// The cache key: an unambiguous structural rendering of the
+    /// canonicalized query.
+    pub key: String,
+    /// The query with variables α-renamed to `#0, #1, …`.
+    pub canon: SparqlQuery,
+    /// The request's variable names in first-occurrence order: index `k`
+    /// is the name that became canonical variable `#k`.
+    pub request_vars: Vec<String>,
+}
+
+/// The canonical variable `#k`.
+pub fn canon_var(i: &mut Interner, k: usize) -> Var {
+    // '#' cannot appear in a parsed identifier, so canonical names can
+    // never collide with request variables.
+    i.var(&format!("#{k}"))
+}
+
+/// α-renames `q` into canonical form and renders its cache key.
+pub fn canonicalize(q: &SparqlQuery, i: &mut Interner) -> CanonicalQuery {
+    let mut numbering: HashMap<Var, usize> = HashMap::new();
+    let mut request_vars: Vec<String> = Vec::new();
+    let pattern = rename_pattern(&q.pattern, i, &mut numbering, &mut request_vars);
+    let select = q.select.as_ref().map(|sel| {
+        sel.iter()
+            .map(|v| {
+                let k = numbering
+                    .get(v)
+                    .copied()
+                    .expect("parser guarantees SELECT vars occur in the pattern");
+                canon_var(i, k)
+            })
+            .collect::<Vec<_>>()
+    });
+    let canon = SparqlQuery { pattern, select };
+    let key = render_key(&canon, i, &numbering);
+    CanonicalQuery {
+        key,
+        canon,
+        request_vars,
+    }
+}
+
+fn rename_pattern(
+    p: &GraphPattern,
+    i: &mut Interner,
+    numbering: &mut HashMap<Var, usize>,
+    request_vars: &mut Vec<String>,
+) -> GraphPattern {
+    match p {
+        GraphPattern::Triple(t) => GraphPattern::Triple(TriplePattern {
+            s: rename_term(t.s, i, numbering, request_vars),
+            p: rename_term(t.p, i, numbering, request_vars),
+            o: rename_term(t.o, i, numbering, request_vars),
+        }),
+        GraphPattern::And(a, b) => GraphPattern::And(
+            Box::new(rename_pattern(a, i, numbering, request_vars)),
+            Box::new(rename_pattern(b, i, numbering, request_vars)),
+        ),
+        GraphPattern::Opt(a, b) => GraphPattern::Opt(
+            Box::new(rename_pattern(a, i, numbering, request_vars)),
+            Box::new(rename_pattern(b, i, numbering, request_vars)),
+        ),
+    }
+}
+
+fn rename_term(
+    t: Term,
+    i: &mut Interner,
+    numbering: &mut HashMap<Var, usize>,
+    request_vars: &mut Vec<String>,
+) -> Term {
+    match t {
+        Term::Const(_) => t,
+        Term::Var(v) => {
+            let k = match numbering.get(&v) {
+                Some(&k) => k,
+                None => {
+                    let k = request_vars.len();
+                    numbering.insert(v, k);
+                    request_vars.push(i.var_name(v).to_string());
+                    k
+                }
+            };
+            Term::Var(canon_var(i, k))
+        }
+    }
+}
+
+/// Structural key rendering. Variables print as `Vk`, constants as their
+/// `Debug`-escaped name (so a constant literally spelled `V0` renders as
+/// `C"V0"` and cannot collide), operators as `A[..]`/`O[..]`.
+fn render_key(q: &SparqlQuery, i: &Interner, _numbering: &HashMap<Var, usize>) -> String {
+    fn term(t: Term, i: &Interner, out: &mut String) {
+        match t {
+            Term::Var(v) => {
+                // Canonical names are "#k"; strip the marker for the key.
+                out.push('V');
+                out.push_str(&i.var_name(v)[1..]);
+            }
+            Term::Const(c) => {
+                out.push('C');
+                out.push_str(&format!("{:?}", i.const_name(c)));
+            }
+        }
+    }
+    fn pat(p: &GraphPattern, i: &Interner, out: &mut String) {
+        match p {
+            GraphPattern::Triple(t) => {
+                out.push('(');
+                term(t.s, i, out);
+                out.push(' ');
+                term(t.p, i, out);
+                out.push(' ');
+                term(t.o, i, out);
+                out.push(')');
+            }
+            GraphPattern::And(a, b) => {
+                out.push_str("A[");
+                pat(a, i, out);
+                pat(b, i, out);
+                out.push(']');
+            }
+            GraphPattern::Opt(a, b) => {
+                out.push_str("O[");
+                pat(a, i, out);
+                pat(b, i, out);
+                out.push(']');
+            }
+        }
+    }
+    let mut out = String::new();
+    match &q.select {
+        None => out.push_str("S*"),
+        Some(sel) => {
+            out.push_str("S[");
+            for (j, v) in sel.iter().enumerate() {
+                if j > 0 {
+                    out.push(' ');
+                }
+                out.push('V');
+                out.push_str(&i.var_name(*v)[1..]);
+            }
+            out.push(']');
+        }
+    }
+    out.push(' ');
+    pat(&q.pattern, i, &mut out);
+    out
+}
+
+/// Per-tree-node metadata memoized alongside the parsed tree: core size
+/// and decomposition facts, the artifacts worth reusing across requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePlan {
+    /// Atoms labeling the node.
+    pub atoms: usize,
+    /// Atoms in the core of the node's CQ (≤ `atoms`).
+    pub core_atoms: usize,
+    /// Exact treewidth of the node CQ's core.
+    pub treewidth: usize,
+    /// Whether the core is α-acyclic (hypertree width ≤ 1).
+    pub acyclic: bool,
+}
+
+/// A memoized evaluation plan: the WDPT in canonical variable space plus
+/// per-node decomposition/core metadata.
+#[derive(Debug)]
+pub struct Plan {
+    /// The parsed tree over canonical variables.
+    pub wdpt: Wdpt,
+    /// `canon_vars[k]` is the interned canonical variable `#k`.
+    pub canon_vars: Vec<Var>,
+    /// Per-node metadata, indexed by preorder node id.
+    pub nodes: Vec<NodePlan>,
+}
+
+/// Builds a plan from a canonicalized query. This is the expensive path
+/// the cache exists to skip: the core computation runs a homomorphism
+/// search per node and the width computations run decomposition searches
+/// (observable as `decomp.tw_search_nodes` / `decomp.hw_search_nodes`).
+/// Both are worst-case exponential in the *query* size, so the request's
+/// deadline token is honored here too.
+pub fn build_plan(
+    canon: &CanonicalQuery,
+    i: &mut Interner,
+    token: &CancelToken,
+) -> Result<Plan, PlanError> {
+    let _span = wdpt_obs::span!("serve.plan.build");
+    let wdpt = canon.canon.to_wdpt(i)?;
+    let mut nodes = Vec::with_capacity(wdpt.node_count());
+    for t in 0..wdpt.node_count() {
+        token.check()?;
+        let q = wdpt.node_cq(t);
+        let core = try_core_of(&q, i, token)?;
+        nodes.push(NodePlan {
+            atoms: q.body().len(),
+            core_atoms: core.body().len(),
+            treewidth: treewidth_of(&core),
+            acyclic: in_hw(&core, 1),
+        });
+    }
+    let canon_vars = (0..canon.request_vars.len())
+        .map(|k| canon_var(i, k))
+        .collect();
+    Ok(Plan {
+        wdpt,
+        canon_vars,
+        nodes,
+    })
+}
+
+struct CacheInner {
+    map: HashMap<String, Arc<Plan>>,
+    /// FIFO eviction order (insertion order of keys).
+    order: VecDeque<String>,
+}
+
+/// A bounded, thread-shared map from canonical key to [`Plan`], with
+/// FIFO eviction and hit/miss/bypass counters in the `wdpt-obs` registry.
+pub struct PlanCache {
+    enabled: bool,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl PlanCache {
+    /// `enabled = false` builds every plan fresh (the `--no-plan-cache`
+    /// ablation); `capacity` bounds the number of retained plans.
+    pub fn new(enabled: bool, capacity: usize) -> PlanCache {
+        PlanCache {
+            enabled,
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True iff no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Looks up the canonical key, building (and inserting) the plan on a
+    /// miss. Returns the plan and `"hit"`, `"miss"`, or `"off"` for the
+    /// response's cache field. The lock is held across a miss's build so
+    /// concurrent identical requests do not duplicate the work; a build
+    /// aborted by `token` is never inserted.
+    pub fn get_or_build(
+        &self,
+        canon: &CanonicalQuery,
+        i: &mut Interner,
+        token: &CancelToken,
+    ) -> Result<(Arc<Plan>, &'static str), PlanError> {
+        if !self.enabled {
+            counter!("serve.plan_cache.bypass").add(1);
+            return build_plan(canon, i, token).map(|p| (Arc::new(p), "off"));
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(plan) = inner.map.get(&canon.key) {
+            counter!("serve.plan_cache.hit").add(1);
+            return Ok((Arc::clone(plan), "hit"));
+        }
+        counter!("serve.plan_cache.miss").add(1);
+        let plan = Arc::new(build_plan(canon, i, token)?);
+        inner.map.insert(canon.key.clone(), Arc::clone(&plan));
+        inner.order.push_back(canon.key.clone());
+        while inner.map.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+                counter!("serve.plan_cache.evicted").add(1);
+            }
+        }
+        Ok((plan, "miss"))
+    }
+}

@@ -1,0 +1,31 @@
+//! # wdpt-serve — a concurrent WDPT query service
+//!
+//! The serving layer over the reproduction stack: a TCP service that
+//! accepts SPARQL {AND, OPT} queries as newline-delimited JSON, evaluates
+//! them with `wdpt_core`'s parallel engine, and streams answers back. The
+//! pieces, each its own module:
+//!
+//! * [`protocol`] — the wire format: one JSON document per line, shared
+//!   with the benchmark `--json` output via [`wdpt_obs::write_json_line`].
+//! * [`cache`] — the plan cache: queries are α-renamed to a canonical
+//!   form, so repeated and variable-renamed queries share one memoized
+//!   plan (parsed tree, per-node cores, treewidth/acyclicity facts).
+//! * [`server`] — the accept loop, worker pool with a bounded queue
+//!   (backpressure answers `overloaded` instead of queueing unboundedly),
+//!   per-request deadlines as cooperative [`wdpt_model::CancelToken`]s,
+//!   and graceful drain on shutdown.
+//! * [`db`] — dataset loading: lenient N-Triples and the workspace
+//!   `facts` format.
+//!
+//! Binaries: `wdpt-serve` (the server) and `loadgen` (a concurrent load
+//! generator used by the CI smoke test and the EXPERIMENTS runs).
+
+pub mod cache;
+pub mod db;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{build_plan, canonicalize, CanonicalQuery, NodePlan, Plan, PlanCache, PlanError};
+pub use db::{load_database, parse_dataset, parse_nt};
+pub use protocol::Request;
+pub use server::{serve, ServeConfig, ServeState};

@@ -1,0 +1,309 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line; the server answers with
+//! zero or more `row` lines followed by exactly one terminal status line
+//! (`ok`, `error`, `cancelled`, `overloaded`, or `shutting_down`). The
+//! framing is [`wdpt_obs::write_json_line`] / [`wdpt_obs::read_json_line`]
+//! — the same one-line-one-document discipline as the `--json` benchmark
+//! output, so `json_check` validates server transcripts too.
+//!
+//! Request operations:
+//!
+//! * `{"op":"query","query":"SELECT … WHERE { … }", …}` — evaluate a
+//!   SPARQL {AND, OPT} query. Optional fields: `id` (echoed back),
+//!   `db` (named database), `deadline_ms`, `profile` (attach a
+//!   [`wdpt_core` profile] to the `ok` line), `max_rows`.
+//! * `{"op":"ping"}` — liveness check.
+//! * `{"op":"stats"}` — metrics snapshot (cache hit/miss counters, request
+//!   tallies) without touching any database.
+//! * `{"op":"shutdown"}` — begin graceful shutdown: in-flight and queued
+//!   work completes, new queries get `shutting_down`.
+
+use wdpt_obs::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate a query.
+    Query {
+        /// Client-chosen id echoed on every response line.
+        id: Option<String>,
+        /// The SPARQL query text.
+        query: String,
+        /// Named database; `None` means the server default.
+        db: Option<String>,
+        /// Per-request deadline in milliseconds; `None` means the server
+        /// default. Clamped to the server maximum.
+        deadline_ms: Option<u64>,
+        /// Attach the evaluation profile to the `ok` line.
+        profile: bool,
+        /// Cap on the number of streamed `row` lines.
+        max_rows: Option<usize>,
+    },
+    /// Liveness check.
+    Ping,
+    /// Metrics snapshot.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes a request from its wire object. `Err` carries a message for
+    /// the `bad_request` error line.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing \"op\" field".to_string())?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "query" => {
+                let query = v
+                    .get("query")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "query op requires a string \"query\" field".to_string())?
+                    .to_string();
+                let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+                let db = v.get("db").and_then(Json::as_str).map(str::to_string);
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => match j.as_num() {
+                        Some(ms) if ms >= 0.0 => Some(ms as u64),
+                        _ => return Err("\"deadline_ms\" must be a non-negative number".into()),
+                    },
+                };
+                let profile = matches!(v.get("profile"), Some(Json::Bool(true)));
+                let max_rows = match v.get("max_rows") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => match j.as_num() {
+                        Some(n) if n >= 0.0 => Some(n as usize),
+                        _ => return Err("\"max_rows\" must be a non-negative number".into()),
+                    },
+                };
+                Ok(Request::Query {
+                    id,
+                    query,
+                    db,
+                    deadline_ms,
+                    profile,
+                    max_rows,
+                })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Encodes the request as its wire object (used by `loadgen` and
+    /// tests; the server only decodes).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => Json::obj([("op", Json::str("ping"))]),
+            Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+            Request::Query {
+                id,
+                query,
+                db,
+                deadline_ms,
+                profile,
+                max_rows,
+            } => {
+                let mut pairs = vec![
+                    ("op".to_string(), Json::str("query")),
+                    ("query".to_string(), Json::str(query.clone())),
+                ];
+                if let Some(id) = id {
+                    pairs.push(("id".to_string(), Json::str(id.clone())));
+                }
+                if let Some(db) = db {
+                    pairs.push(("db".to_string(), Json::str(db.clone())));
+                }
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms".to_string(), Json::int(*ms)));
+                }
+                if *profile {
+                    pairs.push(("profile".to_string(), Json::Bool(true)));
+                }
+                if let Some(n) = max_rows {
+                    pairs.push(("max_rows".to_string(), Json::int(*n as u64)));
+                }
+                Json::obj(pairs)
+            }
+        }
+    }
+}
+
+/// Attaches the echoed request id, if any.
+fn with_id(mut pairs: Vec<(String, Json)>, id: Option<&str>) -> Json {
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Json::str(id)));
+    }
+    Json::obj(pairs)
+}
+
+/// One streamed answer: `{"kind":"row","bindings":{var: const, …}}`.
+pub fn row_line(id: Option<&str>, bindings: Vec<(String, String)>) -> Json {
+    with_id(
+        vec![
+            ("kind".to_string(), Json::str("row")),
+            (
+                "bindings".to_string(),
+                Json::obj(bindings.into_iter().map(|(k, v)| (k, Json::str(v)))),
+            ),
+        ],
+        id,
+    )
+}
+
+/// Terminal success line. `cache` is `"hit"`, `"miss"`, or `"off"`;
+/// `rows` is how many row lines were streamed (≤ `answers` under
+/// `max_rows` truncation).
+pub fn ok_line(
+    id: Option<&str>,
+    answers: usize,
+    rows: usize,
+    cache: &str,
+    wall_us: u64,
+    profile: Option<Json>,
+) -> Json {
+    let mut pairs = vec![
+        ("status".to_string(), Json::str("ok")),
+        ("answers".to_string(), Json::int(answers as u64)),
+        ("rows".to_string(), Json::int(rows as u64)),
+        ("cache".to_string(), Json::str(cache)),
+        ("wall_us".to_string(), Json::int(wall_us)),
+    ];
+    if let Some(p) = profile {
+        pairs.push(("profile".to_string(), p));
+    }
+    with_id(pairs, id)
+}
+
+/// Terminal error line. `kind` is a machine-readable class
+/// (`bad_request`, `parse_error`, `not_well_designed`, `unknown_db`,
+/// `unknown_select_var`); `at` is a byte offset into the query for parse
+/// errors.
+pub fn error_line(id: Option<&str>, kind: &str, message: &str, at: Option<usize>) -> Json {
+    let mut pairs = vec![
+        ("status".to_string(), Json::str("error")),
+        ("kind".to_string(), Json::str(kind)),
+        ("message".to_string(), Json::str(message)),
+    ];
+    if let Some(at) = at {
+        pairs.push(("at".to_string(), Json::int(at as u64)));
+    }
+    with_id(pairs, id)
+}
+
+/// Terminal line for a query whose deadline expired: the cooperative
+/// cancellation token tripped inside the evaluation loops.
+pub fn cancelled_line(id: Option<&str>, deadline_ms: u64, wall_us: u64) -> Json {
+    with_id(
+        vec![
+            ("status".to_string(), Json::str("cancelled")),
+            ("deadline_ms".to_string(), Json::int(deadline_ms)),
+            ("wall_us".to_string(), Json::int(wall_us)),
+        ],
+        id,
+    )
+}
+
+/// Backpressure line: the bounded queue is full. The client should wait
+/// `retry_after_ms` before resubmitting.
+pub fn overloaded_line(id: Option<&str>, retry_after_ms: u64) -> Json {
+    with_id(
+        vec![
+            ("status".to_string(), Json::str("overloaded")),
+            ("retry_after_ms".to_string(), Json::int(retry_after_ms)),
+        ],
+        id,
+    )
+}
+
+/// The server is draining; no new queries are accepted.
+pub fn shutting_down_line(id: Option<&str>) -> Json {
+    with_id(vec![("status".to_string(), Json::str("shutting_down"))], id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_wire_form() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Query {
+                id: Some("q1".into()),
+                query: "SELECT ?x WHERE { (?x, p, c) }".into(),
+                db: Some("music".into()),
+                deadline_ms: Some(250),
+                profile: true,
+                max_rows: Some(10),
+            },
+            Request::Query {
+                id: None,
+                query: "(?x, p, ?y)".into(),
+                db: None,
+                deadline_ms: None,
+                profile: false,
+                max_rows: None,
+            },
+        ];
+        for r in reqs {
+            let wire = r.to_json();
+            let text = wire.to_string();
+            let back = Request::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        let bad = [
+            r#"{"query":"x"}"#,
+            r#"{"op":"evaluate"}"#,
+            r#"{"op":"query"}"#,
+            r#"{"op":"query","query":"x","deadline_ms":-1}"#,
+            r#"{"op":"query","query":"x","max_rows":"many"}"#,
+        ];
+        for text in bad {
+            let v = Json::parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn response_lines_carry_status_and_id() {
+        let ok = ok_line(Some("a"), 5, 3, "hit", 120, None);
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(ok.get("id").and_then(Json::as_str), Some("a"));
+        assert_eq!(ok.get("cache").and_then(Json::as_str), Some("hit"));
+
+        let err = error_line(None, "parse_error", "expected ')'", Some(7));
+        assert_eq!(err.get("at").and_then(Json::as_num), Some(7.0));
+        assert_eq!(err.get("id"), None);
+
+        let over = overloaded_line(Some("b"), 50);
+        assert_eq!(
+            over.get("status").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        assert_eq!(
+            over.get("retry_after_ms").and_then(Json::as_num),
+            Some(50.0)
+        );
+
+        let row = row_line(Some("c"), vec![("x".into(), "band3".into())]);
+        assert_eq!(row.get("kind").and_then(Json::as_str), Some("row"));
+        assert_eq!(
+            row.get("bindings").unwrap().get("x").and_then(Json::as_str),
+            Some("band3")
+        );
+    }
+}

@@ -1,0 +1,542 @@
+//! The concurrent query server: accept loop, worker pool, backpressure,
+//! deadlines, graceful shutdown.
+//!
+//! Threading model:
+//!
+//! * The **accept loop** ([`serve`]) owns the listener (nonblocking, so it
+//!   can notice shutdown) and spawns one thread per connection.
+//! * **Connection threads** read request lines, do the cheap front-half of
+//!   a query (parse, canonicalize, plan-cache lookup) under the interner
+//!   lock, and enqueue an evaluation job on a **bounded** queue
+//!   (`std::sync::mpsc::sync_channel`). A full queue is the backpressure
+//!   signal: the request is answered `overloaded` immediately rather than
+//!   waiting — the client decides whether to retry.
+//! * **Worker threads** pull jobs off the shared queue and run the actual
+//!   WDPT evaluation with the request's [`CancelToken`] threaded through
+//!   the `wdpt-core`/`wdpt-cq` loops. Deadline expiry surfaces as a typed
+//!   [`Cancelled`] and an explicit `cancelled` response line.
+//!
+//! Graceful shutdown: the `shutdown` op (or [`ServeState::begin_shutdown`])
+//! flips one flag. The accept loop stops accepting, connection threads
+//! answer in-flight requests and close, queued jobs drain through the
+//! workers, and [`serve`] joins everything before returning.
+
+use crate::cache::{canonicalize, CanonicalQuery, Plan, PlanCache, PlanError};
+use crate::protocol::{
+    cancelled_line, error_line, ok_line, overloaded_line, row_line, shutting_down_line, Request,
+};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use wdpt_model::{CancelToken, Database, Interner, Mapping, Var};
+use wdpt_obs::{counter, metrics_snapshot, Json};
+use wdpt_sparql::algebra::SparqlError;
+use wdpt_sparql::parse_query;
+
+/// Server tunables. [`Default`] gives the values the `wdpt-serve` binary
+/// advertises in `--help`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Evaluation worker threads.
+    pub workers: usize,
+    /// Threads *inside* one evaluation (`evaluate_parallel` fan-out).
+    pub eval_threads: usize,
+    /// Bounded queue depth between connections and workers; the
+    /// backpressure threshold.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request names none, in milliseconds.
+    pub default_deadline_ms: u64,
+    /// Upper clamp on requested deadlines, in milliseconds.
+    pub max_deadline_ms: u64,
+    /// Whether the plan cache is enabled (`--no-plan-cache` ablation).
+    pub plan_cache: bool,
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Default cap on streamed rows per query.
+    pub max_rows: usize,
+    /// Suggested client backoff on `overloaded`, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            eval_threads: 2,
+            queue_capacity: 64,
+            default_deadline_ms: 10_000,
+            max_deadline_ms: 60_000,
+            plan_cache: true,
+            cache_capacity: 256,
+            max_rows: 1_000,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Shared server state: configuration, the interner, the named databases,
+/// the plan cache, and the shutdown flag.
+pub struct ServeState {
+    /// The configuration the server was started with.
+    pub cfg: ServeConfig,
+    interner: Mutex<Interner>,
+    dbs: BTreeMap<String, Database>,
+    default_db: String,
+    cache: PlanCache,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    /// Builds the shared state. `dbs` must contain `default_db`.
+    pub fn new(
+        cfg: ServeConfig,
+        interner: Interner,
+        dbs: BTreeMap<String, Database>,
+        default_db: impl Into<String>,
+    ) -> Arc<ServeState> {
+        let default_db = default_db.into();
+        assert!(
+            dbs.contains_key(&default_db),
+            "default database {default_db:?} not loaded"
+        );
+        let cache = PlanCache::new(cfg.plan_cache, cfg.cache_capacity);
+        Arc::new(ServeState {
+            cfg,
+            interner: Mutex::new(interner),
+            dbs,
+            default_db,
+            cache,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The plan cache (for tests and stats).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Requests graceful shutdown, as the `shutdown` op does.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Front-half of a query without the network: parse, canonicalize,
+    /// and consult the plan cache. Used by the plan-cache tests.
+    pub fn plan_for(&self, src: &str) -> Result<(Arc<Plan>, &'static str), String> {
+        let mut i = self.interner.lock().expect("interner lock");
+        let q = parse_query(&mut i, src).map_err(|e| e.message)?;
+        let canon = canonicalize(&q, &mut i);
+        self.cache
+            .get_or_build(&canon, &mut i, CancelToken::never())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// One evaluation job on the bounded queue.
+struct Job {
+    id: Option<String>,
+    plan: Arc<Plan>,
+    cache_status: &'static str,
+    db: String,
+    request_vars: Vec<String>,
+    token: CancelToken,
+    deadline_ms: u64,
+    profile: bool,
+    max_rows: usize,
+    resp: mpsc::Sender<Vec<Json>>,
+}
+
+/// Runs the server on `listener` until shutdown is requested, then drains
+/// queued and in-flight work and returns. The listener is switched to
+/// nonblocking mode so the loop can observe the shutdown flag.
+pub fn serve(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = mpsc::sync_channel::<Job>(state.cfg.queue_capacity);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<_> = (0..state.cfg.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || loop {
+                let job = match rx.lock().expect("job queue lock").recv() {
+                    Ok(job) => job,
+                    Err(_) => return, // queue closed and drained
+                };
+                process(job, &state);
+            })
+        })
+        .collect();
+
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !state.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(&state);
+                let tx = tx.clone();
+                conns.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, state, tx);
+                }));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // Drain: connections finish their in-flight request and exit on the
+    // next read-timeout tick; closing the queue stops workers once empty.
+    for h in conns {
+        let _ = h.join();
+    }
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: Arc<ServeState>,
+    tx: SyncSender<Job>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // The buffer persists across read timeouts: `read_line` appends
+    // whatever bytes arrived before the timeout, so a line split across
+    // packets survives the `Err` return.
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                let lines = handle_line(line.trim(), &state, &tx);
+                for l in &lines {
+                    wdpt_obs::write_json_line(&mut writer, l)?;
+                }
+                writer.flush()?;
+                if state.is_shutting_down() {
+                    return Ok(()); // answered; close so the drain can finish
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if state.is_shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one request line, returning the response lines to write.
+fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json> {
+    if line.is_empty() {
+        return Vec::new();
+    }
+    counter!("serve.requests.received").add(1);
+    let value = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            counter!("serve.requests.error").add(1);
+            return vec![error_line(
+                None,
+                "bad_request",
+                &format!("invalid JSON: {e}"),
+                None,
+            )];
+        }
+    };
+    let id_owned = value.get("id").and_then(Json::as_str).map(str::to_string);
+    let id = id_owned.as_deref();
+    let request = match Request::from_json(&value) {
+        Ok(r) => r,
+        Err(e) => {
+            counter!("serve.requests.error").add(1);
+            return vec![error_line(id, "bad_request", &e, None)];
+        }
+    };
+    match request {
+        Request::Ping => vec![Json::obj([
+            ("status", Json::str("ok")),
+            ("kind", Json::str("pong")),
+        ])],
+        Request::Stats => vec![stats_line(state)],
+        Request::Shutdown => {
+            state.begin_shutdown();
+            vec![Json::obj([
+                ("status", Json::str("ok")),
+                ("kind", Json::str("shutdown")),
+            ])]
+        }
+        Request::Query {
+            id: _,
+            query,
+            db,
+            deadline_ms,
+            profile,
+            max_rows,
+        } => handle_query(
+            id,
+            &query,
+            db.as_deref(),
+            deadline_ms,
+            profile,
+            max_rows,
+            state,
+            tx,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_query(
+    id: Option<&str>,
+    query: &str,
+    db: Option<&str>,
+    deadline_ms: Option<u64>,
+    profile: bool,
+    max_rows: Option<usize>,
+    state: &ServeState,
+    tx: &SyncSender<Job>,
+) -> Vec<Json> {
+    if state.is_shutting_down() {
+        counter!("serve.requests.rejected").add(1);
+        return vec![shutting_down_line(id)];
+    }
+    let db_name = db.unwrap_or(&state.default_db);
+    if !state.dbs.contains_key(db_name) {
+        counter!("serve.requests.error").add(1);
+        return vec![error_line(
+            id,
+            "unknown_db",
+            &format!("no database named {db_name:?}"),
+            None,
+        )];
+    }
+
+    // The deadline clock starts before plan building: the core and
+    // decomposition searches are worst-case exponential in the query, so
+    // an adversarial query must not pin the interner lock past its budget.
+    let deadline_ms = deadline_ms
+        .unwrap_or(state.cfg.default_deadline_ms)
+        .min(state.cfg.max_deadline_ms);
+    let token = CancelToken::with_deadline(Duration::from_millis(deadline_ms));
+    let start = Instant::now();
+
+    // Front half, under the interner lock: parse, canonicalize, plan.
+    let (plan, cache_status, request_vars) = {
+        let mut i = state.interner.lock().expect("interner lock");
+        let parsed = match parse_query(&mut i, query) {
+            Ok(q) => q,
+            Err(e) => {
+                counter!("serve.requests.error").add(1);
+                return vec![error_line(id, "parse_error", &e.message, Some(e.at))];
+            }
+        };
+        let canon = canonicalize(&parsed, &mut i);
+        match state.cache.get_or_build(&canon, &mut i, &token) {
+            Ok((plan, status)) => (plan, status, canon.request_vars),
+            Err(PlanError::Cancelled) => {
+                counter!("serve.requests.cancelled").add(1);
+                return vec![cancelled_line(
+                    id,
+                    deadline_ms,
+                    start.elapsed().as_micros() as u64,
+                )];
+            }
+            Err(PlanError::Sparql(e)) => {
+                counter!("serve.requests.error").add(1);
+                let (kind, message) = sparql_error_parts(&e, &i, &canon);
+                return vec![error_line(id, kind, &message, None)];
+            }
+        }
+    };
+
+    let (resp_tx, resp_rx) = mpsc::channel();
+    let job = Job {
+        id: id.map(str::to_string),
+        plan,
+        cache_status,
+        db: db_name.to_string(),
+        request_vars,
+        token,
+        deadline_ms,
+        profile,
+        max_rows: max_rows.unwrap_or(state.cfg.max_rows),
+        resp: resp_tx,
+    };
+    match tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            counter!("serve.requests.rejected").add(1);
+            return vec![overloaded_line(id, state.cfg.retry_after_ms)];
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            counter!("serve.requests.rejected").add(1);
+            return vec![shutting_down_line(id)];
+        }
+    }
+    match resp_rx.recv() {
+        Ok(lines) => lines,
+        Err(_) => vec![error_line(
+            id,
+            "internal",
+            "worker dropped the request",
+            None,
+        )],
+    }
+}
+
+/// Maps a [`SparqlError`] from plan building to a response `(kind,
+/// message)`, translating canonical variable names back to the request's.
+fn sparql_error_parts(
+    e: &SparqlError,
+    i: &Interner,
+    canon: &CanonicalQuery,
+) -> (&'static str, String) {
+    let name = |v: Var| -> String {
+        let n = i.var_name(v);
+        n.strip_prefix('#')
+            .and_then(|k| k.parse::<usize>().ok())
+            .and_then(|k| canon.request_vars.get(k).cloned())
+            .unwrap_or_else(|| n.to_string())
+    };
+    match e {
+        SparqlError::NotWellDesigned(v) => (
+            "not_well_designed",
+            format!(
+                "pattern is not well-designed: variable ?{} occurs in an OPT right side and again outside it without occurring on the left",
+                name(*v)
+            ),
+        ),
+        SparqlError::UnknownSelectVar(v) => (
+            "unknown_select_var",
+            format!("SELECT variable ?{} does not occur in the pattern", name(*v)),
+        ),
+        SparqlError::NotAnRdfTree => ("internal", e.to_string()),
+    }
+}
+
+/// Worker half: evaluate with the request token and build response lines.
+fn process(job: Job, state: &ServeState) {
+    let start = Instant::now();
+    let db = &state.dbs[&job.db];
+    let id = job.id.as_deref();
+    let lines = if job.token.poll_deadline() {
+        // Expired while queued — never start the evaluation.
+        counter!("serve.requests.cancelled").add(1);
+        vec![cancelled_line(
+            id,
+            job.deadline_ms,
+            start.elapsed().as_micros() as u64,
+        )]
+    } else {
+        let threads = state.cfg.eval_threads.max(1);
+        let result = if job.profile {
+            wdpt_core::try_evaluate_parallel_profiled(
+                &job.plan.wdpt,
+                db,
+                threads,
+                &job.token,
+                "serve.query",
+            )
+            .map(|(answers, prof)| (answers, Some(prof)))
+        } else {
+            wdpt_core::try_evaluate_parallel(&job.plan.wdpt, db, threads, &job.token)
+                .map(|answers| (answers, None))
+        };
+        match result {
+            Ok((answers, prof)) => {
+                let wall_us = start.elapsed().as_micros() as u64;
+                let i = state.interner.lock().expect("interner lock");
+                let mut lines: Vec<Json> = answers
+                    .iter()
+                    .take(job.max_rows)
+                    .map(|m| row_line(id, render_bindings(m, &job, &i)))
+                    .collect();
+                let rows = lines.len();
+                counter!("serve.requests.ok").add(1);
+                lines.push(ok_line(
+                    id,
+                    answers.len(),
+                    rows,
+                    job.cache_status,
+                    wall_us,
+                    prof.map(|p| p.to_json()),
+                ));
+                lines
+            }
+            Err(_cancelled) => {
+                counter!("serve.requests.cancelled").add(1);
+                vec![cancelled_line(
+                    id,
+                    job.deadline_ms,
+                    start.elapsed().as_micros() as u64,
+                )]
+            }
+        }
+    };
+    // The connection may have vanished; a dead channel is fine.
+    let _ = job.resp.send(lines);
+}
+
+/// Renders one answer mapping in the request's variable names.
+fn render_bindings(m: &Mapping, job: &Job, i: &Interner) -> Vec<(String, String)> {
+    job.plan
+        .canon_vars
+        .iter()
+        .zip(&job.request_vars)
+        .filter_map(|(&cv, name)| {
+            m.get(cv)
+                .map(|c| (name.clone(), i.const_name(c).to_string()))
+        })
+        .collect()
+}
+
+/// The `stats` response: cache occupancy plus every registered counter.
+fn stats_line(state: &ServeState) -> Json {
+    let snap = metrics_snapshot();
+    Json::obj([
+        ("status".to_string(), Json::str("ok")),
+        ("kind".to_string(), Json::str("stats")),
+        (
+            "cache_size".to_string(),
+            Json::int(state.cache.len() as u64),
+        ),
+        (
+            "cache_capacity".to_string(),
+            Json::int(state.cache.capacity() as u64),
+        ),
+        (
+            "counters".to_string(),
+            Json::obj(
+                snap.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::int(*v))),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,344 @@
+//! End-to-end protocol tests: an in-process server on an ephemeral port,
+//! driven over real sockets.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wdpt_gen::music::MusicParams;
+use wdpt_model::{Database, Interner};
+use wdpt_obs::{read_json_line, write_json_line, Json};
+use wdpt_serve::{serve, ServeConfig, ServeState};
+
+const BASE: &str = r#"SELECT ?x ?y ?z WHERE { (((?x, rec_by, ?y) AND (?x, publ, "after_2010")) OPT (?x, nme_rating, ?z)) OPT (?y, formed_in, ?w) }"#;
+const RENAMED: &str = r#"SELECT ?a ?b ?c WHERE { (((?a, rec_by, ?b) AND (?a, publ, "after_2010")) OPT (?a, nme_rating, ?c)) OPT (?b, formed_in, ?d) }"#;
+/// A 4-way cross product over *distinct* predicates: planning is trivial
+/// (each atom only maps to itself in the frozen database, so the core
+/// search is instant) while evaluation is a huge cross product that
+/// reliably outlives the deadlines used here.
+const HEAVY: &str =
+    "((((?a, rec_by, ?b) AND (?c, rec_by, ?d)) AND (?e, publ, ?f)) AND (?g, nme_rating, ?h))";
+
+struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(cfg: ServeConfig) -> Server {
+    let mut i = Interner::new();
+    let ts = wdpt_gen::music_triples(
+        &mut i,
+        MusicParams {
+            bands: 30,
+            records_per_band: 4,
+            recent_fraction: 1.0,
+            ..MusicParams::default()
+        },
+    );
+    let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
+    dbs.insert("music".to_string(), ts.into_database());
+    let state = ServeState::new(cfg, i, dbs, "music");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let st = Arc::clone(&state);
+    let handle = std::thread::spawn(move || serve(listener, st));
+    Server {
+        addr,
+        state,
+        handle,
+    }
+}
+
+impl Server {
+    fn shutdown_and_join(self) {
+        self.state.begin_shutdown();
+        self.handle
+            .join()
+            .expect("server thread must not panic")
+            .expect("serve() must drain cleanly");
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn send(&mut self, req: &Json) {
+        write_json_line(&mut self.writer, req).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    /// Reads lines until the terminal status line; returns `(status_line,
+    /// rows)`.
+    fn response(&mut self) -> (Json, Vec<Json>) {
+        let mut rows = Vec::new();
+        loop {
+            let line = read_json_line(&mut self.reader)
+                .expect("read response")
+                .expect("connection closed mid-response");
+            if line.get("kind").and_then(Json::as_str) == Some("row") {
+                rows.push(line);
+                continue;
+            }
+            return (line, rows);
+        }
+    }
+
+    fn round_trip(&mut self, req: &Json) -> (Json, Vec<Json>) {
+        self.send(req);
+        self.response()
+    }
+}
+
+fn query(id: &str, text: &str) -> Json {
+    Json::obj([
+        ("op", Json::str("query")),
+        ("id", Json::str(id)),
+        ("query", Json::str(text)),
+    ])
+}
+
+fn query_with(id: &str, text: &str, extra: &[(&str, Json)]) -> Json {
+    let mut pairs = vec![
+        ("op".to_string(), Json::str("query")),
+        ("id".to_string(), Json::str(id)),
+        ("query".to_string(), Json::str(text)),
+    ];
+    for (k, v) in extra {
+        pairs.push((k.to_string(), v.clone()));
+    }
+    Json::obj(pairs)
+}
+
+fn status_of(line: &Json) -> &str {
+    line.get("status").and_then(Json::as_str).unwrap_or("?")
+}
+
+#[test]
+fn query_rows_and_cache_hits_over_the_wire() {
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    // Ping first.
+    let (pong, _) = c.round_trip(&Json::obj([("op", Json::str("ping"))]));
+    assert_eq!(pong.get("kind").and_then(Json::as_str), Some("pong"));
+
+    // First query: a miss with one row per record (recent_fraction = 1).
+    let (ok1, rows1) = c.round_trip(&query("q1", BASE));
+    assert_eq!(status_of(&ok1), "ok", "got {ok1}");
+    assert_eq!(ok1.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(ok1.get("answers").and_then(Json::as_num), Some(120.0));
+    assert_eq!(rows1.len(), 120);
+    // Bindings use the request's variable names.
+    let b = rows1[0].get("bindings").unwrap();
+    assert!(b.get("x").is_some() && b.get("y").is_some());
+    assert!(b.get("a").is_none());
+
+    // Same query again: a hit.
+    let (ok2, rows2) = c.round_trip(&query("q2", BASE));
+    assert_eq!(ok2.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(rows2.len(), 120);
+
+    // α-renamed: also a hit, answered in the renamed vocabulary.
+    let (ok3, rows3) = c.round_trip(&query("q3", RENAMED));
+    assert_eq!(ok3.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(ok3.get("id").and_then(Json::as_str), Some("q3"));
+    let b3 = rows3[0].get("bindings").unwrap();
+    assert!(b3.get("a").is_some() && b3.get("x").is_none());
+
+    // The same rows, modulo renaming.
+    let xs = |rows: &[Json], var: &str| {
+        let mut v: Vec<String> = rows
+            .iter()
+            .filter_map(|r| r.get("bindings")?.get(var)?.as_str().map(str::to_string))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(xs(&rows1, "x"), xs(&rows3, "a"));
+
+    // max_rows truncates rows but reports the full answer count.
+    let (ok4, rows4) = c.round_trip(&query_with("q4", BASE, &[("max_rows", Json::int(5))]));
+    assert_eq!(ok4.get("answers").and_then(Json::as_num), Some(120.0));
+    assert_eq!(ok4.get("rows").and_then(Json::as_num), Some(5.0));
+    assert_eq!(rows4.len(), 5);
+
+    // Profiles attach on request.
+    let (ok5, _) = c.round_trip(&query_with("q5", BASE, &[("profile", Json::Bool(true))]));
+    assert!(ok5.get("profile").is_some(), "got {ok5}");
+
+    // Stats reflect the hits.
+    let (stats, _) = c.round_trip(&Json::obj([("op", Json::str("stats"))]));
+    let hits = stats
+        .get("counters")
+        .and_then(|cs| cs.get("serve.plan_cache.hit"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    assert!(hits >= 2.0, "expected >= 2 cache hits, stats: {stats}");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn invalid_requests_get_typed_errors() {
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    // Parse error with a byte offset into the query text.
+    let (e1, rows) = c.round_trip(&query("e1", "SELECT ?x WHERE { (?x, rec_by) }"));
+    assert_eq!(status_of(&e1), "error");
+    assert_eq!(e1.get("kind").and_then(Json::as_str), Some("parse_error"));
+    assert!(e1.get("at").and_then(Json::as_num).is_some());
+    assert!(rows.is_empty());
+
+    // Duplicate SELECT variable (parser hardening).
+    let (e2, _) = c.round_trip(&query("e2", "SELECT ?x ?x WHERE { (?x, rec_by, ?y) }"));
+    assert_eq!(e2.get("kind").and_then(Json::as_str), Some("parse_error"));
+    assert!(e2
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("duplicate"));
+
+    // Unknown database.
+    let (e3, _) = c.round_trip(&query_with("e3", BASE, &[("db", Json::str("nope"))]));
+    assert_eq!(e3.get("kind").and_then(Json::as_str), Some("unknown_db"));
+
+    // Non-JSON line.
+    c.send_raw("this is not json");
+    let (e4, _) = c.response();
+    assert_eq!(e4.get("kind").and_then(Json::as_str), Some("bad_request"));
+
+    // Unknown op.
+    let (e5, _) = c.round_trip(&Json::obj([("op", Json::str("explode"))]));
+    assert_eq!(e5.get("kind").and_then(Json::as_str), Some("bad_request"));
+
+    // Non-well-designed pattern: ?z in the OPT right side and again
+    // outside, but not on the left.
+    let nwd = "(((?x, p, ?y) OPT (?x, q, ?z)) AND (?z, r, ?w))";
+    let (e6, _) = c.round_trip(&query("e6", nwd));
+    assert_eq!(
+        e6.get("kind").and_then(Json::as_str),
+        Some("not_well_designed"),
+        "got {e6}"
+    );
+    // The message names the client's variable, not a canonical one.
+    assert!(e6
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("?z"));
+
+    // The connection survives all of it.
+    let (ok, _) = c.round_trip(&query("ok", BASE));
+    assert_eq!(status_of(&ok), "ok");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn deadline_exceeding_query_is_cancelled_promptly() {
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    let deadline_ms = 200u64;
+    let started = Instant::now();
+    let (line, rows) = c.round_trip(&query_with(
+        "slow",
+        HEAVY,
+        &[("deadline_ms", Json::int(deadline_ms))],
+    ));
+    let elapsed = started.elapsed();
+    assert_eq!(status_of(&line), "cancelled", "got {line}");
+    assert_eq!(line.get("deadline_ms").and_then(Json::as_num), Some(200.0));
+    assert!(rows.is_empty());
+    // Cooperative cancellation must fire within ~2x the deadline (plus
+    // scheduling slack); an uncancelled run would take effectively forever.
+    assert!(
+        elapsed < Duration::from_millis(2 * deadline_ms) + Duration::from_secs(1),
+        "cancelled response took {elapsed:?}"
+    );
+
+    // The worker is free again: a normal query still succeeds.
+    let (ok, _) = c.round_trip(&query("after", BASE));
+    assert_eq!(status_of(&ok), "ok");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn full_queue_answers_overloaded_not_hanging() {
+    // One worker, queue depth one: the third concurrent query must be
+    // rejected with backpressure, immediately.
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+
+    let heavy = |id: &str| query_with(id, HEAVY, &[("deadline_ms", Json::int(1_000))]);
+
+    // Occupy the worker, then the queue slot.
+    let mut c1 = Client::connect(server.addr);
+    c1.send(&heavy("h1"));
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c2 = Client::connect(server.addr);
+    c2.send(&heavy("h2"));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Now the queue is full: this must come back overloaded, fast.
+    let mut c3 = Client::connect(server.addr);
+    let started = Instant::now();
+    let (line, _) = c3.round_trip(&heavy("h3"));
+    assert_eq!(status_of(&line), "overloaded", "got {line}");
+    assert!(line.get("retry_after_ms").and_then(Json::as_num).is_some());
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "backpressure response must not wait for the queue"
+    );
+
+    // The occupying queries finish (cancelled by their deadlines).
+    assert_eq!(status_of(&c1.response().0), "cancelled");
+    assert_eq!(status_of(&c2.response().0), "cancelled");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_drains_and_rejects_new_work() {
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    let (ok, _) = c.round_trip(&query("before", BASE));
+    assert_eq!(status_of(&ok), "ok");
+
+    let (ack, _) = c.round_trip(&Json::obj([("op", Json::str("shutdown"))]));
+    assert_eq!(ack.get("kind").and_then(Json::as_str), Some("shutdown"));
+
+    // serve() returns once connections and workers have drained.
+    let joined = server.handle.join().expect("server thread must not panic");
+    joined.expect("serve() must drain cleanly");
+
+    // The listener is gone: new connections are refused (or reset).
+    assert!(TcpStream::connect(server.addr).is_err());
+}

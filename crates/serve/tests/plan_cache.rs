@@ -1,0 +1,149 @@
+//! Plan-cache behaviour: hits skip decomposition work, α-renamed queries
+//! share entries, capacity bounds hold.
+//!
+//! These tests read the global `wdpt-obs` metrics registry, so every test
+//! takes a file-local mutex to serialize against its siblings; the file is
+//! its own process, so other test binaries cannot interfere.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use wdpt_gen::music::MusicParams;
+use wdpt_model::{Database, Interner};
+use wdpt_obs::metrics_snapshot;
+use wdpt_serve::{canonicalize, ServeConfig, ServeState};
+use wdpt_sparql::parse_query;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+const BASE: &str = r#"SELECT ?x ?y ?z WHERE { (((?x, rec_by, ?y) AND (?x, publ, "after_2010")) OPT (?x, nme_rating, ?z)) OPT (?y, formed_in, ?w) }"#;
+const RENAMED: &str = r#"SELECT ?a ?b ?c WHERE { (((?a, rec_by, ?b) AND (?a, publ, "after_2010")) OPT (?a, nme_rating, ?c)) OPT (?b, formed_in, ?d) }"#;
+const OTHER: &str = "(?x, publ, ?era)";
+
+fn music_state(cfg: ServeConfig) -> Arc<ServeState> {
+    let mut i = Interner::new();
+    let ts = wdpt_gen::music_triples(
+        &mut i,
+        MusicParams {
+            bands: 10,
+            records_per_band: 2,
+            ..MusicParams::default()
+        },
+    );
+    let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
+    dbs.insert("music".to_string(), ts.into_database());
+    ServeState::new(cfg, i, dbs, "music")
+}
+
+#[test]
+fn repeated_query_skips_decomposition_entirely() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig::default());
+
+    // First request: a miss that runs core/treewidth/acyclicity searches.
+    let before_first = metrics_snapshot();
+    let (plan1, status1) = state.plan_for(BASE).unwrap();
+    let after_first = metrics_snapshot().since(&before_first);
+    assert_eq!(status1, "miss");
+    assert!(
+        after_first.counter("decomp.tw_search_nodes") > 0,
+        "plan building must run the treewidth search"
+    );
+
+    // Second request: a hit that runs none of it.
+    let before_second = metrics_snapshot();
+    let (plan2, status2) = state.plan_for(BASE).unwrap();
+    let delta = metrics_snapshot().since(&before_second);
+    assert_eq!(status2, "hit");
+    assert!(Arc::ptr_eq(&plan1, &plan2), "hit must return the same plan");
+    assert_eq!(delta.counter("decomp.tw_search_nodes"), 0);
+    assert_eq!(delta.counter("decomp.hw_search_nodes"), 0);
+    assert_eq!(delta.counter("serve.plan_cache.hit"), 1);
+    assert_eq!(delta.counter("serve.plan_cache.miss"), 0);
+}
+
+#[test]
+fn alpha_renamed_query_hits_the_same_entry() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig::default());
+    let (plan1, status1) = state.plan_for(BASE).unwrap();
+    assert_eq!(status1, "miss");
+
+    let before = metrics_snapshot();
+    let (plan2, status2) = state.plan_for(RENAMED).unwrap();
+    let delta = metrics_snapshot().since(&before);
+    assert_eq!(status2, "hit", "renaming variables must not change the key");
+    assert!(Arc::ptr_eq(&plan1, &plan2));
+    assert_eq!(delta.counter("decomp.tw_search_nodes"), 0);
+    assert_eq!(state.cache().len(), 1);
+}
+
+#[test]
+fn canonical_keys_separate_structure_not_names() {
+    let _guard = LOCK.lock().unwrap();
+    let mut i = Interner::new();
+    let base = parse_query(&mut i, BASE).unwrap();
+    let renamed = parse_query(&mut i, RENAMED).unwrap();
+    let other = parse_query(&mut i, OTHER).unwrap();
+
+    let ck_base = canonicalize(&base, &mut i);
+    let ck_renamed = canonicalize(&renamed, &mut i);
+    let ck_other = canonicalize(&other, &mut i);
+    assert_eq!(ck_base.key, ck_renamed.key);
+    assert_ne!(ck_base.key, ck_other.key);
+
+    // request_vars maps canonical slot k back to the spelling the client
+    // used, in first-occurrence order.
+    assert_eq!(ck_base.request_vars, ["x", "y", "z", "w"]);
+    assert_eq!(ck_renamed.request_vars, ["a", "b", "c", "d"]);
+
+    // Swapping a variable for a constant changes the structure, and a
+    // constant spelled like a key token cannot collide with a variable.
+    let with_const = parse_query(&mut i, "(?x, publ, V0)").unwrap();
+    let ck_const = canonicalize(&with_const, &mut i);
+    assert_ne!(ck_const.key, ck_other.key);
+}
+
+#[test]
+fn capacity_bounds_the_cache_with_fifo_eviction() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig {
+        cache_capacity: 1,
+        ..ServeConfig::default()
+    });
+    assert_eq!(state.plan_for(BASE).unwrap().1, "miss");
+    assert_eq!(state.plan_for(OTHER).unwrap().1, "miss"); // evicts BASE
+    assert_eq!(state.cache().len(), 1);
+    assert_eq!(state.plan_for(BASE).unwrap().1, "miss"); // gone, rebuilt
+    assert_eq!(state.cache().len(), 1);
+}
+
+#[test]
+fn disabled_cache_rebuilds_every_time() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig {
+        plan_cache: false,
+        ..ServeConfig::default()
+    });
+    let (plan1, status1) = state.plan_for(BASE).unwrap();
+    let (plan2, status2) = state.plan_for(BASE).unwrap();
+    assert_eq!((status1, status2), ("off", "off"));
+    assert!(!Arc::ptr_eq(&plan1, &plan2));
+    assert!(state.cache().is_empty());
+}
+
+#[test]
+fn plan_metadata_matches_the_figure1_tree() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig::default());
+    let (plan, _) = state.plan_for(BASE).unwrap();
+    // Figure 1 shape: a two-atom root with two single-atom children.
+    assert_eq!(plan.wdpt.node_count(), 3);
+    assert_eq!(plan.nodes.len(), 3);
+    assert_eq!(plan.nodes[0].atoms, 2);
+    for n in &plan.nodes {
+        assert_eq!(n.core_atoms, n.atoms, "triple patterns here are cores");
+        assert!(n.acyclic, "Figure 1 node CQs are acyclic");
+        assert_eq!(n.treewidth, 1);
+    }
+    assert_eq!(plan.canon_vars.len(), 4);
+}

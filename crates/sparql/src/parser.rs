@@ -173,22 +173,55 @@ impl<'a> P<'a> {
         Ok(branches)
     }
 
+    /// Parses the `SELECT` variable list, rejecting duplicates at the byte
+    /// offset of the repeated occurrence. Returns each variable with the
+    /// offset and spelling of its occurrence so the caller can report
+    /// projection errors against the source text.
+    fn select_list(
+        &mut self,
+        i: &mut Interner,
+    ) -> Result<Vec<(Var, usize, &'a str)>, SparqlParseError> {
+        let mut select: Vec<(Var, usize, &'a str)> = Vec::new();
+        while self.peek() == Some('?') {
+            let at = self.pos;
+            self.bump();
+            let name = self.ident()?;
+            let v = i.var(name);
+            if select.iter().any(|&(u, _, _)| u == v) {
+                return Err(SparqlParseError {
+                    at,
+                    message: format!("duplicate SELECT variable ?{name}"),
+                });
+            }
+            select.push((v, at, name));
+        }
+        Ok(select)
+    }
+
     fn query(&mut self, i: &mut Interner) -> Result<SparqlQuery, SparqlParseError> {
         if self.keyword("SELECT") {
-            let mut select: Vec<Var> = Vec::new();
-            while self.peek() == Some('?') {
-                self.bump();
-                select.push(i.var(self.ident()?));
-            }
+            let select = self.select_list(i)?;
             if !self.keyword("WHERE") {
                 return Err(self.err("expected WHERE"));
             }
             self.expect('{')?;
             let pattern = self.pattern(i)?;
             self.expect('}')?;
+            // Projection of a variable the pattern never binds is always a
+            // mistake; report it against the SELECT clause, not as a late
+            // translation failure.
+            let vars = pattern.variables();
+            for &(v, at, name) in &select {
+                if !vars.contains(&v) {
+                    return Err(SparqlParseError {
+                        at,
+                        message: format!("SELECT variable ?{name} does not occur in the pattern"),
+                    });
+                }
+            }
             Ok(SparqlQuery {
                 pattern,
-                select: Some(select),
+                select: Some(select.into_iter().map(|(v, _, _)| v).collect()),
             })
         } else {
             Ok(SparqlQuery {
@@ -218,20 +251,31 @@ pub fn parse_union_query(
 ) -> Result<crate::algebra::UnionQuery, SparqlParseError> {
     let mut p = P { src, pos: 0 };
     let q = if p.keyword("SELECT") {
-        let mut select: Vec<Var> = Vec::new();
-        while p.peek() == Some('?') {
-            p.bump();
-            select.push(interner.var(p.ident()?));
-        }
+        let select = p.select_list(interner)?;
         if !p.keyword("WHERE") {
             return Err(p.err("expected WHERE"));
         }
         p.expect('{')?;
         let branches = p.union(interner)?;
         p.expect('}')?;
+        // A branch may omit a projected variable (the paper's UWDPTs do
+        // not require shared free variables), but a variable occurring in
+        // NO branch can never be bound.
+        let mut vars = std::collections::BTreeSet::new();
+        for b in &branches {
+            vars.extend(b.variables());
+        }
+        for &(v, at, name) in &select {
+            if !vars.contains(&v) {
+                return Err(SparqlParseError {
+                    at,
+                    message: format!("SELECT variable ?{name} occurs in no UNION branch"),
+                });
+            }
+        }
         crate::algebra::UnionQuery {
             branches,
-            select: Some(select),
+            select: Some(select.into_iter().map(|(v, _, _)| v).collect()),
         }
     } else {
         crate::algebra::UnionQuery {
@@ -311,6 +355,58 @@ mod tests {
         assert!(parse_query(&mut i, "(?a, p, ?b) AND").is_err());
         assert!(parse_query(&mut i, "(?a, p, ?b) XYZ (?a, p, ?c)").is_err());
         assert!(parse_query(&mut i, "SELECT ?x FROM { (?x, p, ?y) }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_select_variables_with_offset() {
+        let mut i = Interner::new();
+        let src = "SELECT ?x ?y ?x WHERE { (?x, p, ?y) }";
+        let err = parse_query(&mut i, src).unwrap_err();
+        assert!(
+            err.message.contains("duplicate SELECT variable ?x"),
+            "{err}"
+        );
+        // The offset points at the second ?x, not the first.
+        assert_eq!(err.at, src.find("?y").unwrap() + 3);
+        assert_eq!(&src[err.at..err.at + 2], "?x");
+    }
+
+    #[test]
+    fn rejects_select_variable_missing_from_pattern() {
+        let mut i = Interner::new();
+        let src = "SELECT ?x ?nope WHERE { (?x, p, ?y) }";
+        let err = parse_query(&mut i, src).unwrap_err();
+        assert!(
+            err.message.contains("?nope does not occur in the pattern"),
+            "{err}"
+        );
+        assert_eq!(err.at, src.find("?nope").unwrap());
+    }
+
+    #[test]
+    fn union_select_hardening() {
+        let mut i = Interner::new();
+        // Duplicate in a union query.
+        assert!(parse_union_query(
+            &mut i,
+            "SELECT ?a ?a WHERE { (?a, p, ?b) UNION (?a, q, ?c) }"
+        )
+        .is_err());
+        // A variable in only one branch is fine ...
+        let ok = parse_union_query(
+            &mut i,
+            "SELECT ?a ?c WHERE { (?a, p, ?b) UNION (?a, q, ?c) }",
+        )
+        .unwrap();
+        assert_eq!(ok.branches.len(), 2);
+        // ... but a variable in no branch is rejected with its offset.
+        let src = "SELECT ?z WHERE { (?a, p, ?b) UNION (?a, q, ?c) }";
+        let err = parse_union_query(&mut i, src).unwrap_err();
+        assert!(
+            err.message.contains("?z occurs in no UNION branch"),
+            "{err}"
+        );
+        assert_eq!(err.at, src.find("?z").unwrap());
     }
 
     #[test]
