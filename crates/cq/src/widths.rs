@@ -3,13 +3,21 @@
 use crate::query::ConjunctiveQuery;
 use wdpt_decomp::{
     beta_hypertreewidth_at_most, hypertree_width_at_most, treewidth_at_most, treewidth_exact,
-    HypertreeDecomposition,
+    try_hypertree_width_at_most, try_treewidth_exact_with_order, HypertreeDecomposition,
 };
+use wdpt_model::{CancelToken, Cancelled};
 
 /// The exact treewidth of the query's hypergraph.
 pub fn treewidth_of(q: &ConjunctiveQuery) -> usize {
     let (h, _) = q.hypergraph();
     treewidth_exact(&h)
+}
+
+/// [`treewidth_of`] with cooperative cancellation of the `O(2ⁿ)` subset
+/// DP — for callers planning untrusted queries under a deadline.
+pub fn try_treewidth_of(q: &ConjunctiveQuery, token: &CancelToken) -> Result<usize, Cancelled> {
+    let (h, _) = q.hypergraph();
+    try_treewidth_exact_with_order(&h, token).map(|(tw, _)| tw)
 }
 
 /// `q ∈ TW(k)` — treewidth at most `k` (Section 3.1).
@@ -21,6 +29,12 @@ pub fn in_tw(q: &ConjunctiveQuery, k: usize) -> bool {
 /// `q ∈ HW(k)` — (generalized) hypertreewidth at most `k` (Section 3.1).
 pub fn in_hw(q: &ConjunctiveQuery, k: usize) -> bool {
     hypertreewidth_at_most_cq(q, k).is_some()
+}
+
+/// [`in_hw`] with cooperative cancellation of the cover search.
+pub fn try_in_hw(q: &ConjunctiveQuery, k: usize, token: &CancelToken) -> Result<bool, Cancelled> {
+    let (h, _) = q.hypergraph();
+    try_hypertree_width_at_most(&h, k, token).map(|d| d.is_some())
 }
 
 /// Witness decomposition for `q ∈ HW(k)`, if any.

@@ -14,6 +14,7 @@ use crate::gyo;
 use crate::hypergraph::Hypergraph;
 use crate::treedecomp::TreeDecomposition;
 use std::collections::{BTreeSet, HashMap};
+use wdpt_model::{CancelToken, Cancelled};
 use wdpt_obs::{counter, histogram, span};
 
 /// A generalized hypertree decomposition: a tree decomposition whose bags
@@ -70,6 +71,8 @@ struct Search<'a> {
     k: usize,
     covers: Vec<Vec<usize>>, // candidate edge-index covers, |λ| ≤ k
     memo: Memo,
+    token: &'a CancelToken,
+    steps: u32,
 }
 
 impl<'a> Search<'a> {
@@ -111,9 +114,13 @@ impl<'a> Search<'a> {
         comps
     }
 
-    fn solve(&mut self, comp: Vec<usize>, conn: Vec<usize>) -> Option<Tree> {
+    fn solve(&mut self, comp: Vec<usize>, conn: Vec<usize>) -> Result<Option<Tree>, Cancelled> {
         if let Some(hit) = self.memo.get(&(comp.clone(), conn.clone())) {
-            return hit.clone();
+            return Ok(hit.clone());
+        }
+        let token = self.token;
+        if token.should_stop(&mut self.steps) {
+            return Err(Cancelled);
         }
         counter!("decomp.hw_search_nodes").incr();
         let conn_set: BTreeSet<usize> = conn.iter().copied().collect();
@@ -152,7 +159,7 @@ impl<'a> Search<'a> {
                     .flat_map(|&e| self.h.edge(e).iter().copied())
                     .collect();
                 let child_conn: Vec<usize> = sub_vertices.intersection(&bag).copied().collect();
-                match self.solve(sub, child_conn) {
+                match self.solve(sub, child_conn)? {
                     Some(t) => children.push(t),
                     None => continue 'covers,
                 }
@@ -165,7 +172,7 @@ impl<'a> Search<'a> {
             break;
         }
         self.memo.insert((comp, conn), result.clone());
-        result
+        Ok(result)
     }
 }
 
@@ -186,14 +193,27 @@ fn flatten(tree: &Tree, out: &mut HypertreeDecomposition) -> usize {
 /// `O(m^k)` candidate covers per component, matching the recognizability
 /// caveat discussed in the paper's remark on hypertreewidth.
 pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDecomposition> {
+    try_hypertree_width_at_most(h, k, CancelToken::never())
+        .expect("the never token cannot cancel")
+}
+
+/// [`hypertree_width_at_most`] with cooperative cancellation: the
+/// component/separator search is polled once per search node (a relaxed
+/// load, clock every ~1k nodes). The `k = 1` GYO fast path is polynomial
+/// and runs uninterrupted.
+pub fn try_hypertree_width_at_most(
+    h: &Hypergraph,
+    k: usize,
+    token: &CancelToken,
+) -> Result<Option<HypertreeDecomposition>, Cancelled> {
     let _span = span!("decomp.hypertree.at_most");
     assert!(k >= 1, "width bound must be positive");
     let m = h.num_edges();
     if m == 0 {
-        return Some(HypertreeDecomposition {
+        return Ok(Some(HypertreeDecomposition {
             nodes: vec![(BTreeSet::new(), Vec::new())],
             tree_edges: Vec::new(),
-        });
+        }));
     }
     // Fast path via GYO: α-acyclic ⇔ width 1.
     if let Some(jt) = gyo::join_tree(h) {
@@ -213,10 +233,10 @@ pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDeco
             tree_edges.push((w[0], w[1]));
         }
         histogram!("decomp.hw_width").record(1);
-        return Some(HypertreeDecomposition { nodes, tree_edges });
+        return Ok(Some(HypertreeDecomposition { nodes, tree_edges }));
     }
     if k == 1 {
-        return None;
+        return Ok(None);
     }
     // Candidate covers: all non-empty edge subsets of size ≤ k.
     let mut covers: Vec<Vec<usize>> = Vec::new();
@@ -242,17 +262,22 @@ pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDeco
         k,
         covers,
         memo: HashMap::new(),
+        token,
+        steps: 0,
     };
     let _ = search.k;
     let all: Vec<usize> = (0..m).collect();
-    let tree = search.solve(all, Vec::new())?;
+    let tree = match search.solve(all, Vec::new())? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
     let mut out = HypertreeDecomposition {
         nodes: Vec::new(),
         tree_edges: Vec::new(),
     };
     flatten(&tree, &mut out);
     histogram!("decomp.hw_width").record(out.width() as u64);
-    Some(out)
+    Ok(Some(out))
 }
 
 #[cfg(test)]
@@ -347,5 +372,21 @@ mod tests {
     fn witness_respects_k() {
         let d = hypertree_width_at_most(&clique(5), 4).expect("exists");
         assert!(d.width() <= 4);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_search() {
+        let t = CancelToken::new();
+        t.cancel();
+        // The GYO fast path is polynomial and ignores the token…
+        let acyclic = Hypergraph::new(3, vec![vec![0, 1], vec![1, 2]]);
+        assert!(try_hypertree_width_at_most(&acyclic, 1, &t)
+            .unwrap()
+            .is_some());
+        // … but the exponential cover search stops at its first node.
+        assert_eq!(
+            try_hypertree_width_at_most(&clique(4), 2, &t).err(),
+            Some(Cancelled)
+        );
     }
 }

@@ -37,6 +37,9 @@ pub mod treewidth;
 pub use beta::{beta_hypertreewidth_at_most, is_beta_acyclic};
 pub use gyo::{is_alpha_acyclic, join_tree, JoinTree};
 pub use hypergraph::Hypergraph;
-pub use hypertree::{hypertree_width_at_most, HypertreeDecomposition};
+pub use hypertree::{hypertree_width_at_most, try_hypertree_width_at_most, HypertreeDecomposition};
 pub use treedecomp::TreeDecomposition;
-pub use treewidth::{treewidth_at_most, treewidth_exact, treewidth_upper_bound};
+pub use treewidth::{
+    treewidth_at_most, treewidth_exact, treewidth_upper_bound, try_treewidth_at_most,
+    try_treewidth_exact_with_order, EXACT_TW_VERTEX_LIMIT,
+};

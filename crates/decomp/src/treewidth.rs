@@ -15,6 +15,7 @@
 use crate::hypergraph::Hypergraph;
 use crate::treedecomp::TreeDecomposition;
 use std::collections::BTreeSet;
+use wdpt_model::{CancelToken, Cancelled};
 use wdpt_obs::{counter, histogram, span};
 
 /// Maximum vertex count supported by the exact subset DP.
@@ -53,6 +54,19 @@ fn q_size(nbr: &[u64], n: usize, s: u64, v: usize) -> usize {
 /// occurring in edges — callers should consult [`treewidth_upper_bound`]
 /// first for larger inputs.
 pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
+    try_treewidth_exact_with_order(h, CancelToken::never())
+        .expect("the never token cannot cancel")
+}
+
+/// [`treewidth_exact_with_order`] with cooperative cancellation. The subset
+/// dynamic program visits `2ⁿ` states, so a resident service planning
+/// untrusted queries under a deadline threads its token through here; the
+/// token is polled once per DP state (a relaxed load, with the clock
+/// consulted every ~1k states, like the backtracker's loop).
+pub fn try_treewidth_exact_with_order(
+    h: &Hypergraph,
+    token: &CancelToken,
+) -> Result<(usize, Vec<usize>), Cancelled> {
     let _span = span!("decomp.treewidth.exact");
     let n = h.num_vertices();
     assert!(
@@ -60,7 +74,7 @@ pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
         "exact treewidth DP limited to {EXACT_TW_VERTEX_LIMIT} vertices (got {n})"
     );
     if n == 0 {
-        return (0, Vec::new());
+        return Ok((0, Vec::new()));
     }
     let nbr = primal_neighbor_masks(h);
     let full: u64 = if n == 64 { !0 } else { (1u64 << n) - 1 };
@@ -68,7 +82,12 @@ pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
     let mut dp = vec![u8::MAX; 1usize << n];
     let mut choice = vec![u8::MAX; 1usize << n];
     dp[0] = 0;
+    let mut steps = 0u32;
     for s in 1..=(full as usize) {
+        if token.should_stop(&mut steps) {
+            counter!("decomp.tw_search_nodes").add(s as u64);
+            return Err(Cancelled);
+        }
         let s64 = s as u64;
         let mut best = u8::MAX;
         let mut best_v = u8::MAX;
@@ -101,7 +120,7 @@ pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
         order[i] = v;
         s &= !(1usize << v);
     }
-    (dp[full as usize] as usize, order)
+    Ok((dp[full as usize] as usize, order))
 }
 
 /// Exact treewidth (see [`treewidth_exact_with_order`]).
@@ -267,22 +286,32 @@ pub fn degeneracy_lower_bound(h: &Hypergraph) -> usize {
 /// ≤ k on success. Tries the min-fill upper bound and the degeneracy lower
 /// bound before falling back to the exact DP.
 pub fn treewidth_at_most(h: &Hypergraph, k: usize) -> Option<TreeDecomposition> {
+    try_treewidth_at_most(h, k, CancelToken::never()).expect("the never token cannot cancel")
+}
+
+/// [`treewidth_at_most`] with cooperative cancellation of the exact-DP
+/// fallback (the heuristic bounds are polynomial and run uninterrupted).
+pub fn try_treewidth_at_most(
+    h: &Hypergraph,
+    k: usize,
+    token: &CancelToken,
+) -> Result<Option<TreeDecomposition>, Cancelled> {
     let _span = span!("decomp.treewidth.at_most");
     let (ub, td) = treewidth_upper_bound(h);
     if ub <= k {
         histogram!("decomp.tw_width").record(ub as u64);
-        return Some(td);
+        return Ok(Some(td));
     }
     if degeneracy_lower_bound(h) > k {
-        return None;
+        return Ok(None);
     }
-    let (tw, order) = treewidth_exact_with_order(h);
-    if tw <= k {
+    let (tw, order) = try_treewidth_exact_with_order(h, token)?;
+    Ok(if tw <= k {
         histogram!("decomp.tw_width").record(tw as u64);
         Some(decomposition_from_order(h, &order))
     } else {
         None
-    }
+    })
 }
 
 #[cfg(test)]
@@ -379,5 +408,18 @@ mod tests {
         let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3]]);
         let td = treewidth_at_most(&h, 1).unwrap();
         assert!(td.is_valid_for(&h));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_exact_dp() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert_eq!(
+            try_treewidth_exact_with_order(&cycle(8), &t),
+            Err(Cancelled)
+        );
+        // The heuristic fast paths still answer without touching the DP.
+        assert!(try_treewidth_at_most(&path(6), 1, &t).unwrap().is_some());
+        assert!(try_treewidth_at_most(&clique(6), 4, &t).unwrap().is_none());
     }
 }

@@ -24,7 +24,9 @@ enum Space {
 /// Typical usage keeps one `Interner` per test / example / benchmark run.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    names: Vec<String>,
+    /// `(namespace, name)` per id — the namespace is kept so
+    /// [`Interner::truncate`] can remove the matching lookup entries.
+    names: Vec<(Space, String)>,
     lookup: HashMap<(Space, String), u32>,
     fresh_counter: u64,
 }
@@ -40,9 +42,22 @@ impl Interner {
             return id;
         }
         let id = u32::try_from(self.names.len()).expect("interner overflow");
-        self.names.push(name.to_owned());
+        self.names.push((space, name.to_owned()));
         self.lookup.insert((space, name.to_owned()), id);
         id
+    }
+
+    /// Rolls the interner back to its first `len` symbols, forgetting every
+    /// id allocated since (`fresh_counter` is left alone, so fresh names
+    /// stay unique across a rollback). Intended for rejecting a request
+    /// whose symbols should not be retained: the caller must ensure no id
+    /// `≥ len` outlives the call — typically by holding the interner lock
+    /// across intern-check-rollback and discarding the parsed structures.
+    pub fn truncate(&mut self, len: usize) {
+        while self.names.len() > len {
+            let entry = self.names.pop().expect("len checked");
+            self.lookup.remove(&entry);
+        }
     }
 
     /// Interns a variable name and returns its [`crate::term::Var`] id.
@@ -87,7 +102,7 @@ impl Interner {
 
     /// Resolves any interned id back to its name.
     pub fn name(&self, id: u32) -> &str {
-        &self.names[id as usize]
+        &self.names[id as usize].1
     }
 
     /// Renders a variable.
@@ -177,5 +192,41 @@ mod tests {
         assert_ne!(v1, v2);
         assert!(i.len() >= 2);
         assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn truncate_rolls_back_ids_and_lookups() {
+        let mut i = Interner::new();
+        let v = i.var("x");
+        let len = i.len();
+        let c = i.constant("rolled");
+        let p = i.pred("back");
+        assert_eq!(i.len(), len + 2);
+
+        i.truncate(len);
+        assert_eq!(i.len(), len);
+        // Surviving ids are untouched.
+        assert_eq!(i.var_name(v), "x");
+        assert_eq!(i.var("x"), v);
+        // Rolled-back names re-intern from scratch, reusing the freed id
+        // range — and in a different namespace order, so stale ids from
+        // before the rollback must not be used (they are not).
+        let p2 = i.pred("back");
+        let c2 = i.constant("rolled");
+        assert_eq!(p2.0, c.0);
+        assert_eq!(c2.0, p.0);
+        assert_eq!(i.pred_name(p2), "back");
+        assert_eq!(i.const_name(c2), "rolled");
+    }
+
+    #[test]
+    fn truncate_keeps_fresh_names_unique() {
+        let mut i = Interner::new();
+        let len = i.len();
+        let f1 = i.fresh_const("s");
+        let n1 = i.const_name(f1).to_string();
+        i.truncate(len);
+        let f2 = i.fresh_const("s");
+        assert_ne!(n1, i.const_name(f2), "fresh counter must survive rollback");
     }
 }

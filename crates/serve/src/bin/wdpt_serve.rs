@@ -39,6 +39,13 @@ OPTIONS:
                               [default: 10000]
     --max-deadline-ms MS      clamp on requested deadlines [default: 60000]
     --max-rows N              default cap on streamed rows [default: 1000]
+    --max-query-atoms N       reject queries with more triple patterns
+                              [default: 64]
+    --max-query-vars N        reject queries with more variables; clamped to
+                              the exact-treewidth limit [default: 26]
+    --max-symbols N           interned-symbol budget; requests that would
+                              exceed it are rejected and rolled back
+                              [default: 1048576]
     --no-plan-cache           disable the plan cache (ablation)
     --cache-capacity N        plan-cache entries [default: 256]
     --help                    print this help
@@ -104,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.max_deadline_ms = num(&flag, &value("--max-deadline-ms")?)? as u64
             }
             "--max-rows" => args.cfg.max_rows = num(&flag, &value("--max-rows")?)?,
+            "--max-query-atoms" => {
+                args.cfg.max_query_atoms = num(&flag, &value("--max-query-atoms")?)?
+            }
+            "--max-query-vars" => {
+                args.cfg.max_query_vars = num(&flag, &value("--max-query-vars")?)?
+            }
+            "--max-symbols" => args.cfg.max_symbols = num(&flag, &value("--max-symbols")?)?,
             "--no-plan-cache" => args.cfg.plan_cache = false,
             "--cache-capacity" => {
                 args.cfg.cache_capacity = num(&flag, &value("--cache-capacity")?)?

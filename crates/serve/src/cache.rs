@@ -15,44 +15,12 @@
 //! to translate answer bindings back to the names the client wrote.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use wdpt_core::Wdpt;
-use wdpt_cq::{in_hw, treewidth_of, try_core_of};
+use wdpt_cq::{try_core_of, try_in_hw, try_treewidth_of};
 use wdpt_model::{CancelToken, Cancelled, Interner, Term, Var};
 use wdpt_obs::counter;
-use wdpt_sparql::algebra::SparqlError;
 use wdpt_sparql::{GraphPattern, SparqlQuery, TriplePattern};
-
-/// Why a plan could not be produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PlanError {
-    /// The query is invalid (not well-designed, bad projection).
-    Sparql(SparqlError),
-    /// The request's deadline expired while planning — the endomorphism
-    /// search inside the core computation is itself worst-case exponential.
-    Cancelled,
-}
-
-impl From<SparqlError> for PlanError {
-    fn from(e: SparqlError) -> PlanError {
-        PlanError::Sparql(e)
-    }
-}
-
-impl From<Cancelled> for PlanError {
-    fn from(_: Cancelled) -> PlanError {
-        PlanError::Cancelled
-    }
-}
-
-impl std::fmt::Display for PlanError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlanError::Sparql(e) => e.fmt(f),
-            PlanError::Cancelled => f.write_str("deadline expired during plan building"),
-        }
-    }
-}
 
 /// A query reduced to canonical form, plus what is needed to translate
 /// canonical answers back into the request's vocabulary.
@@ -238,15 +206,23 @@ pub struct Plan {
 /// the cache exists to skip: the core computation runs a homomorphism
 /// search per node and the width computations run decomposition searches
 /// (observable as `decomp.tw_search_nodes` / `decomp.hw_search_nodes`).
-/// Both are worst-case exponential in the *query* size, so the request's
-/// deadline token is honored here too.
+/// All of them are worst-case exponential in the *query* size, so every
+/// search loop polls the request's deadline token.
+///
+/// `wdpt` is the tree already translated in the request's front half,
+/// under the shared interner lock — so every id stored in the returned
+/// [`Plan`] is consistent with the shared interner and the loaded
+/// databases. `i` is a **scratch** interner (a clone of the shared one):
+/// the core computation freezes variables into fresh constants, and none
+/// of those may leak into shared state. Nothing interned into `i` outlives
+/// this call.
 pub fn build_plan(
     canon: &CanonicalQuery,
+    wdpt: &Wdpt,
     i: &mut Interner,
     token: &CancelToken,
-) -> Result<Plan, PlanError> {
+) -> Result<Plan, Cancelled> {
     let _span = wdpt_obs::span!("serve.plan.build");
-    let wdpt = canon.canon.to_wdpt(i)?;
     let mut nodes = Vec::with_capacity(wdpt.node_count());
     for t in 0..wdpt.node_count() {
         token.check()?;
@@ -255,24 +231,34 @@ pub fn build_plan(
         nodes.push(NodePlan {
             atoms: q.body().len(),
             core_atoms: core.body().len(),
-            treewidth: treewidth_of(&core),
-            acyclic: in_hw(&core, 1),
+            treewidth: try_treewidth_of(&core, token)?,
+            acyclic: try_in_hw(&core, 1, token)?,
         });
     }
+    // The canonical variables were interned during canonicalization, so
+    // looking them up in the scratch clone yields the shared ids.
     let canon_vars = (0..canon.request_vars.len())
         .map(|k| canon_var(i, k))
         .collect();
     Ok(Plan {
-        wdpt,
+        wdpt: wdpt.clone(),
         canon_vars,
         nodes,
     })
 }
 
+/// The in-flight build of one canonical key. `OnceLock::get_or_init`
+/// gives exactly the coalescing the cache needs: the first arrival runs
+/// the build, identical concurrent requests block on the slot (and only
+/// on the slot — no global lock), and everyone shares the result.
+type Slot = OnceLock<Result<Arc<Plan>, Cancelled>>;
+
 struct CacheInner {
     map: HashMap<String, Arc<Plan>>,
     /// FIFO eviction order (insertion order of keys).
     order: VecDeque<String>,
+    /// In-flight builds by canonical key.
+    building: HashMap<String, Arc<Slot>>,
 }
 
 /// A bounded, thread-shared map from canonical key to [`Plan`], with
@@ -293,6 +279,7 @@ impl PlanCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 order: VecDeque::new(),
+                building: HashMap::new(),
             }),
         }
     }
@@ -319,34 +306,87 @@ impl PlanCache {
 
     /// Looks up the canonical key, building (and inserting) the plan on a
     /// miss. Returns the plan and `"hit"`, `"miss"`, or `"off"` for the
-    /// response's cache field. The lock is held across a miss's build so
-    /// concurrent identical requests do not duplicate the work; a build
-    /// aborted by `token` is never inserted.
+    /// response's cache field.
+    ///
+    /// Locking discipline: the global cache mutex is held only for map
+    /// lookups and insertions — never across a build. A miss claims a
+    /// per-key in-flight [`Slot`]; the build then runs against a clone of
+    /// the shared interner (taken under a brief interner lock), so a
+    /// slow-to-plan query blocks *only* concurrent identical requests,
+    /// which coalesce onto the same slot instead of duplicating the work.
+    /// A build aborted by its request's deadline is never inserted; its
+    /// waiters retry under their own tokens.
     pub fn get_or_build(
         &self,
         canon: &CanonicalQuery,
-        i: &mut Interner,
+        wdpt: &Wdpt,
+        interner: &Mutex<Interner>,
         token: &CancelToken,
-    ) -> Result<(Arc<Plan>, &'static str), PlanError> {
+    ) -> Result<(Arc<Plan>, &'static str), Cancelled> {
+        let build = || {
+            let mut scratch = interner.lock().expect("interner lock").clone();
+            build_plan(canon, wdpt, &mut scratch, token).map(Arc::new)
+        };
         if !self.enabled {
             counter!("serve.plan_cache.bypass").add(1);
-            return build_plan(canon, i, token).map(|p| (Arc::new(p), "off"));
+            return build().map(|p| (p, "off"));
         }
-        let mut inner = self.inner.lock().expect("cache lock");
-        if let Some(plan) = inner.map.get(&canon.key) {
-            counter!("serve.plan_cache.hit").add(1);
-            return Ok((Arc::clone(plan), "hit"));
-        }
-        counter!("serve.plan_cache.miss").add(1);
-        let plan = Arc::new(build_plan(canon, i, token)?);
-        inner.map.insert(canon.key.clone(), Arc::clone(&plan));
-        inner.order.push_back(canon.key.clone());
-        while inner.map.len() > self.capacity {
-            if let Some(old) = inner.order.pop_front() {
-                inner.map.remove(&old);
-                counter!("serve.plan_cache.evicted").add(1);
+        loop {
+            let (slot, claimed) = {
+                let mut inner = self.inner.lock().expect("cache lock");
+                if let Some(plan) = inner.map.get(&canon.key) {
+                    counter!("serve.plan_cache.hit").add(1);
+                    return Ok((Arc::clone(plan), "hit"));
+                }
+                match inner.building.get(&canon.key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot: Arc<Slot> = Arc::new(OnceLock::new());
+                        inner.building.insert(canon.key.clone(), Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if claimed {
+                counter!("serve.plan_cache.miss").add(1);
+            } else {
+                counter!("serve.plan_cache.coalesced").add(1);
+            }
+            // Build — or block on the identical request already building —
+            // with no global lock held.
+            let result = slot.get_or_init(build).clone();
+            // Whoever gets here first publishes the result and retires the
+            // slot (the pointer check keeps a stale slot from clobbering a
+            // retry's fresh one).
+            {
+                let mut inner = self.inner.lock().expect("cache lock");
+                let current = inner
+                    .building
+                    .get(&canon.key)
+                    .map_or(false, |s| Arc::ptr_eq(s, &slot));
+                if current {
+                    inner.building.remove(&canon.key);
+                    if let Ok(plan) = &result {
+                        inner.map.insert(canon.key.clone(), Arc::clone(plan));
+                        inner.order.push_back(canon.key.clone());
+                        while inner.map.len() > self.capacity {
+                            if let Some(old) = inner.order.pop_front() {
+                                inner.map.remove(&old);
+                                counter!("serve.plan_cache.evicted").add(1);
+                            }
+                        }
+                    }
+                }
+            }
+            match result {
+                Ok(plan) => return Ok((plan, if claimed { "miss" } else { "hit" })),
+                Err(Cancelled) => {
+                    // The build ran under *some* request's deadline, not
+                    // necessarily ours. If our token is still live, retry
+                    // on a fresh slot; otherwise surface our own expiry.
+                    token.check()?;
+                }
             }
         }
-        Ok((plan, "miss"))
     }
 }

@@ -25,7 +25,7 @@ pub mod db;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{build_plan, canonicalize, CanonicalQuery, NodePlan, Plan, PlanCache, PlanError};
+pub use cache::{build_plan, canonicalize, CanonicalQuery, NodePlan, Plan, PlanCache};
 pub use db::{load_database, parse_dataset, parse_nt};
 pub use protocol::Request;
 pub use server::{serve, ServeConfig, ServeState};

@@ -5,9 +5,12 @@
 //!
 //! * The **accept loop** ([`serve`]) owns the listener (nonblocking, so it
 //!   can notice shutdown) and spawns one thread per connection.
-//! * **Connection threads** read request lines, do the cheap front-half of
-//!   a query (parse, canonicalize, plan-cache lookup) under the interner
-//!   lock, and enqueue an evaluation job on a **bounded** queue
+//! * **Connection threads** read request lines and run the query's front
+//!   half. Only its *polynomial* part (parse, size caps, canonicalize,
+//!   tree translation) holds the interner lock; the worst-case-exponential
+//!   planning (cores, decompositions) runs lock-free through the plan
+//!   cache's per-key in-flight slots, under the request's [`CancelToken`].
+//!   The evaluation job then goes onto a **bounded** queue
 //!   (`std::sync::mpsc::sync_channel`). A full queue is the backpressure
 //!   signal: the request is answered `overloaded` immediately rather than
 //!   waiting — the client decides whether to retry.
@@ -16,12 +19,20 @@
 //!   the `wdpt-core`/`wdpt-cq` loops. Deadline expiry surfaces as a typed
 //!   [`Cancelled`] and an explicit `cancelled` response line.
 //!
+//! Admission control against adversarial queries: [`ServeConfig`] caps the
+//! atom and variable counts of a query (planning and evaluation are
+//! exponential in query size, and the exact-treewidth DP allocates `2ⁿ`
+//! states) and the total interned-symbol count (the shared interner never
+//! shrinks; requests that would grow it past `max_symbols` are rejected
+//! and their symbols rolled back, so server memory stays bounded under
+//! varied query streams).
+//!
 //! Graceful shutdown: the `shutdown` op (or [`ServeState::begin_shutdown`])
 //! flips one flag. The accept loop stops accepting, connection threads
 //! answer in-flight requests and close, queued jobs drain through the
 //! workers, and [`serve`] joins everything before returning.
 
-use crate::cache::{canonicalize, CanonicalQuery, Plan, PlanCache, PlanError};
+use crate::cache::{canonicalize, CanonicalQuery, Plan, PlanCache};
 use crate::protocol::{
     cancelled_line, error_line, ok_line, overloaded_line, row_line, shutting_down_line, Request,
 };
@@ -32,10 +43,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use wdpt_model::{CancelToken, Database, Interner, Mapping, Var};
+use wdpt_core::Wdpt;
+use wdpt_cq::EXACT_TW_VERTEX_LIMIT;
+use wdpt_model::{CancelToken, Cancelled, Database, Interner, Mapping, Var};
 use wdpt_obs::{counter, metrics_snapshot, Json};
 use wdpt_sparql::algebra::SparqlError;
-use wdpt_sparql::parse_query;
+use wdpt_sparql::{parse_query, GraphPattern};
 
 /// Server tunables. [`Default`] gives the values the `wdpt-serve` binary
 /// advertises in `--help`.
@@ -60,6 +73,20 @@ pub struct ServeConfig {
     pub max_rows: usize,
     /// Suggested client backoff on `overloaded`, in milliseconds.
     pub retry_after_ms: u64,
+    /// Admission cap on a query's triple-pattern count: planning and
+    /// evaluation are worst-case exponential in query size, so unbounded
+    /// client queries are rejected up front with `query_too_large`.
+    pub max_query_atoms: usize,
+    /// Admission cap on a query's distinct-variable count. Clamped by
+    /// [`ServeState::new`] to the exact-treewidth DP's vertex limit
+    /// ([`EXACT_TW_VERTEX_LIMIT`]), past which planning would abort.
+    pub max_query_vars: usize,
+    /// Upper bound on the shared interner's total symbol count. The
+    /// interner never shrinks, so without this cap an adversarial stream
+    /// of queries with fresh identifiers grows server memory without
+    /// bound; requests that would exceed it are rejected with
+    /// `symbol_limit` and their new symbols rolled back.
+    pub max_symbols: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +101,9 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             max_rows: 1_000,
             retry_after_ms: 50,
+            max_query_atoms: 64,
+            max_query_vars: EXACT_TW_VERTEX_LIMIT,
+            max_symbols: 1 << 20,
         }
     }
 }
@@ -98,6 +128,10 @@ impl ServeState {
         dbs: BTreeMap<String, Database>,
         default_db: impl Into<String>,
     ) -> Arc<ServeState> {
+        let mut cfg = cfg;
+        // Beyond the DP limit, exact treewidth aborts the process; a query
+        // that large must be rejected at admission instead.
+        cfg.max_query_vars = cfg.max_query_vars.min(EXACT_TW_VERTEX_LIMIT);
         let default_db = default_db.into();
         assert!(
             dbs.contains_key(&default_db),
@@ -119,6 +153,12 @@ impl ServeState {
         &self.cache
     }
 
+    /// Current interned-symbol count (for tests and stats): rejected
+    /// requests must leave this unchanged.
+    pub fn interner_len(&self) -> usize {
+        self.interner.lock().expect("interner lock").len()
+    }
+
     /// Requests graceful shutdown, as the `shutdown` op does.
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -132,13 +172,41 @@ impl ServeState {
     /// Front-half of a query without the network: parse, canonicalize,
     /// and consult the plan cache. Used by the plan-cache tests.
     pub fn plan_for(&self, src: &str) -> Result<(Arc<Plan>, &'static str), String> {
-        let mut i = self.interner.lock().expect("interner lock");
-        let q = parse_query(&mut i, src).map_err(|e| e.message)?;
-        let canon = canonicalize(&q, &mut i);
+        self.plan_for_with(src, CancelToken::never())
+    }
+
+    /// [`ServeState::plan_for`] under a caller-supplied cancellation
+    /// token, mirroring a request's planning path exactly: the interner
+    /// lock covers only the polynomial translation, and the exponential
+    /// build runs lock-free under `token`.
+    pub fn plan_for_with(
+        &self,
+        src: &str,
+        token: &CancelToken,
+    ) -> Result<(Arc<Plan>, &'static str), String> {
+        let (canon, wdpt) = {
+            let mut i = self.interner.lock().expect("interner lock");
+            let q = parse_query(&mut i, src).map_err(|e| e.message)?;
+            let canon = canonicalize(&q, &mut i);
+            let wdpt = canon.canon.to_wdpt(&mut i).map_err(|e| e.to_string())?;
+            (canon, wdpt)
+        };
         self.cache
-            .get_or_build(&canon, &mut i, CancelToken::never())
+            .get_or_build(&canon, &wdpt, &self.interner, token)
             .map_err(|e| e.to_string())
     }
+}
+
+/// `(triple patterns, distinct variables)` of a parsed pattern — the
+/// quantities the admission caps bound.
+fn pattern_size(p: &GraphPattern) -> (usize, usize) {
+    fn atoms(p: &GraphPattern) -> usize {
+        match p {
+            GraphPattern::Triple(_) => 1,
+            GraphPattern::And(a, b) | GraphPattern::Opt(a, b) => atoms(a) + atoms(b),
+        }
+    }
+    (atoms(p), p.variables().len())
 }
 
 /// One evaluation job on the bounded queue.
@@ -207,6 +275,11 @@ pub fn serve(listener: TcpListener, state: Arc<ServeState>) -> io::Result<()> {
     Ok(())
 }
 
+/// Longest accepted request line. A line that exceeds this is answered with
+/// `bad_request` and the connection is closed (the remainder of the oversized
+/// line cannot be re-synchronised reliably).
+const MAX_LINE_BYTES: usize = 1 << 20;
+
 fn handle_connection(
     stream: TcpStream,
     state: Arc<ServeState>,
@@ -216,21 +289,39 @@ fn handle_connection(
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    // The buffer persists across read timeouts: `read_line` appends
-    // whatever bytes arrived before the timeout, so a line split across
-    // packets survives the `Err` return.
-    let mut buf = String::new();
+    // The buffer persists across read timeouts and accumulates *bytes*, not
+    // `String` data: `read_line` would error (and drop the partial read) if
+    // a timeout fired in the middle of a multibyte UTF-8 character, whereas
+    // `read_until` keeps whatever prefix arrived and resumes on the next
+    // packet. UTF-8 validation happens once per complete line.
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        match reader.read_line(&mut buf) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {
-                let line = std::mem::take(&mut buf);
-                let lines = handle_line(line.trim(), &state, &tx);
+        match reader.read_until(b'\n', &mut buf) {
+            // `Ok` means a newline was found or EOF was reached; a partial
+            // final line without trailing newline is still processed.
+            Ok(n) => {
+                let eof = !buf.ends_with(b"\n");
+                if n == 0 && buf.is_empty() {
+                    return Ok(());
+                }
+                let bytes = std::mem::take(&mut buf);
+                let lines = match std::str::from_utf8(&bytes) {
+                    Ok(line) => handle_line(line.trim(), &state, &tx),
+                    Err(_) => {
+                        counter!("serve.requests.error").add(1);
+                        vec![error_line(
+                            None,
+                            "bad_request",
+                            "request line is not valid UTF-8",
+                            None,
+                        )]
+                    }
+                };
                 for l in &lines {
                     wdpt_obs::write_json_line(&mut writer, l)?;
                 }
                 writer.flush()?;
-                if state.is_shutting_down() {
+                if eof || state.is_shutting_down() {
                     return Ok(()); // answered; close so the drain can finish
                 }
             }
@@ -247,6 +338,18 @@ fn handle_connection(
                 }
             }
             Err(e) => return Err(e),
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            counter!("serve.requests.error").add(1);
+            let l = error_line(
+                None,
+                "bad_request",
+                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                None,
+            );
+            wdpt_obs::write_json_line(&mut writer, &l)?;
+            writer.flush()?;
+            return Ok(());
         }
     }
 }
@@ -339,39 +442,77 @@ fn handle_query(
 
     // The deadline clock starts before plan building: the core and
     // decomposition searches are worst-case exponential in the query, so
-    // an adversarial query must not pin the interner lock past its budget.
+    // an adversarial query must not outlive its budget while planning.
     let deadline_ms = deadline_ms
         .unwrap_or(state.cfg.default_deadline_ms)
         .min(state.cfg.max_deadline_ms);
     let token = CancelToken::with_deadline(Duration::from_millis(deadline_ms));
     let start = Instant::now();
 
-    // Front half, under the interner lock: parse, canonicalize, plan.
-    let (plan, cache_status, request_vars) = {
+    // Polynomial front half, under a brief interner lock: parse, admission
+    // caps, canonicalize, translate to a tree. A rejected request rolls the
+    // interner back so its symbols do not accumulate.
+    let (canon, wdpt): (CanonicalQuery, Wdpt) = {
         let mut i = state.interner.lock().expect("interner lock");
+        let len0 = i.len();
         let parsed = match parse_query(&mut i, query) {
             Ok(q) => q,
             Err(e) => {
+                i.truncate(len0);
                 counter!("serve.requests.error").add(1);
                 return vec![error_line(id, "parse_error", &e.message, Some(e.at))];
             }
         };
+        let (atoms, vars) = pattern_size(&parsed.pattern);
+        if atoms > state.cfg.max_query_atoms || vars > state.cfg.max_query_vars {
+            i.truncate(len0);
+            counter!("serve.requests.rejected").add(1);
+            return vec![error_line(
+                id,
+                "query_too_large",
+                &format!(
+                    "query has {atoms} triple patterns and {vars} variables; this server accepts at most {} and {}",
+                    state.cfg.max_query_atoms, state.cfg.max_query_vars
+                ),
+                None,
+            )];
+        }
         let canon = canonicalize(&parsed, &mut i);
-        match state.cache.get_or_build(&canon, &mut i, &token) {
-            Ok((plan, status)) => (plan, status, canon.request_vars),
-            Err(PlanError::Cancelled) => {
-                counter!("serve.requests.cancelled").add(1);
-                return vec![cancelled_line(
-                    id,
-                    deadline_ms,
-                    start.elapsed().as_micros() as u64,
-                )];
-            }
-            Err(PlanError::Sparql(e)) => {
+        let wdpt = match canon.canon.to_wdpt(&mut i) {
+            Ok(w) => w,
+            Err(e) => {
                 counter!("serve.requests.error").add(1);
                 let (kind, message) = sparql_error_parts(&e, &i, &canon);
+                i.truncate(len0);
                 return vec![error_line(id, kind, &message, None)];
             }
+        };
+        if i.len() > state.cfg.max_symbols {
+            i.truncate(len0);
+            counter!("serve.requests.rejected").add(1);
+            return vec![error_line(
+                id,
+                "symbol_limit",
+                "the server's interned-symbol budget is exhausted; only queries over already-seen identifiers are accepted",
+                None,
+            )];
+        }
+        (canon, wdpt)
+    };
+
+    // Exponential back half, no global locks: plan-cache lookup or a
+    // cancellable build coalesced with identical concurrent requests.
+    let request_vars = canon.request_vars.clone();
+    let (plan, cache_status) = match state.cache.get_or_build(&canon, &wdpt, &state.interner, &token)
+    {
+        Ok(hit) => hit,
+        Err(Cancelled) => {
+            counter!("serve.requests.cancelled").add(1);
+            return vec![cancelled_line(
+                id,
+                deadline_ms,
+                start.elapsed().as_micros() as u64,
+            )];
         }
     };
 

@@ -83,6 +83,11 @@ impl Client {
         self.writer.flush().unwrap();
     }
 
+    fn send_bytes(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.flush().unwrap();
+    }
+
     fn send(&mut self, req: &Json) {
         write_json_line(&mut self.writer, req).unwrap();
         self.writer.flush().unwrap();
@@ -282,6 +287,149 @@ fn deadline_exceeding_query_is_cancelled_promptly() {
     // The worker is free again: a normal query still succeeds.
     let (ok, _) = c.round_trip(&query("after", BASE));
     assert_eq!(status_of(&ok), "ok");
+
+    server.shutdown_and_join();
+}
+
+/// A directed `n`-cycle over distinct predicates: instant to parse and
+/// core (each atom only maps to itself) but the exact-treewidth DP must
+/// walk `2ⁿ` subsets, so *planning* — not evaluation — eats the deadline.
+fn cycle_query(n: usize) -> String {
+    let mut p = "(?v0, e0, ?v1)".to_string();
+    for k in 1..n {
+        p = format!("({p} AND (?v{k}, e{k}, ?v{}))", (k + 1) % n);
+    }
+    format!("SELECT ?v0 WHERE {{ {p} }}")
+}
+
+#[test]
+fn slow_planning_query_does_not_wedge_other_connections() {
+    let server = start(ServeConfig::default());
+
+    // Connection 1: a query whose *planning* runs a 2²⁴-state search. It
+    // must be cancelled by its own deadline — and, critically, must not
+    // hold the interner or plan-cache lock while searching.
+    let mut c1 = Client::connect(server.addr);
+    c1.send(&query_with(
+        "planner",
+        &cycle_query(24),
+        &[("deadline_ms", Json::int(800))],
+    ));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Connection 2: a normal query while connection 1 is mid-planning.
+    // Before planning was moved out of the global locks this would block
+    // for connection 1's whole deadline.
+    let mut c2 = Client::connect(server.addr);
+    let started = Instant::now();
+    let (ok, rows) = c2.round_trip(&query("fast", BASE));
+    let elapsed = started.elapsed();
+    assert_eq!(status_of(&ok), "ok", "got {ok}");
+    assert_eq!(rows.len(), 120);
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "fast query stalled {elapsed:?} behind a planning query"
+    );
+
+    let (line, _) = c1.response();
+    assert_eq!(status_of(&line), "cancelled", "got {line}");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_queries_are_rejected_without_retaining_symbols() {
+    let server = start(ServeConfig {
+        max_query_atoms: 3,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.addr);
+    let symbols_before = server.state.interner_len();
+
+    // BASE has four triple patterns: over the atom cap.
+    let (e, rows) = c.round_trip(&query("big", BASE));
+    assert_eq!(status_of(&e), "error");
+    assert_eq!(
+        e.get("kind").and_then(Json::as_str),
+        Some("query_too_large"),
+        "got {e}"
+    );
+    assert!(rows.is_empty());
+    assert_eq!(
+        server.state.interner_len(),
+        symbols_before,
+        "a rejected query must not retain interned symbols"
+    );
+
+    // Under the cap still works on the same connection.
+    let (ok, _) = c.round_trip(&query("small", "(?x, rec_by, ?y)"));
+    assert_eq!(status_of(&ok), "ok", "got {ok}");
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn exhausted_symbol_budget_rejects_queries_but_not_ops() {
+    let server = start(ServeConfig {
+        max_symbols: 0,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.addr);
+    let symbols_before = server.state.interner_len();
+
+    let (e, _) = c.round_trip(&query("q", BASE));
+    assert_eq!(status_of(&e), "error");
+    assert_eq!(e.get("kind").and_then(Json::as_str), Some("symbol_limit"));
+    assert_eq!(server.state.interner_len(), symbols_before);
+
+    // Non-query ops are unaffected.
+    let (pong, _) = c.round_trip(&Json::obj([("op", Json::str("ping"))]));
+    assert_eq!(pong.get("kind").and_then(Json::as_str), Some("pong"));
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn utf8_request_split_mid_character_survives_read_timeouts() {
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    // The request id contains a three-byte UTF-8 character; split the line
+    // inside it and pause past the server's 200 ms read timeout, so the
+    // reader sees a timeout with an incomplete character buffered. With a
+    // string-based reader this dropped the partial bytes.
+    let line = r#"{"op":"query","id":"本-id","query":"(?x, rec_by, ?y)"}"#;
+    let split = line.find('本').unwrap() + 1; // mid-character
+    c.send_bytes(&line.as_bytes()[..split]);
+    std::thread::sleep(Duration::from_millis(450));
+    c.send_bytes(&line.as_bytes()[split..]);
+    c.send_bytes(b"\n");
+
+    let (ok, _) = c.response();
+    assert_eq!(status_of(&ok), "ok", "got {ok}");
+    assert_eq!(ok.get("id").and_then(Json::as_str), Some("本-id"));
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn invalid_utf8_line_gets_bad_request_and_connection_survives() {
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    c.send_bytes(b"\xff\xfe{\"op\":\"ping\"}\n");
+    let (e, _) = c.response();
+    assert_eq!(status_of(&e), "error");
+    assert_eq!(e.get("kind").and_then(Json::as_str), Some("bad_request"));
+    assert!(e
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("UTF-8"));
+
+    // The reader resynchronizes on the newline: the next request works.
+    let (pong, _) = c.round_trip(&Json::obj([("op", Json::str("ping"))]));
+    assert_eq!(pong.get("kind").and_then(Json::as_str), Some("pong"));
 
     server.shutdown_and_join();
 }

@@ -6,9 +6,10 @@
 //! its own process, so other test binaries cannot interfere.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
 use wdpt_gen::music::MusicParams;
-use wdpt_model::{Database, Interner};
+use wdpt_model::{CancelToken, Database, Interner};
 use wdpt_obs::metrics_snapshot;
 use wdpt_serve::{canonicalize, ServeConfig, ServeState};
 use wdpt_sparql::parse_query;
@@ -129,6 +130,82 @@ fn disabled_cache_rebuilds_every_time() {
     assert_eq!((status1, status2), ("off", "off"));
     assert!(!Arc::ptr_eq(&plan1, &plan2));
     assert!(state.cache().is_empty());
+}
+
+/// A directed `n`-cycle over *distinct* predicates. The core search is
+/// trivial (with distinct predicates every atom can only map to itself),
+/// so planning cost is dominated by the exact-treewidth DP, which must
+/// walk all `2ⁿ` vertex subsets — a single long-running, cancellable
+/// search with no heuristic short-circuit.
+fn cycle_query(n: usize) -> String {
+    let mut p = "(?v0, e0, ?v1)".to_string();
+    for k in 1..n {
+        p = format!("({p} AND (?v{k}, e{k}, ?v{}))", (k + 1) % n);
+    }
+    format!("SELECT ?v0 WHERE {{ {p} }}")
+}
+
+#[test]
+fn expired_deadline_cancels_planning_and_caches_nothing() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig::default());
+
+    // 24 variables: the DP alone would visit 2²⁴ states. An expired token
+    // must abort the build instead of grinding through it.
+    let expired = CancelToken::with_deadline(Duration::ZERO);
+    let err = state
+        .plan_for_with(&cycle_query(24), &expired)
+        .expect_err("an expired token must cancel the build");
+    assert!(err.contains("cancelled"), "got {err:?}");
+    assert!(
+        state.cache().is_empty(),
+        "a cancelled build must not be cached"
+    );
+
+    // The cache is not poisoned: a later request plans normally.
+    assert_eq!(state.plan_for(BASE).unwrap().1, "miss");
+}
+
+#[test]
+fn concurrent_identical_misses_coalesce_onto_one_build() {
+    let _guard = LOCK.lock().unwrap();
+    let state = music_state(ServeConfig::default());
+    // Slow enough (2¹⁸ DP states) that the second request usually arrives
+    // while the first is still building; the assertions below hold either
+    // way (it then sees a plain hit).
+    let q = Arc::new(cycle_query(18));
+
+    let before = metrics_snapshot();
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let q = Arc::clone(&q);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                state.plan_for(&q).unwrap()
+            })
+        })
+        .collect();
+    let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let delta = metrics_snapshot().since(&before);
+
+    assert!(
+        Arc::ptr_eq(&plans[0].0, &plans[1].0),
+        "both requests must share one plan"
+    );
+    assert_eq!(
+        delta.counter("serve.plan_cache.miss"),
+        1,
+        "exactly one request may run the build"
+    );
+    assert_eq!(
+        delta.counter("serve.plan_cache.hit") + delta.counter("serve.plan_cache.coalesced"),
+        1,
+        "the other must join the in-flight slot or hit the finished entry"
+    );
+    assert_eq!(state.cache().len(), 1);
 }
 
 #[test]
