@@ -1,0 +1,97 @@
+//! Loader-throughput benchmarks for `wdpt-store`: serial streaming text
+//! load vs the parallel bulk loader vs snapshot decode, over the generated
+//! music catalog rendered as N-Triples. This is the cold-start story behind
+//! `wdpt-serve --snapshot` — the snapshot numbers are the startup cost a
+//! server pays instead of a text parse.
+//!
+//! Plain `fn main` driven by the std-only runner (`harness = false`).
+
+use std::io::Cursor;
+use wdpt_bench::{bench_case, section};
+use wdpt_gen::music::MusicParams;
+use wdpt_model::Interner;
+use wdpt_sparql::TripleStore;
+use wdpt_store::{bulk_load, decode_snapshot, read_text_database, snapshot_to_vec, LoadOptions};
+
+/// Renders the music catalog as N-Triples text (same shape the CLI's
+/// `gen-music` writes).
+fn music_nt(bands: usize, records: usize) -> String {
+    let mut i = Interner::new();
+    let params = MusicParams {
+        bands,
+        records_per_band: records,
+        ..MusicParams::default()
+    };
+    let ts = wdpt_gen::music_triples(&mut i, params);
+    let triple = TripleStore::pred(&mut i);
+    let mut out = String::new();
+    if let Some(rel) = ts.database().relation(triple) {
+        for t in rel.tuples() {
+            for (idx, c) in t.iter().enumerate() {
+                if idx > 0 {
+                    out.push(' ');
+                }
+                out.push('<');
+                out.push_str(i.name(c.0));
+                out.push('>');
+            }
+            out.push_str(" .\n");
+        }
+    }
+    out
+}
+
+fn main() {
+    for (bands, records) in [(500usize, 8usize), (2000, 16)] {
+        let text = music_nt(bands, records);
+        let triples = text.lines().count();
+        section(&format!(
+            "store/load {bands}x{records} ({triples} triples, {} KiB text)",
+            text.len() / 1024
+        ));
+
+        bench_case("text_serial", || {
+            let mut i = Interner::new();
+            let db = read_text_database(&mut i, &mut Cursor::new(text.as_bytes())).unwrap();
+            assert_eq!(db.size(), triples);
+        });
+
+        for threads in [2usize, 4, 8] {
+            bench_case(&format!("bulk_parallel_t{threads}"), || {
+                let mut i = Interner::new();
+                let opts = LoadOptions {
+                    threads,
+                    ..LoadOptions::default()
+                };
+                let (db, _) = bulk_load(&mut i, &mut Cursor::new(text.as_bytes()), opts).unwrap();
+                assert_eq!(db.size(), triples);
+            });
+        }
+
+        // Snapshot decode: what `wdpt-serve --snapshot` pays at cold start
+        // instead of the text parse (plus it arrives with indexes built).
+        let snapshot = {
+            let mut i = Interner::new();
+            let (db, _) = bulk_load(
+                &mut i,
+                &mut Cursor::new(text.as_bytes()),
+                LoadOptions::default(),
+            )
+            .unwrap();
+            snapshot_to_vec(&i, &db)
+        };
+        section(&format!(
+            "store/snapshot {bands}x{records} ({} KiB binary)",
+            snapshot.len() / 1024
+        ));
+        bench_case("snapshot_decode", || {
+            let (_, db) = decode_snapshot(&snapshot).unwrap();
+            assert_eq!(db.size(), triples);
+        });
+        bench_case("snapshot_encode", || {
+            let (i, db) = decode_snapshot(&snapshot).unwrap();
+            let bytes = snapshot_to_vec(&i, &db);
+            assert_eq!(bytes.len(), snapshot.len());
+        });
+    }
+}

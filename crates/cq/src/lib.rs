@@ -39,7 +39,7 @@ pub use core_of::{core_of, try_core_of};
 pub use counting::count_homomorphisms;
 pub use query::ConjunctiveQuery;
 pub use structured::{boolean_eval_structured, enumerate_projections, StructuredPlan};
+pub use wdpt_decomp::EXACT_TW_VERTEX_LIMIT;
 pub use widths::{
     hypertreewidth_at_most_cq, in_hw, in_hw_prime, in_tw, treewidth_of, try_in_hw, try_treewidth_of,
 };
-pub use wdpt_decomp::EXACT_TW_VERTEX_LIMIT;

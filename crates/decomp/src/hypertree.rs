@@ -193,8 +193,7 @@ fn flatten(tree: &Tree, out: &mut HypertreeDecomposition) -> usize {
 /// `O(m^k)` candidate covers per component, matching the recognizability
 /// caveat discussed in the paper's remark on hypertreewidth.
 pub fn hypertree_width_at_most(h: &Hypergraph, k: usize) -> Option<HypertreeDecomposition> {
-    try_hypertree_width_at_most(h, k, CancelToken::never())
-        .expect("the never token cannot cancel")
+    try_hypertree_width_at_most(h, k, CancelToken::never()).expect("the never token cannot cancel")
 }
 
 /// [`hypertree_width_at_most`] with cooperative cancellation: the

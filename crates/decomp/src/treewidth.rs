@@ -54,8 +54,7 @@ fn q_size(nbr: &[u64], n: usize, s: u64, v: usize) -> usize {
 /// occurring in edges — callers should consult [`treewidth_upper_bound`]
 /// first for larger inputs.
 pub fn treewidth_exact_with_order(h: &Hypergraph) -> (usize, Vec<usize>) {
-    try_treewidth_exact_with_order(h, CancelToken::never())
-        .expect("the never token cannot cancel")
+    try_treewidth_exact_with_order(h, CancelToken::never()).expect("the never token cannot cancel")
 }
 
 /// [`treewidth_exact_with_order`] with cooperative cancellation. The subset

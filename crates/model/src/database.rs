@@ -67,7 +67,10 @@ impl<I> Drop for CountScans<I> {
 pub struct Relation {
     arity: usize,
     tuples: Vec<Box<[Const]>>,
-    seen: HashSet<Box<[Const]>>,
+    /// Membership set, built lazily on the first `contains`/`insert` — a
+    /// bulk-loaded relation that is only ever scanned and index-probed
+    /// never pays the O(n) clone-and-hash of materializing it.
+    seen: OnceLock<HashSet<Box<[Const]>>>,
     /// Lazily built per-column index: `column -> constant -> tuple indices`.
     column_index: Vec<OnceLock<HashMap<Const, Vec<u32>>>>,
 }
@@ -77,8 +80,57 @@ impl Relation {
         Relation {
             arity,
             tuples: Vec::new(),
-            seen: HashSet::new(),
+            seen: OnceLock::new(),
             column_index: (0..arity).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Builds a relation directly from a **strictly sorted** run of tuples
+    /// (lexicographic on the `Const` ids, no duplicates), skipping the
+    /// per-tuple insert path. This is the bulk-load constructor used by the
+    /// `wdpt-store` snapshot loader: tuples arrive pre-sorted and
+    /// pre-deduplicated from merged sorted runs, so no per-tuple work is
+    /// left at all (the membership set stays lazy until first probed).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a tuple has the wrong arity or the run is
+    /// not strictly sorted; callers that read untrusted input must validate
+    /// first ([`wdpt-store` does, after its checksums]).
+    pub fn from_sorted(arity: usize, tuples: Vec<Box<[Const]>>) -> Relation {
+        debug_assert!(tuples.iter().all(|t| t.len() == arity));
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "run not sorted");
+        Relation {
+            arity,
+            tuples,
+            seen: OnceLock::new(),
+            column_index: (0..arity).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Installs a prebuilt column index (deserialized posting lists), so
+    /// [`Relation::matching`] works immediately with zero index rebuild.
+    /// Returns `false` (and drops `idx`) if that column's index was already
+    /// built. The caller is responsible for `idx` being exactly what
+    /// [`Relation::index_for`] would have computed; `wdpt-store` guarantees
+    /// this by checksumming serialized indexes and validating posting
+    /// targets against the tuple count.
+    pub fn install_column_index(&mut self, col: usize, idx: HashMap<Const, Vec<u32>>) -> bool {
+        self.column_index[col].set(idx).is_ok()
+    }
+
+    /// The built index of a column, or `None` if it has not been built yet.
+    /// Unlike [`Relation::index_for`] this never triggers a build — it is
+    /// the serialization-side peek used when writing snapshots.
+    pub fn built_column_index(&self, col: usize) -> Option<&HashMap<Const, Vec<u32>>> {
+        self.column_index[col].get()
+    }
+
+    /// Forces every column index to be built now (they are otherwise built
+    /// lazily on first probe). Snapshot writers call this so the serialized
+    /// relation carries all its posting lists.
+    pub fn build_all_indexes(&self) {
+        for col in 0..self.arity {
+            let _ = self.index_for(col);
         }
     }
 
@@ -102,14 +154,22 @@ impl Relation {
         self.tuples.iter().map(|t| &**t)
     }
 
+    /// The membership set, built on first use from the tuple list.
+    fn seen(&self) -> &HashSet<Box<[Const]>> {
+        self.seen
+            .get_or_init(|| self.tuples.iter().cloned().collect())
+    }
+
     /// Set-membership test.
     pub fn contains(&self, tuple: &[Const]) -> bool {
-        self.seen.contains(tuple)
+        self.seen().contains(tuple)
     }
 
     fn insert(&mut self, tuple: Box<[Const]>) -> bool {
         debug_assert_eq!(tuple.len(), self.arity);
-        if self.seen.insert(tuple.clone()) {
+        self.seen();
+        let seen = self.seen.get_mut().expect("initialized just above");
+        if seen.insert(tuple.clone()) {
             // Update already-built column indexes incrementally instead of
             // discarding them: appending one posting per built column is
             // O(arity), while a rebuild-on-next-use is O(n) per insert.
@@ -252,6 +312,42 @@ impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Assembles a database from bulk-constructed relations (see
+    /// [`Relation::from_sorted`]), recomputing the active domain. When a
+    /// relation already has built column indexes, their key sets are used as
+    /// the distinct-constant source instead of rescanning every tuple cell —
+    /// on snapshot load all indexes arrive prebuilt, so the active domain
+    /// costs one sort over the distinct constants rather than `O(cells)`
+    /// set inserts.
+    ///
+    /// # Panics
+    /// Panics if the same predicate appears twice.
+    pub fn from_sorted(relations: Vec<(Pred, Relation)>) -> Database {
+        let mut domain: Vec<Const> = Vec::new();
+        for (_, rel) in &relations {
+            for col in 0..rel.arity() {
+                match rel.built_column_index(col) {
+                    Some(idx) => domain.extend(idx.keys().copied()),
+                    None => domain.extend(rel.tuples().map(|t| t[col])),
+                }
+            }
+        }
+        domain.sort_unstable();
+        domain.dedup();
+        let mut map = HashMap::with_capacity(relations.len());
+        for (pred, rel) in relations {
+            assert!(
+                map.insert(pred, rel).is_none(),
+                "predicate appears in two relations"
+            );
+        }
+        Database {
+            relations: map,
+            // Collecting from a sorted iterator lets BTreeSet bulk-build.
+            active_domain: domain.into_iter().collect(),
+        }
     }
 
     /// Inserts a ground tuple into predicate `pred`. Returns `true` if the
@@ -519,6 +615,60 @@ mod tests {
         assert_eq!(rel.matching(&[Some(a), None]).count(), 2);
         let after = crate::stats::snapshot().since(&before);
         assert!(after.tuples_scanned >= mid.tuples_scanned + 2);
+    }
+
+    #[test]
+    fn from_sorted_matches_insert_built_database() {
+        let (mut i, db, e) = db3();
+        let a = i.constant("a");
+        // Rebuild the same relation through the bulk path.
+        let mut tuples: Vec<Box<[Const]>> =
+            db.relation(e).unwrap().tuples().map(Box::from).collect();
+        tuples.sort_unstable();
+        let rel = Relation::from_sorted(2, tuples);
+        let bulk = Database::from_sorted(vec![(e, rel)]);
+        assert_eq!(bulk.size(), db.size());
+        assert_eq!(bulk.active_domain(), db.active_domain());
+        assert_eq!(
+            bulk.relation(e).unwrap().matching(&[Some(a), None]).count(),
+            db.relation(e).unwrap().matching(&[Some(a), None]).count()
+        );
+        let b = i.constant("b");
+        assert!(bulk.relation(e).unwrap().contains(&[a, b]));
+    }
+
+    #[test]
+    fn installed_column_index_answers_probes_without_a_build() {
+        let (mut i, db, e) = db3();
+        let a = i.constant("a");
+        let src = db.relation(e).unwrap();
+        src.build_all_indexes();
+        let mut tuples: Vec<Box<[Const]>> = src.tuples().map(Box::from).collect();
+        tuples.sort_unstable();
+        // Serialize-shape copy of column 0's postings, remapped to the
+        // sorted row order.
+        let order: Vec<usize> = tuples
+            .iter()
+            .map(|t| src.tuples().position(|u| u == &**t).unwrap())
+            .collect();
+        let mut rel = Relation::from_sorted(2, tuples);
+        for col in 0..2 {
+            let mut idx: HashMap<Const, Vec<u32>> = HashMap::new();
+            for (row, &orig) in order.iter().enumerate() {
+                let key = src.tuples().nth(orig).unwrap()[col];
+                idx.entry(key).or_default().push(row as u32);
+            }
+            assert!(rel.install_column_index(col, idx));
+            assert!(rel.built_column_index(col).is_some());
+        }
+        let before = crate::stats::snapshot();
+        assert_eq!(rel.matching(&[Some(a), None]).count(), 2);
+        let delta = crate::stats::snapshot().since(&before);
+        // The probe used the installed index; concurrent tests may build
+        // indexes of their own, so only assert our probes were indexed.
+        assert!(delta.index_probes >= 1);
+        // A second install on the same column is refused.
+        assert!(!rel.install_column_index(0, HashMap::new()));
     }
 
     #[test]

@@ -10,12 +10,21 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// The three disjoint namespaces managed by an [`Interner`].
+///
+/// Public so that storage layers (the `wdpt-store` snapshot format) can
+/// serialize and reconstruct an interner symbol-for-symbol via
+/// [`Interner::symbols`] and [`Interner::from_symbols`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Space {
+pub enum SymbolSpace {
+    /// The variable namespace (**X** in the paper).
     Var,
+    /// The constant namespace (**U** in the paper).
     Const,
+    /// The predicate-symbol namespace (the schema `σ`).
     Pred,
 }
+
+use SymbolSpace as Space;
 
 /// Interns strings for one "universe" of queries and databases.
 ///
@@ -129,6 +138,48 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
+
+    /// Iterates over every interned symbol in **id order**: the symbol with
+    /// id `k` is the `k`-th item. This is the serialization hook used by the
+    /// `wdpt-store` snapshot dictionary.
+    pub fn symbols(&self) -> impl Iterator<Item = (SymbolSpace, &str)> + '_ {
+        self.names.iter().map(|(space, name)| (*space, &**name))
+    }
+
+    /// The namespace of an interned id, or `None` for an id that was never
+    /// allocated. Lets deserializers validate that a stored id really names
+    /// a constant / predicate before wrapping it in a typed term.
+    pub fn symbol_space(&self, id: u32) -> Option<SymbolSpace> {
+        self.names.get(id as usize).map(|(space, _)| *space)
+    }
+
+    /// The fresh-name counter (see [`Interner::fresh_const`]); serialized so
+    /// that fresh names minted after a reload cannot collide with fresh
+    /// names minted before the snapshot was taken.
+    pub fn fresh_counter(&self) -> u64 {
+        self.fresh_counter
+    }
+
+    /// Reconstructs an interner from a symbol listing (as produced by
+    /// [`Interner::symbols`]) and a fresh-name counter: the `k`-th listed
+    /// symbol receives id `k`, exactly reversing serialization. Returns
+    /// `None` if a `(namespace, name)` pair repeats — a malformed listing
+    /// that could not have come from a real interner.
+    pub fn from_symbols<I>(symbols: I, fresh_counter: u64) -> Option<Interner>
+    where
+        I: IntoIterator<Item = (SymbolSpace, String)>,
+    {
+        let mut out = Interner::new();
+        for (space, name) in symbols {
+            let id = u32::try_from(out.names.len()).ok()?;
+            if out.lookup.insert((space, name.clone()), id).is_some() {
+                return None;
+            }
+            out.names.push((space, name));
+        }
+        out.fresh_counter = fresh_counter;
+        Some(out)
+    }
 }
 
 /// Helper joining interned display of a list of items.
@@ -217,6 +268,49 @@ mod tests {
         assert_eq!(c2.0, p.0);
         assert_eq!(i.pred_name(p2), "back");
         assert_eq!(i.const_name(c2), "rolled");
+    }
+
+    #[test]
+    fn symbols_round_trip_through_from_symbols() {
+        let mut i = Interner::new();
+        let v = i.var("x");
+        let c = i.constant("x");
+        let p = i.pred("edge");
+        let f = i.fresh_const("frozen");
+        let listing: Vec<(SymbolSpace, String)> = i
+            .symbols()
+            .map(|(space, name)| (space, name.to_owned()))
+            .collect();
+        let back = Interner::from_symbols(listing, i.fresh_counter()).unwrap();
+        assert_eq!(back.len(), i.len());
+        assert_eq!(back.fresh_counter(), i.fresh_counter());
+        assert_eq!(back.var_name(v), "x");
+        assert_eq!(back.const_name(c), "x");
+        assert_eq!(back.pred_name(p), "edge");
+        assert_eq!(back.const_name(f), i.const_name(f));
+        // Re-interning resolves to the original ids, and namespaces survive.
+        let mut back = back;
+        assert_eq!(back.var("x"), v);
+        assert_eq!(back.constant("x"), c);
+        assert_eq!(back.pred("edge"), p);
+        assert_eq!(back.symbol_space(v.0), Some(SymbolSpace::Var));
+        assert_eq!(back.symbol_space(p.0), Some(SymbolSpace::Pred));
+        assert_eq!(back.symbol_space(u32::MAX), None);
+    }
+
+    #[test]
+    fn from_symbols_rejects_duplicates() {
+        let dup = vec![
+            (SymbolSpace::Const, "a".to_owned()),
+            (SymbolSpace::Const, "a".to_owned()),
+        ];
+        assert!(Interner::from_symbols(dup, 0).is_none());
+        // Same name in different namespaces is fine.
+        let ok = vec![
+            (SymbolSpace::Const, "a".to_owned()),
+            (SymbolSpace::Pred, "a".to_owned()),
+        ];
+        assert!(Interner::from_symbols(ok, 0).is_some());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod term;
 pub use atom::Atom;
 pub use cancel::{CancelToken, Cancelled};
 pub use database::{Database, Relation};
-pub use interner::Interner;
+pub use interner::{Interner, SymbolSpace};
 pub use mapping::Mapping;
 pub use stats::StatsSnapshot;
 pub use term::{Const, Pred, Term, Var};

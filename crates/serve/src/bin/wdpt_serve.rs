@@ -14,8 +14,10 @@ use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 use wdpt_gen::music::MusicParams;
 use wdpt_model::{Database, Interner};
+use wdpt_obs::{counter, span};
 use wdpt_serve::{load_database, serve, ServeConfig, ServeState};
 
 const USAGE: &str = "\
@@ -28,6 +30,12 @@ OPTIONS:
     --addr HOST:PORT          listen address [default: 127.0.0.1:7878]
     --db [NAME=]PATH          load a dataset (N-Triples or facts format);
                               repeatable, first one is the default database
+    --snapshot [NAME=]PATH    load a wdpt-store binary snapshot; repeatable,
+                              loads before any --db. A --db with the same
+                              name is skipped when the snapshot loads, and
+                              serves as the text fallback when it is corrupt
+    --save-snapshot PATH      after loading, write the default database as a
+                              snapshot to PATH (build-on-first-load)
     --gen-music BANDSxRECORDS generate the music catalog instead of loading
                               a file (used when no --db is given)
                               [default when no --db: 100x4]
@@ -54,14 +62,33 @@ OPTIONS:
 struct Args {
     addr: String,
     dbs: Vec<(String, String)>,
+    snapshots: Vec<(String, String)>,
+    save_snapshot: Option<String>,
     gen_music: Option<(usize, usize)>,
     cfg: ServeConfig,
+}
+
+/// Splits a `[NAME=]PATH` spec, defaulting the name to the file stem.
+fn name_and_path(spec: String) -> (String, String) {
+    match spec.split_once('=') {
+        Some((n, p)) => (n.to_string(), p.to_string()),
+        None => {
+            let stem = Path::new(&spec)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("db")
+                .to_string();
+            (stem, spec)
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
         dbs: Vec::new(),
+        snapshots: Vec::new(),
+        save_snapshot: None,
         gen_music: None,
         cfg: ServeConfig::default(),
     };
@@ -71,21 +98,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--addr" => args.addr = value("--addr")?,
-            "--db" => {
-                let spec = value("--db")?;
-                let (name, path) = match spec.split_once('=') {
-                    Some((n, p)) => (n.to_string(), p.to_string()),
-                    None => {
-                        let stem = Path::new(&spec)
-                            .file_stem()
-                            .and_then(|s| s.to_str())
-                            .unwrap_or("db")
-                            .to_string();
-                        (stem, spec)
-                    }
-                };
-                args.dbs.push((name, path));
-            }
+            "--db" => args.dbs.push(name_and_path(value("--db")?)),
+            "--snapshot" => args.snapshots.push(name_and_path(value("--snapshot")?)),
+            "--save-snapshot" => args.save_snapshot = Some(value("--save-snapshot")?),
             "--gen-music" => {
                 let spec = value("--gen-music")?;
                 let (bands, records) = match spec.split_once('x') {
@@ -150,7 +165,53 @@ fn main() -> ExitCode {
     let mut interner = Interner::new();
     let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
     let mut default_db = String::new();
+
+    // Snapshots load first (so the usual single-snapshot start adopts the
+    // snapshot's interner wholesale, keeping its prebuilt indexes). A
+    // corrupt snapshot is not fatal when a same-name --db can fall back.
+    let mut failed_snapshots: Vec<String> = Vec::new();
+    for (name, path) in &args.snapshots {
+        let _g = span!("serve.snapshot_load");
+        let t0 = Instant::now();
+        match wdpt_store::load_snapshot(Path::new(path)) {
+            Ok(pair) => {
+                let db = wdpt_serve::merge_snapshot(&mut interner, pair);
+                counter!("serve.store.snapshot_loaded").add(1);
+                eprintln!(
+                    "loaded snapshot {name:?}: {} facts from {path} in {:.1}ms",
+                    db.size(),
+                    t0.elapsed().as_secs_f64() * 1e3
+                );
+                if default_db.is_empty() {
+                    default_db = name.clone();
+                }
+                dbs.insert(name.clone(), db);
+            }
+            Err(e) => {
+                counter!("serve.store.snapshot_error").add(1);
+                let has_fallback = args.dbs.iter().any(|(n, _)| n == name);
+                if has_fallback {
+                    eprintln!("warning: snapshot {path}: {e}; falling back to --db {name:?}");
+                    failed_snapshots.push(name.clone());
+                } else {
+                    eprintln!("error: snapshot {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
     for (name, path) in &args.dbs {
+        if dbs.contains_key(name) {
+            eprintln!("skipping --db {name:?}: already loaded from snapshot");
+            continue;
+        }
+        if failed_snapshots.iter().any(|n| n == name) {
+            counter!("serve.store.text_fallback").add(1);
+        }
+        if wdpt_serve::looks_like_snapshot(Path::new(path)) {
+            eprintln!("error: {path} is a wdpt-store snapshot; pass it via --snapshot");
+            return ExitCode::from(2);
+        }
         match load_database(&mut interner, Path::new(path)) {
             Ok(db) => {
                 eprintln!("loaded {name:?}: {} facts from {path}", db.size());
@@ -179,6 +240,20 @@ fn main() -> ExitCode {
         );
         dbs.insert("music".to_string(), ts.into_database());
         default_db = "music".to_string();
+    }
+
+    if let Some(path) = &args.save_snapshot {
+        let db = dbs.get(&default_db).expect("default database exists");
+        match wdpt_store::save_snapshot(Path::new(path), &interner, db) {
+            Ok(bytes) => {
+                counter!("serve.store.snapshot_saved").add(1);
+                eprintln!("saved snapshot of {default_db:?} to {path} ({bytes} bytes)");
+            }
+            Err(e) => {
+                eprintln!("error: cannot save snapshot {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let listener = match TcpListener::bind(&args.addr) {

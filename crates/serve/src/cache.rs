@@ -363,7 +363,7 @@ impl PlanCache {
                 let current = inner
                     .building
                     .get(&canon.key)
-                    .map_or(false, |s| Arc::ptr_eq(s, &slot));
+                    .is_some_and(|s| Arc::ptr_eq(s, &slot));
                 if current {
                     inner.building.remove(&canon.key);
                     if let Ok(plan) = &result {

@@ -1,189 +1,89 @@
-//! Dataset loading for the server: N-Triples-ish files and the workspace
-//! `facts` format.
+//! Dataset loading for the server: N-Triples-ish files, the workspace
+//! `facts` format, and `wdpt-store` binary snapshots.
 //!
 //! The server evaluates SPARQL queries, which compile to the `triple/3`
-//! schema, so datasets are parsed into a [`TripleStore`]. Two formats are
-//! accepted, sniffed line by line:
-//!
-//! * **N-Triples (lenient)** — `<s> <p> <o> .` per line; IRIs in angle
-//!   brackets, literals in double quotes (standard backslash escapes),
-//!   bare tokens also tolerated. Datatype/lang suffixes after a literal
-//!   and the trailing `.` are ignored. `#`-comments and blank lines skip.
-//! * **facts** — the `wdpt_model::parse` database format: ground atoms
-//!   `pred(a, b, c)` separated by whitespace or commas. Only `triple/3`
-//!   facts are queryable; other predicates load fine but no SPARQL
-//!   pattern can reach them.
+//! schema, so text datasets are parsed into a [`TripleStore`]. Parsing is
+//! shared with the rest of the workspace: the lenient N-Triples dialect
+//! lives in [`wdpt_sparql::nt`], and file loading streams line by line
+//! through [`wdpt_store::text`] (never materializing the file as one
+//! `String`) with the facts format handled by `wdpt_model::parse`. Binary
+//! snapshots load via [`wdpt_store::load_snapshot`] and are merged into the
+//! server's interner by [`merge_snapshot`].
 
 use std::io;
 use std::path::Path;
-use wdpt_model::{Database, Interner};
-use wdpt_sparql::TripleStore;
+use wdpt_model::{Const, Database, Interner};
+use wdpt_obs::counter;
 
-/// One parsed N-Triples term, with how far the scanner advanced.
-fn nt_term(bytes: &[u8], mut pos: usize) -> Result<(String, usize), String> {
-    while pos < bytes.len() && (bytes[pos] as char).is_whitespace() {
-        pos += 1;
-    }
-    if pos >= bytes.len() {
-        return Err("expected a term, found end of line".into());
-    }
-    match bytes[pos] {
-        b'<' => {
-            let start = pos + 1;
-            let mut end = start;
-            while end < bytes.len() && bytes[end] != b'>' {
-                end += 1;
-            }
-            if end >= bytes.len() {
-                return Err(format!("unterminated IRI at byte {pos}"));
-            }
-            let text = std::str::from_utf8(&bytes[start..end])
-                .map_err(|_| "invalid utf-8 in IRI".to_string())?;
-            Ok((text.to_string(), end + 1))
-        }
-        b'"' => {
-            let mut out = String::new();
-            let mut p = pos + 1;
-            loop {
-                if p >= bytes.len() {
-                    return Err(format!("unterminated literal at byte {pos}"));
-                }
-                match bytes[p] {
-                    b'"' => {
-                        p += 1;
-                        break;
-                    }
-                    b'\\' => {
-                        let esc = *bytes
-                            .get(p + 1)
-                            .ok_or_else(|| "unterminated escape".to_string())?;
-                        out.push(match esc {
-                            b'n' => '\n',
-                            b't' => '\t',
-                            b'r' => '\r',
-                            b'"' => '"',
-                            b'\\' => '\\',
-                            other => other as char,
-                        });
-                        p += 2;
-                    }
-                    _ => {
-                        // Advance one UTF-8 scalar.
-                        let s = std::str::from_utf8(&bytes[p..])
-                            .map_err(|_| "invalid utf-8 in literal".to_string())?;
-                        let c = s.chars().next().expect("non-empty by bounds check");
-                        out.push(c);
-                        p += c.len_utf8();
-                    }
-                }
-            }
-            // Skip a datatype (^^<...>) or language (@xx) suffix.
-            if bytes.get(p) == Some(&b'^') && bytes.get(p + 1) == Some(&b'^') {
-                p += 2;
-                if bytes.get(p) == Some(&b'<') {
-                    while p < bytes.len() && bytes[p] != b'>' {
-                        p += 1;
-                    }
-                    p = (p + 1).min(bytes.len());
-                }
-            } else if bytes.get(p) == Some(&b'@') {
-                while p < bytes.len() && !(bytes[p] as char).is_whitespace() {
-                    p += 1;
-                }
-            }
-            Ok((out, p))
-        }
-        _ => {
-            let start = pos;
-            while pos < bytes.len() && !(bytes[pos] as char).is_whitespace() {
-                pos += 1;
-            }
-            let text = std::str::from_utf8(&bytes[start..pos])
-                .map_err(|_| "invalid utf-8 in token".to_string())?;
-            Ok((text.to_string(), pos))
-        }
-    }
-}
-
-/// Parses one N-Triples line into `(s, p, o)`. `Ok(None)` for blank and
-/// comment lines.
-fn nt_line(line: &str) -> Result<Option<(String, String, String)>, String> {
-    let trimmed = line.trim();
-    if trimmed.is_empty() || trimmed.starts_with('#') {
-        return Ok(None);
-    }
-    let bytes = trimmed.as_bytes();
-    let (s, pos) = nt_term(bytes, 0)?;
-    let (p, pos) = nt_term(bytes, pos)?;
-    let (o, pos) = nt_term(bytes, pos)?;
-    // Anything after the object must be the statement terminator.
-    let rest = std::str::from_utf8(&bytes[pos..]).unwrap_or("").trim();
-    if !rest.is_empty() && rest != "." {
-        return Err(format!("trailing content {rest:?} after object"));
-    }
-    // A bare-token "object" that is just the terminator means a 2-term line.
-    if o == "." {
-        return Err("line has fewer than three terms".into());
-    }
-    Ok(Some((s, p, o)))
-}
-
-/// Parses N-Triples text into a store. Fails on the first malformed line,
-/// reporting its 1-based number.
-pub fn parse_nt(interner: &mut Interner, text: &str) -> Result<TripleStore, String> {
-    let mut ts = TripleStore::new();
-    for (n, line) in text.lines().enumerate() {
-        match nt_line(line) {
-            Ok(None) => {}
-            Ok(Some((s, p, o))) => {
-                ts.insert_str(interner, &s, &p, &o);
-            }
-            Err(e) => return Err(format!("line {}: {e}", n + 1)),
-        }
-    }
-    Ok(ts)
-}
-
-/// True iff the text looks like the `facts` format: the first data line
-/// starts with `pred(` rather than an N-Triples term. (Both formats would
-/// often *scan* as the other — `triple(a, b, c).` is three bare tokens —
-/// so the formats are told apart by shape, not by trial parse.)
-fn looks_like_facts(text: &str) -> bool {
-    for line in text.lines() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let first = trimmed.split_whitespace().next().unwrap_or("");
-        return !first.starts_with('<') && !first.starts_with('"') && first.contains('(');
-    }
-    false
-}
+pub use wdpt_sparql::parse_nt;
 
 /// Parses dataset text, sniffing the format: the `facts` format
 /// (`pred(a, b)`) when the first data line looks like a fact, N-Triples
-/// otherwise.
+/// otherwise. In-memory counterpart of [`load_database`].
 pub fn parse_dataset(interner: &mut Interner, text: &str) -> Result<Database, String> {
-    if looks_like_facts(text) {
-        return wdpt_model::parse::parse_database(interner, text).map_err(|e| e.to_string());
-    }
-    parse_nt(interner, text).map(TripleStore::into_database)
+    let mut r = io::Cursor::new(text.as_bytes());
+    wdpt_store::read_text_database(interner, &mut r).map_err(|e| e.to_string())
 }
 
-/// Loads a dataset file.
+/// Loads a dataset file, streaming it line by line.
 pub fn load_database(interner: &mut Interner, path: &Path) -> io::Result<Database> {
-    let text = std::fs::read_to_string(path)?;
-    parse_dataset(interner, &text).map_err(|e| {
-        io::Error::new(
+    match wdpt_store::load_text_database(interner, path) {
+        Ok(db) => Ok(db),
+        Err(wdpt_store::StoreError::Io(e)) => Err(e),
+        Err(e) => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{}: {e}", path.display()),
-        )
-    })
+        )),
+    }
+}
+
+/// Folds a decoded snapshot into the server's interner.
+///
+/// * If the live interner is still empty (the common case — snapshots load
+///   before any text dataset), the snapshot's interner is **adopted**
+///   wholesale and its database returned as-is, keeping the prebuilt
+///   posting indexes: zero re-interning, zero index rebuild.
+/// * Otherwise every symbol is re-interned by name and the tuples remapped,
+///   which drops the snapshot's prebuilt indexes (they refer to the old
+///   ids) — correct, but the slow path; `serve.store.snapshot_remapped`
+///   counts it.
+pub fn merge_snapshot(interner: &mut Interner, snapshot: (Interner, Database)) -> Database {
+    let (snap_interner, snap_db) = snapshot;
+    if interner.is_empty() {
+        *interner = snap_interner;
+        counter!("serve.store.snapshot_adopted").add(1);
+        return snap_db;
+    }
+    counter!("serve.store.snapshot_remapped").add(1);
+    let mut db = Database::new();
+    for (pred, rel) in snap_db.relations() {
+        let p = interner.pred(snap_interner.name(pred.0));
+        for t in rel.tuples() {
+            let tuple: Vec<Const> = t
+                .iter()
+                .map(|c| interner.constant(snap_interner.name(c.0)))
+                .collect();
+            db.insert(p, tuple);
+        }
+    }
+    db
+}
+
+/// True iff the bytes at `path` start with the snapshot magic — a cheap
+/// pre-check so a `--db` pointed at a snapshot gives a helpful error.
+pub fn looks_like_snapshot(path: &Path) -> bool {
+    use std::io::Read;
+    let mut head = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut head))
+        .map(|()| head == wdpt_store::MAGIC)
+        .unwrap_or(false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wdpt_sparql::TripleStore;
 
     #[test]
     fn parses_nt_with_iris_literals_and_bare_tokens() {
@@ -221,5 +121,42 @@ Swim NME_rating "2"^^<http://www.w3.org/2001/XMLSchema#integer> .
         let text = "triple(swim, recorded_by, caribou)\ntriple(swim, published, after_2010)\n";
         let db = parse_dataset(&mut i, text).unwrap();
         assert_eq!(db.size(), 2);
+    }
+
+    #[test]
+    fn merge_adopts_into_an_empty_interner() {
+        let mut snap_i = Interner::new();
+        let mut ts = TripleStore::new();
+        ts.insert_str(&mut snap_i, "a", "b", "c");
+        let snap_db = ts.into_database();
+        for (_, rel) in snap_db.relations() {
+            rel.build_all_indexes();
+        }
+
+        let mut live = Interner::new();
+        let db = merge_snapshot(&mut live, (snap_i, snap_db));
+        assert_eq!(db.size(), 1);
+        // Adopted wholesale: the prebuilt index came along.
+        let p = TripleStore::pred(&mut live);
+        assert!(db.relation(p).unwrap().built_column_index(0).is_some());
+    }
+
+    #[test]
+    fn merge_remaps_when_the_interner_already_has_symbols() {
+        let mut snap_i = Interner::new();
+        let mut ts = TripleStore::new();
+        ts.insert_str(&mut snap_i, "x", "y", "z");
+        let snap_db = ts.into_database();
+
+        // A live interner with different ids for the same names.
+        let mut live = Interner::new();
+        live.constant("unrelated");
+        live.constant("z");
+        let db = merge_snapshot(&mut live, (snap_i, snap_db));
+        assert_eq!(db.size(), 1);
+        let p = TripleStore::pred(&mut live);
+        let (x, z) = (live.constant("x"), live.constant("z"));
+        let rel = db.relation(p).unwrap();
+        assert!(rel.tuples().any(|t| t[0] == x && t[2] == z));
     }
 }

@@ -26,6 +26,6 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{build_plan, canonicalize, CanonicalQuery, NodePlan, Plan, PlanCache};
-pub use db::{load_database, parse_dataset, parse_nt};
+pub use db::{load_database, looks_like_snapshot, merge_snapshot, parse_dataset, parse_nt};
 pub use protocol::Request;
 pub use server::{serve, ServeConfig, ServeState};

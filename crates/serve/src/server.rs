@@ -503,18 +503,21 @@ fn handle_query(
     // Exponential back half, no global locks: plan-cache lookup or a
     // cancellable build coalesced with identical concurrent requests.
     let request_vars = canon.request_vars.clone();
-    let (plan, cache_status) = match state.cache.get_or_build(&canon, &wdpt, &state.interner, &token)
-    {
-        Ok(hit) => hit,
-        Err(Cancelled) => {
-            counter!("serve.requests.cancelled").add(1);
-            return vec![cancelled_line(
-                id,
-                deadline_ms,
-                start.elapsed().as_micros() as u64,
-            )];
-        }
-    };
+    let (plan, cache_status) =
+        match state
+            .cache
+            .get_or_build(&canon, &wdpt, &state.interner, &token)
+        {
+            Ok(hit) => hit,
+            Err(Cancelled) => {
+                counter!("serve.requests.cancelled").add(1);
+                return vec![cancelled_line(
+                    id,
+                    deadline_ms,
+                    start.elapsed().as_micros() as u64,
+                )];
+            }
+        };
 
     let (resp_tx, resp_rx) = mpsc::channel();
     let job = Job {

@@ -1,0 +1,222 @@
+//! The `wdpt-store` CLI: build, verify, and inspect database snapshots.
+//!
+//! ```text
+//! wdpt-store build INPUT SNAPSHOT [--threads N] [--chunk-lines N]
+//! wdpt-store verify SNAPSHOT
+//! wdpt-store inspect SNAPSHOT
+//! wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
+//! ```
+//!
+//! Exit codes: `0` success, `1` corrupt or unparsable input, `2` usage or
+//! I/O error — so CI can distinguish "snapshot is bad" from "I was called
+//! wrong".
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+use wdpt_model::Interner;
+use wdpt_store::{LoadOptions, StoreError};
+
+const USAGE: &str = "usage:
+  wdpt-store build INPUT SNAPSHOT [--threads N] [--chunk-lines N]
+      parse a text dataset (N-Triples or facts) in parallel and write a snapshot
+  wdpt-store verify SNAPSHOT
+      fully decode a snapshot, checking every checksum and invariant
+  wdpt-store inspect SNAPSHOT
+      print the header and per-relation summary (checksums only, no decode)
+  wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
+      write a synthetic music-catalog dataset as N-Triples";
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("wdpt-store: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// `1` for data-level problems (corruption, parse errors), `2` for I/O.
+fn data_err(err: &StoreError) -> ExitCode {
+    eprintln!("wdpt-store: {err}");
+    match err {
+        StoreError::Io(_) => ExitCode::from(2),
+        _ => ExitCode::from(1),
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    v.parse::<usize>()
+        .map(Some)
+        .map_err(|_| format!("{flag} needs a number, got {v:?}"))
+}
+
+fn cmd_build(mut args: Vec<String>) -> ExitCode {
+    let threads = match take_flag(&mut args, "--threads") {
+        Ok(v) => v.unwrap_or(0),
+        Err(e) => return usage_err(&e),
+    };
+    let chunk_lines = match take_flag(&mut args, "--chunk-lines") {
+        Ok(v) => v.unwrap_or(LoadOptions::default().chunk_lines),
+        Err(e) => return usage_err(&e),
+    };
+    let [input, output] = args.as_slice() else {
+        return usage_err("build takes INPUT and SNAPSHOT paths");
+    };
+    let opts = LoadOptions {
+        threads,
+        chunk_lines,
+    };
+    let mut interner = Interner::new();
+    let t0 = Instant::now();
+    let (db, report) = match wdpt_store::bulk_load_path(&mut interner, Path::new(input), opts) {
+        Ok(r) => r,
+        Err(e) => return data_err(&e),
+    };
+    let parse_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let bytes = match wdpt_store::save_snapshot(Path::new(output), &interner, &db) {
+        Ok(n) => n,
+        Err(e) => return data_err(&e),
+    };
+    let write_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "built {output}: {} tuples in {} relations ({} lines, {} duplicates dropped, \
+         {} threads) parse {parse_ms:.1}ms write {write_ms:.1}ms {bytes} bytes",
+        report.tuples, report.relations, report.lines, report.duplicates, report.threads
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: Vec<String>) -> ExitCode {
+    let [path] = args.as_slice() else {
+        return usage_err("verify takes one SNAPSHOT path");
+    };
+    let t0 = Instant::now();
+    match wdpt_store::load_snapshot(Path::new(path)) {
+        Ok((interner, db)) => {
+            println!(
+                "ok: {} symbols, {} relations, {} tuples, verified in {:.1}ms",
+                interner.len(),
+                db.predicate_count(),
+                db.size(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => data_err(&e),
+    }
+}
+
+fn cmd_inspect(args: Vec<String>) -> ExitCode {
+    let [path] = args.as_slice() else {
+        return usage_err("inspect takes one SNAPSHOT path");
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return data_err(&StoreError::Io(e)),
+    };
+    match wdpt_store::inspect_snapshot(&bytes) {
+        Ok(summary) => {
+            let h = summary.header;
+            println!(
+                "snapshot v{}: {} bytes, {} symbols, fresh counter {}, {} relations, {} tuples",
+                h.version, summary.bytes, h.symbols, h.fresh_counter, h.relations, h.tuples
+            );
+            for r in &summary.relations {
+                println!(
+                    "  {}/{} (id {}): {} rows, {} bytes",
+                    r.name, r.arity, r.pred, r.rows, r.bytes
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => data_err(&e),
+    }
+}
+
+/// Writes a term as an N-Triples IRI, escaping the characters that would
+/// break the angle-bracket syntax via `\uXXXX`.
+fn write_iri(out: &mut String, term: &str) {
+    out.push('<');
+    for c in term.chars() {
+        if c == '>' || c == '<' || c == '\\' || c.is_whitespace() || c.is_control() {
+            let code = c as u32;
+            if code > 0xFFFF {
+                out.push_str(&format!("\\U{code:08X}"));
+            } else {
+                out.push_str(&format!("\\u{code:04X}"));
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out.push('>');
+}
+
+fn cmd_gen_music(mut args: Vec<String>) -> ExitCode {
+    let seed = match take_flag(&mut args, "--seed") {
+        Ok(v) => v.map(|s| s as u64),
+        Err(e) => return usage_err(&e),
+    };
+    let [spec, output] = args.as_slice() else {
+        return usage_err("gen-music takes BANDSxRECORDS and OUTPUT paths");
+    };
+    let Some((bands, records)) = spec
+        .split_once('x')
+        .and_then(|(b, r)| Some((b.parse::<usize>().ok()?, r.parse::<usize>().ok()?)))
+    else {
+        return usage_err("gen-music size must look like 500x20");
+    };
+    let mut params = wdpt_gen::music::MusicParams {
+        bands,
+        records_per_band: records,
+        ..Default::default()
+    };
+    if let Some(s) = seed {
+        params.seed = s;
+    }
+    let mut interner = Interner::new();
+    let ts = wdpt_gen::music_triples(&mut interner, params);
+    let triple = wdpt_sparql::TripleStore::pred(&mut interner);
+    let mut out = String::new();
+    if let Some(rel) = ts.database().relation(triple) {
+        for t in rel.tuples() {
+            for (i, c) in t.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_iri(&mut out, interner.name(c.0));
+            }
+            out.push_str(" .\n");
+        }
+    }
+    if let Err(e) = std::fs::write(output, &out) {
+        return data_err(&StoreError::Io(e));
+    }
+    println!("wrote {output}: {} triples", ts.len());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage_err("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "build" => cmd_build(args),
+        "verify" => cmd_verify(args),
+        "inspect" => cmd_inspect(args),
+        "gen-music" => cmd_gen_music(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => usage_err(&format!("unknown subcommand {other:?}")),
+    }
+}

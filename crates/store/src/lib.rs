@@ -1,0 +1,36 @@
+//! # wdpt-store — persistent snapshot storage for WDPT databases
+//!
+//! Text datasets (N-Triples or the facts format) parse in linear time but
+//! pay string tokenization, escape decoding, interning, and index builds on
+//! every cold start. This crate adds a persistent binary **snapshot** of an
+//! `(Interner, Database)` pair so a server restart is a sequential read +
+//! validation pass instead of a re-parse:
+//!
+//! * [`format`] — the versioned on-disk layout: dictionary-coded term
+//!   table, per-relation sorted column-major tuple blocks with serialized
+//!   posting indexes (so [`wdpt_model::Relation::matching`] works with zero
+//!   index rebuild), and a CRC-32 per section so corruption surfaces as a
+//!   typed [`StoreError`] instead of garbage answers.
+//! * [`loader`] — a parallel bulk loader that streams text through scoped
+//!   parser threads (std-only) and merges into sorted relations.
+//! * [`text`] — the serial streaming text loader (same dialects, one
+//!   thread, used as the fallback path and as the loader's test oracle).
+//! * `wdpt-store` (binary) — `build` / `verify` / `inspect` / `gen-music`.
+//!
+//! Snapshots are byte-deterministic for a given `(Interner, Database)`
+//! pair, and bulk loads intern in chunk order, so `build` twice from the
+//! same input yields identical files.
+
+pub mod crc;
+pub mod format;
+pub mod loader;
+pub mod text;
+
+pub use crc::{crc32, Crc32};
+pub use format::{
+    decode_snapshot, inspect_snapshot, load_snapshot, read_snapshot, save_snapshot,
+    snapshot_to_vec, write_snapshot, RelationSummary, SnapshotHeader, SnapshotSummary, StoreError,
+    MAGIC, VERSION,
+};
+pub use loader::{bulk_load, bulk_load_path, LoadOptions, LoadReport};
+pub use text::{load_text_database, read_text_database};

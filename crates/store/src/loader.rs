@@ -1,0 +1,688 @@
+//! Parallel bulk loading of text datasets.
+//!
+//! The pipeline (std-only, scoped threads, no new dependencies):
+//!
+//! ```text
+//! reader thread ──chunks──▶ N parser workers ──parsed──▶ main thread
+//!   (BufRead,               (string-level,                (interns in
+//!    line-bounded            no interner)                  chunk order,
+//!    chunking)                                             groups by pred)
+//!                                          then: per-relation sort + dedup
+//!                                          + index build across M threads
+//! ```
+//!
+//! Parsing is the expensive step (escape decoding, tokenizing) and is pure
+//! string → string, so it fans out; interning is a hash-map insert per
+//! distinct symbol and stays on one thread, consuming parsed chunks **in
+//! chunk order** so interned ids — and therefore snapshot bytes — are
+//! deterministic for a given input regardless of worker scheduling.
+//!
+//! Formats match [`crate::text`]: lenient N-Triples (one triple per line —
+//! chunks cut anywhere) and the facts format (atoms may span lines — chunks
+//! cut only where all parentheses outside quoted constants are balanced).
+
+use crate::format::StoreError;
+use crate::text::FactsBalance;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use wdpt_model::{Const, Database, Interner, Pred, Relation};
+use wdpt_obs::{counter, span};
+use wdpt_sparql::parse_nt_line;
+
+/// Tuning knobs for [`bulk_load`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoadOptions {
+    /// Parser worker threads. `0` means one per available core (capped at 8).
+    pub threads: usize,
+    /// Target lines per chunk handed to a worker.
+    pub chunk_lines: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            threads: 0,
+            chunk_lines: 4096,
+        }
+    }
+}
+
+impl LoadOptions {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2)
+    }
+}
+
+/// What a bulk load did, for logs and the CLI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Input lines read (including blanks and comments).
+    pub lines: u64,
+    /// Facts/triples parsed (before deduplication).
+    pub parsed: u64,
+    /// Distinct tuples stored.
+    pub tuples: u64,
+    /// Duplicates dropped during the merge.
+    pub duplicates: u64,
+    /// Relations in the resulting database.
+    pub relations: usize,
+    /// Parser worker threads used.
+    pub threads: usize,
+}
+
+/// A predicate name with its argument strings, before interning.
+type RawAtom = (String, Vec<String>);
+
+/// Per-predicate accumulation during collection: arity plus the (not yet
+/// sorted or deduplicated) tuple list.
+type PredTuples = HashMap<Pred, (usize, Vec<Box<[Const]>>)>;
+
+/// A fact at the string level, before interning.
+enum RawFact {
+    /// `(s, p, o)` destined for the `triple/3` relation.
+    Triple(String, String, String),
+    /// `pred(args...)` from the facts format.
+    Fact(String, Vec<String>),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Nt,
+    Facts,
+}
+
+struct Chunk {
+    seq: usize,
+    start_line: usize,
+    format: Format,
+    text: String,
+}
+
+struct ParsedChunk {
+    seq: usize,
+    facts: Vec<RawFact>,
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> StoreError {
+    StoreError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// String-level parser for the facts grammar (`wdpt_model::parse` accepts
+/// the same language, but its cursor interns as it goes — this one runs on
+/// worker threads that have no interner). Ground atoms only: a `?var`
+/// argument is an error. Returns byte offsets for errors; the caller maps
+/// them to line numbers.
+fn parse_facts_text(text: &str) -> Result<Vec<RawAtom>, (usize, String)> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let is_ident = |c: char| c.is_alphanumeric() || "_.'-".contains(c);
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && (bytes[*pos] as char).is_whitespace() {
+            *pos += 1;
+        }
+    };
+    let ident_len = |from: usize| -> usize {
+        text[from..]
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .map(char::len_utf8)
+            .sum()
+    };
+    let mut atoms = Vec::new();
+    loop {
+        skip_ws(&mut pos);
+        if pos >= bytes.len() {
+            return Ok(atoms);
+        }
+        let start = pos;
+        pos += ident_len(pos);
+        if pos == start {
+            return Err((pos, "expected identifier".into()));
+        }
+        let pred = text[start..pos].to_string();
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b'(') {
+            return Err((pos, "expected '('".into()));
+        }
+        pos += 1;
+        let mut args = Vec::new();
+        skip_ws(&mut pos);
+        if bytes.get(pos) == Some(&b')') {
+            pos += 1;
+        } else {
+            loop {
+                skip_ws(&mut pos);
+                match bytes.get(pos) {
+                    Some(b'?') => return Err((pos, "database atoms must be ground".into())),
+                    Some(b'"') => {
+                        pos += 1;
+                        let start = pos;
+                        while pos < bytes.len() && bytes[pos] != b'"' {
+                            pos += 1;
+                        }
+                        if pos >= bytes.len() {
+                            return Err((start, "unterminated string literal".into()));
+                        }
+                        args.push(text[start..pos].to_string());
+                        pos += 1;
+                    }
+                    Some(_) => {
+                        let start = pos;
+                        pos += ident_len(pos);
+                        if pos == start {
+                            return Err((pos, "expected term".into()));
+                        }
+                        args.push(text[start..pos].to_string());
+                    }
+                    None => return Err((pos, "expected term".into())),
+                }
+                skip_ws(&mut pos);
+                match bytes.get(pos) {
+                    Some(b',') => pos += 1,
+                    Some(b')') => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => return Err((pos, "expected ',' or ')'".into())),
+                }
+            }
+        }
+        atoms.push((pred, args));
+        // Optional comma between atoms.
+        skip_ws(&mut pos);
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        }
+    }
+}
+
+fn parse_chunk(chunk: &Chunk) -> Result<ParsedChunk, StoreError> {
+    let mut facts = Vec::new();
+    match chunk.format {
+        Format::Nt => {
+            for (off, line) in chunk.text.lines().enumerate() {
+                match parse_nt_line(line) {
+                    Ok(None) => {}
+                    Ok(Some((s, p, o))) => facts.push(RawFact::Triple(s, p, o)),
+                    Err(e) => return Err(parse_err(chunk.start_line + off, e)),
+                }
+            }
+        }
+        Format::Facts => match parse_facts_text(&chunk.text) {
+            Ok(atoms) => {
+                facts.extend(atoms.into_iter().map(|(p, a)| RawFact::Fact(p, a)));
+            }
+            Err((at, message)) => {
+                let line =
+                    chunk.start_line + chunk.text[..at.min(chunk.text.len())].matches('\n').count();
+                return Err(parse_err(line, message));
+            }
+        },
+    }
+    Ok(ParsedChunk {
+        seq: chunk.seq,
+        facts,
+    })
+}
+
+fn looks_like_facts(data_line: &str) -> bool {
+    let first = data_line.split_whitespace().next().unwrap_or("");
+    !first.starts_with('<') && !first.starts_with('"') && first.contains('(')
+}
+
+/// Accumulates lines into line-bounded chunks (cut only at balanced
+/// boundaries for facts) and sends them to the workers.
+struct Chunker<'a> {
+    format: Format,
+    chunk_lines: usize,
+    tx: &'a SyncSender<Chunk>,
+    seq: usize,
+    chunk: String,
+    chunk_start: usize,
+    chunk_len: usize,
+    balance: FactsBalance,
+    /// Set when a send fails — every worker has exited (after reporting an
+    /// error), so the reader should stop.
+    hung_up: bool,
+}
+
+impl<'a> Chunker<'a> {
+    fn new(format: Format, chunk_lines: usize, tx: &'a SyncSender<Chunk>) -> Chunker<'a> {
+        Chunker {
+            format,
+            chunk_lines,
+            tx,
+            seq: 0,
+            chunk: String::new(),
+            chunk_start: 0,
+            chunk_len: 0,
+            balance: FactsBalance::new(),
+            hung_up: false,
+        }
+    }
+
+    fn push_line(&mut self, l: &str, line_no: usize) {
+        let t = l.trim();
+        let skippable = t.is_empty() || t.starts_with('#');
+        let at_boundary = self.format == Format::Nt || self.balance.balanced();
+        if skippable && at_boundary {
+            return;
+        }
+        if self.chunk.is_empty() {
+            self.chunk_start = line_no;
+        }
+        if self.format == Format::Facts {
+            self.balance.feed(l);
+        }
+        self.chunk.push_str(l);
+        if !l.ends_with('\n') {
+            self.chunk.push('\n');
+        }
+        self.chunk_len += 1;
+        let cuttable = self.format == Format::Nt || self.balance.balanced();
+        if self.chunk_len >= self.chunk_lines && cuttable {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        let text = std::mem::take(&mut self.chunk);
+        self.chunk_len = 0;
+        let send = self.tx.send(Chunk {
+            seq: self.seq,
+            start_line: self.chunk_start,
+            format: self.format,
+            text,
+        });
+        if send.is_err() {
+            self.hung_up = true;
+        }
+        self.seq += 1;
+    }
+}
+
+/// The reader loop: sniffs the format from the first data line, then feeds
+/// the [`Chunker`]. Reads raw bytes per line (no per-line `String`) and
+/// validates UTF-8 in place.
+fn read_chunks<R: BufRead>(
+    r: &mut R,
+    chunk_lines: usize,
+    tx: &SyncSender<Chunk>,
+) -> Result<u64, StoreError> {
+    let mut buf = Vec::new();
+    let mut line_no = 0usize;
+    let mut chunker: Option<Chunker<'_>> = None;
+    loop {
+        line_no += 1;
+        buf.clear();
+        if r.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        let l = std::str::from_utf8(&buf).map_err(|_| parse_err(line_no, "invalid utf-8"))?;
+        match &mut chunker {
+            None => {
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                let format = if looks_like_facts(l) {
+                    Format::Facts
+                } else {
+                    Format::Nt
+                };
+                let mut c = Chunker::new(format, chunk_lines, tx);
+                c.push_line(l, line_no);
+                chunker = Some(c);
+            }
+            Some(c) => {
+                c.push_line(l, line_no);
+                if c.hung_up {
+                    return Ok(line_no as u64);
+                }
+            }
+        }
+    }
+    if let Some(mut c) = chunker {
+        c.flush();
+    }
+    Ok(line_no as u64 - 1)
+}
+
+/// Bulk-loads a text dataset from a reader, parsing on worker threads.
+pub fn bulk_load<R: BufRead + Send>(
+    interner: &mut Interner,
+    r: &mut R,
+    opts: LoadOptions,
+) -> Result<(Database, LoadReport), StoreError> {
+    let _g = span!("store.bulk_load");
+    let threads = opts.effective_threads();
+    let chunk_lines = opts.chunk_lines.max(1);
+
+    let (chunk_tx, chunk_rx) = sync_channel::<Chunk>(threads * 2);
+    let (parsed_tx, parsed_rx) = sync_channel::<Result<ParsedChunk, StoreError>>(threads * 2);
+    let chunk_rx = Arc::new(Mutex::new(chunk_rx));
+
+    let mut lines = 0u64;
+    let mut reader_result: Result<(), StoreError> = Ok(());
+    let mut tuples_by_pred: PredTuples = HashMap::new();
+    let mut parsed_count = 0u64;
+    let mut collect_result: Result<(), StoreError> = Ok(());
+
+    std::thread::scope(|scope| {
+        {
+            // Move the sender and mutable captures into the reader thread so
+            // the channel hangs up when it finishes (or when every worker
+            // has exited and a send fails).
+            let tx = chunk_tx;
+            let lines = &mut lines;
+            let reader_result = &mut reader_result;
+            let r = &mut *r;
+            scope.spawn(move || match read_chunks(r, chunk_lines, &tx) {
+                Ok(n) => *lines = n,
+                Err(e) => *reader_result = Err(e),
+            });
+        }
+        for _ in 0..threads {
+            let chunk_rx = Arc::clone(&chunk_rx);
+            let parsed_tx = parsed_tx.clone();
+            scope.spawn(move || loop {
+                let chunk = match chunk_rx.lock().expect("loader mutex poisoned").recv() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                let result = parse_chunk(&chunk);
+                let failed = result.is_err();
+                if parsed_tx.send(result).is_err() || failed {
+                    return;
+                }
+            });
+        }
+        // Drop the main thread's handles: the workers' receiver clones and
+        // sender clones are now the only ones, so hangups propagate.
+        drop(chunk_rx);
+        drop(parsed_tx);
+
+        // Consume parsed chunks strictly in sequence order so interner ids
+        // are independent of worker scheduling.
+        let mut pending: HashMap<usize, ParsedChunk> = HashMap::new();
+        let mut next_seq = 0usize;
+        let mut triple_pred: Option<Pred> = None;
+        let mut intern =
+            |parsed: ParsedChunk, tuples_by_pred: &mut PredTuples| -> Result<(), StoreError> {
+                for fact in parsed.facts {
+                    let (pred, tuple): (Pred, Box<[Const]>) = match fact {
+                        RawFact::Triple(s, p, o) => {
+                            let pred = *triple_pred
+                                .get_or_insert_with(|| interner.pred(wdpt_sparql::TRIPLE_PRED));
+                            let tuple = Box::new([
+                                interner.constant(&s),
+                                interner.constant(&p),
+                                interner.constant(&o),
+                            ]);
+                            (pred, tuple)
+                        }
+                        RawFact::Fact(p, a) => {
+                            let pred = interner.pred(&p);
+                            let tuple = a.iter().map(|x| interner.constant(x)).collect();
+                            (pred, tuple)
+                        }
+                    };
+                    let entry = tuples_by_pred
+                        .entry(pred)
+                        .or_insert_with(|| (tuple.len(), Vec::new()));
+                    if entry.0 != tuple.len() {
+                        return Err(parse_err(
+                            0,
+                            format!(
+                                "predicate {} used with arities {} and {}",
+                                interner.name(pred.0),
+                                entry.0,
+                                tuple.len()
+                            ),
+                        ));
+                    }
+                    entry.1.push(tuple);
+                    parsed_count += 1;
+                }
+                Ok(())
+            };
+        for result in parsed_rx.iter() {
+            let parsed = match result {
+                Ok(p) => p,
+                Err(e) => {
+                    collect_result = Err(e);
+                    break;
+                }
+            };
+            pending.insert(parsed.seq, parsed);
+            while let Some(p) = pending.remove(&next_seq) {
+                if let Err(e) = intern(p, &mut tuples_by_pred) {
+                    collect_result = Err(e);
+                    break;
+                }
+                next_seq += 1;
+            }
+            if collect_result.is_err() {
+                break;
+            }
+        }
+        // Drain remaining results so blocked workers can finish and the
+        // scope can join. (Only does work after an error.)
+        for _ in parsed_rx.iter() {}
+    });
+
+    reader_result?;
+    collect_result?;
+
+    // Per-relation sort + dedup, fanned out across threads.
+    let work: Vec<_> = tuples_by_pred
+        .into_iter()
+        .map(|(pred, (arity, tuples))| (pred, arity, tuples))
+        .collect();
+    let built = Mutex::new(Vec::with_capacity(work.len()));
+    let queue = Mutex::new(work.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let Some((pred, arity, mut tuples)) =
+                    queue.lock().expect("loader mutex poisoned").next()
+                else {
+                    return;
+                };
+                tuples.sort_unstable();
+                tuples.dedup();
+                let rel = Relation::from_sorted(arity, tuples);
+                built
+                    .lock()
+                    .expect("loader mutex poisoned")
+                    .push((pred, rel));
+            });
+        }
+    });
+    let mut relations = built.into_inner().expect("loader mutex poisoned");
+    relations.sort_by_key(|(p, _)| *p);
+
+    // Index builds parallelize at (relation, column) granularity — the
+    // common N-Triples load is a single triple/3 relation, which would
+    // otherwise serialize all three column builds on one thread.
+    let jobs: Vec<(usize, usize)> = relations
+        .iter()
+        .enumerate()
+        .flat_map(|(i, (_, rel))| (0..rel.arity()).map(move |col| (i, col)))
+        .collect();
+    let job_queue = Mutex::new(jobs.into_iter());
+    let indexes = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let Some((i, col)) = job_queue.lock().expect("loader mutex poisoned").next() else {
+                    return;
+                };
+                let rel = &relations[i].1;
+                let mut index: HashMap<Const, Vec<u32>> = HashMap::new();
+                for (row, t) in rel.tuples().enumerate() {
+                    index.entry(t[col]).or_default().push(row as u32);
+                }
+                indexes
+                    .lock()
+                    .expect("loader mutex poisoned")
+                    .push((i, col, index));
+            });
+        }
+    });
+    for (i, col, index) in indexes.into_inner().expect("loader mutex poisoned") {
+        relations[i].1.install_column_index(col, index);
+    }
+
+    let db = Database::from_sorted(relations);
+    let tuples = db.size() as u64;
+    let report = LoadReport {
+        lines,
+        parsed: parsed_count,
+        tuples,
+        duplicates: parsed_count - tuples,
+        relations: db.predicate_count(),
+        threads,
+    };
+    counter!("store.bulk.lines").add(report.lines);
+    counter!("store.bulk.tuples").add(report.tuples);
+    counter!("store.bulk.duplicates").add(report.duplicates);
+    Ok((db, report))
+}
+
+/// Bulk-loads a text dataset file.
+pub fn bulk_load_path(
+    interner: &mut Interner,
+    path: &Path,
+    opts: LoadOptions,
+) -> Result<(Database, LoadReport), StoreError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(f);
+    bulk_load(interner, &mut r, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn load(text: &str, opts: LoadOptions) -> Result<(Interner, Database, LoadReport), StoreError> {
+        let mut i = Interner::new();
+        let (db, report) = bulk_load(&mut i, &mut Cursor::new(text.as_bytes()), opts)?;
+        Ok((i, db, report))
+    }
+
+    fn tiny_chunks() -> LoadOptions {
+        LoadOptions {
+            threads: 3,
+            chunk_lines: 2,
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_serial_text_load_on_nt() {
+        let mut text = String::new();
+        for i in 0..200 {
+            text.push_str(&format!("<s{i}> <p{}> <o{}> .\n", i % 7, i % 13));
+        }
+        text.push_str("<s0> <p0> <o0> .\n"); // duplicate
+        let (i1, db1, report) = load(&text, tiny_chunks()).unwrap();
+        assert_eq!(report.parsed, 201);
+        assert_eq!(report.tuples, 200);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.lines, 201);
+
+        let mut i2 = Interner::new();
+        let db2 =
+            crate::text::read_text_database(&mut i2, &mut Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(db1.size(), db2.size());
+        assert_eq!(db1.display(&i1), db2.display(&i2));
+    }
+
+    #[test]
+    fn bulk_load_is_deterministic_across_runs() {
+        let mut text = String::new();
+        for i in 0..300 {
+            text.push_str(&format!("<s{}> <p> <o{}> .\n", i % 31, i));
+        }
+        let (i1, db1, _) = load(&text, tiny_chunks()).unwrap();
+        let (i2, db2, _) = load(&text, tiny_chunks()).unwrap();
+        let a = crate::format::snapshot_to_vec(&i1, &db1);
+        let b = crate::format::snapshot_to_vec(&i2, &db2);
+        assert_eq!(a, b, "interner ids depend on worker scheduling");
+    }
+
+    #[test]
+    fn bulk_loads_facts_with_multi_line_atoms() {
+        let text = "edge(a,\n b)\nedge(b, c),\nnode(\"x (\")\nedge(a, b)\n";
+        let (mut i, db, report) = load(text, tiny_chunks()).unwrap();
+        assert_eq!(report.tuples, 3);
+        assert_eq!(report.duplicates, 1);
+        let e = i.pred("edge");
+        assert_eq!(db.relation(e).unwrap().len(), 2);
+        let n = i.pred("node");
+        let c = i.constant("x (");
+        assert!(db.relation(n).unwrap().tuples().any(|t| t[0] == c));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let text = "<a> <b> <c> .\n<a> <b> <c> .\n<a> <b .\n";
+        let err = load(text, tiny_chunks()).unwrap_err();
+        match err {
+            StoreError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_chunks_malformed_does_not_deadlock() {
+        // Every chunk errors, so every worker exits early; the reader must
+        // notice the hangup instead of blocking on a full channel.
+        let mut text = String::new();
+        for _ in 0..500 {
+            text.push_str("<a> <b .\n");
+        }
+        let err = load(&text, tiny_chunks()).unwrap_err();
+        assert!(matches!(err, StoreError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_arity() {
+        let text = "edge(a, b)\nedge(a, b, c)\n";
+        let err = load(text, tiny_chunks()).unwrap_err();
+        assert!(matches!(err, StoreError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_database() {
+        let (_, db, report) = load("", LoadOptions::default()).unwrap();
+        assert_eq!(db.size(), 0);
+        assert_eq!(report.tuples, 0);
+    }
+
+    #[test]
+    fn loaded_relations_have_prebuilt_indexes() {
+        let text = "<a> <b> <c> .\n<a> <b> <d> .\n";
+        let (mut i, db, _) = load(text, LoadOptions::default()).unwrap();
+        let p = i.pred("triple");
+        let rel = db.relation(p).unwrap();
+        for col in 0..rel.arity() {
+            assert!(rel.built_column_index(col).is_some());
+        }
+    }
+}

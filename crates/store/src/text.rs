@@ -1,0 +1,283 @@
+//! Streaming (single-threaded) text-dataset loading.
+//!
+//! This is the serial counterpart to [`crate::loader`]: it reads a dataset
+//! line by line from any `BufRead` — never materializing the whole file as
+//! one `String` — and accepts the same two formats the server does:
+//!
+//! * **N-Triples (lenient)** — via [`wdpt_sparql::parse_nt_line`]; one
+//!   triple per line, so streaming is trivial.
+//! * **facts** — `wdpt_model::parse` ground atoms, which may span lines
+//!   (`edge(a,\n b)`), so lines are buffered until all parentheses outside
+//!   quoted constants are balanced, then the buffer is parsed as a unit.
+//!
+//! The format is sniffed from the first data line: a first token that
+//! contains `(` and does not open an IRI or literal means facts, anything
+//! else means N-Triples. Errors carry 1-based line numbers as
+//! [`StoreError::Parse`].
+
+use crate::format::StoreError;
+use std::io::BufRead;
+use std::path::Path;
+use wdpt_model::{Database, Interner};
+use wdpt_obs::{counter, span};
+use wdpt_sparql::{parse_nt_line, TripleStore};
+
+fn parse_err(line: usize, message: impl Into<String>) -> StoreError {
+    StoreError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads one `\n`-terminated line as bytes and checks UTF-8 ourselves, so
+/// invalid bytes surface as a line-numbered parse error instead of a bare
+/// `io::Error` from `read_line`. Returns `Ok(None)` at end of input.
+fn next_line<R: BufRead>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    line_no: usize,
+) -> Result<Option<String>, StoreError> {
+    buf.clear();
+    let n = r.read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    match std::str::from_utf8(buf) {
+        Ok(s) => Ok(Some(s.to_string())),
+        Err(_) => Err(parse_err(line_no, "invalid utf-8")),
+    }
+}
+
+/// Is this the shape of a facts line? (First token contains `(` and does
+/// not open an IRI or literal — `triple(a, b, c).` would otherwise scan as
+/// three bare N-Triples tokens.)
+fn looks_like_facts(data_line: &str) -> bool {
+    let first = data_line.split_whitespace().next().unwrap_or("");
+    !first.starts_with('<') && !first.starts_with('"') && first.contains('(')
+}
+
+/// Tracks paren balance across lines of facts text, ignoring parentheses
+/// inside quoted constants (`"..."`, no escapes — the model grammar). Used
+/// here and by the parallel loader's chunker to cut facts chunks only at
+/// atom boundaries.
+pub(crate) struct FactsBalance {
+    depth: i64,
+    in_quote: bool,
+}
+
+impl FactsBalance {
+    pub(crate) fn new() -> FactsBalance {
+        FactsBalance {
+            depth: 0,
+            in_quote: false,
+        }
+    }
+
+    pub(crate) fn feed(&mut self, line: &str) {
+        for c in line.chars() {
+            match c {
+                '"' => self.in_quote = !self.in_quote,
+                '(' if !self.in_quote => self.depth += 1,
+                ')' if !self.in_quote => self.depth -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    pub(crate) fn balanced(&self) -> bool {
+        self.depth == 0 && !self.in_quote
+    }
+}
+
+/// Parses a balanced facts chunk and inserts its ground atoms.
+fn flush_facts_chunk(
+    interner: &mut Interner,
+    db: &mut Database,
+    chunk: &str,
+    start_line: usize,
+) -> Result<usize, StoreError> {
+    if chunk.trim().is_empty() {
+        return Ok(0);
+    }
+    let atoms = wdpt_model::parse::parse_atoms(interner, chunk).map_err(|e| {
+        let line = start_line + chunk[..e.at.min(chunk.len())].matches('\n').count();
+        parse_err(line, e.message)
+    })?;
+    let n = atoms.len();
+    for atom in atoms {
+        let Some(tuple) = atom.ground_tuple() else {
+            return Err(parse_err(start_line, "database atoms must be ground"));
+        };
+        db.insert(atom.pred, tuple);
+    }
+    Ok(n)
+}
+
+/// Streams a text dataset from a reader into a database, sniffing the
+/// format from the first data line.
+pub fn read_text_database<R: BufRead>(
+    interner: &mut Interner,
+    r: &mut R,
+) -> Result<Database, StoreError> {
+    let _g = span!("store.text_load");
+    let mut buf = Vec::new();
+    let mut line_no = 0usize;
+
+    // Sniff: pull lines until the first one carrying data.
+    let mut first_data: Option<String> = None;
+    while first_data.is_none() {
+        line_no += 1;
+        match next_line(r, &mut buf, line_no)? {
+            None => return Ok(Database::new()), // nothing but blanks/comments
+            Some(line) => {
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('#') {
+                    first_data = Some(line);
+                }
+            }
+        }
+    }
+    let first = first_data.expect("loop exits only when set");
+
+    if looks_like_facts(&first) {
+        let mut db = Database::new();
+        let mut chunk = String::new();
+        let mut balance = FactsBalance::new();
+        let mut chunk_start = line_no;
+        let mut facts = 0usize;
+        let mut line = Some(first);
+        loop {
+            if let Some(l) = line.take() {
+                let t = l.trim();
+                // Comments are only recognized between atoms; inside an
+                // unbalanced atom a `#` line would be part of nothing valid
+                // anyway and gets reported by the chunk parse.
+                if !(balance.balanced() && (t.is_empty() || t.starts_with('#'))) {
+                    if chunk.is_empty() {
+                        chunk_start = line_no;
+                    }
+                    balance.feed(&l);
+                    chunk.push_str(&l);
+                    if !l.ends_with('\n') {
+                        chunk.push('\n');
+                    }
+                    if balance.balanced() {
+                        facts += flush_facts_chunk(interner, &mut db, &chunk, chunk_start)?;
+                        chunk.clear();
+                    }
+                }
+            }
+            line_no += 1;
+            match next_line(r, &mut buf, line_no)? {
+                Some(l) => line = Some(l),
+                None => break,
+            }
+        }
+        if !chunk.trim().is_empty() {
+            // Unbalanced leftovers: let the parser produce the error.
+            facts += flush_facts_chunk(interner, &mut db, &chunk, chunk_start)?;
+        }
+        counter!("store.text.facts_loaded").add(facts as u64);
+        Ok(db)
+    } else {
+        let mut ts = TripleStore::new();
+        let mut line = Some(first);
+        loop {
+            if let Some(l) = line.take() {
+                match parse_nt_line(&l) {
+                    Ok(None) => {}
+                    Ok(Some((s, p, o))) => {
+                        ts.insert_str(interner, &s, &p, &o);
+                    }
+                    Err(e) => return Err(parse_err(line_no, e)),
+                }
+            }
+            line_no += 1;
+            match next_line(r, &mut buf, line_no)? {
+                Some(l) => line = Some(l),
+                None => break,
+            }
+        }
+        counter!("store.text.triples_loaded").add(ts.len() as u64);
+        Ok(ts.into_database())
+    }
+}
+
+/// Streams a text dataset file into a database.
+pub fn load_text_database(interner: &mut Interner, path: &Path) -> Result<Database, StoreError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(f);
+    read_text_database(interner, &mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(interner: &mut Interner, text: &str) -> Result<Database, StoreError> {
+        read_text_database(interner, &mut Cursor::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn streams_nt_lines() {
+        let mut i = Interner::new();
+        let text = "# c\n<a> <b> <c> .\n<a> <b> \"d\" .\n";
+        let db = read(&mut i, text).unwrap();
+        assert_eq!(db.size(), 2);
+    }
+
+    #[test]
+    fn streams_facts_including_multi_line_atoms() {
+        let mut i = Interner::new();
+        let text = "edge(a,\n  b)\n# interlude\nedge(b, c), node(\"par ( en\")\n";
+        let db = read(&mut i, text).unwrap();
+        assert_eq!(db.size(), 3);
+        let n = i.pred("node");
+        let c = i.constant("par ( en");
+        assert!(db.relation(n).unwrap().tuples().any(|t| t[0] == c));
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs_give_empty_databases() {
+        let mut i = Interner::new();
+        assert_eq!(read(&mut i, "").unwrap().size(), 0);
+        assert_eq!(read(&mut i, "# only\n\n  \n").unwrap().size(), 0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut i = Interner::new();
+        let err = read(&mut i, "<a> <b> <c> .\n<a> <b .\n").unwrap_err();
+        match err {
+            StoreError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let err = read(&mut i, "edge(a, b)\nedge(a,\n").unwrap_err();
+        assert!(matches!(err, StoreError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_non_ground_facts() {
+        let mut i = Interner::new();
+        let err = read(&mut i, "edge(?x, b)\n").unwrap_err();
+        match err {
+            StoreError::Parse { message, .. } => assert!(message.contains("ground")),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_parse_error_not_a_panic() {
+        let mut i = Interner::new();
+        let bytes = b"<a> <b> <c> .\n<a> \xFF <c> .\n";
+        let err = read_text_database(&mut i, &mut Cursor::new(&bytes[..])).unwrap_err();
+        match err {
+            StoreError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("utf-8"));
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+}

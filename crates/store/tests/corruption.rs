@@ -1,0 +1,135 @@
+//! Corruption tests: every truncation and every single-byte flip of a valid
+//! snapshot must decode to a typed [`StoreError`] — never a panic, never a
+//! silently wrong database.
+
+use wdpt_model::{Database, Interner};
+use wdpt_store::{decode_snapshot, inspect_snapshot, snapshot_to_vec, StoreError};
+
+fn sample_snapshot() -> Vec<u8> {
+    let mut i = Interner::new();
+    let e = i.pred("edge");
+    let n = i.pred("node");
+    let (a, b, c) = (i.constant("a"), i.constant("b"), i.constant("caf\u{00E9}"));
+    i.var("x");
+    let mut db = Database::new();
+    db.insert(e, vec![a, b]);
+    db.insert(e, vec![b, c]);
+    db.insert(e, vec![a, c]);
+    db.insert(n, vec![a]);
+    db.insert(n, vec![b]);
+    snapshot_to_vec(&i, &db)
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = sample_snapshot();
+    for len in 0..bytes.len() {
+        let truncated = &bytes[..len];
+        match decode_snapshot(truncated) {
+            Ok(_) => panic!("decode of {len}-byte prefix succeeded"),
+            Err(
+                StoreError::Truncated { .. }
+                | StoreError::BadMagic
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::Malformed { .. },
+            ) => {}
+            Err(other) => panic!("prefix of {len} bytes gave unexpected error: {other}"),
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_a_typed_error() {
+    let bytes = sample_snapshot();
+    let mut mutated = bytes.clone();
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80u8] {
+            mutated[i] ^= bit;
+            match decode_snapshot(&mutated) {
+                // Flipping bytes can only legitimately surface as one of
+                // the corruption variants; the magic and version fields get
+                // their dedicated errors.
+                Err(
+                    StoreError::BadMagic
+                    | StoreError::UnsupportedVersion(_)
+                    | StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Malformed { .. },
+                ) => {}
+                Err(other) => panic!("flip at byte {i}: unexpected error {other}"),
+                Ok(_) => panic!("flip at byte {i} went undetected"),
+            }
+            mutated[i] ^= bit;
+        }
+    }
+    assert_eq!(mutated, bytes, "mutation loop must restore the input");
+}
+
+#[test]
+fn flips_in_section_bodies_hit_the_checksum() {
+    // Past magic+version, a flip lands inside some section's checksummed
+    // span — tag, length, payload, or the CRC itself — and every case must
+    // be a checksum mismatch (lengths can also surface as truncation when
+    // the inflated length overruns the file).
+    let bytes = sample_snapshot();
+    let mut mutated = bytes.clone();
+    let mut mismatches = 0usize;
+    for i in 12..bytes.len() {
+        mutated[i] ^= 0x40;
+        match decode_snapshot(&mutated) {
+            Err(StoreError::ChecksumMismatch { .. }) => mismatches += 1,
+            Err(StoreError::Truncated { .. }) => {}
+            Err(other) => panic!("flip at byte {i}: unexpected error {other}"),
+            Ok(_) => panic!("flip at byte {i} went undetected"),
+        }
+        mutated[i] ^= 0x40;
+    }
+    assert!(
+        mismatches > (bytes.len() - 12) / 2,
+        "most section flips should be checksum mismatches, got {mismatches}"
+    );
+}
+
+#[test]
+fn appended_garbage_is_rejected() {
+    let mut bytes = sample_snapshot();
+    bytes.push(0);
+    match decode_snapshot(&bytes) {
+        Err(StoreError::Malformed { section, .. }) => assert_eq!(section, "end"),
+        other => panic!("expected Malformed end, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_and_flipped_snapshots_never_pass_inspect_silently_wrong() {
+    // inspect (CRC walk only) must also flag every flip: it reads the same
+    // checksums. It cannot catch semantic damage that decode validates, but
+    // nothing may panic.
+    let bytes = sample_snapshot();
+    assert!(inspect_snapshot(&bytes).is_ok());
+    let mut mutated = bytes.clone();
+    for i in 0..bytes.len() {
+        mutated[i] ^= 0xFF;
+        assert!(inspect_snapshot(&mutated).is_err(), "flip at byte {i}");
+        mutated[i] ^= 0xFF;
+    }
+    for len in 0..bytes.len() {
+        assert!(inspect_snapshot(&bytes[..len]).is_err(), "prefix {len}");
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_handled() {
+    assert!(matches!(
+        decode_snapshot(&[]),
+        Err(StoreError::Truncated { .. })
+    ));
+    assert!(matches!(
+        decode_snapshot(b"WDPT"),
+        Err(StoreError::Truncated { .. })
+    ));
+    assert!(matches!(
+        decode_snapshot(b"NOTASNAPSHOT"),
+        Err(StoreError::BadMagic)
+    ));
+}
