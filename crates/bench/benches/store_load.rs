@@ -78,7 +78,7 @@ fn main() {
                 LoadOptions::default(),
             )
             .unwrap();
-            snapshot_to_vec(&i, &db)
+            snapshot_to_vec(&i, &db).unwrap()
         };
         section(&format!(
             "store/snapshot {bands}x{records} ({} KiB binary)",
@@ -90,7 +90,7 @@ fn main() {
         });
         bench_case("snapshot_encode", || {
             let (i, db) = decode_snapshot(&snapshot).unwrap();
-            let bytes = snapshot_to_vec(&i, &db);
+            let bytes = snapshot_to_vec(&i, &db).unwrap();
             assert_eq!(bytes.len(), snapshot.len());
         });
     }

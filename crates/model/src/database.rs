@@ -62,6 +62,13 @@ impl<I> Drop for CountScans<I> {
     }
 }
 
+/// One column's posting index: constant → ascending tuple indices.
+pub type ColumnIndex = HashMap<Const, Vec<u32>>;
+
+/// A relation decomposed by [`Relation::into_parts`]: arity, sorted
+/// tuples, and whichever column indexes were already built.
+pub type RelationParts = (usize, Vec<Box<[Const]>>, Vec<Option<ColumnIndex>>);
+
 /// The extension of a single predicate: a set of constant tuples.
 #[derive(Debug, Default, Clone)]
 pub struct Relation {
@@ -152,6 +159,22 @@ impl Relation {
     /// Iterates over all tuples.
     pub fn tuples(&self) -> impl Iterator<Item = &[Const]> + '_ {
         self.tuples.iter().map(|t| &**t)
+    }
+
+    /// Decomposes the relation into its owned tuples and whichever column
+    /// indexes were built, without cloning either. This is the bulk
+    /// *mutation* counterpart of [`Relation::from_sorted`]: the snapshot
+    /// delta-apply and id-remap paths take a loaded relation apart, merge
+    /// or translate its sorted run, carry the posting lists over, and
+    /// reassemble — instead of re-inserting every tuple and rebuilding
+    /// every index from scratch.
+    pub fn into_parts(self) -> RelationParts {
+        let indexes = self
+            .column_index
+            .into_iter()
+            .map(OnceLock::into_inner)
+            .collect();
+        (self.arity, self.tuples, indexes)
     }
 
     /// The membership set, built on first use from the tuple list.
@@ -421,6 +444,15 @@ impl Database {
         self.relations.iter().map(|(&p, r)| (p, r))
     }
 
+    /// Consumes the database into its owned relations, in unspecified
+    /// order. Paired with [`Database::from_sorted`], this lets bulk
+    /// transformations (snapshot delta application, interner remapping)
+    /// move untouched relations — tuples, built indexes and all — into the
+    /// result instead of copying them tuple by tuple.
+    pub fn into_relations(self) -> impl Iterator<Item = (Pred, Relation)> {
+        self.relations.into_iter()
+    }
+
     /// Renders the database as a sorted list of ground atoms.
     pub fn display(&self, interner: &Interner) -> String {
         let mut lines: Vec<String> = Vec::new();
@@ -669,6 +701,80 @@ mod tests {
         assert!(delta.index_probes >= 1);
         // A second install on the same column is refused.
         assert!(!rel.install_column_index(0, HashMap::new()));
+    }
+
+    #[test]
+    fn bulk_loaded_relation_stays_consistent_under_interleaved_mutation() {
+        // Guards the snapshot/delta-apply path: a relation assembled via
+        // `from_sorted` with *installed* indexes and a still-lazy `seen`
+        // set must keep `insert`, `contains`, and `posting_len` mutually
+        // consistent when loads and mutations interleave — the `seen` set
+        // materializes mid-stream, after some inserts already happened.
+        let mut i = Interner::new();
+        let e = i.pred("e");
+        let consts: Vec<Const> = (0..24).map(|j| i.constant(&format!("c{j}"))).collect();
+        let mut tuples: Vec<Box<[Const]>> = (0..8)
+            .map(|j| vec![consts[j], consts[j + 1]].into_boxed_slice())
+            .collect();
+        tuples.sort_unstable();
+        let mut indexes: Vec<HashMap<Const, Vec<u32>>> = vec![HashMap::new(), HashMap::new()];
+        for (row, t) in tuples.iter().enumerate() {
+            for col in 0..2 {
+                indexes[col].entry(t[col]).or_default().push(row as u32);
+            }
+        }
+        let mut rel = Relation::from_sorted(2, tuples);
+        for (col, idx) in indexes.into_iter().enumerate() {
+            assert!(rel.install_column_index(col, idx));
+        }
+        let mut db = Database::from_sorted(vec![(e, rel)]);
+
+        // Interleave: probe (posting_len through the installed index),
+        // insert a new tuple, membership-check both old and new tuples.
+        for j in 8..16 {
+            let (a, b) = (consts[j], consts[j + 1]);
+            let rel = db.relation(e).unwrap();
+            assert_eq!(rel.posting_len(0, a), 0, "tuple not inserted yet");
+            assert!(!rel.contains(&[a, b]));
+            assert!(db.insert(e, vec![a, b]));
+            assert!(!db.insert(e, vec![a, b]), "re-insert must dedup");
+            let rel = db.relation(e).unwrap();
+            // The installed index was maintained incrementally…
+            assert_eq!(rel.posting_len(0, a), 1);
+            assert_eq!(rel.posting_len(1, b), 1);
+            // …and membership agrees with it, for old and new tuples alike.
+            assert!(rel.contains(&[a, b]));
+            assert!(rel.contains(&[consts[0], consts[1]]));
+            assert_eq!(rel.matching(&[Some(a), None]).count(), 1);
+        }
+        let rel = db.relation(e).unwrap();
+        assert_eq!(rel.len(), 16);
+        // Every tuple is reachable through index, scan, and membership.
+        for j in 0..16 {
+            let (a, b) = (consts[j], consts[j + 1]);
+            assert!(rel.contains(&[a, b]));
+            assert_eq!(rel.matching(&[Some(a), Some(b)]).count(), 1);
+        }
+        assert_eq!(db.active_domain().len(), 17);
+    }
+
+    #[test]
+    fn into_parts_round_trips_tuples_and_built_indexes() {
+        let (_, db, e) = db3();
+        let rel = db.relation(e).unwrap();
+        rel.build_all_indexes();
+        let mut rels: Vec<(Pred, Relation)> = db.into_relations().collect();
+        assert_eq!(rels.len(), 1);
+        let (pred, rel) = rels.pop().unwrap();
+        assert_eq!(pred, e);
+        let (arity, mut tuples, indexes) = rel.into_parts();
+        assert_eq!(arity, 2);
+        assert_eq!(tuples.len(), 3);
+        assert!(indexes.iter().all(Option::is_some), "built indexes survive");
+        // Reassemble and compare against a fresh build.
+        tuples.sort_unstable();
+        let rebuilt = Relation::from_sorted(arity, tuples);
+        assert_eq!(rebuilt.len(), 3);
     }
 
     #[test]

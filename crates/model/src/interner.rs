@@ -160,6 +160,15 @@ impl Interner {
         self.fresh_counter
     }
 
+    /// Raises the fresh-name counter to at least `counter` (never lowers
+    /// it). Applying a delta snapshot adopts the writer's counter so fresh
+    /// names minted after the apply cannot collide with fresh names minted
+    /// before the delta was written; lowering is refused because it could
+    /// reintroduce exactly that collision.
+    pub fn raise_fresh_counter(&mut self, counter: u64) {
+        self.fresh_counter = self.fresh_counter.max(counter);
+    }
+
     /// Reconstructs an interner from a symbol listing (as produced by
     /// [`Interner::symbols`]) and a fresh-name counter: the `k`-th listed
     /// symbol receives id `k`, exactly reversing serialization. Returns

@@ -9,11 +9,12 @@
 //! Exit status: 0 when every per-mode assertion held, 1 on assertion
 //! failure, 2 on connection/setup failure.
 
+use std::collections::BTreeSet;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wdpt_obs::{read_json_line, write_json_line, Json};
 
@@ -39,6 +40,12 @@ OPTIONS:
                                  expects cancelled responses
     --deadline-ms MS   deadline for the deadline/mix heavy queries
                        [default: 150]
+    --reload-snapshot P  send an admin reload op (snapshot file P) midway
+                         through the run, while query traffic is flowing;
+                         the run fails unless the reload succeeds
+    --reload-delta P     delta file chained onto --reload-snapshot
+                         (repeatable, applied in order)
+    --reload-db NAME     database name to reload [default: server default]
     --shutdown         send a shutdown op after the run
     --json             emit a one-line JSON summary on stdout
     --help             print this help
@@ -71,6 +78,9 @@ struct Args {
     requests: usize,
     mode: String,
     deadline_ms: u64,
+    reload_snapshot: Option<String>,
+    reload_deltas: Vec<String>,
+    reload_db: Option<String>,
     shutdown: bool,
     json: bool,
 }
@@ -82,6 +92,9 @@ fn parse_args() -> Result<Args, String> {
         requests: 50,
         mode: "mix".to_string(),
         deadline_ms: 150,
+        reload_snapshot: None,
+        reload_deltas: Vec::new(),
+        reload_db: None,
         shutdown: false,
         json: false,
     };
@@ -115,6 +128,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--deadline-ms expects a number".to_string())?
             }
+            "--reload-snapshot" => args.reload_snapshot = Some(value("--reload-snapshot")?),
+            "--reload-delta" => args.reload_deltas.push(value("--reload-delta")?),
+            "--reload-db" => args.reload_db = Some(value("--reload-db")?),
             "--shutdown" => args.shutdown = true,
             "--json" => args.json = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -128,6 +144,9 @@ fn parse_args() -> Result<Args, String> {
 struct Tally {
     ok: AtomicU64,
     rows: AtomicU64,
+    /// Total result-set sizes from `ok` lines — unlike `rows`, not capped
+    /// by the server's `max_rows` row streaming limit.
+    answers: AtomicU64,
     errors: AtomicU64,
     cancelled: AtomicU64,
     overloaded: AtomicU64,
@@ -135,6 +154,11 @@ struct Tally {
     failures: AtomicU64,
     latency_us: AtomicU64,
     max_latency_us: AtomicU64,
+    reloads: AtomicU64,
+    /// Distinct `retry_after_ms` hints seen on `overloaded` responses: the
+    /// server jitters and depth-scales the hint precisely so rejected
+    /// clients don't retry in lockstep, and flood mode asserts the spread.
+    retry_hints: Mutex<BTreeSet<u64>>,
 }
 
 impl Tally {
@@ -229,6 +253,9 @@ fn run_client(client: usize, args: &Args, tally: &Tally) -> Result<(), String> {
         match status.as_str() {
             "ok" => {
                 tally.ok.fetch_add(1, Ordering::Relaxed);
+                if let Some(n) = status_line.get("answers").and_then(Json::as_num) {
+                    tally.answers.fetch_add(n as u64, Ordering::Relaxed);
+                }
                 if status_line.get("cache").and_then(Json::as_str) == Some("hit") {
                     tally.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -254,12 +281,15 @@ fn run_client(client: usize, args: &Args, tally: &Tally) -> Result<(), String> {
             }
             "overloaded" => {
                 tally.overloaded.fetch_add(1, Ordering::Relaxed);
-                if status_line
-                    .get("retry_after_ms")
-                    .and_then(Json::as_num)
-                    .is_none()
-                {
-                    tally.fail(&format!("{id}: overloaded without retry_after_ms"));
+                match status_line.get("retry_after_ms").and_then(Json::as_num) {
+                    Some(hint) => {
+                        tally
+                            .retry_hints
+                            .lock()
+                            .expect("retry hint set")
+                            .insert(hint as u64);
+                    }
+                    None => tally.fail(&format!("{id}: overloaded without retry_after_ms")),
                 }
                 // Honor the backpressure hint before the next request.
                 std::thread::sleep(Duration::from_millis(
@@ -285,6 +315,47 @@ fn run_client(client: usize, args: &Args, tally: &Tally) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Sends the admin `reload` op from `--reload-snapshot`/`--reload-delta`
+/// on its own connection while the client threads keep querying, and
+/// fails the run unless the server acknowledges the swap.
+fn send_reload(args: &Args, tally: &Tally) {
+    let snapshot = args
+        .reload_snapshot
+        .clone()
+        .expect("send_reload requires --reload-snapshot");
+    let mut pairs = vec![
+        ("op".to_string(), Json::str("reload")),
+        ("id".to_string(), Json::str("loadgen-reload")),
+        ("snapshot".to_string(), Json::str(snapshot)),
+    ];
+    if !args.reload_deltas.is_empty() {
+        pairs.push((
+            "deltas".to_string(),
+            Json::Arr(
+                args.reload_deltas
+                    .iter()
+                    .map(|d| Json::str(d.clone()))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(db) = &args.reload_db {
+        pairs.push(("db".to_string(), Json::str(db.clone())));
+    }
+    let req = Json::obj(pairs);
+    match Connection::open(&args.addr).and_then(|mut c| c.round_trip(&req)) {
+        Ok((line, _)) => {
+            if line.get("status").and_then(Json::as_str) == Some("ok") {
+                tally.reloads.fetch_add(1, Ordering::Relaxed);
+                eprintln!("loadgen: reload acknowledged: {line}");
+            } else {
+                tally.fail(&format!("reload rejected: {line}"));
+            }
+        }
+        Err(e) => tally.fail(&format!("reload round-trip failed: {e}")),
+    }
 }
 
 /// Reads the server's cache-hit counter via a `stats` op.
@@ -317,6 +388,16 @@ fn main() -> ExitCode {
             std::thread::spawn(move || run_client(c, &args, &tally))
         })
         .collect();
+    let reloader = args.reload_snapshot.is_some().then(|| {
+        let args = args.clone();
+        let tally = Arc::clone(&tally);
+        std::thread::spawn(move || {
+            // Let query traffic get flowing first, so the swap happens
+            // underneath live requests.
+            std::thread::sleep(Duration::from_millis(200));
+            send_reload(&args, &tally);
+        })
+    });
     let mut connect_failures = 0;
     for h in handles {
         match h.join() {
@@ -331,6 +412,12 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(h) = reloader {
+        if h.join().is_err() {
+            eprintln!("loadgen: reload thread panicked");
+            connect_failures += 1;
+        }
+    }
     let wall = started.elapsed();
 
     // Per-mode aggregate assertions.
@@ -342,9 +429,21 @@ fn main() -> ExitCode {
     if connect_failures == 0 && responded != expected {
         tally.fail(&format!("{responded} responses to {expected} requests"));
     }
+    let retry_hints_distinct = tally.retry_hints.lock().expect("retry hint set").len() as u64;
     match args.mode.as_str() {
-        "flood" if tally.overloaded.load(Ordering::Relaxed) == 0 => {
-            tally.fail("flood mode saw no overloaded responses");
+        "flood" => {
+            let overloaded = tally.overloaded.load(Ordering::Relaxed);
+            if overloaded == 0 {
+                tally.fail("flood mode saw no overloaded responses");
+            }
+            // The hint carries per-request jitter; a flood of identical
+            // hints would send every rejected client back in lockstep.
+            if overloaded >= 4 && retry_hints_distinct < 2 {
+                tally.fail(&format!(
+                    "{overloaded} overloaded responses all advertised the same \
+                     retry_after_ms; retries would stampede in lockstep"
+                ));
+            }
         }
         "deadline" if tally.cancelled.load(Ordering::Relaxed) == 0 => {
             tally.fail("deadline mode saw no cancelled responses");
@@ -393,6 +492,10 @@ fn main() -> ExitCode {
                 Json::int(tally.rows.load(Ordering::Relaxed)),
             ),
             (
+                "answers".to_string(),
+                Json::int(tally.answers.load(Ordering::Relaxed)),
+            ),
+            (
                 "errors".to_string(),
                 Json::int(tally.errors.load(Ordering::Relaxed)),
             ),
@@ -403,6 +506,14 @@ fn main() -> ExitCode {
             (
                 "overloaded".to_string(),
                 Json::int(tally.overloaded.load(Ordering::Relaxed)),
+            ),
+            (
+                "retry_hints_distinct".to_string(),
+                Json::int(retry_hints_distinct),
+            ),
+            (
+                "reloads".to_string(),
+                Json::int(tally.reloads.load(Ordering::Relaxed)),
             ),
             (
                 "client_cache_hits".to_string(),

@@ -10,9 +10,10 @@
 //! snapshots load via [`wdpt_store::load_snapshot`] and are merged into the
 //! server's interner by [`merge_snapshot`].
 
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
-use wdpt_model::{Const, Database, Interner};
+use wdpt_model::{Const, Database, Interner, Pred, Relation};
 use wdpt_obs::counter;
 
 pub use wdpt_sparql::parse_nt;
@@ -43,10 +44,14 @@ pub fn load_database(interner: &mut Interner, path: &Path) -> io::Result<Databas
 ///   before any text dataset), the snapshot's interner is **adopted**
 ///   wholesale and its database returned as-is, keeping the prebuilt
 ///   posting indexes: zero re-interning, zero index rebuild.
-/// * Otherwise every symbol is re-interned by name and the tuples remapped,
-///   which drops the snapshot's prebuilt indexes (they refer to the old
-///   ids) — correct, but the slow path; `serve.store.snapshot_remapped`
-///   counts it.
+/// * Otherwise an old-id→new-id **translation table** is built once (one
+///   name lookup per *symbol*, not per tuple cell), every column is
+///   remapped through it, and the snapshot's prebuilt posting indexes are
+///   carried over — keys translated, rows routed through the tuple-sort
+///   permutation the new ids induce — instead of being dropped and lazily
+///   rebuilt. `serve.store.snapshot_remapped` counts this path; when the
+///   table turns out to be the identity (the live interner extends the
+///   snapshot's), the relations are moved wholesale without even a re-sort.
 pub fn merge_snapshot(interner: &mut Interner, snapshot: (Interner, Database)) -> Database {
     let (snap_interner, snap_db) = snapshot;
     if interner.is_empty() {
@@ -55,18 +60,69 @@ pub fn merge_snapshot(interner: &mut Interner, snapshot: (Interner, Database)) -
         return snap_db;
     }
     counter!("serve.store.snapshot_remapped").add(1);
-    let mut db = Database::new();
-    for (pred, rel) in snap_db.relations() {
-        let p = interner.pred(snap_interner.name(pred.0));
-        for t in rel.tuples() {
-            let tuple: Vec<Const> = t
-                .iter()
-                .map(|c| interner.constant(snap_interner.name(c.0)))
-                .collect();
-            db.insert(p, tuple);
-        }
+    let translate: Vec<u32> = snap_interner
+        .symbols()
+        .map(|(space, name)| match space {
+            wdpt_model::SymbolSpace::Var => interner.var(name).0,
+            wdpt_model::SymbolSpace::Const => interner.constant(name).0,
+            wdpt_model::SymbolSpace::Pred => interner.pred(name).0,
+        })
+        .collect();
+    interner.raise_fresh_counter(snap_interner.fresh_counter());
+    if translate
+        .iter()
+        .enumerate()
+        .all(|(old, &new)| old as u32 == new)
+    {
+        // The live interner already assigns every snapshot symbol the same
+        // id (it extends the snapshot's interner): nothing to rewrite.
+        return snap_db;
     }
-    db
+
+    let mut out: Vec<(Pred, Relation)> = Vec::new();
+    for (pred, rel) in snap_db.into_relations() {
+        let new_pred = Pred(translate[pred.0 as usize]);
+        let (arity, mut tuples, indexes) = rel.into_parts();
+        for t in tuples.iter_mut() {
+            for c in t.iter_mut() {
+                *c = Const(translate[c.0 as usize]);
+            }
+        }
+        // New ids generally reorder the lexicographic tuple order; sort via
+        // a permutation so posting rows can be routed through it.
+        let mut perm: Vec<u32> = (0..tuples.len() as u32).collect();
+        perm.sort_by(|&a, &b| tuples[a as usize].cmp(&tuples[b as usize]));
+        let mut pos = vec![0u32; tuples.len()];
+        for (new_row, &old_row) in perm.iter().enumerate() {
+            pos[old_row as usize] = new_row as u32;
+        }
+        let mut slots: Vec<Option<Box<[Const]>>> = tuples.into_iter().map(Some).collect();
+        let sorted: Vec<Box<[Const]>> = perm
+            .iter()
+            .map(|&old| {
+                slots[old as usize]
+                    .take()
+                    .expect("permutation is a bijection")
+            })
+            .collect();
+        let mut relation = Relation::from_sorted(arity, sorted);
+        for (col, built) in indexes.into_iter().enumerate() {
+            let Some(index) = built else { continue };
+            let remapped: HashMap<Const, Vec<u32>> = index
+                .into_iter()
+                .map(|(key, mut rows)| {
+                    for r in rows.iter_mut() {
+                        *r = pos[*r as usize];
+                    }
+                    rows.sort_unstable();
+                    (Const(translate[key.0 as usize]), rows)
+                })
+                .collect();
+            relation.install_column_index(col, remapped);
+        }
+        out.push((new_pred, relation));
+    }
+    Database::from_sorted(out)
 }
 
 /// True iff the bytes at `path` start with the snapshot magic — a cheap
@@ -158,5 +214,75 @@ Swim NME_rating "2"^^<http://www.w3.org/2001/XMLSchema#integer> .
         let (x, z) = (live.constant("x"), live.constant("z"));
         let rel = db.relation(p).unwrap();
         assert!(rel.tuples().any(|t| t[0] == x && t[2] == z));
+    }
+
+    #[test]
+    fn merge_remap_keeps_prebuilt_indexes() {
+        // Several tuples whose relative order *changes* under the new ids,
+        // so the posting rows must be routed through the sort permutation.
+        let mut snap_i = Interner::new();
+        let mut ts = TripleStore::new();
+        ts.insert_str(&mut snap_i, "a", "p", "u");
+        ts.insert_str(&mut snap_i, "b", "p", "u");
+        ts.insert_str(&mut snap_i, "b", "q", "v");
+        ts.insert_str(&mut snap_i, "c", "q", "u");
+        let snap_db = ts.into_database();
+        for (_, rel) in snap_db.relations() {
+            rel.build_all_indexes();
+        }
+
+        // A live interner that reverses the id order of a/b/c.
+        let mut live = Interner::new();
+        live.constant("c");
+        live.constant("b");
+        live.constant("a");
+        let db = merge_snapshot(&mut live, (snap_i, snap_db));
+        assert_eq!(db.size(), 4);
+        let p = TripleStore::pred(&mut live);
+        let rel = db.relation(p).unwrap();
+        // The prebuilt indexes survived the remap (the pre-fix path dropped
+        // them and fell back to lazy rebuilds)...
+        for col in 0..rel.arity() {
+            assert!(
+                rel.built_column_index(col).is_some(),
+                "column {col} index was dropped by the remap"
+            );
+        }
+        // ...and they answer correctly under the new ids.
+        let (b, u, q) = (live.constant("b"), live.constant("u"), live.constant("q"));
+        assert_eq!(rel.posting_len(0, b), 2);
+        assert_eq!(rel.posting_len(2, u), 3);
+        assert_eq!(rel.matching(&[Some(b), Some(q), None]).count(), 1);
+        // Posting lists stay ascending (the Relation invariant the merge
+        // must restore after permuting rows).
+        for col in 0..rel.arity() {
+            let idx = rel.built_column_index(col).unwrap();
+            for rows in idx.values() {
+                assert!(
+                    rows.windows(2).all(|w| w[0] < w[1]),
+                    "column {col} rows unsorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_moves_relations_wholesale_when_ids_line_up() {
+        let mut snap_i = Interner::new();
+        let mut ts = TripleStore::new();
+        ts.insert_str(&mut snap_i, "a", "p", "u");
+        let snap_db = ts.into_database();
+        for (_, rel) in snap_db.relations() {
+            rel.build_all_indexes();
+        }
+
+        // The live interner extends the snapshot's: identity translation.
+        let mut live = snap_i.clone();
+        live.constant("extra-live-symbol");
+        let db = merge_snapshot(&mut live, (snap_i, snap_db));
+        let p = TripleStore::pred(&mut live);
+        let rel = db.relation(p).unwrap();
+        assert_eq!(db.size(), 1);
+        assert!(rel.built_column_index(0).is_some());
     }
 }

@@ -18,6 +18,11 @@
 //!   tallies) without touching any database.
 //! * `{"op":"shutdown"}` — begin graceful shutdown: in-flight and queued
 //!   work completes, new queries get `shutting_down`.
+//! * `{"op":"reload","snapshot":"base.snap","deltas":["d1.delta"],"db":"name"}`
+//!   — load + verify a snapshot (and optional delta chain) without blocking
+//!   workers, then atomically swap the named database (default database if
+//!   `db` is omitted). In-flight queries finish against the old database;
+//!   requests admitted after the swap see the new one.
 
 use wdpt_obs::Json;
 
@@ -46,6 +51,17 @@ pub enum Request {
     Stats,
     /// Graceful shutdown.
     Shutdown,
+    /// Hot-swap a served database from a snapshot (+ delta chain).
+    Reload {
+        /// Client-chosen id echoed on the response line.
+        id: Option<String>,
+        /// Named database to swap; `None` means the server default.
+        db: Option<String>,
+        /// Path (as seen by the server) of the base snapshot.
+        snapshot: String,
+        /// Paths of delta files to apply on top, in chain order.
+        deltas: Vec<String>,
+    },
 }
 
 impl Request {
@@ -60,6 +76,38 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "reload" => {
+                let snapshot = v
+                    .get("snapshot")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "reload op requires a string \"snapshot\" field".to_string())?
+                    .to_string();
+                let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+                let db = v.get("db").and_then(Json::as_str).map(str::to_string);
+                let deltas = match v.get("deltas") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(Json::Arr(items)) => {
+                        let mut out = Vec::with_capacity(items.len());
+                        for item in items {
+                            out.push(
+                                item.as_str()
+                                    .ok_or_else(|| {
+                                        "\"deltas\" must be an array of strings".to_string()
+                                    })?
+                                    .to_string(),
+                            );
+                        }
+                        out
+                    }
+                    Some(_) => return Err("\"deltas\" must be an array of strings".into()),
+                };
+                Ok(Request::Reload {
+                    id,
+                    db,
+                    snapshot,
+                    deltas,
+                })
+            }
             "query" => {
                 let query = v
                     .get("query")
@@ -103,6 +151,30 @@ impl Request {
             Request::Ping => Json::obj([("op", Json::str("ping"))]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+            Request::Reload {
+                id,
+                db,
+                snapshot,
+                deltas,
+            } => {
+                let mut pairs = vec![
+                    ("op".to_string(), Json::str("reload")),
+                    ("snapshot".to_string(), Json::str(snapshot.clone())),
+                ];
+                if let Some(id) = id {
+                    pairs.push(("id".to_string(), Json::str(id.clone())));
+                }
+                if let Some(db) = db {
+                    pairs.push(("db".to_string(), Json::str(db.clone())));
+                }
+                if !deltas.is_empty() {
+                    pairs.push((
+                        "deltas".to_string(),
+                        Json::Arr(deltas.iter().map(|d| Json::str(d.clone())).collect()),
+                    ));
+                }
+                Json::obj(pairs)
+            }
             Request::Query {
                 id,
                 query,
@@ -223,6 +295,31 @@ pub fn overloaded_line(id: Option<&str>, retry_after_ms: u64) -> Json {
     )
 }
 
+/// Terminal line for a successful `reload`: what was swapped in, how many
+/// deltas were chained, and how long the load + swap took.
+pub fn reload_line(
+    id: Option<&str>,
+    db: &str,
+    tuples: usize,
+    deltas_applied: usize,
+    wall_us: u64,
+) -> Json {
+    with_id(
+        vec![
+            ("status".to_string(), Json::str("ok")),
+            ("kind".to_string(), Json::str("reload")),
+            ("db".to_string(), Json::str(db)),
+            ("tuples".to_string(), Json::int(tuples as u64)),
+            (
+                "deltas_applied".to_string(),
+                Json::int(deltas_applied as u64),
+            ),
+            ("wall_us".to_string(), Json::int(wall_us)),
+        ],
+        id,
+    )
+}
+
 /// The server is draining; no new queries are accepted.
 pub fn shutting_down_line(id: Option<&str>) -> Json {
     with_id(vec![("status".to_string(), Json::str("shutting_down"))], id)
@@ -254,6 +351,18 @@ mod tests {
                 profile: false,
                 max_rows: None,
             },
+            Request::Reload {
+                id: Some("r1".into()),
+                db: Some("music".into()),
+                snapshot: "/tmp/base.snap".into(),
+                deltas: vec!["/tmp/d1.delta".into(), "/tmp/d2.delta".into()],
+            },
+            Request::Reload {
+                id: None,
+                db: None,
+                snapshot: "base.snap".into(),
+                deltas: Vec::new(),
+            },
         ];
         for r in reqs {
             let wire = r.to_json();
@@ -271,6 +380,9 @@ mod tests {
             r#"{"op":"query"}"#,
             r#"{"op":"query","query":"x","deadline_ms":-1}"#,
             r#"{"op":"query","query":"x","max_rows":"many"}"#,
+            r#"{"op":"reload"}"#,
+            r#"{"op":"reload","snapshot":"s","deltas":"d"}"#,
+            r#"{"op":"reload","snapshot":"s","deltas":[1]}"#,
         ];
         for text in bad {
             let v = Json::parse(text).unwrap();

@@ -33,15 +33,18 @@
 //! workers, and [`serve`] joins everything before returning.
 
 use crate::cache::{canonicalize, CanonicalQuery, Plan, PlanCache};
+use crate::db::merge_snapshot;
 use crate::protocol::{
-    cancelled_line, error_line, ok_line, overloaded_line, row_line, shutting_down_line, Request,
+    cancelled_line, error_line, ok_line, overloaded_line, reload_line, row_line,
+    shutting_down_line, Request,
 };
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use wdpt_core::Wdpt;
 use wdpt_cq::EXACT_TW_VERTEX_LIMIT;
@@ -71,7 +74,10 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Default cap on streamed rows per query.
     pub max_rows: usize,
-    /// Suggested client backoff on `overloaded`, in milliseconds.
+    /// *Base* client backoff on `overloaded`, in milliseconds. The hint a
+    /// client actually receives scales with the current queue depth and
+    /// carries a deterministic per-request jitter so a flood of rejected
+    /// clients does not retry in lockstep — see [`retry_after_hint`].
     pub retry_after_ms: u64,
     /// Admission cap on a query's triple-pattern count: planning and
     /// evaluation are worst-case exponential in query size, so unbounded
@@ -110,14 +116,23 @@ impl Default for ServeConfig {
 
 /// Shared server state: configuration, the interner, the named databases,
 /// the plan cache, and the shutdown flag.
+///
+/// Each database sits behind an [`Arc`] inside an [`RwLock`]'d map so the
+/// admin `reload` op can swap in a freshly loaded snapshot atomically:
+/// requests resolve their `Arc<Database>` once at admission, so in-flight
+/// evaluations keep the database they started with while new requests see
+/// the replacement.
 pub struct ServeState {
     /// The configuration the server was started with.
     pub cfg: ServeConfig,
     interner: Mutex<Interner>,
-    dbs: BTreeMap<String, Database>,
+    dbs: RwLock<BTreeMap<String, Arc<Database>>>,
     default_db: String,
     cache: PlanCache,
     shutdown: AtomicBool,
+    /// Jobs currently on (or just popped off) the worker queue; feeds the
+    /// depth-scaled `retry_after_ms` hint on `overloaded`.
+    queue_depth: AtomicUsize,
 }
 
 impl ServeState {
@@ -138,14 +153,68 @@ impl ServeState {
             "default database {default_db:?} not loaded"
         );
         let cache = PlanCache::new(cfg.plan_cache, cfg.cache_capacity);
+        let dbs = dbs.into_iter().map(|(n, db)| (n, Arc::new(db))).collect();
         Arc::new(ServeState {
             cfg,
             interner: Mutex::new(interner),
-            dbs,
+            dbs: RwLock::new(dbs),
             default_db,
             cache,
             shutdown: AtomicBool::new(false),
+            queue_depth: AtomicUsize::new(0),
         })
+    }
+
+    /// The currently served database under `name`, if any. The returned
+    /// [`Arc`] pins that version: a concurrent [`ServeState::reload`]
+    /// replaces the map entry without disturbing holders.
+    pub fn db(&self, name: &str) -> Option<Arc<Database>> {
+        self.dbs.read().expect("dbs lock").get(name).cloned()
+    }
+
+    /// Hot-reloads the database `db_name` from `snapshot` plus an optional
+    /// delta chain, creating the name if it is new.
+    ///
+    /// The load + verification (CRC sections, delta hash chain, sorted-run
+    /// merges) runs with **no server locks held**, so queries keep flowing.
+    /// Then the snapshot is folded into the live interner (brief lock; one
+    /// name lookup per snapshot *symbol*) and the served `Arc<Database>` is
+    /// swapped under the write lock: in-flight jobs finish against the old
+    /// database, requests admitted after the swap see the new one.
+    ///
+    /// The plan cache is **kept**: cached plans depend only on query
+    /// structure and interner ids, never on data, and the merge only
+    /// appends symbols (existing ids are stable), so every entry stays
+    /// valid — `serve.store.reload_cache_kept` counts the entries
+    /// preserved, `serve.store.reload_ok` / `serve.store.reload_failed`
+    /// the outcomes.
+    ///
+    /// Returns `(tuples now served, deltas applied)`.
+    pub fn reload(
+        &self,
+        db_name: &str,
+        snapshot: &Path,
+        deltas: &[impl AsRef<Path>],
+    ) -> Result<(usize, usize), String> {
+        let loaded = match wdpt_store::load_with_deltas(snapshot, deltas) {
+            Ok(pair) => pair,
+            Err(e) => {
+                counter!("serve.store.reload_failed").add(1);
+                return Err(format!("{}: {e}", snapshot.display()));
+            }
+        };
+        let db = {
+            let mut i = self.interner.lock().expect("interner lock");
+            merge_snapshot(&mut i, loaded)
+        };
+        let tuples = db.size();
+        self.dbs
+            .write()
+            .expect("dbs lock")
+            .insert(db_name.to_string(), Arc::new(db));
+        counter!("serve.store.reload_ok").add(1);
+        counter!("serve.store.reload_cache_kept").add(self.cache.len() as u64);
+        Ok((tuples, deltas.len()))
     }
 
     /// The plan cache (for tests and stats).
@@ -209,12 +278,14 @@ fn pattern_size(p: &GraphPattern) -> (usize, usize) {
     (atoms(p), p.variables().len())
 }
 
-/// One evaluation job on the bounded queue.
+/// One evaluation job on the bounded queue. Carries its own
+/// `Arc<Database>`, resolved at admission: a concurrent `reload` swapping
+/// the served map does not change what this job evaluates against.
 struct Job {
     id: Option<String>,
     plan: Arc<Plan>,
     cache_status: &'static str,
-    db: String,
+    db: Arc<Database>,
     request_vars: Vec<String>,
     token: CancelToken,
     deadline_ms: u64,
@@ -411,6 +482,32 @@ fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json
             state,
             tx,
         ),
+        Request::Reload {
+            id: _,
+            db,
+            snapshot,
+            deltas,
+        } => {
+            if state.is_shutting_down() {
+                counter!("serve.requests.rejected").add(1);
+                return vec![shutting_down_line(id)];
+            }
+            let db_name = db.as_deref().unwrap_or(&state.default_db);
+            let start = Instant::now();
+            match state.reload(db_name, Path::new(&snapshot), &deltas) {
+                Ok((tuples, applied)) => vec![reload_line(
+                    id,
+                    db_name,
+                    tuples,
+                    applied,
+                    start.elapsed().as_micros() as u64,
+                )],
+                Err(e) => {
+                    counter!("serve.requests.error").add(1);
+                    vec![error_line(id, "reload_failed", &e, None)]
+                }
+            }
+        }
     }
 }
 
@@ -430,7 +527,9 @@ fn handle_query(
         return vec![shutting_down_line(id)];
     }
     let db_name = db.unwrap_or(&state.default_db);
-    if !state.dbs.contains_key(db_name) {
+    // Resolve the database *version* now: the job evaluates against this
+    // `Arc` even if a `reload` swaps the served map while it is queued.
+    let Some(db) = state.db(db_name) else {
         counter!("serve.requests.error").add(1);
         return vec![error_line(
             id,
@@ -438,7 +537,7 @@ fn handle_query(
             &format!("no database named {db_name:?}"),
             None,
         )];
-    }
+    };
 
     // The deadline clock starts before plan building: the core and
     // decomposition searches are worst-case exponential in the query, so
@@ -520,11 +619,12 @@ fn handle_query(
         };
 
     let (resp_tx, resp_rx) = mpsc::channel();
+    let token_handle = token.clone();
     let job = Job {
         id: id.map(str::to_string),
         plan,
         cache_status,
-        db: db_name.to_string(),
+        db,
         request_vars,
         token,
         deadline_ms,
@@ -533,25 +633,81 @@ fn handle_query(
         resp: resp_tx,
     };
     match tx.try_send(job) {
-        Ok(()) => {}
+        Ok(()) => {
+            state.queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
         Err(TrySendError::Full(_)) => {
             counter!("serve.requests.rejected").add(1);
-            return vec![overloaded_line(id, state.cfg.retry_after_ms)];
+            let depth = state.queue_depth.load(Ordering::Relaxed);
+            return vec![overloaded_line(id, retry_after_hint(&state.cfg, depth, id))];
         }
         Err(TrySendError::Disconnected(_)) => {
             counter!("serve.requests.rejected").add(1);
             return vec![shutting_down_line(id)];
         }
     }
-    match resp_rx.recv() {
+    await_worker(&resp_rx, id, &token_handle, deadline_ms, start)
+}
+
+/// Extra wait past the request deadline before a connection gives up on
+/// its worker: covers queue latency plus the worker's own cancellation
+/// polling granularity.
+const WORKER_GRACE_MS: u64 = 250;
+
+/// Waits for the worker's response lines, but never past the request
+/// deadline plus [`WORKER_GRACE_MS`].
+///
+/// The old unbounded `recv()` here meant a worker that never responded
+/// (wedged, or its job lost) parked the connection thread forever and the
+/// client hung with no terminal line. Now the wait is bounded: on timeout
+/// the job's token is cancelled (so a still-running evaluation stops at
+/// its next cooperative check instead of burning a worker), a `cancelled`
+/// line goes to the client, and the connection is free for its next
+/// request. A late response is dropped harmlessly with the channel.
+fn await_worker(
+    resp_rx: &mpsc::Receiver<Vec<Json>>,
+    id: Option<&str>,
+    token: &CancelToken,
+    deadline_ms: u64,
+    start: Instant,
+) -> Vec<Json> {
+    let wait = Duration::from_millis(deadline_ms.saturating_add(WORKER_GRACE_MS));
+    match resp_rx.recv_timeout(wait) {
         Ok(lines) => lines,
-        Err(_) => vec![error_line(
+        Err(RecvTimeoutError::Timeout) => {
+            token.cancel();
+            counter!("serve.requests.cancelled").add(1);
+            counter!("serve.worker.unresponsive").add(1);
+            vec![cancelled_line(
+                id,
+                deadline_ms,
+                start.elapsed().as_micros() as u64,
+            )]
+        }
+        Err(RecvTimeoutError::Disconnected) => vec![error_line(
             id,
             "internal",
             "worker dropped the request",
             None,
         )],
     }
+}
+
+/// The backoff hint sent with `overloaded`: the configured base, scaled up
+/// linearly with how full the worker queue is, plus a deterministic
+/// per-request jitter (a hash of the request id, modulo the base).
+///
+/// A fixed hint makes every rejected client of a flood sleep the same
+/// interval and stampede back in lockstep, re-creating the overload on the
+/// retry; the jitter spreads the retries across a window that widens as
+/// the queue deepens. Hashing the id keeps the hint reproducible for a
+/// given request, so tests and clients see stable values.
+fn retry_after_hint(cfg: &ServeConfig, queue_depth: usize, id: Option<&str>) -> u64 {
+    let base = cfg.retry_after_ms.max(1);
+    let capacity = cfg.queue_capacity.max(1) as u64;
+    let scaled = base + base * (queue_depth as u64).min(capacity) / capacity;
+    let jitter = wdpt_store::content_hash(id.unwrap_or("").as_bytes()) % base;
+    scaled + jitter
 }
 
 /// Maps a [`SparqlError`] from plan building to a response `(kind,
@@ -586,8 +742,9 @@ fn sparql_error_parts(
 
 /// Worker half: evaluate with the request token and build response lines.
 fn process(job: Job, state: &ServeState) {
+    state.queue_depth.fetch_sub(1, Ordering::Relaxed);
     let start = Instant::now();
-    let db = &state.dbs[&job.db];
+    let db = &*job.db;
     let id = job.id.as_deref();
     let lines = if job.token.poll_deadline() {
         // Expired while queued — never start the evaluation.
@@ -675,6 +832,10 @@ fn stats_line(state: &ServeState) -> Json {
             Json::int(state.cache.capacity() as u64),
         ),
         (
+            "queue_depth".to_string(),
+            Json::int(state.queue_depth.load(Ordering::Relaxed) as u64),
+        ),
+        (
             "counters".to_string(),
             Json::obj(
                 snap.counters
@@ -683,4 +844,150 @@ fn stats_line(state: &ServeState) -> Json {
             ),
         ),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_model::Const;
+
+    /// Regression: the connection-side wait for a worker response used an
+    /// unbounded `recv()`, so a worker that never answered (wedged, or its
+    /// job lost) parked the connection thread forever. The bounded wait
+    /// must return a `cancelled` line shortly after deadline + grace and
+    /// cancel the job's token.
+    #[test]
+    fn unresponsive_worker_frees_the_connection() {
+        let (tx, rx) = mpsc::channel::<Vec<Json>>();
+        let token = CancelToken::new();
+        let start = Instant::now();
+        let lines = await_worker(&rx, Some("stuck-1"), &token, 50, start);
+        // Keep the sender alive for the whole wait: dropping it early
+        // would exercise the Disconnected arm, not the timeout.
+        drop(tx);
+        let waited = start.elapsed();
+        assert!(
+            waited < Duration::from_secs(5),
+            "connection stayed parked for {waited:?}"
+        );
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].get("status").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        assert!(
+            token.is_cancelled(),
+            "the abandoned job's token must be cancelled so the worker stops"
+        );
+    }
+
+    #[test]
+    fn worker_response_within_deadline_passes_through() {
+        let (tx, rx) = mpsc::channel::<Vec<Json>>();
+        tx.send(vec![ok_line(Some("q"), 1, 1, "hit", 10, None)])
+            .unwrap();
+        let token = CancelToken::new();
+        let lines = await_worker(&rx, Some("q"), &token, 10_000, Instant::now());
+        assert_eq!(lines[0].get("status").and_then(Json::as_str), Some("ok"));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn retry_hint_scales_with_queue_depth() {
+        let cfg = ServeConfig::default();
+        let empty = retry_after_hint(&cfg, 0, Some("x"));
+        let full = retry_after_hint(&cfg, cfg.queue_capacity, Some("x"));
+        assert_eq!(full - empty, cfg.retry_after_ms);
+        // Depth beyond capacity (races between load and rejection) clamps
+        // rather than growing without bound.
+        assert_eq!(
+            retry_after_hint(&cfg, cfg.queue_capacity * 10, Some("x")),
+            full
+        );
+    }
+
+    #[test]
+    fn retry_hint_is_deterministic_per_request_but_spreads_across_requests() {
+        let cfg = ServeConfig::default();
+        let base = cfg.retry_after_ms;
+        let hints: Vec<u64> = (0..64)
+            .map(|k| retry_after_hint(&cfg, 32, Some(&format!("req-{k}"))))
+            .collect();
+        for (k, &h) in hints.iter().enumerate() {
+            assert_eq!(
+                h,
+                retry_after_hint(&cfg, 32, Some(&format!("req-{k}"))),
+                "hint must be reproducible for a given request id"
+            );
+            let scaled = base + base * 32 / cfg.queue_capacity as u64;
+            assert!((scaled..scaled + base).contains(&h));
+        }
+        let distinct: std::collections::BTreeSet<u64> = hints.iter().copied().collect();
+        assert!(
+            distinct.len() >= 16,
+            "64 request ids produced only {} distinct backoff hints",
+            distinct.len()
+        );
+    }
+
+    fn tiny_state() -> Arc<ServeState> {
+        let mut i = Interner::new();
+        let mut db = Database::new();
+        let p = i.pred("edge");
+        let (a, b) = (i.constant("a"), i.constant("b"));
+        db.insert(p, vec![Const(a.0), Const(b.0)]);
+        let mut dbs = BTreeMap::new();
+        dbs.insert("main".to_string(), db);
+        ServeState::new(ServeConfig::default(), i, dbs, "main")
+    }
+
+    #[test]
+    fn reload_swaps_the_served_database_without_disturbing_holders() {
+        let dir = std::env::temp_dir().join(format!("wdpt-serve-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A snapshot with more data than the live db, sharing the "edge"
+        // predicate but under a *different* interner.
+        let mut si = Interner::new();
+        let mut sdb = Database::new();
+        let p = si.pred("edge");
+        for pair in [("a", "b"), ("b", "c"), ("c", "d")] {
+            let (x, y) = (si.constant(pair.0), si.constant(pair.1));
+            sdb.insert(p, vec![Const(x.0), Const(y.0)]);
+        }
+        let snap_path = dir.join("base.wdpt");
+        wdpt_store::save_snapshot(&snap_path, &si, &sdb).unwrap();
+
+        let state = tiny_state();
+        let before = state.db("main").expect("default db");
+        assert_eq!(before.size(), 1);
+
+        let (tuples, applied) = state
+            .reload("main", &snap_path, &Vec::<std::path::PathBuf>::new())
+            .expect("reload succeeds");
+        assert_eq!((tuples, applied), (3, 0));
+        // The pre-reload handle still sees the old version; a fresh
+        // resolution sees the new one.
+        assert_eq!(before.size(), 1);
+        assert_eq!(state.db("main").unwrap().size(), 3);
+        // Reloading under a new name creates it.
+        state
+            .reload("aux", &snap_path, &Vec::<std::path::PathBuf>::new())
+            .expect("reload into a new name succeeds");
+        assert_eq!(state.db("aux").unwrap().size(), 3);
+
+        // A bad path fails without touching the served map.
+        let served = state.db("main").unwrap();
+        let err = state
+            .reload(
+                "main",
+                &dir.join("missing.wdpt"),
+                &Vec::<std::path::PathBuf>::new(),
+            )
+            .expect_err("missing snapshot must fail");
+        assert!(err.contains("missing.wdpt"));
+        assert!(Arc::ptr_eq(&served, &state.db("main").unwrap()));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

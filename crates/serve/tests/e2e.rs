@@ -473,6 +473,105 @@ fn full_queue_answers_overloaded_not_hanging() {
 }
 
 #[test]
+fn hot_reload_swaps_data_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("wdpt-serve-e2e-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A base snapshot with one rec_by triple, then a delta adding another.
+    let mut si = Interner::new();
+    let mut ts = wdpt_sparql::TripleStore::new();
+    ts.insert_str(&mut si, "swim", "rec_by", "caribou");
+    let base_i = si.clone();
+    let base_db = ts.database().clone();
+    let base_path = dir.join("base.wdpt");
+    wdpt_store::save_snapshot(&base_path, &base_i, &base_db).unwrap();
+    ts.insert_str(&mut si, "our_love", "rec_by", "caribou");
+    let new_db = ts.into_database();
+    let base_bytes = std::fs::read(&base_path).unwrap();
+    let delta = wdpt_store::delta_to_vec(
+        wdpt_store::content_hash(&base_bytes),
+        &base_i,
+        &base_db,
+        &si,
+        &new_db,
+    )
+    .unwrap();
+    let delta_path = dir.join("d1.wdpt");
+    wdpt_store::save_delta(&delta_path, &delta).unwrap();
+
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr);
+
+    // Before the reload: the generated music catalog, 120 rec_by rows.
+    const Q: &str = "SELECT ?x ?y WHERE { (?x, rec_by, ?y) }";
+    let (ok0, rows0) = c.round_trip(&query("q0", Q));
+    assert_eq!(status_of(&ok0), "ok", "got {ok0}");
+    assert_eq!(rows0.len(), 120);
+
+    // Reload the default db from the snapshot + delta chain.
+    let (rl, _) = c.round_trip(&Json::obj([
+        ("op", Json::str("reload")),
+        ("id", Json::str("r1")),
+        ("snapshot", Json::str(base_path.to_str().unwrap())),
+        (
+            "deltas",
+            Json::Arr(vec![Json::str(delta_path.to_str().unwrap())]),
+        ),
+    ]));
+    assert_eq!(status_of(&rl), "ok", "got {rl}");
+    assert_eq!(rl.get("kind").and_then(Json::as_str), Some("reload"));
+    assert_eq!(rl.get("db").and_then(Json::as_str), Some("music"));
+    assert_eq!(rl.get("tuples").and_then(Json::as_num), Some(2.0));
+    assert_eq!(rl.get("deltas_applied").and_then(Json::as_num), Some(1.0));
+
+    // The same query — a plan-cache hit, since reload keeps the cache —
+    // now answers from the swapped-in data, including the delta's tuple.
+    let (ok1, rows1) = c.round_trip(&query("q1", Q));
+    assert_eq!(status_of(&ok1), "ok", "got {ok1}");
+    assert_eq!(ok1.get("cache").and_then(Json::as_str), Some("hit"));
+    let mut subjects: Vec<&str> = rows1
+        .iter()
+        .filter_map(|r| r.get("bindings")?.get("x")?.as_str())
+        .collect();
+    subjects.sort_unstable();
+    assert_eq!(subjects, ["our_love", "swim"]);
+
+    // A failed reload reports reload_failed and leaves the served data
+    // and the connection intact.
+    let (err, _) = c.round_trip(&Json::obj([
+        ("op", Json::str("reload")),
+        ("id", Json::str("r2")),
+        (
+            "snapshot",
+            Json::str(dir.join("missing.wdpt").to_str().unwrap()),
+        ),
+    ]));
+    assert_eq!(status_of(&err), "error", "got {err}");
+    assert_eq!(
+        err.get("kind").and_then(Json::as_str),
+        Some("reload_failed")
+    );
+    let (ok2, rows2) = c.round_trip(&query("q2", Q));
+    assert_eq!(status_of(&ok2), "ok");
+    assert_eq!(rows2.len(), 2);
+
+    // Reloading into a fresh name makes it queryable via "db".
+    let (rl2, _) = c.round_trip(&Json::obj([
+        ("op", Json::str("reload")),
+        ("id", Json::str("r3")),
+        ("db", Json::str("aux")),
+        ("snapshot", Json::str(base_path.to_str().unwrap())),
+    ]));
+    assert_eq!(status_of(&rl2), "ok", "got {rl2}");
+    let (ok3, rows3) = c.round_trip(&query_with("q3", Q, &[("db", Json::str("aux"))]));
+    assert_eq!(status_of(&ok3), "ok", "got {ok3}");
+    assert_eq!(rows3.len(), 1);
+
+    server.shutdown_and_join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn shutdown_drains_and_rejects_new_work() {
     let server = start(ServeConfig::default());
     let mut c = Client::connect(server.addr);

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! wdpt-store build INPUT SNAPSHOT [--threads N] [--chunk-lines N]
-//! wdpt-store verify SNAPSHOT
+//! wdpt-store verify SNAPSHOT [--delta DELTA]...
 //! wdpt-store inspect SNAPSHOT
+//! wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
+//! wdpt-store apply BASE SNAPSHOT_OUT --delta DELTA [--delta DELTA]...
 //! wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
 //! ```
 //!
@@ -20,10 +22,16 @@ use wdpt_store::{LoadOptions, StoreError};
 const USAGE: &str = "usage:
   wdpt-store build INPUT SNAPSHOT [--threads N] [--chunk-lines N]
       parse a text dataset (N-Triples or facts) in parallel and write a snapshot
-  wdpt-store verify SNAPSHOT
-      fully decode a snapshot, checking every checksum and invariant
+  wdpt-store verify SNAPSHOT [--delta DELTA]...
+      fully decode a snapshot (applying any delta chain), checking every
+      checksum, chain hash, and invariant
   wdpt-store inspect SNAPSHOT
       print the header and per-relation summary (checksums only, no decode)
+  wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
+      parse INPUT and write the new tuples/symbols as a delta chained onto
+      BASE (after any PRIOR deltas, in order)
+  wdpt-store apply BASE SNAPSHOT_OUT --delta DELTA [--delta DELTA]...
+      apply a delta chain to BASE and write the merged full snapshot
   wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
       write a synthetic music-catalog dataset as N-Triples";
 
@@ -53,6 +61,20 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<usize>, String
     v.parse::<usize>()
         .map(Some)
         .map_err(|_| format!("{flag} needs a number, got {v:?}"))
+}
+
+/// Removes every occurrence of a repeatable `--flag VALUE` pair, returning
+/// the values in order.
+fn take_str_flags(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        out.push(args.remove(i + 1));
+        args.remove(i);
+    }
+    Ok(out)
 }
 
 fn cmd_build(mut args: Vec<String>) -> ExitCode {
@@ -92,24 +114,161 @@ fn cmd_build(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_verify(args: Vec<String>) -> ExitCode {
+fn cmd_verify(mut args: Vec<String>) -> ExitCode {
+    let deltas = match take_str_flags(&mut args, "--delta") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
     let [path] = args.as_slice() else {
         return usage_err("verify takes one SNAPSHOT path");
     };
     let t0 = Instant::now();
-    match wdpt_store::load_snapshot(Path::new(path)) {
+    let loaded = if deltas.is_empty() {
+        wdpt_store::load_snapshot(Path::new(path))
+    } else {
+        wdpt_store::load_with_deltas(Path::new(path), &deltas)
+    };
+    match loaded {
         Ok((interner, db)) => {
             println!(
-                "ok: {} symbols, {} relations, {} tuples, verified in {:.1}ms",
+                "ok: {} symbols, {} relations, {} tuples ({} deltas applied), verified in {:.1}ms",
                 interner.len(),
                 db.predicate_count(),
                 db.size(),
+                deltas.len(),
                 t0.elapsed().as_secs_f64() * 1e3
             );
             ExitCode::SUCCESS
         }
         Err(e) => data_err(&e),
     }
+}
+
+fn cmd_delta(mut args: Vec<String>) -> ExitCode {
+    let priors = match take_str_flags(&mut args, "--delta") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let threads = match take_flag(&mut args, "--threads") {
+        Ok(v) => v.unwrap_or(0),
+        Err(e) => return usage_err(&e),
+    };
+    let chunk_lines = match take_flag(&mut args, "--chunk-lines") {
+        Ok(v) => v.unwrap_or(LoadOptions::default().chunk_lines),
+        Err(e) => return usage_err(&e),
+    };
+    let [base, input, output] = args.as_slice() else {
+        return usage_err("delta takes BASE, INPUT, and DELTA_OUT paths");
+    };
+
+    // Materialize the chain tip: base + prior deltas, and the content hash
+    // of the last file in the chain (what the new delta anchors to).
+    let t0 = Instant::now();
+    let base_bytes = match std::fs::read(base) {
+        Ok(b) => b,
+        Err(e) => return data_err(&StoreError::Io(e)),
+    };
+    let mut prior_bytes = Vec::with_capacity(priors.len());
+    for p in &priors {
+        match std::fs::read(p) {
+            Ok(b) => prior_bytes.push(b),
+            Err(e) => return data_err(&StoreError::Io(e)),
+        }
+    }
+    let (interner, db) = match wdpt_store::decode_with_deltas(&base_bytes, &prior_bytes) {
+        Ok(pair) => pair,
+        Err(e) => return data_err(&e),
+    };
+    let tip_hash = wdpt_store::content_hash(prior_bytes.last().unwrap_or(&base_bytes));
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Parse the update on top of a copy of the chain-tip interner so new
+    // symbols append after the existing ids.
+    let t1 = Instant::now();
+    let mut new_interner = interner.clone();
+    let opts = LoadOptions {
+        threads,
+        chunk_lines,
+    };
+    let (add_db, report) =
+        match wdpt_store::bulk_load_path(&mut new_interner, Path::new(input), opts) {
+            Ok(r) => r,
+            Err(e) => return data_err(&e),
+        };
+    let mut new_db = db.clone();
+    for (pred, rel) in add_db.relations() {
+        if let Some(existing) = new_db.relation(pred) {
+            if existing.arity() != rel.arity() {
+                return data_err(&StoreError::Parse {
+                    line: 0,
+                    message: format!(
+                        "predicate {:?} used at arity {} but the base has arity {}",
+                        new_interner.pred_name(pred),
+                        rel.arity(),
+                        existing.arity()
+                    ),
+                });
+            }
+        }
+        for t in rel.tuples() {
+            new_db.insert(pred, t.to_vec());
+        }
+    }
+    let parse_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let t2 = Instant::now();
+    let bytes = match wdpt_store::delta_to_vec(tip_hash, &interner, &db, &new_interner, &new_db) {
+        Ok(b) => b,
+        Err(e) => return data_err(&e),
+    };
+    if let Err(e) = wdpt_store::save_delta(Path::new(output), &bytes) {
+        return data_err(&e);
+    }
+    let write_ms = t2.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "wrote {output}: {} inserted tuples, {} new symbols over {} prior deltas \
+         ({} input lines) load {load_ms:.1}ms parse {parse_ms:.1}ms write {write_ms:.1}ms {} bytes",
+        new_db.size() - db.size(),
+        new_interner.len() - interner.len(),
+        priors.len(),
+        report.lines,
+        bytes.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_apply(mut args: Vec<String>) -> ExitCode {
+    let deltas = match take_str_flags(&mut args, "--delta") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    if deltas.is_empty() {
+        return usage_err("apply needs at least one --delta");
+    }
+    let [base, output] = args.as_slice() else {
+        return usage_err("apply takes BASE and SNAPSHOT_OUT paths");
+    };
+    let t0 = Instant::now();
+    let (interner, db) = match wdpt_store::load_with_deltas(Path::new(base), &deltas) {
+        Ok(pair) => pair,
+        Err(e) => return data_err(&e),
+    };
+    let apply_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let bytes = match wdpt_store::save_snapshot(Path::new(output), &interner, &db) {
+        Ok(n) => n,
+        Err(e) => return data_err(&e),
+    };
+    let write_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "applied {} deltas onto {base}: {} symbols, {} relations, {} tuples \
+         apply {apply_ms:.1}ms write {write_ms:.1}ms {bytes} bytes -> {output}",
+        deltas.len(),
+        interner.len(),
+        db.predicate_count(),
+        db.size()
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_inspect(args: Vec<String>) -> ExitCode {
@@ -212,6 +371,8 @@ fn main() -> ExitCode {
         "build" => cmd_build(args),
         "verify" => cmd_verify(args),
         "inspect" => cmd_inspect(args),
+        "delta" => cmd_delta(args),
+        "apply" => cmd_apply(args),
         "gen-music" => cmd_gen_music(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

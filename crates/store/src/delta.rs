@@ -1,0 +1,789 @@
+//! Incremental **delta snapshots**: insert-only diffs chained onto a base
+//! `WDPTSNAP` file.
+//!
+//! A delta reuses the container of the full format — the same magic,
+//! version, and CRC-framed sections — but opens with a *delta header*
+//! (tag `0x04`) instead of a snapshot header, so a delta can never be
+//! mistaken for a full snapshot (and vice versa):
+//!
+//! | tag  | section        | payload                                                        |
+//! |------|----------------|----------------------------------------------------------------|
+//! | 0x04 | delta header   | base_hash u64 · base_symbols u64 · symbols u64 · fresh u64 · relations u32 · inserted u64 |
+//! | 0x02 | dictionary     | the `symbols − base_symbols` **appended** symbols, id order    |
+//! | 0x05 | relation delta | pred u32 · arity u32 · rows u64 · column-major cells (sorted)  |
+//! | 0xFF | end            | empty                                                          |
+//!
+//! `base_hash` is the FNV-1a-64 [`content_hash`] of the immediate
+//! predecessor *file* — the base snapshot for the first delta, the
+//! previous delta for every later one — so a chain is verified purely
+//! from file bytes, with no registry. Deltas are **insert-only**: symbols
+//! are appended (existing ids never move, which is what keeps serve-side
+//! plan caches valid across a reload) and tuples are added, never
+//! removed. Applying merges each relation's sorted base run with the
+//! sorted insertion run in one pass and *remaps* any already-built
+//! posting indexes through the merge positions instead of rebuilding
+//! them; relations the delta does not touch are moved into the result
+//! wholesale, indexes and all.
+
+use crate::format::{
+    content_hash, decode_snapshot, encode_dictionary, expect_tag, len_u32, malformed,
+    parse_dictionary_entries, push_section, read_magic_version, read_section, Reader, SpaceTable,
+    StoreError, MAGIC, TAG_DELTA_HEADER, TAG_DICTIONARY, TAG_END, TAG_HEADER, TAG_RELATION_DELTA,
+    VERSION,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use wdpt_model::{Const, Database, Interner, Pred, Relation, SymbolSpace};
+use wdpt_obs::{counter, span};
+
+/// The parsed delta-header section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaHeader {
+    /// Format version of the file.
+    pub version: u32,
+    /// [`content_hash`] of the predecessor file this delta applies to.
+    pub base_hash: u64,
+    /// Symbol count of the predecessor's interner.
+    pub base_symbols: u64,
+    /// Symbol count after applying (base + appended).
+    pub symbols: u64,
+    /// The fresh-name counter after applying.
+    pub fresh_counter: u64,
+    /// Number of relation-delta sections.
+    pub relations: u32,
+    /// Total inserted tuples across relation deltas.
+    pub inserted: u64,
+}
+
+/// One relation's insertion run.
+#[derive(Debug)]
+struct RelationDelta {
+    pred: Pred,
+    arity: usize,
+    tuples: Vec<Box<[Const]>>,
+}
+
+/// A fully parsed (but not yet applied) delta file.
+#[derive(Debug)]
+pub struct Delta {
+    /// The delta header.
+    pub header: DeltaHeader,
+    /// Appended symbols, in id order starting at `header.base_symbols`.
+    appended: Vec<(SymbolSpace, String)>,
+    /// Per-relation insertion runs, predicates strictly ascending.
+    relations: Vec<RelationDelta>,
+}
+
+impl Delta {
+    /// Total inserted tuples (mirrors `header.inserted`).
+    pub fn inserted(&self) -> u64 {
+        self.header.inserted
+    }
+}
+
+/// Serializes the difference between a base `(Interner, Database)` pair and
+/// an updated one as a delta chained to `base_hash` (the [`content_hash`]
+/// of the predecessor *file* the base pair was decoded from).
+///
+/// The updated interner must extend the base interner (same symbols, in
+/// order, possibly more appended), and the updated database must be an
+/// insert-only extension of the base — a removed tuple, removed relation,
+/// or changed arity is a typed error, because the delta format cannot
+/// express it.
+pub fn delta_to_vec(
+    base_hash: u64,
+    base_interner: &Interner,
+    base_db: &Database,
+    new_interner: &Interner,
+    new_db: &Database,
+) -> Result<Vec<u8>, StoreError> {
+    let _g = span!("store.delta.encode");
+    if new_interner.len() < base_interner.len()
+        || !base_interner
+            .symbols()
+            .eq(new_interner.symbols().take(base_interner.len()))
+    {
+        return Err(malformed(
+            "delta",
+            "the updated interner does not extend the base interner \
+             (existing ids must stay put for a delta to apply)",
+        ));
+    }
+
+    // Every base relation must survive, at the same arity, with all of its
+    // tuples — deltas are insert-only.
+    for (pred, _) in base_db.relations() {
+        if new_db.relation(pred).is_none() {
+            return Err(malformed(
+                "delta",
+                format!(
+                    "relation for predicate id {} was removed; deltas are insert-only",
+                    pred.0
+                ),
+            ));
+        }
+    }
+
+    let mut rel_order: Vec<(Pred, &Relation)> = new_db.relations().collect();
+    rel_order.sort_by_key(|(p, _)| *p);
+
+    let mut diffs: Vec<(Pred, usize, Vec<&[Const]>)> = Vec::new();
+    let mut inserted: u64 = 0;
+    for (pred, new_rel) in rel_order {
+        let mut new_rows: Vec<&[Const]> = new_rel.tuples().collect();
+        new_rows.sort_unstable();
+        let added: Vec<&[Const]> = match base_db.relation(pred) {
+            None => new_rows,
+            Some(base_rel) => {
+                if base_rel.arity() != new_rel.arity() {
+                    return Err(malformed(
+                        "delta",
+                        format!(
+                            "predicate id {} changed arity ({} to {}); deltas are insert-only",
+                            pred.0,
+                            base_rel.arity(),
+                            new_rel.arity()
+                        ),
+                    ));
+                }
+                let mut base_rows: Vec<&[Const]> = base_rel.tuples().collect();
+                base_rows.sort_unstable();
+                let mut added = Vec::new();
+                let mut bi = 0;
+                for row in new_rows {
+                    if bi < base_rows.len() && base_rows[bi] == row {
+                        bi += 1;
+                    } else {
+                        added.push(row);
+                    }
+                }
+                if bi != base_rows.len() {
+                    return Err(malformed(
+                        "delta",
+                        format!(
+                            "a tuple was removed from predicate id {}; deltas are insert-only",
+                            pred.0
+                        ),
+                    ));
+                }
+                added
+            }
+        };
+        if !added.is_empty() {
+            inserted += added.len() as u64;
+            diffs.push((pred, new_rel.arity(), added));
+        }
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+
+    let mut header = Vec::with_capacity(8 * 4 + 4 + 8);
+    header.extend_from_slice(&base_hash.to_le_bytes());
+    header.extend_from_slice(&(base_interner.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(new_interner.len() as u64).to_le_bytes());
+    header.extend_from_slice(&new_interner.fresh_counter().to_le_bytes());
+    header.extend_from_slice(&len_u32(diffs.len(), "delta relation count")?.to_le_bytes());
+    header.extend_from_slice(&inserted.to_le_bytes());
+    push_section(&mut out, TAG_DELTA_HEADER, &header);
+
+    push_section(
+        &mut out,
+        TAG_DICTIONARY,
+        &encode_dictionary(new_interner.symbols().skip(base_interner.len()))?,
+    );
+
+    for (pred, arity, rows) in diffs {
+        let mut payload = Vec::with_capacity(16 + rows.len() * arity * 4);
+        payload.extend_from_slice(&pred.0.to_le_bytes());
+        payload.extend_from_slice(&len_u32(arity, "relation arity")?.to_le_bytes());
+        payload.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for col in 0..arity {
+            for t in &rows {
+                payload.extend_from_slice(&t[col].0.to_le_bytes());
+            }
+        }
+        push_section(&mut out, TAG_RELATION_DELTA, &payload);
+    }
+
+    push_section(&mut out, TAG_END, &[]);
+    counter!("store.delta.bytes_encoded").add(out.len() as u64);
+    counter!("store.delta.encodes").add(1);
+    Ok(out)
+}
+
+/// Parses a delta file, verifying magic, version, every CRC, and all
+/// structure that can be checked without the base (sortedness, counts,
+/// ascending predicates). Cell namespaces are validated at apply time,
+/// when the combined symbol table exists.
+pub fn decode_delta(bytes: &[u8]) -> Result<Delta, StoreError> {
+    let _g = span!("store.delta.decode");
+    let mut r = Reader::new(bytes);
+    let version = read_magic_version(&mut r)?;
+
+    let section = read_section(&mut r, "delta header")?;
+    if section.tag == TAG_HEADER {
+        return Err(malformed(
+            "delta header",
+            "file is a full snapshot, not a delta (wdpt-store verify reads it directly)",
+        ));
+    }
+    expect_tag(&section, TAG_DELTA_HEADER, "delta header")?;
+    let mut hr = Reader::new(section.payload);
+    let header = DeltaHeader {
+        version,
+        base_hash: hr.u64("delta header")?,
+        base_symbols: hr.u64("delta header")?,
+        symbols: hr.u64("delta header")?,
+        fresh_counter: hr.u64("delta header")?,
+        relations: hr.u32("delta header")?,
+        inserted: hr.u64("delta header")?,
+    };
+    if hr.remaining() != 0 {
+        return Err(malformed("delta header", "trailing bytes"));
+    }
+    if header.symbols < header.base_symbols {
+        return Err(malformed(
+            "delta header",
+            "symbol count shrinks (deltas are append-only)",
+        ));
+    }
+    let appended_count = usize::try_from(header.symbols - header.base_symbols)
+        .ok()
+        .filter(|_| u32::try_from(header.symbols).is_ok())
+        .ok_or_else(|| malformed("delta header", "symbol count exceeds u32 id space"))?;
+
+    let section = read_section(&mut r, "dictionary")?;
+    expect_tag(&section, TAG_DICTIONARY, "dictionary")?;
+    let appended = parse_dictionary_entries(section.payload, appended_count)?;
+
+    let mut relations: Vec<RelationDelta> = Vec::with_capacity(header.relations as usize);
+    let mut total: u64 = 0;
+    for idx in 0..header.relations as usize {
+        let label = format!("relation delta[{idx}]");
+        let label = label.as_str();
+        let section = read_section(&mut r, label)?;
+        expect_tag(&section, TAG_RELATION_DELTA, label)?;
+        let mut pr = Reader::new(section.payload);
+        let pred = Pred(pr.u32(label)?);
+        if let Some(prev) = relations.last() {
+            if prev.pred >= pred {
+                return Err(malformed(label, "predicates not strictly ascending"));
+            }
+        }
+        let arity = pr.u32(label)? as usize;
+        let rows_u64 = pr.u64(label)?;
+        let rows = usize::try_from(rows_u64).map_err(|_| malformed(label, "row count overflow"))?;
+        if rows == 0 {
+            return Err(malformed(label, "empty relation delta"));
+        }
+        if arity == 0 && rows > 1 {
+            return Err(malformed(label, "nullary relation with more than one row"));
+        }
+        let cells = arity
+            .checked_mul(rows)
+            .and_then(|c| c.checked_mul(4))
+            .ok_or_else(|| malformed(label, "cell count overflow"))?;
+        if pr.remaining() < cells {
+            return Err(StoreError::Truncated {
+                section: label.to_string(),
+            });
+        }
+        let mut columns: Vec<&[u8]> = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            columns.push(pr.take(rows * 4, label)?);
+        }
+        let mut tuples: Vec<Box<[Const]>> = Vec::with_capacity(rows);
+        for row in 0..rows {
+            tuples.push(
+                columns
+                    .iter()
+                    .map(|c| {
+                        Const(u32::from_le_bytes(
+                            c[row * 4..row * 4 + 4].try_into().unwrap(),
+                        ))
+                    })
+                    .collect(),
+            );
+        }
+        if let Some(w) = tuples.windows(2).find(|w| w[0] >= w[1]) {
+            let detail = if w[0] == w[1] {
+                "duplicate tuple in sorted block"
+            } else {
+                "tuple block is not sorted"
+            };
+            return Err(malformed(label, detail));
+        }
+        if pr.remaining() != 0 {
+            return Err(malformed(label, "trailing bytes"));
+        }
+        total += rows_u64;
+        relations.push(RelationDelta {
+            pred,
+            arity,
+            tuples,
+        });
+    }
+    if total != header.inserted {
+        return Err(malformed(
+            "delta header",
+            format!(
+                "header claims {} inserted tuples, sections hold {total}",
+                header.inserted
+            ),
+        ));
+    }
+
+    let section = read_section(&mut r, "end")?;
+    expect_tag(&section, TAG_END, "end")?;
+    if !section.payload.is_empty() {
+        return Err(malformed("end", "non-empty end section"));
+    }
+    if r.remaining() != 0 {
+        return Err(malformed("end", "trailing bytes after end section"));
+    }
+    Ok(Delta {
+        header,
+        appended,
+        relations,
+    })
+}
+
+/// Merges one sorted insertion run into a relation, carrying built posting
+/// indexes across by *remapping* row positions through the merge instead of
+/// rebuilding from the cells. Columns whose index was never built stay
+/// lazy.
+fn merge_relation(
+    label: &str,
+    base: Relation,
+    add: Vec<Box<[Const]>>,
+) -> Result<Relation, StoreError> {
+    let (arity, base_tuples, base_indexes) = base.into_parts();
+    let n = base_tuples.len();
+    let m = add.len();
+    len_u32(n + m, "merged row count")?;
+
+    let mut merged: Vec<Box<[Const]>> = Vec::with_capacity(n + m);
+    // New position of base row i / insertion row j after the merge. Both
+    // arrays are monotonically increasing, which is what lets posting lists
+    // be remapped without re-sorting.
+    let mut base_new = vec![0u32; n];
+    let mut add_new = vec![0u32; m];
+    {
+        let mut b = base_tuples.into_iter().enumerate().peekable();
+        let mut a = add.into_iter().enumerate().peekable();
+        loop {
+            let take_base = match (b.peek(), a.peek()) {
+                (Some((_, bt)), Some((_, at))) => match bt.cmp(at) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        return Err(malformed(
+                            label,
+                            "delta inserts a tuple the base already holds",
+                        ))
+                    }
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (idx, t) = if take_base {
+                b.next().expect("peeked")
+            } else {
+                a.next().expect("peeked")
+            };
+            if merged.last().is_some_and(|p| **p >= *t) {
+                // The base relation's run was not sorted — possible only if
+                // the relation was mutated outside the snapshot paths.
+                return Err(malformed(label, "base relation run is not sorted"));
+            }
+            let pos = merged.len() as u32;
+            if take_base {
+                base_new[idx] = pos;
+            } else {
+                add_new[idx] = pos;
+            }
+            merged.push(t);
+        }
+    }
+
+    // Remap whichever indexes were built; leave never-built columns lazy.
+    let mut rebuilt: Vec<(usize, HashMap<Const, Vec<u32>>)> = Vec::new();
+    for (col, built) in base_indexes.into_iter().enumerate() {
+        let Some(mut index) = built else { continue };
+        for rows in index.values_mut() {
+            for r in rows.iter_mut() {
+                *r = base_new[*r as usize];
+            }
+        }
+        // Collect the insertion rows per key, then splice each key's two
+        // ascending lists (base positions and insertion positions interleave
+        // in general).
+        let mut fresh: HashMap<Const, Vec<u32>> = HashMap::new();
+        for &row in &add_new {
+            let key = merged[row as usize][col];
+            fresh.entry(key).or_default().push(row);
+        }
+        for (key, new_rows) in fresh {
+            let slot = index.entry(key).or_default();
+            let old = std::mem::take(slot);
+            *slot = merge_ascending(old, new_rows);
+        }
+        rebuilt.push((col, index));
+    }
+
+    let mut rel = Relation::from_sorted(arity, merged);
+    for (col, index) in rebuilt {
+        rel.install_column_index(col, index);
+    }
+    Ok(rel)
+}
+
+/// Merges two strictly ascending row lists into one.
+fn merge_ascending(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ai, mut bi) = (0, 0);
+    while ai < a.len() && bi < b.len() {
+        if a[ai] < b[bi] {
+            out.push(a[ai]);
+            ai += 1;
+        } else {
+            out.push(b[bi]);
+            bi += 1;
+        }
+    }
+    out.extend_from_slice(&a[ai..]);
+    out.extend_from_slice(&b[bi..]);
+    out
+}
+
+/// Applies one parsed delta to an `(Interner, Database)` pair, consuming
+/// the database and returning the merged one. The interner is extended in
+/// place (append-only, so ids held by callers stay valid). Chain-hash
+/// verification is the caller's job ([`decode_with_deltas`] does it); this
+/// function checks everything *structural*: the symbol-count anchor, that
+/// appended symbols are genuinely new, and every cell's namespace.
+pub fn apply_delta(
+    interner: &mut Interner,
+    db: Database,
+    delta: Delta,
+) -> Result<Database, StoreError> {
+    let _g = span!("store.delta.apply");
+    if interner.len() as u64 != delta.header.base_symbols {
+        return Err(malformed(
+            "delta header",
+            format!(
+                "delta expects a base interner with {} symbols, found {}",
+                delta.header.base_symbols,
+                interner.len()
+            ),
+        ));
+    }
+    for (j, (space, name)) in delta.appended.iter().enumerate() {
+        let expected = delta.header.base_symbols as usize + j;
+        let id = match space {
+            SymbolSpace::Var => interner.var(name).0,
+            SymbolSpace::Const => interner.constant(name).0,
+            SymbolSpace::Pred => interner.pred(name).0,
+        };
+        if id as usize != expected {
+            // Roll the partial append back before erroring so the caller's
+            // interner is untouched on failure.
+            interner.truncate(delta.header.base_symbols as usize);
+            return Err(malformed(
+                "dictionary",
+                format!("appended symbol {name:?} is already interned (id {id})"),
+            ));
+        }
+    }
+    interner.raise_fresh_counter(delta.header.fresh_counter);
+    let spaces = SpaceTable::from_interner(interner);
+
+    let mut rels: BTreeMap<Pred, Relation> = db.into_relations().collect();
+    let mut merged_count: u64 = 0;
+    for (idx, rd) in delta.relations.into_iter().enumerate() {
+        let label = format!("relation delta[{idx}]");
+        let label = label.as_str();
+        if !spaces.is(rd.pred.0, SymbolSpace::Pred) {
+            return Err(malformed(
+                label,
+                format!("id {} is not a predicate", rd.pred.0),
+            ));
+        }
+        for t in &rd.tuples {
+            for (col, cell) in t.iter().enumerate() {
+                if !spaces.is(cell.0, SymbolSpace::Const) {
+                    return Err(malformed(
+                        label,
+                        format!("column {col} holds id {}, which is not a constant", cell.0),
+                    ));
+                }
+            }
+        }
+        let rel = match rels.remove(&rd.pred) {
+            None => Relation::from_sorted(rd.arity, rd.tuples),
+            Some(base_rel) => {
+                if base_rel.arity() != rd.arity {
+                    return Err(malformed(
+                        label,
+                        format!(
+                            "arity {} does not match the base relation's {}",
+                            rd.arity,
+                            base_rel.arity()
+                        ),
+                    ));
+                }
+                merge_relation(label, base_rel, rd.tuples)?
+            }
+        };
+        merged_count += 1;
+        rels.insert(rd.pred, rel);
+    }
+
+    counter!("store.delta.relations_merged").add(merged_count);
+    counter!("store.delta.tuples_applied").add(delta.header.inserted);
+    Ok(Database::from_sorted(rels.into_iter().collect()))
+}
+
+/// Decodes a base snapshot and applies a chain of deltas to it, verifying
+/// that each delta's `base_hash` matches the [`content_hash`] of the file
+/// immediately before it in the chain.
+pub fn decode_with_deltas(
+    base: &[u8],
+    deltas: &[Vec<u8>],
+) -> Result<(Interner, Database), StoreError> {
+    let _g = span!("store.decode_with_deltas");
+    let (mut interner, mut db) = decode_snapshot(base)?;
+    let mut expected = content_hash(base);
+    for (i, bytes) in deltas.iter().enumerate() {
+        let delta = decode_delta(bytes)?;
+        if delta.header.base_hash != expected {
+            return Err(malformed(
+                "delta header",
+                format!(
+                    "delta {i} was built against a different predecessor \
+                     (expects hash {:016x}, chain has {:016x})",
+                    delta.header.base_hash, expected
+                ),
+            ));
+        }
+        db = apply_delta(&mut interner, db, delta)?;
+        expected = content_hash(bytes);
+        counter!("store.delta.applied").add(1);
+    }
+    Ok((interner, db))
+}
+
+/// [`decode_with_deltas`] over files.
+pub fn load_with_deltas<P: AsRef<Path>>(
+    base: &Path,
+    deltas: &[P],
+) -> Result<(Interner, Database), StoreError> {
+    let _g = span!("store.load_with_deltas");
+    let base_bytes = std::fs::read(base)?;
+    let mut delta_bytes = Vec::with_capacity(deltas.len());
+    for p in deltas {
+        delta_bytes.push(std::fs::read(p.as_ref())?);
+    }
+    decode_with_deltas(&base_bytes, &delta_bytes)
+}
+
+/// Writes already-encoded delta bytes to a file atomically (temp file +
+/// rename, mirroring [`crate::format::save_snapshot`]).
+pub fn save_delta(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("delta.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    counter!("store.delta.saves").add(1);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::snapshot_to_vec;
+
+    fn base() -> (Interner, Database) {
+        let mut i = Interner::new();
+        let e = i.pred("edge");
+        let n = i.pred("node");
+        let (a, b, c) = (i.constant("a"), i.constant("b"), i.constant("c"));
+        let mut db = Database::new();
+        db.insert(e, vec![a, b]);
+        db.insert(e, vec![b, c]);
+        db.insert(n, vec![a]);
+        (i, db)
+    }
+
+    /// Decode the base through the snapshot round trip so relations arrive
+    /// sorted with installed indexes, exactly as the serve reload path sees
+    /// them.
+    fn decoded_base() -> (Vec<u8>, Interner, Database) {
+        let (i, db) = base();
+        let bytes = snapshot_to_vec(&i, &db).unwrap();
+        let (i2, db2) = decode_snapshot(&bytes).unwrap();
+        (bytes, i2, db2)
+    }
+
+    fn extend(i: &Interner, db: &Database) -> (Interner, Database) {
+        let mut ni = i.clone();
+        let mut ndb = db.clone();
+        let e = ni.pred("edge");
+        let d = ni.constant("d");
+        let lbl = ni.pred("label");
+        let c = ni.constant("c");
+        ndb.insert(e, vec![c, d]);
+        ndb.insert(lbl, vec![d]);
+        (ni, ndb)
+    }
+
+    #[test]
+    fn delta_round_trips_and_chains() {
+        let (base_bytes, i, db) = decoded_base();
+        let (ni, ndb) = extend(&i, &db);
+        let delta = delta_to_vec(content_hash(&base_bytes), &i, &db, &ni, &ndb).unwrap();
+
+        let (ri, rdb) = decode_with_deltas(&base_bytes, std::slice::from_ref(&delta)).unwrap();
+        assert_eq!(ri.len(), ni.len());
+        assert_eq!(rdb.size(), ndb.size());
+        assert_eq!(rdb.display(&ri), ndb.display(&ni));
+
+        // The applied result re-encodes to the same bytes as a full
+        // snapshot of the updated pair: merge + remap is exact.
+        assert_eq!(
+            snapshot_to_vec(&ri, &rdb).unwrap(),
+            snapshot_to_vec(&ni, &ndb).unwrap()
+        );
+
+        // A second delta chains onto the first via its file hash.
+        let (ni2, ndb2) = {
+            let mut i2 = ri.clone();
+            let mut db2 = rdb.clone();
+            let e = i2.pred("edge");
+            let z = i2.constant("z");
+            let a = i2.constant("a");
+            db2.insert(e, vec![z, a]);
+            (i2, db2)
+        };
+        let delta2 = delta_to_vec(content_hash(&delta), &ri, &rdb, &ni2, &ndb2).unwrap();
+        let (ci, cdb) = decode_with_deltas(&base_bytes, &[delta.clone(), delta2.clone()]).unwrap();
+        assert_eq!(cdb.size(), ndb2.size());
+        assert_eq!(cdb.display(&ci), ndb2.display(&ni2));
+
+        // Out-of-order application fails the chain check.
+        let err = decode_with_deltas(&base_bytes, &[delta2, delta]).unwrap_err();
+        assert!(
+            err.to_string().contains("different predecessor"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn merged_relations_keep_remapped_indexes() {
+        let (base_bytes, mut i, db) = decoded_base();
+        let (ni, ndb) = extend(&i, &db);
+        let delta = delta_to_vec(content_hash(&base_bytes), &i, &db, &ni, &ndb).unwrap();
+        let (ri, rdb) = decode_with_deltas(&base_bytes, &[delta]).unwrap();
+        drop(ri);
+
+        // The merged `edge` relation kept its prebuilt indexes (remapped,
+        // not rebuilt lazily): both columns report built, and the postings
+        // answer correctly for old and new tuples alike.
+        let e = i.pred("edge");
+        let rel = rdb.relation(e).unwrap();
+        for col in 0..rel.arity() {
+            assert!(
+                rel.built_column_index(col).is_some(),
+                "column {col} index was dropped by the merge"
+            );
+        }
+        let c = i.constant("c");
+        assert_eq!(rel.posting_len(0, c), 1, "new tuple not indexed");
+        assert_eq!(rel.posting_len(1, c), 1, "old tuple lost from index");
+        assert_eq!(rel.matching(&[Some(c), None]).count(), 1);
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn deletions_and_arity_changes_are_rejected_at_encode() {
+        let (base_bytes, mut i, db) = decoded_base();
+        let h = content_hash(&base_bytes);
+
+        // Removing a tuple.
+        let shrunk = {
+            let mut ndb = Database::new();
+            let e = i.pred("edge");
+            let (a, b) = (i.constant("a"), i.constant("b"));
+            ndb.insert(e, vec![a, b]);
+            let n = i.pred("node");
+            ndb.insert(n, vec![a]);
+            ndb
+        };
+        let err = delta_to_vec(h, &i, &db, &i, &shrunk).unwrap_err();
+        assert!(err.to_string().contains("insert-only"), "got: {err}");
+
+        // An interner that does not extend the base.
+        let fresh = Interner::new();
+        let err = delta_to_vec(h, &i, &db, &fresh, &db).unwrap_err();
+        assert!(err.to_string().contains("extend"), "got: {err}");
+    }
+
+    #[test]
+    fn empty_diff_encodes_and_applies_cleanly() {
+        let (base_bytes, i, db) = decoded_base();
+        let delta = delta_to_vec(content_hash(&base_bytes), &i, &db, &i, &db).unwrap();
+        let parsed = decode_delta(&delta).unwrap();
+        assert_eq!(parsed.header.relations, 0);
+        assert_eq!(parsed.inserted(), 0);
+        let (ri, rdb) = decode_with_deltas(&base_bytes, &[delta]).unwrap();
+        assert_eq!(ri.len(), i.len());
+        assert_eq!(rdb.size(), db.size());
+    }
+
+    #[test]
+    fn corrupted_delta_sections_are_typed() {
+        let (base_bytes, i, db) = decoded_base();
+        let (ni, ndb) = extend(&i, &db);
+        let good = delta_to_vec(content_hash(&base_bytes), &i, &db, &ni, &ndb).unwrap();
+
+        // Flip a payload byte: CRC catches it.
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_delta(&bad),
+            Err(StoreError::ChecksumMismatch { .. }) | Err(StoreError::Malformed { .. })
+        ));
+
+        // Truncation is typed too.
+        let cut = &good[..good.len() - 3];
+        assert!(matches!(
+            decode_delta(cut),
+            Err(StoreError::Truncated { .. })
+        ));
+
+        // A full snapshot fed to the delta decoder is refused with a hint,
+        // and a delta fed to the full decoder likewise.
+        let err = decode_delta(&base_bytes).unwrap_err();
+        assert!(err.to_string().contains("full snapshot"), "got: {err}");
+        let err = decode_snapshot(&good).unwrap_err();
+        assert!(err.to_string().contains("delta snapshot"), "got: {err}");
+    }
+
+    #[test]
+    fn wrong_base_symbol_count_is_rejected_and_interner_untouched() {
+        let (base_bytes, i, db) = decoded_base();
+        let (ni, ndb) = extend(&i, &db);
+        let delta_bytes = delta_to_vec(content_hash(&base_bytes), &i, &db, &ni, &ndb).unwrap();
+        let delta = decode_delta(&delta_bytes).unwrap();
+
+        let mut wrong = Interner::new();
+        wrong.constant("only");
+        let before = wrong.len();
+        let err = apply_delta(&mut wrong, Database::new(), delta).unwrap_err();
+        assert!(err.to_string().contains("symbols"), "got: {err}");
+        assert_eq!(wrong.len(), before, "failed apply must not grow interner");
+    }
+}

@@ -42,10 +42,12 @@ pub const MAGIC: [u8; 8] = *b"WDPTSNAP";
 /// The current (and only) format version.
 pub const VERSION: u32 = 1;
 
-const TAG_HEADER: u8 = 0x01;
-const TAG_DICTIONARY: u8 = 0x02;
-const TAG_RELATION: u8 = 0x03;
-const TAG_END: u8 = 0xFF;
+pub(crate) const TAG_HEADER: u8 = 0x01;
+pub(crate) const TAG_DICTIONARY: u8 = 0x02;
+pub(crate) const TAG_RELATION: u8 = 0x03;
+pub(crate) const TAG_DELTA_HEADER: u8 = 0x04;
+pub(crate) const TAG_RELATION_DELTA: u8 = 0x05;
+pub(crate) const TAG_END: u8 = 0xFF;
 
 /// Everything that can go wrong reading or writing a snapshot. Corruption
 /// surfaces as `Truncated` / `ChecksumMismatch` / `Malformed`, each naming
@@ -77,6 +79,16 @@ pub enum StoreError {
         /// What invariant failed.
         detail: String,
     },
+    /// A value does not fit the fixed-width field the format gives it
+    /// (e.g. more than `u32::MAX` rows in one relation). Raised at encode
+    /// time so a too-wide value can never be silently truncated into a
+    /// corrupt-but-valid-CRC snapshot.
+    TooLarge {
+        /// Which quantity overflowed its wire field.
+        what: String,
+        /// The value that did not fit.
+        value: u64,
+    },
     /// A text-input parse failure from the bulk loader, with its 1-based
     /// line number.
     Parse {
@@ -107,6 +119,9 @@ impl fmt::Display for StoreError {
             StoreError::Malformed { section, detail } => {
                 write!(f, "malformed {section} section: {detail}")
             }
+            StoreError::TooLarge { what, value } => {
+                write!(f, "{what} ({value}) exceeds the format's u32 field width")
+            }
             StoreError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }
     }
@@ -120,7 +135,29 @@ impl From<io::Error> for StoreError {
     }
 }
 
-fn space_code(space: SymbolSpace) -> u8 {
+/// Checked narrowing for every u32-wide wire field: a value that does not
+/// fit becomes a typed [`StoreError::TooLarge`] instead of a silent
+/// truncation that would CRC-validate and decode as garbage.
+pub(crate) fn len_u32(value: usize, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(value).map_err(|_| StoreError::TooLarge {
+        what: what.to_string(),
+        value: value as u64,
+    })
+}
+
+/// FNV-1a 64-bit hash of a whole file's bytes. Used to chain delta
+/// snapshots to the exact base (or predecessor delta) they were computed
+/// against — cheap, dependency-free, and stable across platforms.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn space_code(space: SymbolSpace) -> u8 {
     match space {
         SymbolSpace::Var => 0,
         SymbolSpace::Const => 1,
@@ -128,7 +165,7 @@ fn space_code(space: SymbolSpace) -> u8 {
     }
 }
 
-fn space_from_code(code: u8) -> Option<SymbolSpace> {
+pub(crate) fn space_from_code(code: u8) -> Option<SymbolSpace> {
     match code {
         0 => Some(SymbolSpace::Var),
         1 => Some(SymbolSpace::Const),
@@ -137,7 +174,7 @@ fn space_from_code(code: u8) -> Option<SymbolSpace> {
     }
 }
 
-fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+pub(crate) fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.push(tag);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
@@ -152,7 +189,7 @@ fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
 /// Database)` pair always yields identical bytes (relations ordered by
 /// predicate id, posting keys ascending), so snapshots can be compared and
 /// cached byte-wise.
-pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Vec<u8> {
+pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Result<Vec<u8>, StoreError> {
     let _g = span!("store.encode");
     let mut rel_order: Vec<(Pred, &Relation)> = db.relations().collect();
     rel_order.sort_by_key(|(p, _)| *p);
@@ -165,18 +202,16 @@ pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Vec<u8> {
     let mut header = Vec::with_capacity(8 + 8 + 4 + 8);
     header.extend_from_slice(&(interner.len() as u64).to_le_bytes());
     header.extend_from_slice(&interner.fresh_counter().to_le_bytes());
-    header.extend_from_slice(&(rel_order.len() as u32).to_le_bytes());
+    header.extend_from_slice(&len_u32(rel_order.len(), "relation count")?.to_le_bytes());
     header.extend_from_slice(&(db.size() as u64).to_le_bytes());
     push_section(&mut out, TAG_HEADER, &header);
 
     // Dictionary: every interned symbol, in id order.
-    let mut dict = Vec::new();
-    for (space, name) in interner.symbols() {
-        dict.push(space_code(space));
-        dict.extend_from_slice(&(name.len() as u32).to_le_bytes());
-        dict.extend_from_slice(name.as_bytes());
-    }
-    push_section(&mut out, TAG_DICTIONARY, &dict);
+    push_section(
+        &mut out,
+        TAG_DICTIONARY,
+        &encode_dictionary(interner.symbols())?,
+    );
 
     // Relations, sorted tuples, column-major, plus per-column postings.
     for (pred, rel) in rel_order {
@@ -185,8 +220,10 @@ pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Vec<u8> {
         let arity = rel.arity();
         let mut payload = Vec::with_capacity(16 + rows.len() * arity * 4);
         payload.extend_from_slice(&pred.0.to_le_bytes());
-        payload.extend_from_slice(&(arity as u32).to_le_bytes());
+        payload.extend_from_slice(&len_u32(arity, "relation arity")?.to_le_bytes());
         payload.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        // One up-front check makes every row index below a valid u32.
+        len_u32(rows.len(), "relation row count")?;
         for col in 0..arity {
             for t in &rows {
                 payload.extend_from_slice(&t[col].0.to_le_bytes());
@@ -198,12 +235,17 @@ pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Vec<u8> {
         for col in 0..arity {
             let mut postings: std::collections::BTreeMap<Const, Vec<u32>> = Default::default();
             for (row, t) in rows.iter().enumerate() {
-                postings.entry(t[col]).or_default().push(row as u32);
+                postings
+                    .entry(t[col])
+                    .or_default()
+                    .push(len_u32(row, "posting row index")?);
             }
             payload.extend_from_slice(&(postings.len() as u64).to_le_bytes());
             for (key, rows_for_key) in &postings {
                 payload.extend_from_slice(&key.0.to_le_bytes());
-                payload.extend_from_slice(&(rows_for_key.len() as u32).to_le_bytes());
+                payload.extend_from_slice(
+                    &len_u32(rows_for_key.len(), "posting length")?.to_le_bytes(),
+                );
             }
             for rows_for_key in postings.values() {
                 for &r in rows_for_key {
@@ -216,7 +258,22 @@ pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Vec<u8> {
 
     push_section(&mut out, TAG_END, &[]);
     counter!("store.snapshot.bytes_encoded").add(out.len() as u64);
-    out
+    Ok(out)
+}
+
+/// Encodes a run of dictionary entries (`space u8 · len u32 · bytes`) —
+/// shared between the full snapshot dictionary and the appended-symbols
+/// dictionary of a delta.
+pub(crate) fn encode_dictionary<'a>(
+    symbols: impl Iterator<Item = (SymbolSpace, &'a str)>,
+) -> Result<Vec<u8>, StoreError> {
+    let mut dict = Vec::new();
+    for (space, name) in symbols {
+        dict.push(space_code(space));
+        dict.extend_from_slice(&len_u32(name.len(), "symbol name length")?.to_le_bytes());
+        dict.extend_from_slice(name.as_bytes());
+    }
+    Ok(dict)
 }
 
 /// Writes a snapshot to a writer. Returns the byte count.
@@ -225,7 +282,7 @@ pub fn write_snapshot<W: Write>(
     interner: &Interner,
     db: &Database,
 ) -> Result<u64, StoreError> {
-    let bytes = snapshot_to_vec(interner, db);
+    let bytes = snapshot_to_vec(interner, db)?;
     w.write_all(&bytes)?;
     Ok(bytes.len() as u64)
 }
@@ -246,21 +303,21 @@ pub fn save_snapshot(path: &Path, interner: &Interner, db: &Database) -> Result<
 }
 
 /// A byte reader with typed truncation errors.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
         Reader { bytes, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 
-    fn take(&mut self, n: usize, section: &str) -> Result<&'a [u8], StoreError> {
+    pub(crate) fn take(&mut self, n: usize, section: &str) -> Result<&'a [u8], StoreError> {
         if self.remaining() < n {
             return Err(StoreError::Truncated {
                 section: section.to_string(),
@@ -271,24 +328,24 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, section: &str) -> Result<u8, StoreError> {
+    pub(crate) fn u8(&mut self, section: &str) -> Result<u8, StoreError> {
         Ok(self.take(1, section)?[0])
     }
 
-    fn u32(&mut self, section: &str) -> Result<u32, StoreError> {
+    pub(crate) fn u32(&mut self, section: &str) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(
             self.take(4, section)?.try_into().unwrap(),
         ))
     }
 
-    fn u64(&mut self, section: &str) -> Result<u64, StoreError> {
+    pub(crate) fn u64(&mut self, section: &str) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(
             self.take(8, section)?.try_into().unwrap(),
         ))
     }
 }
 
-fn malformed(section: &str, detail: impl Into<String>) -> StoreError {
+pub(crate) fn malformed(section: &str, detail: impl Into<String>) -> StoreError {
     StoreError::Malformed {
         section: section.to_string(),
         detail: detail.into(),
@@ -296,14 +353,14 @@ fn malformed(section: &str, detail: impl Into<String>) -> StoreError {
 }
 
 /// A checksummed section sliced out of the snapshot.
-struct Section<'a> {
-    tag: u8,
-    payload: &'a [u8],
+pub(crate) struct Section<'a> {
+    pub(crate) tag: u8,
+    pub(crate) payload: &'a [u8],
 }
 
 /// Reads the next section, verifying its CRC. `label` names the section we
 /// *expect* for error messages before the tag is known.
-fn read_section<'a>(r: &mut Reader<'a>, label: &str) -> Result<Section<'a>, StoreError> {
+pub(crate) fn read_section<'a>(r: &mut Reader<'a>, label: &str) -> Result<Section<'a>, StoreError> {
     let start = r.pos;
     let tag = r.u8(label)?;
     let len = r.u64(label)?;
@@ -362,7 +419,7 @@ pub struct SnapshotSummary {
     pub bytes: usize,
 }
 
-fn read_magic_version(r: &mut Reader<'_>) -> Result<u32, StoreError> {
+pub(crate) fn read_magic_version(r: &mut Reader<'_>) -> Result<u32, StoreError> {
     let magic = r.take(MAGIC.len(), "magic")?;
     if magic != MAGIC {
         return Err(StoreError::BadMagic);
@@ -389,7 +446,7 @@ fn parse_header(payload: &[u8], version: u32) -> Result<SnapshotHeader, StoreErr
     Ok(header)
 }
 
-fn expect_tag(section: &Section<'_>, tag: u8, label: &str) -> Result<(), StoreError> {
+pub(crate) fn expect_tag(section: &Section<'_>, tag: u8, label: &str) -> Result<(), StoreError> {
     if section.tag != tag {
         return Err(malformed(
             label,
@@ -406,11 +463,20 @@ fn parse_dictionary(
     payload: &[u8],
     header: &SnapshotHeader,
 ) -> Result<Vec<(SymbolSpace, String)>, StoreError> {
-    let mut r = Reader::new(payload);
     let count = usize::try_from(header.symbols)
         .ok()
         .filter(|&n| u32::try_from(n).is_ok())
         .ok_or_else(|| malformed("dictionary", "symbol count exceeds u32 id space"))?;
+    parse_dictionary_entries(payload, count)
+}
+
+/// Parses exactly `count` dictionary entries from `payload` (shared with
+/// the appended-symbols dictionary of a delta snapshot).
+pub(crate) fn parse_dictionary_entries(
+    payload: &[u8],
+    count: usize,
+) -> Result<Vec<(SymbolSpace, String)>, StoreError> {
+    let mut r = Reader::new(payload);
     let mut symbols = Vec::new();
     for i in 0..count {
         let space = space_from_code(r.u8("dictionary")?)
@@ -429,12 +495,19 @@ fn parse_dictionary(
 
 /// Per-symbol namespace lookup table for cell validation (dense, so the
 /// per-cell check in relation decoding is an array index, not a hash probe).
-struct SpaceTable {
-    spaces: Vec<SymbolSpace>,
+pub(crate) struct SpaceTable {
+    pub(crate) spaces: Vec<SymbolSpace>,
 }
 
 impl SpaceTable {
-    fn is(&self, id: u32, space: SymbolSpace) -> bool {
+    /// Builds the table from an interner's id-ordered symbol listing.
+    pub(crate) fn from_interner(interner: &Interner) -> SpaceTable {
+        SpaceTable {
+            spaces: interner.symbols().map(|(s, _)| s).collect(),
+        }
+    }
+
+    pub(crate) fn is(&self, id: u32, space: SymbolSpace) -> bool {
         self.spaces.get(id as usize) == Some(&space)
     }
 }
@@ -603,6 +676,12 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(Interner, Database), StoreError>
     let version = read_magic_version(&mut r)?;
 
     let section = read_section(&mut r, "header")?;
+    if section.tag == TAG_DELTA_HEADER {
+        return Err(malformed(
+            "header",
+            "file is a delta snapshot; apply it to its base first (wdpt-store apply)",
+        ));
+    }
     expect_tag(&section, TAG_HEADER, "header")?;
     let header = parse_header(section.payload, version)?;
 
@@ -675,6 +754,12 @@ pub fn inspect_snapshot(bytes: &[u8]) -> Result<SnapshotSummary, StoreError> {
     let mut r = Reader::new(bytes);
     let version = read_magic_version(&mut r)?;
     let section = read_section(&mut r, "header")?;
+    if section.tag == TAG_DELTA_HEADER {
+        return Err(malformed(
+            "header",
+            "file is a delta snapshot; apply it to its base first (wdpt-store apply)",
+        ));
+    }
     expect_tag(&section, TAG_HEADER, "header")?;
     let header = parse_header(section.payload, version)?;
 
@@ -736,7 +821,7 @@ mod tests {
     #[test]
     fn round_trips_a_small_database() {
         let (i, db) = sample();
-        let bytes = snapshot_to_vec(&i, &db);
+        let bytes = snapshot_to_vec(&i, &db).unwrap();
         let (i2, db2) = decode_snapshot(&bytes).unwrap();
         assert_eq!(i2.len(), i.len());
         assert_eq!(db2.size(), db.size());
@@ -747,7 +832,7 @@ mod tests {
     #[test]
     fn decoded_relations_have_installed_indexes() {
         let (mut i, db) = sample();
-        let bytes = snapshot_to_vec(&i, &db);
+        let bytes = snapshot_to_vec(&i, &db).unwrap();
         let (_, db2) = decode_snapshot(&bytes).unwrap();
         let e = i.pred("edge");
         let rel = db2.relation(e).unwrap();
@@ -765,16 +850,20 @@ mod tests {
     #[test]
     fn encoding_is_deterministic_and_idempotent() {
         let (i, db) = sample();
-        let bytes = snapshot_to_vec(&i, &db);
-        assert_eq!(bytes, snapshot_to_vec(&i, &db));
+        let bytes = snapshot_to_vec(&i, &db).unwrap();
+        assert_eq!(bytes, snapshot_to_vec(&i, &db).unwrap());
         let (i2, db2) = decode_snapshot(&bytes).unwrap();
-        assert_eq!(bytes, snapshot_to_vec(&i2, &db2), "re-encode differs");
+        assert_eq!(
+            bytes,
+            snapshot_to_vec(&i2, &db2).unwrap(),
+            "re-encode differs"
+        );
     }
 
     #[test]
     fn inspect_reports_sections() {
         let (i, db) = sample();
-        let bytes = snapshot_to_vec(&i, &db);
+        let bytes = snapshot_to_vec(&i, &db).unwrap();
         let summary = inspect_snapshot(&bytes).unwrap();
         assert_eq!(summary.header.version, VERSION);
         assert_eq!(summary.header.symbols, i.len() as u64);
@@ -791,16 +880,36 @@ mod tests {
     fn empty_database_round_trips() {
         let i = Interner::new();
         let db = Database::new();
-        let bytes = snapshot_to_vec(&i, &db);
+        let bytes = snapshot_to_vec(&i, &db).unwrap();
         let (i2, db2) = decode_snapshot(&bytes).unwrap();
         assert!(i2.is_empty());
         assert_eq!(db2.size(), 0);
     }
 
     #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn over_wide_values_error_instead_of_truncating() {
+        // A >u32::MAX quantity can't be materialized in a test, so the
+        // checked-narrowing helper that guards every u32 wire field is
+        // exercised directly: pre-fix code wrote `value as u32` here and
+        // produced a corrupt-but-valid-CRC snapshot.
+        let too_many = u32::MAX as usize + 1;
+        match len_u32(too_many, "relation row count") {
+            Err(StoreError::TooLarge { what, value }) => {
+                assert_eq!(what, "relation row count");
+                assert_eq!(value, too_many as u64);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert_eq!(len_u32(u32::MAX as usize, "x").unwrap(), u32::MAX);
+        let msg = len_u32(too_many, "posting length").unwrap_err().to_string();
+        assert!(msg.contains("posting length"), "unhelpful message: {msg}");
+    }
+
+    #[test]
     fn bad_magic_and_version_are_typed() {
         let (i, db) = sample();
-        let mut bytes = snapshot_to_vec(&i, &db);
+        let mut bytes = snapshot_to_vec(&i, &db).unwrap();
         let mut wrong = bytes.clone();
         wrong[0] ^= 0xFF;
         assert!(matches!(decode_snapshot(&wrong), Err(StoreError::BadMagic)));

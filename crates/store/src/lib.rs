@@ -11,6 +11,10 @@
 //!   posting indexes (so [`wdpt_model::Relation::matching`] works with zero
 //!   index rebuild), and a CRC-32 per section so corruption surfaces as a
 //!   typed [`StoreError`] instead of garbage answers.
+//! * [`delta`] — incremental **delta snapshots**: insert-only diffs
+//!   chained to their base by content hash, applied by merging sorted runs
+//!   and remapping (not rebuilding) posting indexes, so a small update is
+//!   proportional to its size instead of the database's.
 //! * [`loader`] — a parallel bulk loader that streams text through scoped
 //!   parser threads (std-only) and merges into sorted relations.
 //! * [`text`] — the serial streaming text loader (same dialects, one
@@ -22,13 +26,18 @@
 //! same input yields identical files.
 
 pub mod crc;
+pub mod delta;
 pub mod format;
 pub mod loader;
 pub mod text;
 
 pub use crc::{crc32, Crc32};
+pub use delta::{
+    apply_delta, decode_delta, decode_with_deltas, delta_to_vec, load_with_deltas, save_delta,
+    Delta, DeltaHeader,
+};
 pub use format::{
-    decode_snapshot, inspect_snapshot, load_snapshot, read_snapshot, save_snapshot,
+    content_hash, decode_snapshot, inspect_snapshot, load_snapshot, read_snapshot, save_snapshot,
     snapshot_to_vec, write_snapshot, RelationSummary, SnapshotHeader, SnapshotSummary, StoreError,
     MAGIC, VERSION,
 };

@@ -621,8 +621,8 @@ mod tests {
         }
         let (i1, db1, _) = load(&text, tiny_chunks()).unwrap();
         let (i2, db2, _) = load(&text, tiny_chunks()).unwrap();
-        let a = crate::format::snapshot_to_vec(&i1, &db1);
-        let b = crate::format::snapshot_to_vec(&i2, &db2);
+        let a = crate::format::snapshot_to_vec(&i1, &db1).unwrap();
+        let b = crate::format::snapshot_to_vec(&i2, &db2).unwrap();
         assert_eq!(a, b, "interner ids depend on worker scheduling");
     }
 

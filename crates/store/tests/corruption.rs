@@ -17,7 +17,7 @@ fn sample_snapshot() -> Vec<u8> {
     db.insert(e, vec![a, c]);
     db.insert(n, vec![a]);
     db.insert(n, vec![b]);
-    snapshot_to_vec(&i, &db)
+    snapshot_to_vec(&i, &db).unwrap()
 }
 
 #[test]

@@ -109,7 +109,7 @@ fn assert_equal(seed: u64, a_int: &Interner, a_db: &Database, b_int: &Interner, 
 fn random_databases_round_trip_losslessly() {
     for seed in 0..40u64 {
         let (interner, db) = random_instance(seed ^ 0x5EED_BA5E);
-        let bytes = snapshot_to_vec(&interner, &db);
+        let bytes = snapshot_to_vec(&interner, &db).unwrap();
         let (i2, db2) =
             decode_snapshot(&bytes).unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e}"));
         assert_equal(seed, &interner, &db, &i2, &db2);
@@ -118,7 +118,7 @@ fn random_databases_round_trip_losslessly() {
         // reproduces the bytes exactly.
         assert_eq!(
             bytes,
-            snapshot_to_vec(&i2, &db2),
+            snapshot_to_vec(&i2, &db2).unwrap(),
             "seed {seed}: re-encode differs"
         );
     }
@@ -129,7 +129,7 @@ fn queries_answer_identically_after_reload() {
     // Beyond structural equality: probe `matching` through bound columns on
     // both sides.
     let (mut interner, db) = random_instance(0xABCD);
-    let bytes = snapshot_to_vec(&interner, &db);
+    let bytes = snapshot_to_vec(&interner, &db).unwrap();
     let (_, db2) = decode_snapshot(&bytes).unwrap();
     let consts: Vec<_> = db.active_domain().iter().copied().collect();
     for (pred, rel) in db.relations() {
