@@ -56,7 +56,10 @@ fn main() {
             assert_eq!(db.size(), triples);
         });
 
-        for threads in [2usize, 4, 8] {
+        // threads=1 runs the full two-pass pipeline on one worker — the
+        // honest single-thread baseline for the parallel-interning speedup
+        // (text_serial above uses a different, insert-at-a-time code path).
+        for threads in [1usize, 2, 4, 8] {
             bench_case(&format!("bulk_parallel_t{threads}"), || {
                 let mut i = Interner::new();
                 let opts = LoadOptions {
@@ -92,6 +95,30 @@ fn main() {
             let (i, db) = decode_snapshot(&snapshot).unwrap();
             let bytes = snapshot_to_vec(&i, &db).unwrap();
             assert_eq!(bytes.len(), snapshot.len());
+        });
+    }
+
+    // Synthetic uniform-universe ingest (the `gen-synth` stream): unlike
+    // the music catalog this scales the *symbol* count with the input, so
+    // it exercises the two-pass interning pipeline rather than raw text
+    // scanning. This is the shape EXPERIMENTS.md's ingest table uses.
+    let params = wdpt_gen::SynthParams::sized(200_000);
+    let mut text = Vec::new();
+    wdpt_gen::write_synth_nt(&mut text, params).unwrap();
+    section(&format!(
+        "store/ingest synth 200k triples ({} KiB text, ~{} distinct subjects)",
+        text.len() / 1024,
+        params.subjects
+    ));
+    for threads in [1usize, 2, 4, 8] {
+        bench_case(&format!("bulk_synth_t{threads}"), || {
+            let mut i = Interner::new();
+            let opts = LoadOptions {
+                threads,
+                ..LoadOptions::default()
+            };
+            let (db, report) = bulk_load(&mut i, &mut Cursor::new(&text), opts).unwrap();
+            assert!(db.size() > 0 && report.parsed == 200_000);
         });
     }
 }

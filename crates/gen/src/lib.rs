@@ -15,15 +15,19 @@
 //!   flavored instances showing local tractability alone does not help.
 //! * [`music`] — the paper's motivating scenario at scale: an RDF music
 //!   catalog with optional ratings and formation years.
+//! * [`synth`] — streaming synthetic N-Triples at ingest-benchmark scale
+//!   (100M triples without materializing anything in memory).
 
 pub mod db;
 pub mod music;
 pub mod reductions;
 pub mod rng;
+pub mod synth;
 pub mod trees;
 
 pub use db::{path_graph_db, random_graph_db};
 pub use music::{music_catalog, music_triples};
 pub use reductions::{three_col_instance, ThreeColInstance};
 pub use rng::Lcg;
+pub use synth::{write_synth_nt, SynthParams};
 pub use trees::{chain_wdpt, random_wdpt, star_wdpt, wide_interface_wdpt};

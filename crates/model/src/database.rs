@@ -69,6 +69,36 @@ pub type ColumnIndex = HashMap<Const, Vec<u32>>;
 /// tuples, and whichever column indexes were already built.
 pub type RelationParts = (usize, Vec<Box<[Const]>>, Vec<Option<ColumnIndex>>);
 
+/// A relation outgrew the `u32` row-id space: posting lists, snapshot row
+/// counts, and delta row remaps all address tuples by `u32`, so row
+/// `u32::MAX + 1` cannot be represented. Surfaced as a typed error by
+/// [`Database::try_insert`] and the `wdpt-store` bulk paths instead of the
+/// silent `as u32` wrap-around the seed had, which would alias row ids past
+/// 4Gi tuples and corrupt every index built afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyRows {
+    /// The row id (= prior tuple count) that did not fit in a `u32`.
+    pub rows: u64,
+}
+
+impl std::fmt::Display for TooManyRows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "relation row id {} exceeds the u32 index space",
+            self.rows
+        )
+    }
+}
+
+impl std::error::Error for TooManyRows {}
+
+/// Checked conversion of a tuple position into the `u32` row-id space used
+/// by every posting list and snapshot field.
+pub fn row_id(row: usize) -> Result<u32, TooManyRows> {
+    u32::try_from(row).map_err(|_| TooManyRows { rows: row as u64 })
+}
+
 /// The extension of a single predicate: a set of constant tuples.
 #[derive(Debug, Default, Clone)]
 pub struct Relation {
@@ -188,25 +218,32 @@ impl Relation {
         self.seen().contains(tuple)
     }
 
-    fn insert(&mut self, tuple: Box<[Const]>) -> bool {
+    fn insert(&mut self, tuple: Box<[Const]>) -> Result<bool, TooManyRows> {
         debug_assert_eq!(tuple.len(), self.arity);
         self.seen();
         let seen = self.seen.get_mut().expect("initialized just above");
-        if seen.insert(tuple.clone()) {
-            // Update already-built column indexes incrementally instead of
-            // discarding them: appending one posting per built column is
-            // O(arity), while a rebuild-on-next-use is O(n) per insert.
-            let row = self.tuples.len() as u32;
-            for (col, cell) in self.column_index.iter_mut().enumerate() {
-                if let Some(idx) = cell.get_mut() {
-                    idx.entry(tuple[col]).or_default().push(row);
-                }
-            }
-            self.tuples.push(tuple);
-            true
-        } else {
-            false
+        if !seen.insert(tuple.clone()) {
+            return Ok(false);
         }
+        let row = match row_id(self.tuples.len()) {
+            Ok(row) => row,
+            Err(e) => {
+                // Leave the relation exactly as it was: the membership set
+                // must not claim a tuple the tuple list never received.
+                seen.remove(&tuple);
+                return Err(e);
+            }
+        };
+        // Update already-built column indexes incrementally instead of
+        // discarding them: appending one posting per built column is
+        // O(arity), while a rebuild-on-next-use is O(n) per insert.
+        for (col, cell) in self.column_index.iter_mut().enumerate() {
+            if let Some(idx) = cell.get_mut() {
+                idx.entry(tuple[col]).or_default().push(row);
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(true)
     }
 
     fn index_for(&self, col: usize) -> &HashMap<Const, Vec<u32>> {
@@ -214,7 +251,11 @@ impl Relation {
             stats::record_index_build();
             let mut idx: HashMap<Const, Vec<u32>> = HashMap::new();
             for (i, t) in self.tuples.iter().enumerate() {
-                idx.entry(t[col]).or_default().push(i as u32);
+                // Insert paths reject row ids past u32::MAX and the bulk
+                // paths check row counts before `from_sorted`, so this
+                // conversion cannot fail for a well-formed relation.
+                let row = row_id(i).expect("row count bounded on construction");
+                idx.entry(t[col]).or_default().push(row);
             }
             idx
         })
@@ -378,8 +419,23 @@ impl Database {
     ///
     /// # Panics
     /// Panics if `pred` was already used at a different arity (malformed
-    /// schema — a programming error in the caller).
+    /// schema — a programming error in the caller), or if the relation
+    /// already holds `u32::MAX` tuples (row ids are `u32`; streaming paths
+    /// that can realistically grow that far use [`Database::try_insert`]
+    /// and surface [`TooManyRows`] as a typed error instead).
     pub fn insert(&mut self, pred: Pred, tuple: Vec<Const>) -> bool {
+        self.try_insert(pred, tuple)
+            .expect("relation exceeds the u32 row-id space")
+    }
+
+    /// Like [`Database::insert`], but row-id exhaustion (more than
+    /// `u32::MAX` tuples in one relation) is a typed [`TooManyRows`] error
+    /// instead of a panic. The relation is left unchanged on error.
+    ///
+    /// # Panics
+    /// Panics if `pred` was already used at a different arity (malformed
+    /// schema — a programming error in the caller).
+    pub fn try_insert(&mut self, pred: Pred, tuple: Vec<Const>) -> Result<bool, TooManyRows> {
         let arity = tuple.len();
         let rel = self
             .relations
@@ -390,10 +446,14 @@ impl Database {
             arity,
             "predicate used with inconsistent arities"
         );
-        for &c in &tuple {
-            self.active_domain.insert(c);
+        let inserted = rel.insert(tuple.into_boxed_slice())?;
+        if inserted {
+            let added = rel.tuples.last().expect("inserted just above");
+            for c in added.iter() {
+                self.active_domain.insert(*c);
+            }
         }
-        rel.insert(tuple.into_boxed_slice())
+        Ok(inserted)
     }
 
     /// Inserts a ground atom. Returns `true` if new.
@@ -554,6 +614,33 @@ mod tests {
     }
 
     #[test]
+    fn row_ids_are_checked_not_wrapped() {
+        // The full 32-bit range is representable…
+        assert_eq!(row_id(0), Ok(0));
+        assert_eq!(row_id(u32::MAX as usize), Ok(u32::MAX));
+        // …and one past it is a typed error, not a silent wrap to row 0.
+        let err = row_id(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(
+            err,
+            TooManyRows {
+                rows: u32::MAX as u64 + 1
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("u32"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn try_insert_matches_insert_on_the_ok_path() {
+        let (mut i, mut db, e) = db3();
+        let (a, d) = (i.constant("a"), i.constant("d"));
+        assert_eq!(db.try_insert(e, vec![a, d]), Ok(true));
+        assert_eq!(db.try_insert(e, vec![a, d]), Ok(false));
+        assert_eq!(db.size(), 4);
+        assert!(db.active_domain().contains(&d));
+    }
+
+    #[test]
     fn insert_after_query_rebuilds_index() {
         let (mut i, mut db, e) = db3();
         let a = i.constant("a");
@@ -688,7 +775,7 @@ mod tests {
             let mut idx: HashMap<Const, Vec<u32>> = HashMap::new();
             for (row, &orig) in order.iter().enumerate() {
                 let key = src.tuples().nth(orig).unwrap()[col];
-                idx.entry(key).or_default().push(row as u32);
+                idx.entry(key).or_default().push(row_id(row).unwrap());
             }
             assert!(rel.install_column_index(col, idx));
             assert!(rel.built_column_index(col).is_some());
@@ -720,7 +807,10 @@ mod tests {
         let mut indexes: Vec<HashMap<Const, Vec<u32>>> = vec![HashMap::new(), HashMap::new()];
         for (row, t) in tuples.iter().enumerate() {
             for col in 0..2 {
-                indexes[col].entry(t[col]).or_default().push(row as u32);
+                indexes[col]
+                    .entry(t[col])
+                    .or_default()
+                    .push(row_id(row).unwrap());
             }
         }
         let mut rel = Relation::from_sorted(2, tuples);

@@ -14,7 +14,12 @@ use std::fmt;
 /// Public so that storage layers (the `wdpt-store` snapshot format) can
 /// serialize and reconstruct an interner symbol-for-symbol via
 /// [`Interner::symbols`] and [`Interner::from_symbols`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived `Ord` (declaration order: `Var < Const < Pred`) is part of
+/// the canonical symbol order used by [`Interner::extend_canonical`] and is
+/// therefore load-bearing for snapshot determinism — do not reorder the
+/// variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SymbolSpace {
     /// The variable namespace (**X** in the paper).
     Var,
@@ -54,6 +59,42 @@ impl Interner {
         self.names.push((space, name.to_owned()));
         self.lookup.insert((space, name.to_owned()), id);
         id
+    }
+
+    /// Looks up the id of an already-interned symbol without interning it.
+    /// This is the read-only probe the `wdpt-store` bulk loader uses when
+    /// building its local-to-global remap tables.
+    pub fn lookup_id(&self, space: SymbolSpace, name: &str) -> Option<u32> {
+        self.lookup.get(&(space, name.to_owned())).copied()
+    }
+
+    /// Extends the interner with every candidate symbol that is not interned
+    /// yet, assigning the new ids in **canonical order**: namespace first
+    /// (`Var < Const < Pred`), then lexicographic by name bytes. Duplicates
+    /// among the candidates are fine — each symbol is interned once.
+    ///
+    /// This is the merge step of two-pass parallel interning (the
+    /// `wdpt-store` bulk loader): parse workers collect symbols into
+    /// per-worker local dictionaries, and this constructor folds their union
+    /// into the global interner. Because the ids depend only on the *set* of
+    /// new symbols (plus the interner's prior state), the result — and hence
+    /// snapshot bytes — is identical across worker counts and scheduling
+    /// orders. Returns how many symbols were appended.
+    pub fn extend_canonical<'a, I>(&mut self, candidates: I) -> usize
+    where
+        I: IntoIterator<Item = (SymbolSpace, &'a str)>,
+    {
+        let mut fresh: Vec<(SymbolSpace, &str)> = candidates.into_iter().collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        let mut appended = 0usize;
+        for (space, name) in fresh {
+            if self.lookup_id(space, name).is_none() {
+                self.intern(space, name);
+                appended += 1;
+            }
+        }
+        appended
     }
 
     /// Rolls the interner back to its first `len` symbols, forgetting every
@@ -320,6 +361,107 @@ mod tests {
             (SymbolSpace::Pred, "a".to_owned()),
         ];
         assert!(Interner::from_symbols(ok, 0).is_some());
+    }
+
+    #[test]
+    fn extend_canonical_assigns_namespace_then_name_order() {
+        let mut i = Interner::new();
+        let appended = i.extend_canonical(vec![
+            (SymbolSpace::Pred, "edge"),
+            (SymbolSpace::Const, "b"),
+            (SymbolSpace::Const, "a"),
+            (SymbolSpace::Var, "x"),
+            (SymbolSpace::Const, "a"), // duplicate candidate
+        ]);
+        assert_eq!(appended, 4);
+        let listing: Vec<(SymbolSpace, String)> =
+            i.symbols().map(|(s, n)| (s, n.to_owned())).collect();
+        assert_eq!(
+            listing,
+            vec![
+                (SymbolSpace::Var, "x".to_owned()),
+                (SymbolSpace::Const, "a".to_owned()),
+                (SymbolSpace::Const, "b".to_owned()),
+                (SymbolSpace::Pred, "edge".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_canonical_appends_after_existing_ids() {
+        let mut i = Interner::new();
+        let p = i.pred("zz");
+        let appended = i.extend_canonical(vec![
+            (SymbolSpace::Pred, "zz"), // already interned: kept, not moved
+            (SymbolSpace::Pred, "aa"),
+        ]);
+        assert_eq!(appended, 1);
+        assert_eq!(i.pred("zz"), p, "existing ids must not change");
+        assert_eq!(i.lookup_id(SymbolSpace::Pred, "aa"), Some(p.0 + 1));
+        assert_eq!(i.lookup_id(SymbolSpace::Pred, "absent"), None);
+        assert_eq!(i.lookup_id(SymbolSpace::Const, "zz"), None);
+    }
+
+    /// The determinism property two-pass parallel interning rests on: for a
+    /// fixed symbol multiset, `extend_canonical` yields the same interner no
+    /// matter how the symbols were partitioned among workers, in what order
+    /// each partition emitted them, or how often a symbol repeats — and it
+    /// matches a serial interner whose symbols were pre-sorted canonically.
+    #[test]
+    fn extend_canonical_is_partition_independent() {
+        let mut rng = 0xC0FFEEu64;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for round in 0..20 {
+            // A random multiset of symbols across all three namespaces.
+            let n = 1 + (next() % 60) as usize;
+            let symbols: Vec<(SymbolSpace, String)> = (0..n)
+                .map(|_| {
+                    let space = match next() % 3 {
+                        0 => SymbolSpace::Var,
+                        1 => SymbolSpace::Const,
+                        _ => SymbolSpace::Pred,
+                    };
+                    (space, format!("s{}", next() % 40))
+                })
+                .collect();
+
+            // Serial reference: sort canonically, intern one at a time.
+            let mut reference = Interner::new();
+            let mut sorted: Vec<(SymbolSpace, &str)> =
+                symbols.iter().map(|(s, n)| (*s, n.as_str())).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            for (space, name) in sorted {
+                match space {
+                    SymbolSpace::Var => reference.var(name).0,
+                    SymbolSpace::Const => reference.constant(name).0,
+                    SymbolSpace::Pred => reference.pred(name).0,
+                };
+            }
+
+            // Random partition into "worker" dictionaries, each shuffled.
+            let workers = 1 + (next() % 7) as usize;
+            let mut parts: Vec<Vec<(SymbolSpace, &str)>> = vec![Vec::new(); workers];
+            for (space, name) in &symbols {
+                parts[(next() % workers as u64) as usize].push((*space, name.as_str()));
+            }
+            for part in &mut parts {
+                for k in (1..part.len()).rev() {
+                    part.swap(k, (next() % (k as u64 + 1)) as usize);
+                }
+            }
+            let mut merged = Interner::new();
+            merged.extend_canonical(parts.into_iter().flatten());
+
+            let a: Vec<_> = reference.symbols().collect();
+            let b: Vec<_> = merged.symbols().collect();
+            assert_eq!(a, b, "round {round}: partitioning changed the ids");
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod term;
 
 pub use atom::Atom;
 pub use cancel::{CancelToken, Cancelled};
-pub use database::{Database, Relation};
+pub use database::{row_id, Database, Relation, TooManyRows};
 pub use interner::{Interner, SymbolSpace};
 pub use mapping::Mapping;
 pub use stats::StatsSnapshot;

@@ -7,7 +7,9 @@
 //! atom    := ident '(' term (',' term)* ')'   |   ident '(' ')'
 //! term    := '?' ident            // variable
 //!          | ident                // constant (bare)
-//!          | '"' chars '"'        // constant (quoted, may contain spaces)
+//!          | '"' (char|esc)* '"'  // constant (quoted, may contain spaces)
+//! esc     := '\"' | '\\' | '\n' | '\t' | '\r'
+//!          | '\u' hex{4} | '\U' hex{8}
 //! ident   := [A-Za-z0-9_.'-]+
 //! ```
 //!
@@ -40,6 +42,61 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Decodes the backslash escapes of a quoted constant — `\"`, `\\`, `\n`,
+/// `\t`, `\r`, `\uXXXX`, and `\UXXXXXXXX` (the same repertoire the
+/// N-Triples dialect accepts in literals). `raw` is the text between the
+/// quotes with escapes intact; escape-free input borrows instead of
+/// allocating. Error offsets are byte positions relative to `raw`.
+///
+/// Shared by [`Cursor::quoted`] here and by the string-level facts parser
+/// in `wdpt-store`'s bulk loader, so the serial and parallel loading paths
+/// cannot drift on what an escape means.
+pub fn unescape(raw: &str) -> Result<std::borrow::Cow<'_, str>, ParseError> {
+    if !raw.contains('\\') {
+        return Ok(std::borrow::Cow::Borrowed(raw));
+    }
+    let err = |at: usize, message: String| ParseError { at, message };
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices();
+    while let Some((at, c)) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        let Some((_, esc)) = chars.next() else {
+            return Err(err(at, "dangling escape at end of string".into()));
+        };
+        match esc {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            'u' | 'U' => {
+                let digits = if esc == 'u' { 4 } else { 8 };
+                let mut code = 0u32;
+                for _ in 0..digits {
+                    let d = chars
+                        .next()
+                        .and_then(|(_, h)| h.to_digit(16))
+                        .ok_or_else(|| {
+                            err(at, format!("\\{esc} escape needs {digits} hex digits"))
+                        })?;
+                    code = code
+                        .checked_mul(16)
+                        .and_then(|c| c.checked_add(d))
+                        .ok_or_else(|| err(at, format!("\\{esc} escape out of range")))?;
+                }
+                let decoded = char::from_u32(code)
+                    .ok_or_else(|| err(at, format!("\\{esc} escape is not a scalar value")))?;
+                out.push(decoded);
+            }
+            other => return Err(err(at, format!("unknown escape '\\{other}'"))),
+        }
+    }
+    Ok(std::borrow::Cow::Owned(out))
+}
 
 struct Cursor<'a> {
     src: &'a str,
@@ -107,16 +164,33 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn quoted(&mut self) -> Result<&'a str, ParseError> {
+    fn quoted(&mut self) -> Result<std::borrow::Cow<'a, str>, ParseError> {
         self.expect('"')?;
         let start = self.pos;
+        let mut escaped = false;
         while let Some(c) = self.rest().chars().next() {
-            if c == '"' {
-                let s = &self.src[start..self.pos];
+            if escaped {
+                escaped = false;
                 self.bump();
-                return Ok(s);
+                continue;
             }
-            self.bump();
+            match c {
+                '\\' => {
+                    escaped = true;
+                    self.bump();
+                }
+                '"' => {
+                    let raw = &self.src[start..self.pos];
+                    self.bump();
+                    return unescape(raw).map_err(|e| ParseError {
+                        at: start + e.at,
+                        message: e.message,
+                    });
+                }
+                _ => {
+                    self.bump();
+                }
+            }
         }
         Err(self.error("unterminated string literal"))
     }
@@ -127,7 +201,7 @@ impl<'a> Cursor<'a> {
                 self.bump();
                 Ok(Term::Var(interner.var(self.ident()?)))
             }
-            Some('"') => Ok(Term::Const(interner.constant(self.quoted()?))),
+            Some('"') => Ok(Term::Const(interner.constant(&self.quoted()?))),
             Some(_) => Ok(Term::Const(interner.constant(self.ident()?))),
             None => Err(self.error("expected term")),
         }
@@ -215,9 +289,9 @@ pub fn parse_mapping(interner: &mut Interner, src: &str) -> Result<Mapping, Pars
         }
         let value = match c.peek() {
             Some('"') => c.quoted()?,
-            _ => c.ident()?,
+            _ => std::borrow::Cow::Borrowed(c.ident()?),
         };
-        let cst = interner.constant(value);
+        let cst = interner.constant(&value);
         if !m.insert(v, cst) {
             return Err(c.error("conflicting binding in mapping"));
         }
@@ -247,6 +321,42 @@ mod tests {
         let a = parse_atom(&mut i, r#"published(?x, "after 2010")"#).unwrap();
         assert_eq!(a.display(&i), "published(?x, after 2010)");
         assert_eq!(a.var_set().len(), 1);
+    }
+
+    #[test]
+    fn quoted_constants_decode_escapes() {
+        let mut i = Interner::new();
+        let a = parse_atom(&mut i, r#"p("say \"hi\" (now))")"#).unwrap();
+        let c = i.constant("say \"hi\" (now))");
+        assert_eq!(a.args[0], Term::Const(c));
+        // Escape-free quoted constants are unchanged.
+        let b = parse_atom(&mut i, r#"p("plain text")"#).unwrap();
+        assert_eq!(b.args[0], Term::Const(i.constant("plain text")));
+    }
+
+    #[test]
+    fn bad_escapes_are_errors_with_offsets() {
+        let mut i = Interner::new();
+        for src in [
+            r#"p("\q")"#,
+            r#"p("\u12")"#,
+            r#"p("\UFFFFFFFF")"#,
+            "p(\"x\\",
+        ] {
+            assert!(parse_atom(&mut i, src).is_err(), "accepted {src:?}");
+        }
+        let err = parse_atom(&mut i, r#"p("ab\q")"#).unwrap_err();
+        assert!(err.message.contains("escape"), "{err}");
+        assert_eq!(err.at, 5, "offset should point at the backslash");
+    }
+
+    #[test]
+    fn unescape_borrows_when_escape_free() {
+        assert!(matches!(
+            unescape("no escapes here").unwrap(),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        assert_eq!(unescape(r#"a\\bA"#).unwrap(), "a\\bA");
     }
 
     #[test]

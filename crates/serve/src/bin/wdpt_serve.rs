@@ -30,6 +30,8 @@ OPTIONS:
     --addr HOST:PORT          listen address [default: 127.0.0.1:7878]
     --db [NAME=]PATH          load a dataset (N-Triples or facts format);
                               repeatable, first one is the default database
+    --load-threads N          parser threads for --db bulk loading; 0 means
+                              one per core [default: 0]
     --snapshot [NAME=]PATH    load a wdpt-store binary snapshot; repeatable,
                               loads before any --db. A --db with the same
                               name is skipped when the snapshot loads, and
@@ -65,6 +67,7 @@ struct Args {
     snapshots: Vec<(String, String)>,
     save_snapshot: Option<String>,
     gen_music: Option<(usize, usize)>,
+    load_threads: usize,
     cfg: ServeConfig,
 }
 
@@ -90,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         snapshots: Vec::new(),
         save_snapshot: None,
         gen_music: None,
+        load_threads: 0,
         cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -99,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => return Err(String::new()),
             "--addr" => args.addr = value("--addr")?,
             "--db" => args.dbs.push(name_and_path(value("--db")?)),
+            "--load-threads" => args.load_threads = num(&flag, &value("--load-threads")?)?,
             "--snapshot" => args.snapshots.push(name_and_path(value("--snapshot")?)),
             "--save-snapshot" => args.save_snapshot = Some(value("--save-snapshot")?),
             "--gen-music" => {
@@ -212,7 +217,7 @@ fn main() -> ExitCode {
             eprintln!("error: {path} is a wdpt-store snapshot; pass it via --snapshot");
             return ExitCode::from(2);
         }
-        match load_database(&mut interner, Path::new(path)) {
+        match load_database(&mut interner, Path::new(path), args.load_threads) {
             Ok(db) => {
                 eprintln!("loaded {name:?}: {} facts from {path}", db.size());
                 if default_db.is_empty() {

@@ -4,11 +4,12 @@
 //! The server evaluates SPARQL queries, which compile to the `triple/3`
 //! schema, so text datasets are parsed into a [`TripleStore`]. Parsing is
 //! shared with the rest of the workspace: the lenient N-Triples dialect
-//! lives in [`wdpt_sparql::nt`], and file loading streams line by line
-//! through [`wdpt_store::text`] (never materializing the file as one
-//! `String`) with the facts format handled by `wdpt_model::parse`. Binary
-//! snapshots load via [`wdpt_store::load_snapshot`] and are merged into the
-//! server's interner by [`merge_snapshot`].
+//! lives in [`wdpt_sparql::nt`], and file loading goes through the store's
+//! parallel bulk loader ([`wdpt_store::bulk_load_path`]: streamed chunking,
+//! two-pass parallel interning, prebuilt posting indexes) with the facts
+//! format handled by `wdpt_model::parse`. Binary snapshots load via
+//! [`wdpt_store::load_snapshot`] and are merged into the server's interner
+//! by [`merge_snapshot`].
 
 use std::collections::HashMap;
 use std::io;
@@ -26,10 +27,22 @@ pub fn parse_dataset(interner: &mut Interner, text: &str) -> Result<Database, St
     wdpt_store::read_text_database(interner, &mut r).map_err(|e| e.to_string())
 }
 
-/// Loads a dataset file, streaming it line by line.
-pub fn load_database(interner: &mut Interner, path: &Path) -> io::Result<Database> {
-    match wdpt_store::load_text_database(interner, path) {
-        Ok(db) => Ok(db),
+/// Loads a dataset file through the store's parallel bulk loader: streamed
+/// chunking, two-pass parallel interning (deterministic across thread
+/// counts), and prebuilt posting indexes on every relation — the same
+/// pipeline as `wdpt-store build`, so a cold `--db` start of a large
+/// catalog no longer serializes on one parse thread. `threads == 0` means
+/// one worker per available core.
+pub fn load_database(interner: &mut Interner, path: &Path, threads: usize) -> io::Result<Database> {
+    let opts = wdpt_store::LoadOptions {
+        threads,
+        ..wdpt_store::LoadOptions::default()
+    };
+    match wdpt_store::bulk_load_path(interner, path, opts) {
+        Ok((db, report)) => {
+            counter!("serve.store.bulk_loaded").add(report.tuples);
+            Ok(db)
+        }
         Err(wdpt_store::StoreError::Io(e)) => Err(e),
         Err(e) => Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -5,8 +5,9 @@
 //! wdpt-store verify SNAPSHOT [--delta DELTA]...
 //! wdpt-store inspect SNAPSHOT
 //! wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
-//! wdpt-store apply BASE SNAPSHOT_OUT --delta DELTA [--delta DELTA]...
+//! wdpt-store apply BASE SNAPSHOT_OUT [--delta DELTA]...
 //! wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
+//! wdpt-store gen-synth TRIPLES OUTPUT.nt [--seed S]
 //! ```
 //!
 //! Exit codes: `0` success, `1` corrupt or unparsable input, `2` usage or
@@ -30,10 +31,13 @@ const USAGE: &str = "usage:
   wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
       parse INPUT and write the new tuples/symbols as a delta chained onto
       BASE (after any PRIOR deltas, in order)
-  wdpt-store apply BASE SNAPSHOT_OUT --delta DELTA [--delta DELTA]...
-      apply a delta chain to BASE and write the merged full snapshot
+  wdpt-store apply BASE SNAPSHOT_OUT [--delta DELTA]...
+      apply a delta chain to BASE and write the merged full snapshot; with
+      no deltas this is a verified re-encode of BASE (a checked copy)
   wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
-      write a synthetic music-catalog dataset as N-Triples";
+      write a synthetic music-catalog dataset as N-Triples
+  wdpt-store gen-synth TRIPLES OUTPUT.nt [--seed S]
+      stream a synthetic uniform-universe N-Triples dataset of any size";
 
 fn usage_err(msg: &str) -> ExitCode {
     eprintln!("wdpt-store: {msg}\n{USAGE}");
@@ -107,9 +111,14 @@ fn cmd_build(mut args: Vec<String>) -> ExitCode {
     };
     let write_ms = t1.elapsed().as_secs_f64() * 1e3;
     println!(
-        "built {output}: {} tuples in {} relations ({} lines, {} duplicates dropped, \
-         {} threads) parse {parse_ms:.1}ms write {write_ms:.1}ms {bytes} bytes",
-        report.tuples, report.relations, report.lines, report.duplicates, report.threads
+        "built {output}: {} tuples in {} relations ({} lines, {} symbols, {} duplicates \
+         dropped, {} threads) parse {parse_ms:.1}ms write {write_ms:.1}ms {bytes} bytes",
+        report.tuples,
+        report.relations,
+        report.lines,
+        report.symbols_appended,
+        report.duplicates,
+        report.threads
     );
     ExitCode::SUCCESS
 }
@@ -242,9 +251,9 @@ fn cmd_apply(mut args: Vec<String>) -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage_err(&e),
     };
-    if deltas.is_empty() {
-        return usage_err("apply needs at least one --delta");
-    }
+    // No deltas is fine: `load_with_deltas` handles an empty chain, so the
+    // command degrades to a fully-verified decode + deterministic re-encode
+    // of BASE (byte-identical output — useful as a checked copy).
     let [base, output] = args.as_slice() else {
         return usage_err("apply takes BASE and SNAPSHOT_OUT paths");
     };
@@ -361,6 +370,41 @@ fn cmd_gen_music(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_gen_synth(mut args: Vec<String>) -> ExitCode {
+    let seed = match take_flag(&mut args, "--seed") {
+        Ok(v) => v.map(|s| s as u64),
+        Err(e) => return usage_err(&e),
+    };
+    let [triples, output] = args.as_slice() else {
+        return usage_err("gen-synth takes TRIPLES and OUTPUT paths");
+    };
+    let Ok(triples) = triples.parse::<u64>() else {
+        return usage_err("gen-synth TRIPLES must be a number");
+    };
+    let mut params = wdpt_gen::SynthParams::sized(triples);
+    if let Some(s) = seed {
+        params.seed = s;
+    }
+    let t0 = Instant::now();
+    let f = match std::fs::File::create(output) {
+        Ok(f) => f,
+        Err(e) => return data_err(&StoreError::Io(e)),
+    };
+    let mut w = std::io::BufWriter::new(f);
+    let written = wdpt_gen::write_synth_nt(&mut w, params)
+        .and_then(|n| std::io::Write::flush(&mut w).map(|()| n));
+    match written {
+        Ok(n) => {
+            println!(
+                "wrote {output}: {n} triples in {:.1}ms",
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => data_err(&StoreError::Io(e)),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -374,6 +418,7 @@ fn main() -> ExitCode {
         "delta" => cmd_delta(args),
         "apply" => cmd_apply(args),
         "gen-music" => cmd_gen_music(args),
+        "gen-synth" => cmd_gen_synth(args),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS

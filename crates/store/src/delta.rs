@@ -399,7 +399,12 @@ fn merge_relation(
                 // the relation was mutated outside the snapshot paths.
                 return Err(malformed(label, "base relation run is not sorted"));
             }
-            let pos = merged.len() as u32;
+            // `len_u32(n + m)` above bounds every merged position, so this
+            // checked conversion cannot fail — but keep it checked rather
+            // than an `as` cast so a future refactor that drops the guard
+            // turns into a typed error, not a silent row-id wrap.
+            let pos = u32::try_from(merged.len())
+                .map_err(|_| malformed(label, "merged row position overflows u32"))?;
             if take_base {
                 base_new[idx] = pos;
             } else {

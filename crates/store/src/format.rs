@@ -135,6 +135,15 @@ impl From<io::Error> for StoreError {
     }
 }
 
+impl From<wdpt_model::TooManyRows> for StoreError {
+    fn from(e: wdpt_model::TooManyRows) -> StoreError {
+        StoreError::TooLarge {
+            what: "relation row id".to_string(),
+            value: e.rows,
+        }
+    }
+}
+
 /// Checked narrowing for every u32-wide wire field: a value that does not
 /// fit becomes a typed [`StoreError::TooLarge`] instead of a silent
 /// truncation that would CRC-validate and decode as garbage.

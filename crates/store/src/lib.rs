@@ -16,14 +16,19 @@
 //!   and remapping (not rebuilding) posting indexes, so a small update is
 //!   proportional to its size instead of the database's.
 //! * [`loader`] — a parallel bulk loader that streams text through scoped
-//!   parser threads (std-only) and merges into sorted relations.
+//!   parser threads (std-only) with **two-pass parallel interning**:
+//!   workers intern into per-worker local dictionaries, the union merges
+//!   into the global interner in canonical `(namespace, name)` order, and
+//!   a second parallel pass remaps tuples to global ids.
 //! * [`text`] — the serial streaming text loader (same dialects, one
 //!   thread, used as the fallback path and as the loader's test oracle).
-//! * `wdpt-store` (binary) — `build` / `verify` / `inspect` / `gen-music`.
+//! * `wdpt-store` (binary) — `build` / `verify` / `inspect` / `gen-music`
+//!   / `gen-synth`.
 //!
 //! Snapshots are byte-deterministic for a given `(Interner, Database)`
-//! pair, and bulk loads intern in chunk order, so `build` twice from the
-//! same input yields identical files.
+//! pair, and the canonical merge makes bulk-load interning a pure function
+//! of the input's symbol set, so `build` from the same input yields
+//! identical files at **any** `--threads` setting.
 
 pub mod crc;
 pub mod delta;

@@ -1,25 +1,48 @@
-//! Parallel bulk loading of text datasets.
+//! Parallel bulk loading of text datasets with two-pass parallel interning.
 //!
 //! The pipeline (std-only, scoped threads, no new dependencies):
 //!
 //! ```text
-//! reader thread ──chunks──▶ N parser workers ──parsed──▶ main thread
-//!   (BufRead,               (string-level,                (interns in
-//!    line-bounded            no interner)                  chunk order,
-//!    chunking)                                             groups by pred)
-//!                                          then: per-relation sort + dedup
-//!                                          + index build across M threads
+//! reader thread ──chunks──▶ N parse workers ──coded chunks──▶ main thread
+//!   (BufRead,               (string-level parse +             (collects)
+//!    line-bounded            per-worker LOCAL dictionary,
+//!    chunking)               tuples coded as local u32 ids)
+//!
+//! then: canonical merge — the union of the local dictionaries is folded
+//!       into the global interner in (namespace, name) order
+//!       (`Interner::extend_canonical`), so global ids depend only on the
+//!       symbol set, never on worker count or scheduling
+//! then: parallel remap — each coded chunk is rewritten local→global ids
+//!       and grouped by predicate across M threads
+//! then: per-relation sort + dedup + (relation, column) index builds
+//!       across M threads
 //! ```
 //!
-//! Parsing is the expensive step (escape decoding, tokenizing) and is pure
-//! string → string, so it fans out; interning is a hash-map insert per
-//! distinct symbol and stays on one thread, consuming parsed chunks **in
-//! chunk order** so interned ids — and therefore snapshot bytes — are
-//! deterministic for a given input regardless of worker scheduling.
+//! Parsing and interning are both the expensive steps at catalog scale
+//! (escape decoding, tokenizing, one hash insert per symbol *occurrence*),
+//! and both fan out here: a worker's local dictionary absorbs the per-cell
+//! hash traffic (each distinct symbol is hashed once per worker), and the
+//! serial section shrinks to merging the per-worker *distinct* symbol sets.
+//! The seed pipeline instead interned every cell on one thread in chunk
+//! order, which pinned bulk load at ~1.2× regardless of worker count.
+//!
+//! Determinism: snapshot bytes are a pure function of `(Interner,
+//! Database)`, the canonical merge makes global ids a pure function of the
+//! input's symbol set, and sort+dedup makes each relation's tuple run a
+//! pure function of the input's tuple set — so `build --threads 1` and
+//! `--threads 8` write byte-identical snapshots (enforced by tests and the
+//! CI `store_smoke` job).
 //!
 //! Formats match [`crate::text`]: lenient N-Triples (one triple per line —
 //! chunks cut anywhere) and the facts format (atoms may span lines — chunks
-//! cut only where all parentheses outside quoted constants are balanced).
+//! cut only where all parentheses outside quoted constants are balanced,
+//! tracked escape-aware so `\"` inside a quoted constant cannot fake a
+//! boundary).
+//!
+//! Input is streamed line by line (bounded `read_until`, no slurping) and
+//! the buffered coded form is flat `u32`s — 4 bytes per tuple cell plus two
+//! per fact — so peak memory stays proportional to the *output* database,
+//! not to the input text.
 
 use crate::format::StoreError;
 use crate::text::FactsBalance;
@@ -28,7 +51,7 @@ use std::io::BufRead;
 use std::path::Path;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
-use wdpt_model::{Const, Database, Interner, Pred, Relation};
+use wdpt_model::{row_id, Const, Database, Interner, Pred, Relation, SymbolSpace};
 use wdpt_obs::{counter, span};
 use wdpt_sparql::parse_nt_line;
 
@@ -76,6 +99,8 @@ pub struct LoadReport {
     pub relations: usize,
     /// Parser worker threads used.
     pub threads: usize,
+    /// Symbols appended to the interner by the canonical merge.
+    pub symbols_appended: u64,
 }
 
 /// A predicate name with its argument strings, before interning.
@@ -85,14 +110,6 @@ type RawAtom = (String, Vec<String>);
 /// sorted or deduplicated) tuple list.
 type PredTuples = HashMap<Pred, (usize, Vec<Box<[Const]>>)>;
 
-/// A fact at the string level, before interning.
-enum RawFact {
-    /// `(s, p, o)` destined for the `triple/3` relation.
-    Triple(String, String, String),
-    /// `pred(args...)` from the facts format.
-    Fact(String, Vec<String>),
-}
-
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
     Nt,
@@ -100,15 +117,9 @@ enum Format {
 }
 
 struct Chunk {
-    seq: usize,
     start_line: usize,
     format: Format,
     text: String,
-}
-
-struct ParsedChunk {
-    seq: usize,
-    facts: Vec<RawFact>,
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> StoreError {
@@ -118,11 +129,69 @@ fn parse_err(line: usize, message: impl Into<String>) -> StoreError {
     }
 }
 
+/// One worker's local dictionary: distinct predicate and constant names in
+/// first-seen order, each mapped to a dense *local* `u32` id. Local ids are
+/// meaningless across workers; the canonical-merge phase translates them to
+/// global interner ids. Predicates also carry the arity of their first use
+/// so inconsistent arities fail fast at parse time.
+#[derive(Default)]
+struct LocalDict {
+    preds: Vec<String>,
+    pred_ids: HashMap<String, u32>,
+    pred_arity: Vec<u32>,
+    consts: Vec<String>,
+    const_ids: HashMap<String, u32>,
+}
+
+impl LocalDict {
+    fn intern(names: &mut Vec<String>, ids: &mut HashMap<String, u32>, name: String) -> u32 {
+        use std::collections::hash_map::Entry;
+        match ids.entry(name) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = u32::try_from(names.len()).expect("local dictionary overflow");
+                names.push(e.key().clone());
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    fn pred(&mut self, name: String, arity: u32) -> Result<u32, String> {
+        let id = Self::intern(&mut self.preds, &mut self.pred_ids, name);
+        if id as usize == self.pred_arity.len() {
+            self.pred_arity.push(arity);
+        } else if self.pred_arity[id as usize] != arity {
+            return Err(format!(
+                "predicate {} used with arities {} and {}",
+                self.preds[id as usize], self.pred_arity[id as usize], arity
+            ));
+        }
+        Ok(id)
+    }
+
+    fn constant(&mut self, name: String) -> u32 {
+        Self::intern(&mut self.consts, &mut self.const_ids, name)
+    }
+}
+
+/// A chunk's facts coded against one worker's local dictionary, flattened
+/// as `[pred, argc, args...]` per fact: 4 bytes per cell plus 8 per fact,
+/// in one allocation per chunk — an order of magnitude smaller than the
+/// parsed-string form it replaces in the buffered stage.
+struct CodedChunk {
+    worker: usize,
+    code: Vec<u32>,
+    facts: u64,
+}
+
 /// String-level parser for the facts grammar (`wdpt_model::parse` accepts
 /// the same language, but its cursor interns as it goes — this one runs on
-/// worker threads that have no interner). Ground atoms only: a `?var`
+/// worker threads against a local dictionary). Ground atoms only: a `?var`
 /// argument is an error. Returns byte offsets for errors; the caller maps
-/// them to line numbers.
+/// them to line numbers. Quoted constants decode the same escapes as the
+/// serial path (via [`wdpt_model::parse::unescape`]), and the closing-quote
+/// scan is escape-aware to match [`FactsBalance`].
 fn parse_facts_text(text: &str) -> Result<Vec<RawAtom>, (usize, String)> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
@@ -168,13 +237,26 @@ fn parse_facts_text(text: &str) -> Result<Vec<RawAtom>, (usize, String)> {
                     Some(b'"') => {
                         pos += 1;
                         let start = pos;
-                        while pos < bytes.len() && bytes[pos] != b'"' {
-                            pos += 1;
+                        let mut escaped = false;
+                        loop {
+                            match bytes.get(pos) {
+                                None => return Err((start, "unterminated string literal".into())),
+                                Some(_) if escaped => {
+                                    escaped = false;
+                                    pos += 1;
+                                }
+                                Some(b'\\') => {
+                                    escaped = true;
+                                    pos += 1;
+                                }
+                                Some(b'"') => break,
+                                Some(_) => pos += 1,
+                            }
                         }
-                        if pos >= bytes.len() {
-                            return Err((start, "unterminated string literal".into()));
+                        match wdpt_model::parse::unescape(&text[start..pos]) {
+                            Ok(s) => args.push(s.into_owned()),
+                            Err(e) => return Err((start + e.at, e.message)),
                         }
-                        args.push(text[start..pos].to_string());
                         pos += 1;
                     }
                     Some(_) => {
@@ -207,21 +289,49 @@ fn parse_facts_text(text: &str) -> Result<Vec<RawAtom>, (usize, String)> {
     }
 }
 
-fn parse_chunk(chunk: &Chunk) -> Result<ParsedChunk, StoreError> {
-    let mut facts = Vec::new();
+/// Pass 1 per worker: parse a chunk at the string level, then code every
+/// fact against the worker's local dictionary.
+fn code_chunk(
+    chunk: &Chunk,
+    worker: usize,
+    dict: &mut LocalDict,
+) -> Result<CodedChunk, StoreError> {
+    let mut code = Vec::new();
+    let mut facts = 0u64;
     match chunk.format {
         Format::Nt => {
             for (off, line) in chunk.text.lines().enumerate() {
                 match parse_nt_line(line) {
                     Ok(None) => {}
-                    Ok(Some((s, p, o))) => facts.push(RawFact::Triple(s, p, o)),
+                    Ok(Some((s, p, o))) => {
+                        let pred = dict
+                            .pred(wdpt_sparql::TRIPLE_PRED.to_owned(), 3)
+                            .map_err(|m| parse_err(chunk.start_line + off, m))?;
+                        code.push(pred);
+                        code.push(3);
+                        code.push(dict.constant(s));
+                        code.push(dict.constant(p));
+                        code.push(dict.constant(o));
+                        facts += 1;
+                    }
                     Err(e) => return Err(parse_err(chunk.start_line + off, e)),
                 }
             }
         }
         Format::Facts => match parse_facts_text(&chunk.text) {
             Ok(atoms) => {
-                facts.extend(atoms.into_iter().map(|(p, a)| RawFact::Fact(p, a)));
+                for (p, args) in atoms {
+                    let arity = u32::try_from(args.len()).expect("arity fits u32");
+                    let pred = dict
+                        .pred(p, arity)
+                        .map_err(|m| parse_err(chunk.start_line, m))?;
+                    code.push(pred);
+                    code.push(arity);
+                    for a in args {
+                        code.push(dict.constant(a));
+                    }
+                    facts += 1;
+                }
             }
             Err((at, message)) => {
                 let line =
@@ -230,8 +340,9 @@ fn parse_chunk(chunk: &Chunk) -> Result<ParsedChunk, StoreError> {
             }
         },
     }
-    Ok(ParsedChunk {
-        seq: chunk.seq,
+    Ok(CodedChunk {
+        worker,
+        code,
         facts,
     })
 }
@@ -247,7 +358,6 @@ struct Chunker<'a> {
     format: Format,
     chunk_lines: usize,
     tx: &'a SyncSender<Chunk>,
-    seq: usize,
     chunk: String,
     chunk_start: usize,
     chunk_len: usize,
@@ -263,7 +373,6 @@ impl<'a> Chunker<'a> {
             format,
             chunk_lines,
             tx,
-            seq: 0,
             chunk: String::new(),
             chunk_start: 0,
             chunk_len: 0,
@@ -303,7 +412,6 @@ impl<'a> Chunker<'a> {
         let text = std::mem::take(&mut self.chunk);
         self.chunk_len = 0;
         let send = self.tx.send(Chunk {
-            seq: self.seq,
             start_line: self.chunk_start,
             format: self.format,
             text,
@@ -311,7 +419,6 @@ impl<'a> Chunker<'a> {
         if send.is_err() {
             self.hung_up = true;
         }
-        self.seq += 1;
     }
 }
 
@@ -362,7 +469,10 @@ fn read_chunks<R: BufRead>(
     Ok(line_no as u64 - 1)
 }
 
-/// Bulk-loads a text dataset from a reader, parsing on worker threads.
+/// Bulk-loads a text dataset from a reader: parallel parse into per-worker
+/// local dictionaries, deterministic canonical merge into `interner`,
+/// parallel remap, then parallel sort/dedup/index builds. See the module
+/// docs for the pipeline and the determinism argument.
 pub fn bulk_load<R: BufRead + Send>(
     interner: &mut Interner,
     r: &mut R,
@@ -373,15 +483,17 @@ pub fn bulk_load<R: BufRead + Send>(
     let chunk_lines = opts.chunk_lines.max(1);
 
     let (chunk_tx, chunk_rx) = sync_channel::<Chunk>(threads * 2);
-    let (parsed_tx, parsed_rx) = sync_channel::<Result<ParsedChunk, StoreError>>(threads * 2);
+    let (coded_tx, coded_rx) = sync_channel::<Result<CodedChunk, StoreError>>(threads * 2);
     let chunk_rx = Arc::new(Mutex::new(chunk_rx));
 
     let mut lines = 0u64;
     let mut reader_result: Result<(), StoreError> = Ok(());
-    let mut tuples_by_pred: PredTuples = HashMap::new();
+    let mut chunks: Vec<CodedChunk> = Vec::new();
     let mut parsed_count = 0u64;
-    let mut collect_result: Result<(), StoreError> = Ok(());
+    let mut first_error: Option<StoreError> = None;
+    let mut dicts: Vec<LocalDict> = Vec::new();
 
+    // Pass 1: parallel parse + local coding.
     std::thread::scope(|scope| {
         {
             // Move the sender and mutable captures into the reader thread so
@@ -396,97 +508,160 @@ pub fn bulk_load<R: BufRead + Send>(
                 Err(e) => *reader_result = Err(e),
             });
         }
-        for _ in 0..threads {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
             let chunk_rx = Arc::clone(&chunk_rx);
-            let parsed_tx = parsed_tx.clone();
-            scope.spawn(move || loop {
-                let chunk = match chunk_rx.lock().expect("loader mutex poisoned").recv() {
-                    Ok(c) => c,
-                    Err(_) => return,
-                };
-                let result = parse_chunk(&chunk);
-                let failed = result.is_err();
-                if parsed_tx.send(result).is_err() || failed {
-                    return;
+            let coded_tx = coded_tx.clone();
+            handles.push(scope.spawn(move || {
+                let mut dict = LocalDict::default();
+                loop {
+                    let chunk = match chunk_rx.lock().expect("loader mutex poisoned").recv() {
+                        Ok(c) => c,
+                        Err(_) => break,
+                    };
+                    let result = code_chunk(&chunk, worker, &mut dict);
+                    let failed = result.is_err();
+                    if coded_tx.send(result).is_err() || failed {
+                        break;
+                    }
                 }
-            });
+                dict
+            }));
         }
         // Drop the main thread's handles: the workers' receiver clones and
         // sender clones are now the only ones, so hangups propagate.
         drop(chunk_rx);
-        drop(parsed_tx);
+        drop(coded_tx);
 
-        // Consume parsed chunks strictly in sequence order so interner ids
-        // are independent of worker scheduling.
-        let mut pending: HashMap<usize, ParsedChunk> = HashMap::new();
-        let mut next_seq = 0usize;
-        let mut triple_pred: Option<Pred> = None;
-        let mut intern =
-            |parsed: ParsedChunk, tuples_by_pred: &mut PredTuples| -> Result<(), StoreError> {
-                for fact in parsed.facts {
-                    let (pred, tuple): (Pred, Box<[Const]>) = match fact {
-                        RawFact::Triple(s, p, o) => {
-                            let pred = *triple_pred
-                                .get_or_insert_with(|| interner.pred(wdpt_sparql::TRIPLE_PRED));
-                            let tuple = Box::new([
-                                interner.constant(&s),
-                                interner.constant(&p),
-                                interner.constant(&o),
-                            ]);
-                            (pred, tuple)
-                        }
-                        RawFact::Fact(p, a) => {
-                            let pred = interner.pred(&p);
-                            let tuple = a.iter().map(|x| interner.constant(x)).collect();
-                            (pred, tuple)
-                        }
-                    };
-                    let entry = tuples_by_pred
-                        .entry(pred)
-                        .or_insert_with(|| (tuple.len(), Vec::new()));
-                    if entry.0 != tuple.len() {
-                        return Err(parse_err(
-                            0,
-                            format!(
-                                "predicate {} used with arities {} and {}",
-                                interner.name(pred.0),
-                                entry.0,
-                                tuple.len()
-                            ),
-                        ));
-                    }
-                    entry.1.push(tuple);
-                    parsed_count += 1;
+        // Collect coded chunks in arrival order — order does not matter,
+        // because determinism comes from the canonical merge below, not
+        // from consumption order (the seed's serial reorder buffer and its
+        // chunk-order interning are gone entirely).
+        for result in coded_rx.iter() {
+            match result {
+                Ok(c) => {
+                    parsed_count += c.facts;
+                    chunks.push(c);
                 }
-                Ok(())
-            };
-        for result in parsed_rx.iter() {
-            let parsed = match result {
-                Ok(p) => p,
                 Err(e) => {
-                    collect_result = Err(e);
-                    break;
+                    // Keep the error with the smallest line number so the
+                    // reported failure does not depend on which worker
+                    // reached its bad chunk first.
+                    let better = match (&e, &first_error) {
+                        (_, None) => true,
+                        (
+                            StoreError::Parse { line, .. },
+                            Some(StoreError::Parse { line: prev, .. }),
+                        ) => line < prev,
+                        _ => false,
+                    };
+                    if better {
+                        first_error = Some(e);
+                    }
                 }
-            };
-            pending.insert(parsed.seq, parsed);
-            while let Some(p) = pending.remove(&next_seq) {
-                if let Err(e) = intern(p, &mut tuples_by_pred) {
-                    collect_result = Err(e);
-                    break;
-                }
-                next_seq += 1;
-            }
-            if collect_result.is_err() {
-                break;
             }
         }
-        // Drain remaining results so blocked workers can finish and the
-        // scope can join. (Only does work after an error.)
-        for _ in parsed_rx.iter() {}
+        dicts = handles
+            .into_iter()
+            .map(|h| h.join().expect("parse worker panicked"))
+            .collect();
     });
 
     reader_result?;
-    collect_result?;
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+
+    // Canonical merge: fold the union of the local dictionaries into the
+    // global interner in (namespace, name) order. Ids depend only on the
+    // symbol *set* plus the interner's prior contents — not on thread
+    // count, chunking, or scheduling — which is what keeps snapshot bytes
+    // identical across `--threads` settings.
+    let appended = interner.extend_canonical(dicts.iter().flat_map(|d| {
+        d.preds
+            .iter()
+            .map(|n| (SymbolSpace::Pred, n.as_str()))
+            .chain(d.consts.iter().map(|n| (SymbolSpace::Const, n.as_str())))
+    }));
+    counter!("store.intern.appended").add(appended as u64);
+
+    // Per-worker translation tables (local id → global typed id), plus the
+    // cross-worker arity consistency check the per-worker parse cannot see.
+    let pred_maps: Vec<Vec<Pred>> = dicts
+        .iter()
+        .map(|d| d.preds.iter().map(|n| interner.pred(n)).collect())
+        .collect();
+    let const_maps: Vec<Vec<Const>> = dicts
+        .iter()
+        .map(|d| d.consts.iter().map(|n| interner.constant(n)).collect())
+        .collect();
+    let mut arity_of: HashMap<Pred, u32> = HashMap::new();
+    for (w, d) in dicts.iter().enumerate() {
+        for (local, name) in d.preds.iter().enumerate() {
+            let pred = pred_maps[w][local];
+            let arity = d.pred_arity[local];
+            match arity_of.insert(pred, arity) {
+                Some(prev) if prev != arity => {
+                    return Err(parse_err(
+                        0,
+                        format!(
+                            "predicate {name} used with arities {} and {}",
+                            prev.min(arity),
+                            prev.max(arity)
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    drop(arity_of);
+
+    // Pass 2: parallel remap local→global ids, grouping tuples by
+    // predicate. Each thread accumulates its own groups; the groups merge
+    // by concatenation, and any order differences wash out in the sort
+    // below (the tuple multiset is thread-independent).
+    let queue = Mutex::new(chunks.into_iter());
+    let grouped: Mutex<Vec<PredTuples>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: PredTuples = HashMap::new();
+                loop {
+                    let next = queue.lock().expect("loader mutex poisoned").next();
+                    let Some(chunk) = next else { break };
+                    let preds = &pred_maps[chunk.worker];
+                    let consts = &const_maps[chunk.worker];
+                    let mut at = 0usize;
+                    while at < chunk.code.len() {
+                        let pred = preds[chunk.code[at] as usize];
+                        let argc = chunk.code[at + 1] as usize;
+                        let args = &chunk.code[at + 2..at + 2 + argc];
+                        at += 2 + argc;
+                        let tuple: Box<[Const]> =
+                            args.iter().map(|&a| consts[a as usize]).collect();
+                        local
+                            .entry(pred)
+                            .or_insert_with(|| (argc, Vec::new()))
+                            .1
+                            .push(tuple);
+                    }
+                }
+                grouped.lock().expect("loader mutex poisoned").push(local);
+            });
+        }
+    });
+    drop(dicts);
+    let mut tuples_by_pred: PredTuples = HashMap::new();
+    for local in grouped.into_inner().expect("loader mutex poisoned") {
+        for (pred, (arity, mut tuples)) in local {
+            tuples_by_pred
+                .entry(pred)
+                .or_insert_with(|| (arity, Vec::new()))
+                .1
+                .append(&mut tuples);
+        }
+    }
 
     // Per-relation sort + dedup, fanned out across threads.
     let work: Vec<_> = tuples_by_pred
@@ -494,6 +669,7 @@ pub fn bulk_load<R: BufRead + Send>(
         .map(|(pred, (arity, tuples))| (pred, arity, tuples))
         .collect();
     let built = Mutex::new(Vec::with_capacity(work.len()));
+    let sort_err: Mutex<Option<StoreError>> = Mutex::new(None);
     let queue = Mutex::new(work.into_iter());
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -505,6 +681,15 @@ pub fn bulk_load<R: BufRead + Send>(
                 };
                 tuples.sort_unstable();
                 tuples.dedup();
+                // Row ids are u32 everywhere (posting lists, snapshots):
+                // reject a >4Gi-row relation with a typed error instead of
+                // letting the index build below wrap and alias rows.
+                if let Some(last) = tuples.len().checked_sub(1) {
+                    if let Err(e) = row_id(last) {
+                        *sort_err.lock().expect("loader mutex poisoned") = Some(e.into());
+                        return;
+                    }
+                }
                 let rel = Relation::from_sorted(arity, tuples);
                 built
                     .lock()
@@ -513,6 +698,9 @@ pub fn bulk_load<R: BufRead + Send>(
             });
         }
     });
+    if let Some(e) = sort_err.into_inner().expect("loader mutex poisoned") {
+        return Err(e);
+    }
     let mut relations = built.into_inner().expect("loader mutex poisoned");
     relations.sort_by_key(|(p, _)| *p);
 
@@ -535,7 +723,8 @@ pub fn bulk_load<R: BufRead + Send>(
                 let rel = &relations[i].1;
                 let mut index: HashMap<Const, Vec<u32>> = HashMap::new();
                 for (row, t) in rel.tuples().enumerate() {
-                    index.entry(t[col]).or_default().push(row as u32);
+                    let row = row_id(row).expect("row count checked after dedup");
+                    index.entry(t[col]).or_default().push(row);
                 }
                 indexes
                     .lock()
@@ -557,6 +746,7 @@ pub fn bulk_load<R: BufRead + Send>(
         duplicates: parsed_count - tuples,
         relations: db.predicate_count(),
         threads,
+        symbols_appended: appended as u64,
     };
     counter!("store.bulk.lines").add(report.lines);
     counter!("store.bulk.tuples").add(report.tuples);
@@ -605,6 +795,7 @@ mod tests {
         assert_eq!(report.tuples, 200);
         assert_eq!(report.duplicates, 1);
         assert_eq!(report.lines, 201);
+        assert!(report.symbols_appended > 0);
 
         let mut i2 = Interner::new();
         let db2 =
@@ -627,6 +818,55 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_bytes_are_identical_across_thread_counts() {
+        let mut text = String::new();
+        for i in 0..400 {
+            text.push_str(&format!("<s{}> <p{}> <o{}> .\n", i % 37, i % 5, i % 53));
+        }
+        text.push_str("mixed_case <p0> \"a literal\" .\n");
+        let mut reference: Option<Vec<u8>> = None;
+        for threads in [1usize, 2, 5] {
+            let opts = LoadOptions {
+                threads,
+                chunk_lines: 3,
+            };
+            let (i, db, _) = load(&text, opts).unwrap();
+            let bytes = crate::format::snapshot_to_vec(&i, &db).unwrap();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => assert_eq!(r, &bytes, "thread count {threads} changed the bytes"),
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_appends_canonically_to_a_non_empty_interner() {
+        // The delta path and multi-dataset serve loads start from an
+        // interner that already has symbols: existing ids must survive and
+        // new ids must not depend on the thread count.
+        let text = "<a> <p> <b> .\n<c> <p> <d> .\n";
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 4] {
+            let mut i = Interner::new();
+            let keep = i.constant("p");
+            let (db, _) = bulk_load(
+                &mut i,
+                &mut Cursor::new(text.as_bytes()),
+                LoadOptions {
+                    threads,
+                    chunk_lines: 1,
+                },
+            )
+            .unwrap();
+            assert_eq!(i.constant("p"), keep, "existing id moved");
+            let listing: Vec<(SymbolSpace, String)> =
+                i.symbols().map(|(s, n)| (s, n.to_owned())).collect();
+            outcomes.push((listing, db.display(&i)));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+    }
+
+    #[test]
     fn bulk_loads_facts_with_multi_line_atoms() {
         let text = "edge(a,\n b)\nedge(b, c),\nnode(\"x (\")\nedge(a, b)\n";
         let (mut i, db, report) = load(text, tiny_chunks()).unwrap();
@@ -640,12 +880,66 @@ mod tests {
     }
 
     #[test]
+    fn facts_escapes_on_chunk_edges_parse_identically() {
+        // Escaped quotes and `\u` escapes sit exactly where the chunker
+        // considers cutting (line ends, `chunk_lines: 1` makes every line a
+        // candidate boundary). The old quote toggle treated `\"` as a
+        // closing quote, saw the atom as balanced mid-string, and cut a
+        // chunk that mis-parsed on both sides of the boundary.
+        let text = concat!(
+            "edge(a, \"x\\\")\n",     // escaped quote right before a ')'
+            "\", b)\n",               // string closes on the next line
+            "node(\"\\u0028\")\n",    // decodes to "(" — must not unbalance
+            "node(\"(\\u0029\")\n",   // literal "(" inside quotes + escaped ")"
+            "edge(\"\\\\\", c, d)\n", // escaped backslash then a real close
+        );
+        let opts = LoadOptions {
+            threads: 3,
+            chunk_lines: 1,
+        };
+        let (i1, db1, report) = load(text, opts).unwrap();
+        assert_eq!(report.tuples, 4);
+
+        // Serial oracle: identical database, symbol for symbol.
+        let mut i2 = Interner::new();
+        let db2 =
+            crate::text::read_text_database(&mut i2, &mut Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(db1.display(&i1), db2.display(&i2));
+
+        let mut i1 = i1;
+        let e = i1.pred("edge");
+        let c = i1.constant("x\")\n");
+        assert!(db1.relation(e).unwrap().tuples().any(|t| t[1] == c));
+        let bs = i1.constant("\\");
+        assert!(db1.relation(e).unwrap().tuples().any(|t| t[0] == bs));
+        let n = i1.pred("node");
+        let par = i1.constant("(");
+        let both = i1.constant("()");
+        let tuples: Vec<_> = db1.relation(n).unwrap().tuples().map(|t| t[0]).collect();
+        assert!(tuples.contains(&par) && tuples.contains(&both));
+    }
+
+    #[test]
     fn reports_parse_errors_with_line_numbers() {
         let text = "<a> <b> <c> .\n<a> <b> <c> .\n<a> <b .\n";
         let err = load(text, tiny_chunks()).unwrap_err();
         match err {
             StoreError::Parse { line, .. } => assert_eq!(line, 3),
             other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_line_is_the_smallest_across_workers() {
+        // Two malformed lines in different chunks: whichever worker errors
+        // first, the reported line must be the earlier one.
+        let text = "<a> <b> <c> .\n<bad .\n<a> <b> <c> .\n<also bad .\n";
+        for _ in 0..10 {
+            let err = load(text, tiny_chunks()).unwrap_err();
+            match err {
+                StoreError::Parse { line, .. } => assert_eq!(line, 2),
+                other => panic!("expected Parse, got {other:?}"),
+            }
         }
     }
 
@@ -664,6 +958,10 @@ mod tests {
     #[test]
     fn rejects_inconsistent_arity() {
         let text = "edge(a, b)\nedge(a, b, c)\n";
+        let err = load(text, tiny_chunks()).unwrap_err();
+        assert!(matches!(err, StoreError::Parse { .. }), "{err:?}");
+        // Same outcome when the conflicting uses land on different workers.
+        let text = "edge(a, b)\n\n\n\n\n\n\n\nedge(a, b, c)\n";
         let err = load(text, tiny_chunks()).unwrap_err();
         assert!(matches!(err, StoreError::Parse { .. }), "{err:?}");
     }

@@ -57,12 +57,20 @@ fn looks_like_facts(data_line: &str) -> bool {
 }
 
 /// Tracks paren balance across lines of facts text, ignoring parentheses
-/// inside quoted constants (`"..."`, no escapes — the model grammar). Used
-/// here and by the parallel loader's chunker to cut facts chunks only at
-/// atom boundaries.
+/// inside quoted constants. Used here and by the parallel loader's chunker
+/// to cut facts chunks only at atom boundaries.
+///
+/// The scan is escape-aware: inside a quote, a backslash consumes the next
+/// character, so `\"` does not close the string and `\\` does not arm an
+/// escape for the character after it. Without this, a fact like
+/// `p("a\")", q)` looked balanced at the `)` inside the quotes, and a chunk
+/// cut there handed both halves to the parser mis-framed.
 pub(crate) struct FactsBalance {
     depth: i64,
     in_quote: bool,
+    /// A backslash inside a quote was seen and its escaped character has
+    /// not arrived yet (it may be on the next line fed).
+    escaped: bool,
 }
 
 impl FactsBalance {
@@ -70,12 +78,18 @@ impl FactsBalance {
         FactsBalance {
             depth: 0,
             in_quote: false,
+            escaped: false,
         }
     }
 
     pub(crate) fn feed(&mut self, line: &str) {
         for c in line.chars() {
+            if self.escaped {
+                self.escaped = false;
+                continue;
+            }
             match c {
+                '\\' if self.in_quote => self.escaped = true,
                 '"' => self.in_quote = !self.in_quote,
                 '(' if !self.in_quote => self.depth += 1,
                 ')' if !self.in_quote => self.depth -= 1,
@@ -85,7 +99,7 @@ impl FactsBalance {
     }
 
     pub(crate) fn balanced(&self) -> bool {
-        self.depth == 0 && !self.in_quote
+        self.depth == 0 && !self.in_quote && !self.escaped
     }
 }
 
@@ -108,7 +122,7 @@ fn flush_facts_chunk(
         let Some(tuple) = atom.ground_tuple() else {
             return Err(parse_err(start_line, "database atoms must be ground"));
         };
-        db.insert(atom.pred, tuple);
+        db.try_insert(atom.pred, tuple)?;
     }
     Ok(n)
 }
@@ -236,6 +250,24 @@ mod tests {
         let n = i.pred("node");
         let c = i.constant("par ( en");
         assert!(db.relation(n).unwrap().tuples().any(|t| t[0] == c));
+    }
+
+    #[test]
+    fn quoted_escapes_do_not_end_atoms_early() {
+        let mut i = Interner::new();
+        // The first atom's quoted constant contains an escaped quote right
+        // before a `)` and then spans a line break: the old quote toggle
+        // thought the atom was balanced at the end of line 1 and flushed a
+        // mis-framed chunk.
+        let text = "edge(a, \"x\\\")\n\", b)\nnode(\"\\u0028\")\n";
+        let db = read(&mut i, text).unwrap();
+        assert_eq!(db.size(), 2);
+        let e = i.pred("edge");
+        let c = i.constant("x\")\n");
+        assert!(db.relation(e).unwrap().tuples().any(|t| t[1] == c));
+        let n = i.pred("node");
+        let par = i.constant("(");
+        assert!(db.relation(n).unwrap().tuples().any(|t| t[0] == par));
     }
 
     #[test]

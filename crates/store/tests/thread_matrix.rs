@@ -1,0 +1,66 @@
+//! The headline determinism guarantee of two-pass parallel interning:
+//! bulk loads at different `--threads` settings produce byte-identical
+//! snapshots AND identical loader counters.
+//!
+//! This lives in its own integration-test binary because `wdpt-obs`
+//! counters are process-global: any concurrently running test that touches
+//! the loader would perturb the deltas. Within this process the matrix runs
+//! sequentially inside one `#[test]`.
+
+use std::io::Cursor;
+use wdpt_gen::{write_synth_nt, SynthParams};
+use wdpt_model::Interner;
+use wdpt_obs::metrics_snapshot;
+use wdpt_store::{bulk_load, snapshot_to_vec, LoadOptions};
+
+#[test]
+fn snapshots_and_counters_are_identical_across_thread_counts() {
+    // Enough triples that every thread count actually exercises multiple
+    // chunks per worker, with a universe small enough to force symbol reuse
+    // (so local dictionaries overlap heavily across workers).
+    let params = SynthParams {
+        triples: 20_000,
+        subjects: 700,
+        preds: 16,
+        objects: 300,
+        seed: 0xBEEF,
+    };
+    let mut text = Vec::new();
+    write_synth_nt(&mut text, params).unwrap();
+
+    let watched = [
+        "store.intern.appended",
+        "store.bulk.lines",
+        "store.bulk.tuples",
+        "store.bulk.duplicates",
+    ];
+    let mut reference: Option<(Vec<u8>, Vec<u64>)> = None;
+    for threads in [1usize, 2, 8] {
+        let opts = LoadOptions {
+            threads,
+            chunk_lines: 512,
+        };
+        let before = metrics_snapshot();
+        let mut interner = Interner::new();
+        let (db, report) = bulk_load(&mut interner, &mut Cursor::new(&text), opts).unwrap();
+        let delta = metrics_snapshot().since(&before);
+
+        let bytes = snapshot_to_vec(&interner, &db).unwrap();
+        let counters: Vec<u64> = watched.iter().map(|n| delta.counter(n)).collect();
+        assert_eq!(report.threads, threads);
+        assert!(report.duplicates > 0, "universe too large to collide");
+        match &reference {
+            None => reference = Some((bytes, counters)),
+            Some((ref_bytes, ref_counters)) => {
+                assert_eq!(
+                    ref_bytes, &bytes,
+                    "threads={threads} changed the snapshot bytes"
+                );
+                assert_eq!(
+                    ref_counters, &counters,
+                    "threads={threads} changed the loader counters {watched:?}"
+                );
+            }
+        }
+    }
+}
