@@ -49,7 +49,7 @@ pub use eval_bi::eval_bounded_interface;
 pub use optimize::normalize;
 pub use profile::{
     evaluate_max_profiled, evaluate_parallel_profiled, evaluate_profiled,
-    try_evaluate_parallel_profiled,
+    try_evaluate_parallel_captured, try_evaluate_parallel_profiled,
 };
 pub use projection_free::eval_projection_free;
 pub use semantics::{

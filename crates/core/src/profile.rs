@@ -101,6 +101,36 @@ pub fn try_evaluate_parallel_profiled(
     }
 }
 
+/// [`try_evaluate_parallel_profiled`], except the profile *survives*
+/// cancellation: whatever phases, counters, and per-node tallies accumulated
+/// up to the deadline come back alongside the `Err`. This is what a serving
+/// layer's slow-query log needs — the queries most worth explaining are
+/// exactly the ones that blew their deadline, and a discarded profile would
+/// leave their EXPLAIN empty.
+pub fn try_evaluate_parallel_captured(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    token: &CancelToken,
+    label: &str,
+) -> (Result<Vec<Mapping>, Cancelled>, QueryProfile) {
+    let mut rec = ProfileRecorder::start(label);
+    let tally = NodeTally::new(p.node_count());
+    match try_maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally), token) {
+        Ok(homs) => {
+            let answers = project_free(p, homs);
+            rec.set_nodes(node_entries(p, &tally));
+            let profile = rec.finish(answers.len() as u64);
+            (Ok(answers), profile)
+        }
+        Err(Cancelled) => {
+            rec.set_nodes(node_entries(p, &tally));
+            let profile = rec.finish(0);
+            (Err(Cancelled), profile)
+        }
+    }
+}
+
 /// [`crate::evaluate_max`] plus a [`QueryProfile`] of the run.
 pub fn evaluate_max_profiled(p: &Wdpt, db: &Database, label: &str) -> (Vec<Mapping>, QueryProfile) {
     let mut rec = ProfileRecorder::start(label);

@@ -1,0 +1,337 @@
+//! Metrics exposition: rendering a [`MetricsSnapshot`] as Prometheus-style
+//! text and as a [`Json`] document (with derived p50/p90/p99), plus the
+//! inverse JSON decoding so scrapers and tests can round-trip snapshots.
+//!
+//! The text format follows the Prometheus exposition conventions: one
+//! `# TYPE` line per metric family, histograms as cumulative
+//! `name_bucket{le="..."}` series ending in `le="+Inf"`, plus `name_sum` and
+//! `name_count`. Metric names in this workspace are dotted
+//! (`serve.request.total_us`); [`sanitize_name`] maps them onto the
+//! Prometheus charset by replacing every byte outside `[a-zA-Z0-9_:]` with
+//! an underscore.
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+/// Maps an internal dotted metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other byte becomes `_`, and a name
+/// that would start with a digit (or is empty) gains a leading `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, b) in name.bytes().enumerate() {
+        let ok = b == b'_' || b == b':' || b.is_ascii_alphabetic() || (i > 0 && b.is_ascii_digit());
+        if i == 0 && b.is_ascii_digit() {
+            out.push('_');
+            out.push(b as char);
+        } else if ok {
+            out.push(b as char);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Counters
+/// and gauges are one sample each; every histogram becomes a cumulative
+/// `_bucket{le="..."}` series (log₂ bounds, ending in `+Inf`) plus `_sum`
+/// and `_count` samples.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for h in &snap.histograms {
+        let n = sanitize_name(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (le, cum) in h.cumulative() {
+            match le {
+                Some(b) => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cum}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    let (p50, p90, p99) = h.percentiles();
+    let buckets = h
+        .cumulative()
+        .into_iter()
+        .map(|(le, cum)| {
+            Json::obj([
+                ("le", le.map_or(Json::Null, Json::int)),
+                ("count", Json::int(cum)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("count", Json::int(h.count)),
+        ("sum", Json::int(h.sum)),
+        ("max", Json::int(h.max)),
+        ("mean", Json::num(h.mean())),
+        ("p50", Json::int(p50)),
+        ("p90", Json::int(p90)),
+        ("p99", Json::int(p99)),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+/// Renders a snapshot as a JSON document:
+/// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,max,mean,
+/// p50,p90,p99,buckets:[{le,count},..]}}}`. Bucket counts are cumulative,
+/// matching the text exposition; `le:null` is the `+Inf` tail.
+pub fn snapshot_to_json(snap: &MetricsSnapshot) -> Json {
+    let counters = Json::obj(
+        snap.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::int(*v))),
+    );
+    let gauges = Json::obj(snap.gauges.iter().map(|(n, v)| {
+        let j = if *v >= 0 {
+            Json::int(*v as u64)
+        } else {
+            Json::num(*v as f64)
+        };
+        (n.clone(), j)
+    }));
+    let histograms = Json::obj(
+        snap.histograms
+            .iter()
+            .map(|h| (h.name.clone(), histogram_to_json(h))),
+    );
+    Json::obj([
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+fn num_field(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn histogram_from_json(name: &str, j: &Json) -> Result<HistogramSnapshot, String> {
+    let count = num_field(j, "count")? as u64;
+    let sum = num_field(j, "sum")? as u64;
+    let max = num_field(j, "max")? as u64;
+    let pairs = j
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("histogram '{name}' missing buckets"))?;
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    let mut prev = 0u64;
+    let mut finite_cum = 0u64;
+    for p in pairs {
+        let cum = num_field(p, "count")? as u64;
+        if cum < prev {
+            return Err(format!("histogram '{name}' buckets not cumulative"));
+        }
+        match p.get("le") {
+            Some(Json::Null) => {} // +Inf tail; handled below via `count`
+            Some(le) => {
+                let bound = le
+                    .as_num()
+                    .ok_or_else(|| format!("histogram '{name}' bad le"))?
+                    as u64;
+                // le=0 is bucket 0; le=2^i−1 is bucket i.
+                let idx = if bound == 0 {
+                    0
+                } else {
+                    (64 - (bound + 1).leading_zeros() - 1) as usize
+                };
+                if idx >= HISTOGRAM_BUCKETS {
+                    return Err(format!("histogram '{name}' le out of range"));
+                }
+                buckets[idx] = cum - prev;
+                finite_cum = cum;
+            }
+            None => return Err(format!("histogram '{name}' bucket missing le")),
+        }
+        prev = cum;
+    }
+    // Whatever the finite buckets don't account for sits in the tail.
+    buckets[HISTOGRAM_BUCKETS - 1] = count.saturating_sub(finite_cum);
+    Ok(HistogramSnapshot {
+        name: name.to_owned(),
+        count,
+        sum,
+        max,
+        buckets,
+    })
+}
+
+/// Decodes a snapshot previously written by [`snapshot_to_json`]. Derived
+/// fields (`mean`, percentiles) are recomputed from the buckets, so
+/// `snapshot_from_json(&snapshot_to_json(s)) == Ok(s)` for any snapshot
+/// whose tallies fit in an `f64` mantissa (all realistic event counts).
+pub fn snapshot_from_json(j: &Json) -> Result<MetricsSnapshot, String> {
+    let mut snap = MetricsSnapshot::default();
+    if let Some(Json::Obj(m)) = j.get("counters") {
+        for (n, v) in m {
+            let v = v
+                .as_num()
+                .ok_or_else(|| format!("counter '{n}' not numeric"))?;
+            snap.counters.push((n.clone(), v as u64));
+        }
+    }
+    if let Some(Json::Obj(m)) = j.get("gauges") {
+        for (n, v) in m {
+            let v = v
+                .as_num()
+                .ok_or_else(|| format!("gauge '{n}' not numeric"))?;
+            snap.gauges.push((n.clone(), v as i64));
+        }
+    }
+    if let Some(Json::Obj(m)) = j.get("histograms") {
+        for (n, v) in m {
+            snap.histograms.push(histogram_from_json(n, v)?);
+        }
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{delta_scope, metrics_snapshot};
+    use crate::metrics::{register_counter, register_gauge, register_histogram};
+
+    #[test]
+    fn sanitize_maps_onto_prometheus_charset() {
+        assert_eq!(
+            sanitize_name("serve.request.total_us"),
+            "serve_request_total_us"
+        );
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("naïve"), "na__ve"); // two-byte UTF-8 → two underscores
+    }
+
+    #[test]
+    fn exposition_has_types_cumulative_buckets_and_inf() {
+        let (_, d) = delta_scope(|| {
+            register_counter("test.expo.reqs").add(3);
+            register_gauge("test.expo.depth").set(5);
+            let h = register_histogram("test.expo.lat");
+            for v in [0u64, 1, 5, 5, 1000] {
+                h.record(v);
+            }
+        });
+        let text = render_prometheus(&d);
+        assert!(text.contains("# TYPE test_expo_reqs counter"));
+        assert!(text.contains("test_expo_reqs 3"));
+        assert!(text.contains("# TYPE test_expo_depth gauge"));
+        assert!(text.contains("test_expo_depth 5"));
+        assert!(text.contains("# TYPE test_expo_lat histogram"));
+        assert!(text.contains("test_expo_lat_bucket{le=\"0\"} 1"));
+        assert!(text.contains("test_expo_lat_bucket{le=\"1\"} 2"));
+        assert!(text.contains("test_expo_lat_bucket{le=\"7\"} 4")); // 5s ∈ [4,8)
+        assert!(text.contains("test_expo_lat_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("test_expo_lat_sum 1011"));
+        assert!(text.contains("test_expo_lat_count 5"));
+        // Cumulative counts along each histogram's bucket series never drop.
+        let mut last: Option<(String, u64)> = None;
+        for line in text.lines() {
+            if let Some((name, rest)) = line.split_once("_bucket{le=\"") {
+                let cum: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                if let Some((ref pn, pc)) = last {
+                    if pn == name {
+                        assert!(cum >= pc, "bucket series for {name} not monotone");
+                    }
+                }
+                last = Some((name.to_owned(), cum));
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_counters_gauges_histograms() {
+        let (_, d) = delta_scope(|| {
+            register_counter("test.expo.rt.c").add(41);
+            register_gauge("test.expo.rt.g").set(-7);
+            let h = register_histogram("test.expo.rt.h");
+            for v in [0u64, 3, 3, 900, u64::MAX] {
+                h.record(v);
+            }
+        });
+        let j = snapshot_to_json(&d);
+        let text = j.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        let back = snapshot_from_json(&parsed).unwrap();
+        assert_eq!(back.counter("test.expo.rt.c"), 41);
+        assert_eq!(back.gauge("test.expo.rt.g"), -7);
+        let orig = d.histogram("test.expo.rt.h").unwrap();
+        let rt = back.histogram("test.expo.rt.h").unwrap();
+        // max is u64::MAX, which doesn't survive f64; compare the rest.
+        assert_eq!(rt.count, orig.count);
+        assert_eq!(rt.sum, orig.sum);
+        assert_eq!(rt.buckets, orig.buckets);
+        // The tail observation landed in the +Inf-only bucket.
+        assert_eq!(rt.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn json_carries_derived_percentiles() {
+        let (_, d) = delta_scope(|| {
+            let h = register_histogram("test.expo.pct");
+            for _ in 0..90 {
+                h.record(2);
+            }
+            for _ in 0..10 {
+                h.record(4096);
+            }
+        });
+        let j = snapshot_to_json(&d);
+        let h = j.get("histograms").unwrap().get("test.expo.pct").unwrap();
+        assert_eq!(h.get("p50").unwrap().as_num(), Some(4.0));
+        assert!(h.get("p99").unwrap().as_num().unwrap() >= 4096.0);
+        assert_eq!(h.get("count").unwrap().as_num(), Some(100.0));
+    }
+
+    #[test]
+    fn from_json_rejects_non_cumulative_buckets() {
+        let bad = Json::parse(
+            r#"{"histograms":{"h":{"count":2,"sum":3,"max":2,
+                "buckets":[{"le":0,"count":2},{"le":1,"count":1},{"le":null,"count":2}]}}}"#
+                .replace('\n', "")
+                .trim(),
+        )
+        .unwrap();
+        assert!(snapshot_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn full_registry_snapshot_renders_without_panic() {
+        // Whatever other tests registered: rendering must never panic and
+        // every histogram series must end in +Inf.
+        let snap = metrics_snapshot();
+        let text = render_prometheus(&snap);
+        for h in &snap.histograms {
+            let n = sanitize_name(&h.name);
+            assert!(text.contains(&format!("{n}_bucket{{le=\"+Inf\"}}")));
+        }
+    }
+}

@@ -24,17 +24,27 @@
 //!   visited, and time per phase. Renderable as an indented plain-text
 //!   `EXPLAIN ANALYZE` and serializable to JSON via the in-tree [`json`]
 //!   writer.
+//!
+//! Two serving-oriented pieces sit on top: [`expo`] renders a metrics
+//! snapshot as Prometheus-style text exposition or JSON (with derived
+//! p50/p90/p99), and [`trace`] provides [`RequestTrace`], the stage-timed
+//! per-request trace that feeds the `serve.request.*` histograms.
 
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod trace;
 
+pub use expo::{render_prometheus, sanitize_name, snapshot_from_json, snapshot_to_json};
 pub use json::{read_json_line, write_json_line, Json};
 pub use metrics::{
-    metrics_snapshot, Counter, CounterDelta, HistogramDelta, HistogramSnapshot, MetricsSnapshot,
+    delta_scope, metrics_snapshot, Counter, CounterDelta, Gauge, HistogramDelta, HistogramSnapshot,
+    MetricsSnapshot, RawHistogram,
 };
 pub use profile::{DecompInfo, NodeEntry, PhaseEntry, ProfileRecorder, QueryProfile};
 pub use span::{
     set_tracing, span_snapshot, tracing_enabled, with_tracing, SpanGuard, SpanSnapshot,
 };
+pub use trace::{GaugeGuard, RequestTrace, Stage};

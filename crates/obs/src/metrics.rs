@@ -1,16 +1,18 @@
-//! Named counters and log-scale histograms.
+//! Named counters, gauges, and log-scale histograms.
 //!
 //! A process-wide registry generalizing the original five hard-coded
 //! atomics of `wdpt_model::stats`. Call sites use the [`counter!`] /
-//! [`histogram!`] macros, which resolve the metric once into a static
-//! `OnceLock` and thereafter pay a single relaxed `fetch_add` per event —
-//! cheap enough for hot paths, and correct across the worker threads of the
-//! parallel evaluator (the metrics are monotone event tallies with no
-//! synchronizing role). Snapshots taken while other threads are mid-run are
-//! approximate; take them around joined work for exact deltas.
+//! [`gauge!`] / [`histogram!`] macros, which resolve the metric once into a
+//! static `OnceLock` and thereafter pay a single relaxed `fetch_add` per
+//! event — cheap enough for hot paths, and correct across the worker
+//! threads of the parallel evaluator (the metrics are monotone event
+//! tallies with no synchronizing role). Snapshots taken while other threads
+//! are mid-run are approximate; take them around joined work for exact
+//! deltas — or through [`delta_scope`], which serializes such sections
+//! process-wide so concurrently running tests cannot perturb each other.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
 
 /// A monotone named event counter.
@@ -52,25 +54,76 @@ impl Counter {
     }
 }
 
+/// An instantaneous level (queue depth, in-flight requests, busy workers):
+/// unlike a [`Counter`] it goes down as well as up, and a snapshot delta
+/// keeps the *later* value rather than subtracting.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the level outright.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+    }
+
+    /// Moves the level up.
+    #[inline]
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Relaxed);
+    }
+
+    /// Moves the level down.
+    #[inline]
+    pub fn decr(&self) {
+        self.value.fetch_sub(1, Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
 /// Number of log₂ buckets: bucket 0 holds value 0, bucket `i ≥ 1` holds
 /// values in `[2^(i-1), 2^i)`, and the last bucket absorbs the tail.
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
-/// A log₂-bucketed histogram of `u64` observations (posting-list lengths,
-/// bag sizes, per-node answer counts, ...).
+/// The bucket layout and atomics of a histogram, without a registry entry.
+/// This is what [`Histogram`] wraps; it is public so dynamically created
+/// aggregates (one per plan-cache entry, say) can reuse the layout without
+/// leaking `&'static` registrations for values with bounded lifetimes.
 #[derive(Debug)]
-pub struct Histogram {
-    name: &'static str,
+pub struct RawHistogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
-impl Histogram {
-    /// The registered name.
-    pub fn name(&self) -> &'static str {
-        self.name
+impl Default for RawHistogram {
+    fn default() -> Self {
+        RawHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl RawHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> RawHistogram {
+        RawHistogram::default()
     }
 
     /// Index of the bucket holding `v`: 0 for 0, else `64 - leading_zeros`.
@@ -88,14 +141,46 @@ impl Histogram {
         self.buckets[Self::bucket_of(v)].fetch_add(1, Relaxed);
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// A point-in-time copy under `name`.
+    pub fn snapshot(&self, name: impl Into<String>) -> HistogramSnapshot {
         HistogramSnapshot {
-            name: self.name.to_owned(),
+            name: name.into(),
             count: self.count.load(Relaxed),
             sum: self.sum.load(Relaxed),
             max: self.max.load(Relaxed),
             buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
         }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (posting-list lengths,
+/// bag sizes, per-node answer counts, request latencies, ...), registered
+/// process-wide under a static name.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    raw: RawHistogram,
+}
+
+impl Histogram {
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.raw.record(v);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        self.raw.snapshot(self.name)
     }
 }
 
@@ -105,6 +190,7 @@ impl Histogram {
 #[derive(Default)]
 struct Registry {
     counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
     histograms: Vec<&'static Histogram>,
 }
 
@@ -128,6 +214,21 @@ pub fn register_counter(name: &'static str) -> &'static Counter {
     c
 }
 
+/// Returns the gauge named `name`, creating and registering it on first
+/// use. Call sites should go through [`gauge!`], which caches the result.
+pub fn register_gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(g) = reg.gauges.iter().find(|g| g.name == name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        value: AtomicI64::new(0),
+    }));
+    reg.gauges.push(g);
+    g
+}
+
 /// Returns the histogram named `name`, creating and registering it on first
 /// use. Call sites should go through [`histogram!`], which caches the result.
 pub fn register_histogram(name: &'static str) -> &'static Histogram {
@@ -137,10 +238,7 @@ pub fn register_histogram(name: &'static str) -> &'static Histogram {
     }
     let h: &'static Histogram = Box::leak(Box::new(Histogram {
         name,
-        count: AtomicU64::new(0),
-        sum: AtomicU64::new(0),
-        max: AtomicU64::new(0),
-        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        raw: RawHistogram::new(),
     }));
     reg.histograms.push(h);
     h
@@ -153,6 +251,16 @@ macro_rules! counter {
         static SITE: std::sync::OnceLock<&'static $crate::metrics::Counter> =
             std::sync::OnceLock::new();
         *SITE.get_or_init(|| $crate::metrics::register_counter($name))
+    }};
+}
+
+/// Resolves a [`Gauge`] by name once per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::metrics::register_gauge($name))
     }};
 }
 
@@ -204,6 +312,42 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// The derived `(p50, p90, p99)` bucket bounds — the summary quantiles
+    /// every latency surface reports.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_bound(0.50),
+            self.quantile_bound(0.90),
+            self.quantile_bound(0.99),
+        )
+    }
+
+    /// The cumulative bucket view: `(upper_bound, count ≤ upper_bound)`
+    /// pairs for every nonempty prefix, ending with `(None, count)` for the
+    /// unbounded tail (`+Inf` in Prometheus exposition). Bucket `i ≥ 1`
+    /// holds `[2^(i-1), 2^i)`, so its inclusive upper bound is `2^i - 1`;
+    /// bucket 0 holds exactly the value 0. Counts are monotone
+    /// non-decreasing by construction.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let highest = self.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+        let mut out = Vec::with_capacity(highest + 2);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate().take(highest + 1) {
+            seen += b;
+            let le = if i == 0 {
+                0
+            } else if i >= 64 {
+                // The tail bucket has no finite bound; fold it into +Inf.
+                break;
+            } else {
+                (1u64 << i) - 1
+            };
+            out.push((Some(le), seen));
+        }
+        out.push((None, self.count));
+        out
+    }
 }
 
 /// A point-in-time copy of every registered metric, keyed by name.
@@ -211,6 +355,9 @@ impl HistogramSnapshot {
 pub struct MetricsSnapshot {
     /// `name → value`, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `name → level`, sorted by name. Instantaneous, not cumulative: a
+    /// delta keeps the later snapshot's level.
+    pub gauges: Vec<(String, i64)>,
     /// One entry per histogram, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
 }
@@ -266,6 +413,7 @@ impl MetricsSnapshot {
             .collect();
         MetricsSnapshot {
             counters,
+            gauges: self.gauges.clone(),
             histograms,
         }
     }
@@ -273,6 +421,14 @@ impl MetricsSnapshot {
     /// The value of counter `name` in this snapshot (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The level of gauge `name` in this snapshot (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
             .iter()
             .find(|(n, _)| n == name)
             .map_or(0, |(_, v)| *v)
@@ -293,13 +449,42 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
         .map(|c| (c.name.to_owned(), c.get()))
         .collect();
     counters.sort();
+    let mut gauges: Vec<(String, i64)> = reg
+        .gauges
+        .iter()
+        .map(|g| (g.name.to_owned(), g.get()))
+        .collect();
+    gauges.sort();
     let mut histograms: Vec<HistogramSnapshot> =
         reg.histograms.iter().map(|h| h.snapshot()).collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
     MetricsSnapshot {
         counters,
+        gauges,
         histograms,
     }
+}
+
+/// Runs `f` and returns its result together with the metric deltas it
+/// produced, holding a process-wide lock for the duration.
+///
+/// The registry is process-global, so two tests that each "snapshot,
+/// mutate, diff" can interleave and see each other's events — historically
+/// forcing counter-delta assertions into their own integration-test
+/// *processes* (`thread_matrix` and friends). Routing every such section
+/// through `delta_scope` serializes them instead: within one process, two
+/// scoped sections never overlap, so each delta reflects exactly the work
+/// of its own closure (plus any *un*-scoped concurrent recording, which
+/// tests sharing a binary should avoid for the counters they assert on).
+pub fn delta_scope<T>(f: impl FnOnce() -> T) -> (T, MetricsSnapshot) {
+    static SCOPE: Mutex<()> = Mutex::new(());
+    // A panic inside an earlier scope poisons the mutex but leaves the
+    // registry itself consistent; later scopes can proceed.
+    let _serial = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    let before = metrics_snapshot();
+    let out = f();
+    let delta = metrics_snapshot().since(&before);
+    (out, delta)
 }
 
 #[cfg(test)]
@@ -328,12 +513,12 @@ mod tests {
 
     #[test]
     fn histogram_buckets_are_log2() {
-        assert_eq!(Histogram::bucket_of(0), 0);
-        assert_eq!(Histogram::bucket_of(1), 1);
-        assert_eq!(Histogram::bucket_of(2), 2);
-        assert_eq!(Histogram::bucket_of(3), 2);
-        assert_eq!(Histogram::bucket_of(4), 3);
-        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(RawHistogram::bucket_of(0), 0);
+        assert_eq!(RawHistogram::bucket_of(1), 1);
+        assert_eq!(RawHistogram::bucket_of(2), 2);
+        assert_eq!(RawHistogram::bucket_of(3), 2);
+        assert_eq!(RawHistogram::bucket_of(4), 3);
+        assert_eq!(RawHistogram::bucket_of(u64::MAX), 64);
         let h = register_histogram("test.metrics.hist");
         let before = metrics_snapshot();
         for v in [0u64, 1, 5, 5, 1000] {

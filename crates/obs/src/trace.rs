@@ -1,0 +1,304 @@
+//! Per-request stage-timed traces for the serving layer.
+//!
+//! A [`RequestTrace`] rides along with one served request and attributes its
+//! wall time to pipeline stages: socket **read** → **admission** checks →
+//! **plan** (cache lookup or build) → worker **queue** wait → **eval** →
+//! response **respond** write. The connection thread owns the trace and
+//! marks stages with [`RequestTrace::stage_done`]; the queue/eval split is
+//! measured on the worker side and folded back in with
+//! [`RequestTrace::absorb_worker`], clamped so the invariant *sum of stage
+//! times ≤ total wall time* holds by construction. [`RequestTrace::record`]
+//! publishes the stage times into the `serve.request.*_us` histograms that
+//! the `metrics` admin op exposes.
+
+use crate::histogram;
+use crate::json::Json;
+use std::time::Instant;
+
+/// The pipeline stages of one served request, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Reading and parsing the request line off the socket.
+    Read,
+    /// Admission control: size caps, symbol budget.
+    Admission,
+    /// Plan-cache lookup, or the (cancellable) plan build on a miss.
+    Plan,
+    /// Waiting in the bounded worker queue.
+    Queue,
+    /// Evaluation proper (backtracking / parallel enumeration).
+    Eval,
+    /// Serializing and writing the response lines.
+    Respond,
+}
+
+/// Number of [`Stage`] variants.
+pub const STAGE_COUNT: usize = 6;
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Read,
+        Stage::Admission,
+        Stage::Plan,
+        Stage::Queue,
+        Stage::Eval,
+        Stage::Respond,
+    ];
+
+    /// Stable lower-case name (used as the JSON key suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Read => "read",
+            Stage::Admission => "admission",
+            Stage::Plan => "plan",
+            Stage::Queue => "queue",
+            Stage::Eval => "eval",
+            Stage::Respond => "respond",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Read => 0,
+            Stage::Admission => 1,
+            Stage::Plan => 2,
+            Stage::Queue => 3,
+            Stage::Eval => 4,
+            Stage::Respond => 5,
+        }
+    }
+
+    fn histogram(self) -> &'static crate::metrics::Histogram {
+        match self {
+            Stage::Read => histogram!("serve.request.read_us"),
+            Stage::Admission => histogram!("serve.request.admission_us"),
+            Stage::Plan => histogram!("serve.request.plan_us"),
+            Stage::Queue => histogram!("serve.request.queue_us"),
+            Stage::Eval => histogram!("serve.request.eval_us"),
+            Stage::Respond => histogram!("serve.request.respond_us"),
+        }
+    }
+}
+
+/// Stage-timed trace of one served request. See the module docs for the
+/// ownership protocol; the key invariant is that the attributed stage times
+/// never sum past the wall-clock total.
+#[derive(Debug)]
+pub struct RequestTrace {
+    started: Instant,
+    mark: Instant,
+    stage_ns: [u64; STAGE_COUNT],
+}
+
+impl Default for RequestTrace {
+    fn default() -> Self {
+        RequestTrace::start()
+    }
+}
+
+impl RequestTrace {
+    /// Begins a trace; the wall clock and the first stage both start now.
+    pub fn start() -> RequestTrace {
+        let now = Instant::now();
+        RequestTrace {
+            started: now,
+            mark: now,
+            stage_ns: [0; STAGE_COUNT],
+        }
+    }
+
+    /// Attributes the time since the previous mark to `stage` (accumulating
+    /// if the stage was already marked) and advances the mark. Returns the
+    /// nanoseconds attributed.
+    pub fn stage_done(&mut self, stage: Stage) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.mark).as_nanos() as u64;
+        self.stage_ns[stage.index()] += ns;
+        self.mark = now;
+        ns
+    }
+
+    /// Folds worker-measured queue-wait and eval durations into the trace.
+    /// Both were sub-intervals of the span since the last mark (the
+    /// connection thread marked just before enqueueing), so they are clamped
+    /// to that span — preserving `sum of stages ≤ total` even under clock
+    /// skew — and the mark advances past the whole span; dispatch overhead
+    /// (span − queue − eval) stays unattributed.
+    pub fn absorb_worker(&mut self, queue_ns: u64, eval_ns: u64) {
+        let now = Instant::now();
+        let span = now.duration_since(self.mark).as_nanos() as u64;
+        let eval = eval_ns.min(span);
+        let queue = queue_ns.min(span - eval);
+        self.stage_ns[Stage::Queue.index()] += queue;
+        self.stage_ns[Stage::Eval.index()] += eval;
+        self.mark = now;
+    }
+
+    /// Nanoseconds attributed to `stage` so far.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage.index()]
+    }
+
+    /// Microseconds attributed to `stage` so far.
+    pub fn stage_us(&self, stage: Stage) -> u64 {
+        self.stage_ns(stage) / 1_000
+    }
+
+    /// Sum of all attributed stage times, in nanoseconds. Always ≤
+    /// [`RequestTrace::total_ns`].
+    pub fn sum_ns(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// Wall-clock time since the trace started, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Publishes the trace into the `serve.request.{stage}_us` histograms
+    /// plus `serve.request.total_us`, and returns the total microseconds.
+    pub fn record(&self) -> u64 {
+        for s in Stage::ALL {
+            s.histogram().record(self.stage_us(s));
+        }
+        let total_us = self.total_ns() / 1_000;
+        histogram!("serve.request.total_us").record(total_us);
+        total_us
+    }
+
+    /// The trace as a JSON object: `{"read_us":..,"admission_us":..,
+    /// "plan_us":..,"queue_us":..,"eval_us":..,"respond_us":..,
+    /// "total_us":..}` — the shape embedded in `explain` responses and
+    /// slowlog entries.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Stage::ALL
+            .iter()
+            .map(|s| (format!("{}_us", s.name()), Json::int(self.stage_us(*s))))
+            .collect();
+        pairs.push(("total_us".to_owned(), Json::int(self.total_ns() / 1_000)));
+        Json::obj(pairs)
+    }
+}
+
+/// RAII guard pairing [`Gauge::incr`] with a [`Gauge::decr`] on drop, for
+/// live levels like in-flight requests and busy workers that must come back
+/// down on every exit path, including panics and early returns.
+///
+/// [`Gauge::incr`]: crate::metrics::Gauge::incr
+/// [`Gauge::decr`]: crate::metrics::Gauge::decr
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: &'static crate::metrics::Gauge,
+}
+
+impl GaugeGuard {
+    /// Raises `gauge` now; lowers it when the guard drops.
+    pub fn raise(gauge: &'static crate::metrics::Gauge) -> GaugeGuard {
+        gauge.incr();
+        GaugeGuard { gauge }
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.decr();
+    }
+}
+
+/// Raises the named gauge for the current lexical scope.
+#[macro_export]
+macro_rules! gauge_scope {
+    ($name:expr) => {
+        $crate::trace::GaugeGuard::raise($crate::gauge!($name))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::delta_scope;
+    use std::time::Duration;
+
+    #[test]
+    fn stages_partition_the_wall_clock() {
+        let mut t = RequestTrace::start();
+        std::thread::sleep(Duration::from_millis(2));
+        t.stage_done(Stage::Read);
+        t.stage_done(Stage::Admission);
+        std::thread::sleep(Duration::from_millis(1));
+        t.stage_done(Stage::Plan);
+        std::thread::sleep(Duration::from_millis(1));
+        t.absorb_worker(300_000, 500_000); // 0.3ms queue + 0.5ms eval ≤ 1ms span
+        t.stage_done(Stage::Respond);
+        assert!(t.stage_ns(Stage::Read) >= 2_000_000);
+        assert_eq!(t.stage_ns(Stage::Queue), 300_000);
+        assert_eq!(t.stage_ns(Stage::Eval), 500_000);
+        assert!(t.stage_ns(Stage::Queue) <= t.total_ns());
+        assert!(t.sum_ns() <= t.total_ns(), "stage sum must not exceed wall");
+        // ... and ≈ wall: the only unattributed time is dispatch overhead.
+        assert!(t.sum_ns() >= t.total_ns() / 2);
+    }
+
+    #[test]
+    fn absorb_worker_clamps_to_the_elapsed_span() {
+        let mut t = RequestTrace::start();
+        std::thread::sleep(Duration::from_millis(1));
+        // Worker claims 10s of queue+eval inside a ~1ms span: clamped.
+        t.absorb_worker(5_000_000_000, 5_000_000_000);
+        assert!(t.sum_ns() <= t.total_ns());
+        assert!(t.stage_ns(Stage::Eval) <= t.total_ns());
+    }
+
+    #[test]
+    fn record_feeds_stage_histograms() {
+        let ((), d) = delta_scope(|| {
+            let mut t = RequestTrace::start();
+            std::thread::sleep(Duration::from_millis(1));
+            t.stage_done(Stage::Read);
+            t.absorb_worker(200_000, 400_000);
+            t.stage_done(Stage::Respond);
+            t.record();
+        });
+        for name in [
+            "serve.request.read_us",
+            "serve.request.admission_us",
+            "serve.request.plan_us",
+            "serve.request.queue_us",
+            "serve.request.eval_us",
+            "serve.request.respond_us",
+            "serve.request.total_us",
+        ] {
+            assert_eq!(d.histogram(name).unwrap().count, 1, "{name}");
+        }
+        let total = d.histogram("serve.request.total_us").unwrap();
+        assert!(total.sum >= 1_000, "total ≥ the 1ms sleep");
+    }
+
+    #[test]
+    fn trace_json_has_every_stage_and_total() {
+        let mut t = RequestTrace::start();
+        t.stage_done(Stage::Read);
+        let j = t.to_json();
+        for s in Stage::ALL {
+            assert!(j.get(&format!("{}_us", s.name())).is_some());
+        }
+        assert!(j.get("total_us").is_some());
+    }
+
+    #[test]
+    fn gauge_guard_lowers_on_drop_and_panic() {
+        let g = crate::metrics::register_gauge("test.trace.inflight");
+        {
+            let _a = GaugeGuard::raise(g);
+            let _b = gauge_scope!("test.trace.inflight");
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+        let _ = std::panic::catch_unwind(|| {
+            let _g = GaugeGuard::raise(g);
+            panic!("boom");
+        });
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -46,6 +46,12 @@ OPTIONS:
     --reload-delta P     delta file chained onto --reload-snapshot
                          (repeatable, applied in order)
     --reload-db NAME     database name to reload [default: server default]
+    --scrape-metrics P   scrape the Prometheus text exposition (admin
+                         `metrics` op) midway through the run, while query
+                         traffic is flowing, and write it to file P; the
+                         run fails unless the scrape parses
+    --dump-slowlog P     after the run, drain the server's slow-query log
+                         and write the entries (JSON) to file P
     --shutdown         send a shutdown op after the run
     --json             emit a one-line JSON summary on stdout
     --help             print this help
@@ -81,6 +87,8 @@ struct Args {
     reload_snapshot: Option<String>,
     reload_deltas: Vec<String>,
     reload_db: Option<String>,
+    scrape_metrics: Option<String>,
+    dump_slowlog: Option<String>,
     shutdown: bool,
     json: bool,
 }
@@ -95,6 +103,8 @@ fn parse_args() -> Result<Args, String> {
         reload_snapshot: None,
         reload_deltas: Vec::new(),
         reload_db: None,
+        scrape_metrics: None,
+        dump_slowlog: None,
         shutdown: false,
         json: false,
     };
@@ -131,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
             "--reload-snapshot" => args.reload_snapshot = Some(value("--reload-snapshot")?),
             "--reload-delta" => args.reload_deltas.push(value("--reload-delta")?),
             "--reload-db" => args.reload_db = Some(value("--reload-db")?),
+            "--scrape-metrics" => args.scrape_metrics = Some(value("--scrape-metrics")?),
+            "--dump-slowlog" => args.dump_slowlog = Some(value("--dump-slowlog")?),
             "--shutdown" => args.shutdown = true,
             "--json" => args.json = true,
             other => return Err(format!("unknown flag {other:?}")),
@@ -154,7 +166,12 @@ struct Tally {
     failures: AtomicU64,
     latency_us: AtomicU64,
     max_latency_us: AtomicU64,
+    /// Every response latency, for exact post-run percentiles. A run is at
+    /// most `clients * requests` samples, so keeping them all is cheap and
+    /// avoids approximating the tail with a histogram sketch.
+    latencies: Mutex<Vec<u64>>,
     reloads: AtomicU64,
+    scrapes: AtomicU64,
     /// Distinct `retry_after_ms` hints seen on `overloaded` responses: the
     /// server jitters and depth-scales the hint precisely so rejected
     /// clients don't retry in lockstep, and flood mode asserts the spread.
@@ -240,6 +257,7 @@ fn run_client(client: usize, args: &Args, tally: &Tally) -> Result<(), String> {
         let us = started.elapsed().as_micros() as u64;
         tally.latency_us.fetch_add(us, Ordering::Relaxed);
         tally.max_latency_us.fetch_max(us, Ordering::Relaxed);
+        tally.latencies.lock().expect("latency samples").push(us);
         tally.rows.fetch_add(rows, Ordering::Relaxed);
 
         let status = status_line
@@ -365,6 +383,73 @@ fn server_stats(addr: &str) -> Result<Json, String> {
     Ok(line)
 }
 
+/// Scrapes the Prometheus text exposition mid-run (from its own
+/// connection, like `send_reload`) and writes it to `path`. A scrape that
+/// fails, or whose body lacks any `# TYPE` header, fails the run.
+fn scrape_metrics(addr: &str, path: &str, tally: &Tally) {
+    let req = Json::obj([
+        ("op", Json::str("metrics")),
+        ("id", Json::str("loadgen-scrape")),
+        ("format", Json::str("prometheus")),
+    ]);
+    match Connection::open(addr).and_then(|mut c| c.round_trip(&req)) {
+        Ok((line, _)) => {
+            let text = line.get("text").and_then(Json::as_str).unwrap_or("");
+            if line.get("status").and_then(Json::as_str) != Some("ok") || !text.contains("# TYPE") {
+                tally.fail(&format!("metrics scrape unusable: {line}"));
+                return;
+            }
+            match std::fs::write(path, text) {
+                Ok(()) => {
+                    tally.scrapes.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "loadgen: scraped {} exposition lines to {path}",
+                        text.lines().count()
+                    );
+                }
+                Err(e) => tally.fail(&format!("cannot write {path}: {e}")),
+            }
+        }
+        Err(e) => tally.fail(&format!("metrics scrape failed: {e}")),
+    }
+}
+
+/// Drains the server's slow-query log after the run and writes the
+/// response (entries + dropped count) to `path` as one JSON document.
+fn dump_slowlog(addr: &str, path: &str, tally: &Tally) {
+    let req = Json::obj([
+        ("op", Json::str("slowlog")),
+        ("id", Json::str("loadgen-slowlog")),
+    ]);
+    match Connection::open(addr).and_then(|mut c| c.round_trip(&req)) {
+        Ok((line, _)) => {
+            if line.get("status").and_then(Json::as_str) != Some("ok") {
+                tally.fail(&format!("slowlog drain rejected: {line}"));
+                return;
+            }
+            let n = line
+                .get("entries")
+                .and_then(Json::as_arr)
+                .map_or(0, |e| e.len());
+            match std::fs::write(path, format!("{line}\n")) {
+                Ok(()) => eprintln!("loadgen: dumped {n} slowlog entries to {path}"),
+                Err(e) => tally.fail(&format!("cannot write {path}: {e}")),
+            }
+        }
+        Err(e) => tally.fail(&format!("slowlog drain failed: {e}")),
+    }
+}
+
+/// Nearest-rank percentile over the sorted latency samples, in
+/// milliseconds. `q` in (0, 1].
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1_000.0
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -398,6 +483,16 @@ fn main() -> ExitCode {
             send_reload(&args, &tally);
         })
     });
+    let scraper = args.scrape_metrics.clone().map(|path| {
+        let addr = args.addr.clone();
+        let tally = Arc::clone(&tally);
+        std::thread::spawn(move || {
+            // Mid-run, so the scrape observes live gauges and in-flight
+            // request histograms, not a quiesced server.
+            std::thread::sleep(Duration::from_millis(200));
+            scrape_metrics(&addr, &path, &tally);
+        })
+    });
     let mut connect_failures = 0;
     for h in handles {
         match h.join() {
@@ -415,6 +510,12 @@ fn main() -> ExitCode {
     if let Some(h) = reloader {
         if h.join().is_err() {
             eprintln!("loadgen: reload thread panicked");
+            connect_failures += 1;
+        }
+    }
+    if let Some(h) = scraper {
+        if h.join().is_err() {
+            eprintln!("loadgen: metrics scrape thread panicked");
             connect_failures += 1;
         }
     }
@@ -460,6 +561,9 @@ fn main() -> ExitCode {
     }
 
     let stats = server_stats(&args.addr).ok();
+    if let Some(path) = &args.dump_slowlog {
+        dump_slowlog(&args.addr, path, &tally);
+    }
     if args.shutdown {
         if let Ok(mut conn) = Connection::open(&args.addr) {
             let _ = conn.round_trip(&Json::obj([("op", Json::str("shutdown"))]));
@@ -473,6 +577,13 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+    let mut sorted_us = std::mem::take(&mut *tally.latencies.lock().expect("latency samples"));
+    sorted_us.sort_unstable();
+    let (p50_ms, p90_ms, p99_ms) = (
+        percentile_ms(&sorted_us, 0.50),
+        percentile_ms(&sorted_us, 0.90),
+        percentile_ms(&sorted_us, 0.99),
+    );
     let server_hits = stats
         .as_ref()
         .and_then(|s| s.get("counters"))
@@ -523,9 +634,16 @@ fn main() -> ExitCode {
             ("wall_secs".to_string(), Json::num(wall.as_secs_f64())),
             ("req_per_sec".to_string(), Json::num(throughput)),
             ("mean_latency_ms".to_string(), Json::num(mean_latency_ms)),
+            ("p50_latency_ms".to_string(), Json::num(p50_ms)),
+            ("p90_latency_ms".to_string(), Json::num(p90_ms)),
+            ("p99_latency_ms".to_string(), Json::num(p99_ms)),
             (
                 "max_latency_ms".to_string(),
                 Json::num(tally.max_latency_us.load(Ordering::Relaxed) as f64 / 1_000.0),
+            ),
+            (
+                "metrics_scrapes".to_string(),
+                Json::int(tally.scrapes.load(Ordering::Relaxed)),
             ),
             (
                 "failures".to_string(),
@@ -539,7 +657,8 @@ fn main() -> ExitCode {
             "loadgen[{}]: {responded}/{expected} responded in {:.2}s ({throughput:.0} req/s); \
              ok {ok}, rows {}, errors {}, cancelled {}, overloaded {}; \
              cache hits seen {} (server total {server_hits}); \
-             latency mean {mean_latency_ms:.1}ms max {:.1}ms",
+             latency mean {mean_latency_ms:.1}ms \
+             p50 {p50_ms:.1}ms p90 {p90_ms:.1}ms p99 {p99_ms:.1}ms max {:.1}ms",
             args.mode,
             wall.as_secs_f64(),
             tally.rows.load(Ordering::Relaxed),

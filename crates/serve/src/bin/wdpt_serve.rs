@@ -58,6 +58,13 @@ OPTIONS:
                               [default: 1048576]
     --no-plan-cache           disable the plan cache (ablation)
     --cache-capacity N        plan-cache entries [default: 256]
+    --slowlog-threshold-ms MS capture queries slower than MS (and every
+                              deadline-exceeded query) in the slow-query
+                              log; 0 disables capture [default: 1000]
+    --slowlog-capacity N      slow-query ring-buffer entries; the oldest
+                              entry is evicted when full [default: 128]
+    --no-telemetry            disable request traces, latency histograms,
+                              and the slow-query log (ablation)
     --help                    print this help
 ";
 
@@ -142,6 +149,14 @@ fn parse_args() -> Result<Args, String> {
             "--cache-capacity" => {
                 args.cfg.cache_capacity = num(&flag, &value("--cache-capacity")?)?
             }
+            "--slowlog-threshold-ms" => {
+                args.cfg.slowlog_threshold_ms =
+                    num(&flag, &value("--slowlog-threshold-ms")?)? as u64
+            }
+            "--slowlog-capacity" => {
+                args.cfg.slowlog_capacity = num(&flag, &value("--slowlog-capacity")?)?
+            }
+            "--no-telemetry" => args.cfg.telemetry = false,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }

@@ -15,11 +15,12 @@
 //! to translate answer bindings back to the names the client wrote.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, OnceLock};
 use wdpt_core::Wdpt;
 use wdpt_cq::{try_core_of, try_in_hw, try_treewidth_of};
 use wdpt_model::{CancelToken, Cancelled, Interner, Term, Var};
-use wdpt_obs::counter;
+use wdpt_obs::{counter, Json, RawHistogram};
 use wdpt_sparql::{GraphPattern, SparqlQuery, TriplePattern};
 
 /// A query reduced to canonical form, plus what is needed to translate
@@ -190,8 +191,93 @@ pub struct NodePlan {
     pub acyclic: bool,
 }
 
+/// Runtime statistics accumulated by one cached plan across the requests
+/// that executed it: execution tallies, `cq.nodes_expanded` work (total and
+/// last run), and a log₂ latency histogram of eval times. All relaxed
+/// atomics — workers update them lock-free after each evaluation — and a
+/// [`RawHistogram`] rather than a registered one, so evicted plans don't
+/// leak `&'static` registry entries.
+///
+/// This is the per-plan signal the ROADMAP's adaptive re-planner will read:
+/// a plan whose observed `nodes_expanded` diverges from its estimate is a
+/// re-planning candidate. Surfaced through the `metrics` admin op and the
+/// per-query `explain` response field.
+#[derive(Debug, Default)]
+pub struct PlanStats {
+    executions: AtomicU64,
+    cancelled: AtomicU64,
+    nodes_expanded_total: AtomicU64,
+    nodes_expanded_last: AtomicU64,
+    latency_us: RawHistogram,
+}
+
+impl PlanStats {
+    /// Records one completed evaluation: its eval wall time and, when the
+    /// run was profiled, its `cq.nodes_expanded` count.
+    pub fn record_execution(&self, eval_us: u64, nodes_expanded: Option<u64>) {
+        self.executions.fetch_add(1, Relaxed);
+        self.latency_us.record(eval_us);
+        if let Some(n) = nodes_expanded {
+            self.nodes_expanded_total.fetch_add(n, Relaxed);
+            self.nodes_expanded_last.store(n, Relaxed);
+        }
+    }
+
+    /// Records an evaluation that hit its deadline.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Relaxed);
+    }
+
+    /// Completed executions so far.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Relaxed)
+    }
+
+    /// Deadline-cancelled executions so far.
+    pub fn cancellations(&self) -> u64 {
+        self.cancelled.load(Relaxed)
+    }
+
+    /// `cq.nodes_expanded` summed over profiled executions.
+    pub fn nodes_expanded_total(&self) -> u64 {
+        self.nodes_expanded_total.load(Relaxed)
+    }
+
+    /// `cq.nodes_expanded` of the most recent profiled execution.
+    pub fn nodes_expanded_last(&self) -> u64 {
+        self.nodes_expanded_last.load(Relaxed)
+    }
+
+    /// The stats as a JSON object (shape shared by `metrics` and
+    /// `explain`).
+    pub fn to_json(&self) -> Json {
+        let lat = self.latency_us.snapshot("latency_us");
+        let (p50, p90, p99) = lat.percentiles();
+        Json::obj([
+            ("executions", Json::int(self.executions())),
+            ("cancelled", Json::int(self.cancellations())),
+            (
+                "nodes_expanded_total",
+                Json::int(self.nodes_expanded_total()),
+            ),
+            ("nodes_expanded_last", Json::int(self.nodes_expanded_last())),
+            (
+                "latency_us",
+                Json::obj([
+                    ("count", Json::int(lat.count)),
+                    ("mean", Json::num(lat.mean())),
+                    ("p50", Json::int(p50)),
+                    ("p90", Json::int(p90)),
+                    ("p99", Json::int(p99)),
+                    ("max", Json::int(lat.max)),
+                ]),
+            ),
+        ])
+    }
+}
+
 /// A memoized evaluation plan: the WDPT in canonical variable space plus
-/// per-node decomposition/core metadata.
+/// per-node decomposition/core metadata and accumulated runtime stats.
 #[derive(Debug)]
 pub struct Plan {
     /// The parsed tree over canonical variables.
@@ -200,6 +286,8 @@ pub struct Plan {
     pub canon_vars: Vec<Var>,
     /// Per-node metadata, indexed by preorder node id.
     pub nodes: Vec<NodePlan>,
+    /// Runtime stats accumulated across this plan's executions.
+    pub stats: PlanStats,
 }
 
 /// Builds a plan from a canonicalized query. This is the expensive path
@@ -244,7 +332,30 @@ pub fn build_plan(
         wdpt: wdpt.clone(),
         canon_vars,
         nodes,
+        stats: PlanStats::default(),
     })
+}
+
+/// The `explain` response object for one plan: cache disposition, per-node
+/// decomposition facts, and accumulated runtime stats.
+pub fn explain_json(plan: &Plan, cache_status: &str) -> Json {
+    let nodes = plan
+        .nodes
+        .iter()
+        .map(|n| {
+            Json::obj([
+                ("atoms", Json::int(n.atoms as u64)),
+                ("core_atoms", Json::int(n.core_atoms as u64)),
+                ("treewidth", Json::int(n.treewidth as u64)),
+                ("acyclic", Json::Bool(n.acyclic)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("cache", Json::str(cache_status)),
+        ("nodes", Json::Arr(nodes)),
+        ("stats", plan.stats.to_json()),
+    ])
 }
 
 /// The in-flight build of one canonical key. `OnceLock::get_or_init`
@@ -302,6 +413,35 @@ impl PlanCache {
     /// Whether caching is enabled.
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Runtime stats of every cached plan as a JSON array (insertion
+    /// order), each entry carrying its canonical key and
+    /// [`PlanStats::to_json`]. The cache lock is held only to clone the
+    /// `Arc`s; the stats reads are lock-free.
+    pub fn stats_json(&self) -> Json {
+        let plans: Vec<(String, Arc<Plan>)> = {
+            let inner = self.inner.lock().expect("cache lock");
+            inner
+                .order
+                .iter()
+                .filter_map(|k| inner.map.get(k).map(|p| (k.clone(), Arc::clone(p))))
+                .collect()
+        };
+        Json::Arr(
+            plans
+                .into_iter()
+                .map(|(key, plan)| {
+                    let mut obj = match plan.stats.to_json() {
+                        Json::Obj(m) => m,
+                        _ => unreachable!("PlanStats::to_json returns an object"),
+                    };
+                    obj.insert("key".to_string(), Json::str(key));
+                    obj.insert("nodes".to_string(), Json::int(plan.nodes.len() as u64));
+                    Json::Obj(obj)
+                })
+                .collect(),
+        )
     }
 
     /// Looks up the canonical key, building (and inserting) the plan on a

@@ -12,10 +12,19 @@
 //! * `{"op":"query","query":"SELECT … WHERE { … }", …}` — evaluate a
 //!   SPARQL {AND, OPT} query. Optional fields: `id` (echoed back),
 //!   `db` (named database), `deadline_ms`, `profile` (attach a
-//!   [`wdpt_core` profile] to the `ok` line), `max_rows`.
+//!   [`wdpt_core` profile] to the `ok` line), `explain` (attach the cached
+//!   plan's per-node facts and accumulated runtime stats), `max_rows`.
 //! * `{"op":"ping"}` — liveness check.
 //! * `{"op":"stats"}` — metrics snapshot (cache hit/miss counters, request
 //!   tallies) without touching any database.
+//! * `{"op":"metrics","format":"json"|"text"}` — the full telemetry
+//!   surface: every counter, gauge, and histogram (with derived
+//!   p50/p90/p99) plus per-plan runtime stats as JSON, or the same
+//!   registry as Prometheus-style text exposition embedded in the
+//!   response's `"text"` field.
+//! * `{"op":"slowlog","keep":true}` — drain (or, with `keep`, peek at) the
+//!   bounded ring of slow and deadline-exceeded queries, each entry
+//!   carrying its stage-timed trace and captured EXPLAIN profile.
 //! * `{"op":"shutdown"}` — begin graceful shutdown: in-flight and queued
 //!   work completes, new queries get `shutting_down`.
 //! * `{"op":"reload","snapshot":"base.snap","deltas":["d1.delta"],"db":"name"}`
@@ -42,6 +51,10 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Attach the evaluation profile to the `ok` line.
         profile: bool,
+        /// Attach the plan's per-node facts and accumulated runtime stats
+        /// (executions, nodes expanded, latency percentiles) to the `ok`
+        /// line.
+        explain: bool,
         /// Cap on the number of streamed `row` lines.
         max_rows: Option<usize>,
     },
@@ -49,6 +62,22 @@ pub enum Request {
     Ping,
     /// Metrics snapshot.
     Stats,
+    /// Full telemetry snapshot: counters, gauges, histograms with derived
+    /// percentiles, and per-plan runtime stats.
+    Metrics {
+        /// Client-chosen id echoed on the response line.
+        id: Option<String>,
+        /// `true` for Prometheus-style text exposition (in the response's
+        /// `"text"` field), `false` for structured JSON.
+        text: bool,
+    },
+    /// Drain (or peek at) the slow-query ring buffer.
+    Slowlog {
+        /// Client-chosen id echoed on the response line.
+        id: Option<String>,
+        /// `true` leaves the entries in the ring instead of draining.
+        keep: bool,
+    },
     /// Graceful shutdown.
     Shutdown,
     /// Hot-swap a served database from a snapshot (+ delta chain).
@@ -76,6 +105,31 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "metrics" => {
+                let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+                let text = match v.get("format") {
+                    None | Some(Json::Null) => false,
+                    Some(j) => match j.as_str() {
+                        Some("json") => false,
+                        Some("text") | Some("prometheus") => true,
+                        _ => {
+                            return Err(
+                                "\"format\" must be \"json\", \"text\", or \"prometheus\"".into()
+                            )
+                        }
+                    },
+                };
+                Ok(Request::Metrics { id, text })
+            }
+            "slowlog" => {
+                let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+                let keep = match v.get("keep") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("\"keep\" must be a boolean".into()),
+                };
+                Ok(Request::Slowlog { id, keep })
+            }
             "reload" => {
                 let snapshot = v
                     .get("snapshot")
@@ -124,6 +178,7 @@ impl Request {
                     },
                 };
                 let profile = matches!(v.get("profile"), Some(Json::Bool(true)));
+                let explain = matches!(v.get("explain"), Some(Json::Bool(true)));
                 let max_rows = match v.get("max_rows") {
                     None | Some(Json::Null) => None,
                     Some(j) => match j.as_num() {
@@ -137,6 +192,7 @@ impl Request {
                     db,
                     deadline_ms,
                     profile,
+                    explain,
                     max_rows,
                 })
             }
@@ -151,6 +207,26 @@ impl Request {
             Request::Ping => Json::obj([("op", Json::str("ping"))]),
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
+            Request::Metrics { id, text } => {
+                let mut pairs = vec![("op".to_string(), Json::str("metrics"))];
+                if let Some(id) = id {
+                    pairs.push(("id".to_string(), Json::str(id.clone())));
+                }
+                if *text {
+                    pairs.push(("format".to_string(), Json::str("text")));
+                }
+                Json::obj(pairs)
+            }
+            Request::Slowlog { id, keep } => {
+                let mut pairs = vec![("op".to_string(), Json::str("slowlog"))];
+                if let Some(id) = id {
+                    pairs.push(("id".to_string(), Json::str(id.clone())));
+                }
+                if *keep {
+                    pairs.push(("keep".to_string(), Json::Bool(true)));
+                }
+                Json::obj(pairs)
+            }
             Request::Reload {
                 id,
                 db,
@@ -181,6 +257,7 @@ impl Request {
                 db,
                 deadline_ms,
                 profile,
+                explain,
                 max_rows,
             } => {
                 let mut pairs = vec![
@@ -198,6 +275,9 @@ impl Request {
                 }
                 if *profile {
                     pairs.push(("profile".to_string(), Json::Bool(true)));
+                }
+                if *explain {
+                    pairs.push(("explain".to_string(), Json::Bool(true)));
                 }
                 if let Some(n) = max_rows {
                     pairs.push(("max_rows".to_string(), Json::int(*n as u64)));
@@ -240,6 +320,7 @@ pub fn ok_line(
     cache: &str,
     wall_us: u64,
     profile: Option<Json>,
+    explain: Option<Json>,
 ) -> Json {
     let mut pairs = vec![
         ("status".to_string(), Json::str("ok")),
@@ -251,7 +332,54 @@ pub fn ok_line(
     if let Some(p) = profile {
         pairs.push(("profile".to_string(), p));
     }
+    if let Some(e) = explain {
+        pairs.push(("explain".to_string(), e));
+    }
     with_id(pairs, id)
+}
+
+/// The `metrics` op's JSON-format response: the full registry snapshot
+/// (rendered by `wdpt_obs::snapshot_to_json`) plus per-plan runtime stats.
+pub fn metrics_json_line(id: Option<&str>, metrics: Json, plans: Json) -> Json {
+    with_id(
+        vec![
+            ("status".to_string(), Json::str("ok")),
+            ("kind".to_string(), Json::str("metrics")),
+            ("format".to_string(), Json::str("json")),
+            ("metrics".to_string(), metrics),
+            ("plans".to_string(), plans),
+        ],
+        id,
+    )
+}
+
+/// The `metrics` op's text-format response: Prometheus exposition embedded
+/// as one JSON string (the wire framing is line-based JSON, so the client
+/// unwraps `"text"` to recover the multi-line exposition verbatim).
+pub fn metrics_text_line(id: Option<&str>, text: String) -> Json {
+    with_id(
+        vec![
+            ("status".to_string(), Json::str("ok")),
+            ("kind".to_string(), Json::str("metrics")),
+            ("format".to_string(), Json::str("text")),
+            ("text".to_string(), Json::str(text)),
+        ],
+        id,
+    )
+}
+
+/// The `slowlog` op's response: the ring's entries oldest-first, plus how
+/// many older entries were dropped at capacity since the last drain.
+pub fn slowlog_line(id: Option<&str>, entries: Vec<Json>, dropped: u64) -> Json {
+    with_id(
+        vec![
+            ("status".to_string(), Json::str("ok")),
+            ("kind".to_string(), Json::str("slowlog")),
+            ("entries".to_string(), Json::Arr(entries)),
+            ("dropped".to_string(), Json::int(dropped)),
+        ],
+        id,
+    )
 }
 
 /// Terminal error line. `kind` is a machine-readable class
@@ -341,6 +469,7 @@ mod tests {
                 db: Some("music".into()),
                 deadline_ms: Some(250),
                 profile: true,
+                explain: true,
                 max_rows: Some(10),
             },
             Request::Query {
@@ -349,7 +478,24 @@ mod tests {
                 db: None,
                 deadline_ms: None,
                 profile: false,
+                explain: false,
                 max_rows: None,
+            },
+            Request::Metrics {
+                id: Some("m1".into()),
+                text: true,
+            },
+            Request::Metrics {
+                id: None,
+                text: false,
+            },
+            Request::Slowlog {
+                id: Some("s1".into()),
+                keep: true,
+            },
+            Request::Slowlog {
+                id: None,
+                keep: false,
             },
             Request::Reload {
                 id: Some("r1".into()),
@@ -383,6 +529,9 @@ mod tests {
             r#"{"op":"reload"}"#,
             r#"{"op":"reload","snapshot":"s","deltas":"d"}"#,
             r#"{"op":"reload","snapshot":"s","deltas":[1]}"#,
+            r#"{"op":"metrics","format":"xml"}"#,
+            r#"{"op":"metrics","format":7}"#,
+            r#"{"op":"slowlog","keep":"yes"}"#,
         ];
         for text in bad {
             let v = Json::parse(text).unwrap();
@@ -392,10 +541,34 @@ mod tests {
 
     #[test]
     fn response_lines_carry_status_and_id() {
-        let ok = ok_line(Some("a"), 5, 3, "hit", 120, None);
+        let ok = ok_line(Some("a"), 5, 3, "hit", 120, None, None);
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(ok.get("id").and_then(Json::as_str), Some("a"));
         assert_eq!(ok.get("cache").and_then(Json::as_str), Some("hit"));
+
+        let ok2 = ok_line(
+            None,
+            1,
+            1,
+            "miss",
+            9,
+            None,
+            Some(Json::obj([("cache", Json::str("miss"))])),
+        );
+        assert!(ok2.get("explain").is_some());
+
+        let m = metrics_text_line(Some("m"), "# TYPE x counter\nx 1\n".into());
+        assert_eq!(m.get("kind").and_then(Json::as_str), Some("metrics"));
+        assert!(m
+            .get("text")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("# TYPE"));
+
+        let s = slowlog_line(None, vec![Json::obj([("status", Json::str("slow"))])], 2);
+        assert_eq!(s.get("kind").and_then(Json::as_str), Some("slowlog"));
+        assert_eq!(s.get("dropped").and_then(Json::as_num), Some(2.0));
+        assert_eq!(s.get("entries").unwrap().as_arr().unwrap().len(), 1);
 
         let err = error_line(None, "parse_error", "expected ')'", Some(7));
         assert_eq!(err.get("at").and_then(Json::as_num), Some(7.0));

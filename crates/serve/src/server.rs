@@ -32,24 +32,28 @@
 //! answer in-flight requests and close, queued jobs drain through the
 //! workers, and [`serve`] joins everything before returning.
 
-use crate::cache::{canonicalize, CanonicalQuery, Plan, PlanCache};
+use crate::cache::{canonicalize, explain_json, CanonicalQuery, Plan, PlanCache};
 use crate::db::merge_snapshot;
 use crate::protocol::{
-    cancelled_line, error_line, ok_line, overloaded_line, reload_line, row_line,
-    shutting_down_line, Request,
+    cancelled_line, error_line, metrics_json_line, metrics_text_line, ok_line, overloaded_line,
+    reload_line, row_line, shutting_down_line, slowlog_line, Request,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 use wdpt_core::Wdpt;
 use wdpt_cq::EXACT_TW_VERTEX_LIMIT;
 use wdpt_model::{CancelToken, Cancelled, Database, Interner, Mapping, Var};
-use wdpt_obs::{counter, metrics_snapshot, Json};
+use wdpt_obs::trace::Stage;
+use wdpt_obs::{
+    counter, gauge, gauge_scope, histogram, metrics_snapshot, render_prometheus, snapshot_to_json,
+    Json, RequestTrace,
+};
 use wdpt_sparql::algebra::SparqlError;
 use wdpt_sparql::{parse_query, GraphPattern};
 
@@ -93,6 +97,18 @@ pub struct ServeConfig {
     /// bound; requests that would exceed it are rejected with
     /// `symbol_limit` and their new symbols rolled back.
     pub max_symbols: usize,
+    /// Wall-time threshold above which a completed query is captured in
+    /// the slow-query ring, in milliseconds. `0` disables the slowlog
+    /// (and the per-query profile capture that feeds it).
+    pub slowlog_threshold_ms: u64,
+    /// Bounded capacity of the slow-query ring; the oldest entry is
+    /// dropped (and tallied) when a new one arrives at capacity.
+    pub slowlog_capacity: usize,
+    /// Master switch for request-level telemetry: stage-timed traces into
+    /// the `serve.request.*` histograms and the slowlog's profile capture.
+    /// `false` (the `--no-telemetry` ablation) keeps only the lifetime
+    /// counters and gauges the serving path always maintained.
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +126,46 @@ impl Default for ServeConfig {
             max_query_atoms: 64,
             max_query_vars: EXACT_TW_VERTEX_LIMIT,
             max_symbols: 1 << 20,
+            slowlog_threshold_ms: 1_000,
+            slowlog_capacity: 128,
+            telemetry: true,
+        }
+    }
+}
+
+/// The bounded slow-query ring: entries are full JSON documents (query,
+/// stage-timed trace, captured EXPLAIN profile) appended by connection
+/// threads and drained by the `slowlog` admin op. At capacity the oldest
+/// entry is dropped and tallied, so a flood of slow queries costs bounded
+/// memory and the drain reports what it missed.
+struct SlowLog {
+    entries: VecDeque<Json>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SlowLog {
+    fn push(&mut self, entry: Json) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Returns `(entries oldest-first, dropped-since-last-drain)`; clears
+    /// both unless `keep`.
+    fn drain(&mut self, keep: bool) -> (Vec<Json>, u64) {
+        let dropped = self.dropped;
+        if keep {
+            (self.entries.iter().cloned().collect(), dropped)
+        } else {
+            self.dropped = 0;
+            (std::mem::take(&mut self.entries).into(), dropped)
         }
     }
 }
@@ -133,6 +189,7 @@ pub struct ServeState {
     /// Jobs currently on (or just popped off) the worker queue; feeds the
     /// depth-scaled `retry_after_ms` hint on `overloaded`.
     queue_depth: AtomicUsize,
+    slowlog: Mutex<SlowLog>,
 }
 
 impl ServeState {
@@ -154,6 +211,11 @@ impl ServeState {
         );
         let cache = PlanCache::new(cfg.plan_cache, cfg.cache_capacity);
         let dbs = dbs.into_iter().map(|(n, db)| (n, Arc::new(db))).collect();
+        let slowlog = Mutex::new(SlowLog {
+            entries: VecDeque::new(),
+            capacity: cfg.slowlog_capacity,
+            dropped: 0,
+        });
         Arc::new(ServeState {
             cfg,
             interner: Mutex::new(interner),
@@ -162,7 +224,33 @@ impl ServeState {
             cache,
             shutdown: AtomicBool::new(false),
             queue_depth: AtomicUsize::new(0),
+            slowlog,
         })
+    }
+
+    /// Whether slow/cancelled queries are being captured: telemetry on and
+    /// a nonzero threshold. When true, every evaluation runs under a
+    /// profile recorder so a query discovered *afterwards* to be slow (or
+    /// killed by its deadline) still has an EXPLAIN to log — a profile
+    /// cannot be reconstructed retroactively.
+    pub fn slowlog_enabled(&self) -> bool {
+        self.cfg.telemetry && self.cfg.slowlog_threshold_ms > 0
+    }
+
+    fn slowlog_push(&self, entry: Json) {
+        counter!("serve.slowlog.captured").add(1);
+        self.slowlog.lock().expect("slowlog lock").push(entry);
+    }
+
+    /// Drains (or, with `keep`, copies) the slow-query ring:
+    /// `(entries oldest-first, dropped count)`.
+    pub fn slowlog_drain(&self, keep: bool) -> (Vec<Json>, u64) {
+        self.slowlog.lock().expect("slowlog lock").drain(keep)
+    }
+
+    /// Number of entries currently in the slow-query ring.
+    pub fn slowlog_len(&self) -> usize {
+        self.slowlog.lock().expect("slowlog lock").entries.len()
     }
 
     /// The currently served database under `name`, if any. The returned
@@ -196,6 +284,7 @@ impl ServeState {
         snapshot: &Path,
         deltas: &[impl AsRef<Path>],
     ) -> Result<(usize, usize), String> {
+        let load_start = Instant::now();
         let loaded = match wdpt_store::load_with_deltas(snapshot, deltas) {
             Ok(pair) => pair,
             Err(e) => {
@@ -203,15 +292,20 @@ impl ServeState {
                 return Err(format!("{}: {e}", snapshot.display()));
             }
         };
+        histogram!("serve.reload.load_us").record(load_start.elapsed().as_micros() as u64);
+        let merge_start = Instant::now();
         let db = {
             let mut i = self.interner.lock().expect("interner lock");
             merge_snapshot(&mut i, loaded)
         };
+        histogram!("serve.reload.merge_us").record(merge_start.elapsed().as_micros() as u64);
         let tuples = db.size();
+        let swap_start = Instant::now();
         self.dbs
             .write()
             .expect("dbs lock")
             .insert(db_name.to_string(), Arc::new(db));
+        histogram!("serve.reload.swap_us").record(swap_start.elapsed().as_micros() as u64);
         counter!("serve.store.reload_ok").add(1);
         counter!("serve.store.reload_cache_kept").add(self.cache.len() as u64);
         Ok((tuples, deltas.len()))
@@ -289,9 +383,31 @@ struct Job {
     request_vars: Vec<String>,
     token: CancelToken,
     deadline_ms: u64,
+    /// Attach the evaluation profile to the `ok` line.
     profile: bool,
+    /// Run the evaluation under a profile recorder regardless of
+    /// `profile`, so the reply carries an EXPLAIN for slowlog capture.
+    capture: bool,
+    /// Attach the plan's facts and runtime stats to the `ok` line.
+    explain: bool,
     max_rows: usize,
-    resp: mpsc::Sender<Vec<Json>>,
+    /// When the job went onto the queue; the worker derives the queue-wait
+    /// stage from it.
+    enqueued: Instant,
+    resp: mpsc::Sender<WorkerReply>,
+}
+
+/// What a worker sends back to the connection thread: the response lines
+/// plus the telemetry only the worker can measure — the queue-wait and
+/// eval durations (folded into the request's [`RequestTrace`]) and the
+/// captured profile (attached to a slowlog entry if the request turns out
+/// slow or cancelled).
+struct WorkerReply {
+    lines: Vec<Json>,
+    queue_ns: u64,
+    eval_ns: u64,
+    cancelled: bool,
+    profile: Option<Json>,
 }
 
 /// Runs the server on `listener` until shutdown is requested, then drains
@@ -376,22 +492,31 @@ fn handle_connection(
                     return Ok(());
                 }
                 let bytes = std::mem::take(&mut buf);
-                let lines = match std::str::from_utf8(&bytes) {
+                let (lines, trace) = match std::str::from_utf8(&bytes) {
                     Ok(line) => handle_line(line.trim(), &state, &tx),
                     Err(_) => {
                         counter!("serve.requests.error").add(1);
-                        vec![error_line(
+                        (
+                            vec![error_line(
+                                None,
+                                "bad_request",
+                                "request line is not valid UTF-8",
+                                None,
+                            )],
                             None,
-                            "bad_request",
-                            "request line is not valid UTF-8",
-                            None,
-                        )]
+                        )
                     }
                 };
                 for l in &lines {
                     wdpt_obs::write_json_line(&mut writer, l)?;
                 }
                 writer.flush()?;
+                // The respond stage closes only after the flush, so the
+                // recorded trace covers serialization and the socket write.
+                if let Some(mut t) = trace {
+                    t.stage_done(Stage::Respond);
+                    t.record();
+                }
                 if eof || state.is_shutting_down() {
                     return Ok(()); // answered; close so the drain can finish
                 }
@@ -425,22 +550,33 @@ fn handle_connection(
     }
 }
 
-/// Handles one request line, returning the response lines to write.
-fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json> {
+/// Handles one request line, returning the response lines to write plus,
+/// for telemetry-traced queries, the request's stage-timed trace. The
+/// caller finishes the trace (respond stage) after flushing the lines and
+/// records it into the `serve.request.*` histograms.
+fn handle_line(
+    line: &str,
+    state: &ServeState,
+    tx: &SyncSender<Job>,
+) -> (Vec<Json>, Option<RequestTrace>) {
     if line.is_empty() {
-        return Vec::new();
+        return (Vec::new(), None);
     }
+    let mut trace = RequestTrace::start();
     counter!("serve.requests.received").add(1);
     let value = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => {
             counter!("serve.requests.error").add(1);
-            return vec![error_line(
+            return (
+                vec![error_line(
+                    None,
+                    "bad_request",
+                    &format!("invalid JSON: {e}"),
+                    None,
+                )],
                 None,
-                "bad_request",
-                &format!("invalid JSON: {e}"),
-                None,
-            )];
+            );
         }
     };
     let id_owned = value.get("id").and_then(Json::as_str).map(str::to_string);
@@ -449,15 +585,27 @@ fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json
         Ok(r) => r,
         Err(e) => {
             counter!("serve.requests.error").add(1);
-            return vec![error_line(id, "bad_request", &e, None)];
+            return (vec![error_line(id, "bad_request", &e, None)], None);
         }
     };
-    match request {
+    let lines = match request {
         Request::Ping => vec![Json::obj([
             ("status", Json::str("ok")),
             ("kind", Json::str("pong")),
         ])],
         Request::Stats => vec![stats_line(state)],
+        Request::Metrics { id: _, text } => {
+            let snap = metrics_snapshot();
+            vec![if text {
+                metrics_text_line(id, render_prometheus(&snap))
+            } else {
+                metrics_json_line(id, snapshot_to_json(&snap), state.cache.stats_json())
+            }]
+        }
+        Request::Slowlog { id: _, keep } => {
+            let (entries, dropped) = state.slowlog_drain(keep);
+            vec![slowlog_line(id, entries, dropped)]
+        }
         Request::Shutdown => {
             state.begin_shutdown();
             vec![Json::obj([
@@ -471,17 +619,29 @@ fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json
             db,
             deadline_ms,
             profile,
+            explain,
             max_rows,
-        } => handle_query(
-            id,
-            &query,
-            db.as_deref(),
-            deadline_ms,
-            profile,
-            max_rows,
-            state,
-            tx,
-        ),
+        } => {
+            // The line is decoded and recognized as a query: the read
+            // stage closes here, the admission stage opens.
+            trace.stage_done(Stage::Read);
+            let lines = handle_query(
+                QueryParams {
+                    id,
+                    query: &query,
+                    db: db.as_deref(),
+                    deadline_ms,
+                    profile,
+                    explain,
+                    max_rows,
+                },
+                state,
+                tx,
+                &mut trace,
+            );
+            let trace = state.cfg.telemetry.then_some(trace);
+            return (lines, trace);
+        }
         Request::Reload {
             id: _,
             db,
@@ -490,7 +650,7 @@ fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json
         } => {
             if state.is_shutting_down() {
                 counter!("serve.requests.rejected").add(1);
-                return vec![shutting_down_line(id)];
+                return (vec![shutting_down_line(id)], None);
             }
             let db_name = db.as_deref().unwrap_or(&state.default_db);
             let start = Instant::now();
@@ -508,20 +668,79 @@ fn handle_line(line: &str, state: &ServeState, tx: &SyncSender<Job>) -> Vec<Json
                 }
             }
         }
-    }
+    };
+    (lines, None)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_query(
-    id: Option<&str>,
-    query: &str,
-    db: Option<&str>,
+/// Bundled arguments of one `query` request.
+struct QueryParams<'a> {
+    id: Option<&'a str>,
+    query: &'a str,
+    db: Option<&'a str>,
     deadline_ms: Option<u64>,
     profile: bool,
+    explain: bool,
     max_rows: Option<usize>,
+}
+
+/// Longest query excerpt kept in a slowlog entry; the ring is bounded in
+/// entries, this bounds the bytes per entry.
+const SLOWLOG_QUERY_BYTES: usize = 2048;
+
+/// One slow-query ring entry: when, what, why it qualified (`"slow"` or
+/// `"cancelled"`), where it got to (`phase`), its stage-timed trace so far,
+/// and the captured EXPLAIN profile when the evaluation ran profiled.
+#[allow(clippy::too_many_arguments)]
+fn slowlog_entry(
+    id: Option<&str>,
+    db: &str,
+    query: &str,
+    status: &str,
+    phase: &str,
+    deadline_ms: u64,
+    cache: Option<&str>,
+    trace: &RequestTrace,
+    profile: Option<Json>,
+) -> Json {
+    let ts = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut cut = query.len().min(SLOWLOG_QUERY_BYTES);
+    while !query.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    Json::obj([
+        ("ts", Json::int(ts)),
+        ("id", id.map_or(Json::Null, Json::str)),
+        ("db", Json::str(db)),
+        ("query", Json::str(&query[..cut])),
+        ("status", Json::str(status)),
+        ("phase", Json::str(phase)),
+        ("deadline_ms", Json::int(deadline_ms)),
+        ("cache", cache.map_or(Json::Null, Json::str)),
+        ("wall_us", Json::int(trace.total_ns() / 1_000)),
+        ("trace", trace.to_json()),
+        ("profile", profile.unwrap_or(Json::Null)),
+    ])
+}
+
+fn handle_query(
+    req: QueryParams<'_>,
     state: &ServeState,
     tx: &SyncSender<Job>,
+    trace: &mut RequestTrace,
 ) -> Vec<Json> {
+    let QueryParams {
+        id,
+        query,
+        db,
+        deadline_ms,
+        profile,
+        explain,
+        max_rows,
+    } = req;
+    let _in_flight = gauge_scope!("serve.requests.in_flight");
     if state.is_shutting_down() {
         counter!("serve.requests.rejected").add(1);
         return vec![shutting_down_line(id)];
@@ -598,6 +817,7 @@ fn handle_query(
         }
         (canon, wdpt)
     };
+    trace.stage_done(Stage::Admission);
 
     // Exponential back half, no global locks: plan-cache lookup or a
     // cancellable build coalesced with identical concurrent requests.
@@ -610,6 +830,22 @@ fn handle_query(
             Ok(hit) => hit,
             Err(Cancelled) => {
                 counter!("serve.requests.cancelled").add(1);
+                trace.stage_done(Stage::Plan);
+                // A query whose *planning* blew the deadline is exactly
+                // the kind the slowlog exists for; no profile exists yet.
+                if state.slowlog_enabled() {
+                    state.slowlog_push(slowlog_entry(
+                        id,
+                        db_name,
+                        query,
+                        "cancelled",
+                        "plan",
+                        deadline_ms,
+                        None,
+                        trace,
+                        None,
+                    ));
+                }
                 return vec![cancelled_line(
                     id,
                     deadline_ms,
@@ -617,6 +853,7 @@ fn handle_query(
                 )];
             }
         };
+    trace.stage_done(Stage::Plan);
 
     let (resp_tx, resp_rx) = mpsc::channel();
     let token_handle = token.clone();
@@ -629,12 +866,16 @@ fn handle_query(
         token,
         deadline_ms,
         profile,
+        capture: state.slowlog_enabled(),
+        explain,
         max_rows: max_rows.unwrap_or(state.cfg.max_rows),
+        enqueued: Instant::now(),
         resp: resp_tx,
     };
     match tx.try_send(job) {
         Ok(()) => {
             state.queue_depth.fetch_add(1, Ordering::Relaxed);
+            gauge!("serve.queue.depth").incr();
         }
         Err(TrySendError::Full(_)) => {
             counter!("serve.requests.rejected").add(1);
@@ -646,7 +887,32 @@ fn handle_query(
             return vec![shutting_down_line(id)];
         }
     }
-    await_worker(&resp_rx, id, &token_handle, deadline_ms, start)
+    let reply = await_worker(&resp_rx, id, &token_handle, deadline_ms, start);
+    trace.absorb_worker(reply.queue_ns, reply.eval_ns);
+    if state.slowlog_enabled() {
+        let threshold_ns = state.cfg.slowlog_threshold_ms.saturating_mul(1_000_000);
+        let status = if reply.cancelled {
+            Some("cancelled")
+        } else if trace.total_ns() >= threshold_ns {
+            Some("slow")
+        } else {
+            None
+        };
+        if let Some(status) = status {
+            state.slowlog_push(slowlog_entry(
+                id,
+                db_name,
+                query,
+                status,
+                "eval",
+                deadline_ms,
+                Some(cache_status),
+                trace,
+                reply.profile,
+            ));
+        }
+    }
+    reply.lines
 }
 
 /// Extra wait past the request deadline before a connection gives up on
@@ -665,31 +931,43 @@ const WORKER_GRACE_MS: u64 = 250;
 /// line goes to the client, and the connection is free for its next
 /// request. A late response is dropped harmlessly with the channel.
 fn await_worker(
-    resp_rx: &mpsc::Receiver<Vec<Json>>,
+    resp_rx: &mpsc::Receiver<WorkerReply>,
     id: Option<&str>,
     token: &CancelToken,
     deadline_ms: u64,
     start: Instant,
-) -> Vec<Json> {
+) -> WorkerReply {
     let wait = Duration::from_millis(deadline_ms.saturating_add(WORKER_GRACE_MS));
     match resp_rx.recv_timeout(wait) {
-        Ok(lines) => lines,
+        Ok(reply) => reply,
         Err(RecvTimeoutError::Timeout) => {
             token.cancel();
             counter!("serve.requests.cancelled").add(1);
             counter!("serve.worker.unresponsive").add(1);
-            vec![cancelled_line(
-                id,
-                deadline_ms,
-                start.elapsed().as_micros() as u64,
-            )]
+            WorkerReply {
+                lines: vec![cancelled_line(
+                    id,
+                    deadline_ms,
+                    start.elapsed().as_micros() as u64,
+                )],
+                queue_ns: 0,
+                eval_ns: 0,
+                cancelled: true,
+                profile: None,
+            }
         }
-        Err(RecvTimeoutError::Disconnected) => vec![error_line(
-            id,
-            "internal",
-            "worker dropped the request",
-            None,
-        )],
+        Err(RecvTimeoutError::Disconnected) => WorkerReply {
+            lines: vec![error_line(
+                id,
+                "internal",
+                "worker dropped the request",
+                None,
+            )],
+            queue_ns: 0,
+            eval_ns: 0,
+            cancelled: false,
+            profile: None,
+        },
     }
 }
 
@@ -741,36 +1019,61 @@ fn sparql_error_parts(
 }
 
 /// Worker half: evaluate with the request token and build response lines.
+///
+/// Besides the response, the worker ships the connection thread the two
+/// timings only it can measure — how long the job sat queued and how long
+/// the evaluation ran — plus the captured profile when the slowlog wants
+/// one, so slow-query entries can be assembled with full context on the
+/// connection side.
 fn process(job: Job, state: &ServeState) {
     state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    gauge!("serve.queue.depth").decr();
+    let _busy = gauge_scope!("serve.workers.busy");
+    let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
     let start = Instant::now();
     let db = &*job.db;
     let id = job.id.as_deref();
-    let lines = if job.token.poll_deadline() {
+    let reply = if job.token.poll_deadline() {
         // Expired while queued — never start the evaluation.
         counter!("serve.requests.cancelled").add(1);
-        vec![cancelled_line(
-            id,
-            job.deadline_ms,
-            start.elapsed().as_micros() as u64,
-        )]
+        job.plan.stats.record_cancelled();
+        WorkerReply {
+            lines: vec![cancelled_line(
+                id,
+                job.deadline_ms,
+                start.elapsed().as_micros() as u64,
+            )],
+            queue_ns,
+            eval_ns: 0,
+            cancelled: true,
+            profile: None,
+        }
     } else {
         let threads = state.cfg.eval_threads.max(1);
-        let result = if job.profile {
-            wdpt_core::try_evaluate_parallel_profiled(
+        // The captured evaluator keeps its profile even on cancellation —
+        // deadline-blown queries are the slowlog's whole reason to exist.
+        let (result, prof) = if job.profile || job.capture {
+            let (result, prof) = wdpt_core::try_evaluate_parallel_captured(
                 &job.plan.wdpt,
                 db,
                 threads,
                 &job.token,
                 "serve.query",
-            )
-            .map(|(answers, prof)| (answers, Some(prof)))
+            );
+            (result, Some(prof))
         } else {
-            wdpt_core::try_evaluate_parallel(&job.plan.wdpt, db, threads, &job.token)
-                .map(|answers| (answers, None))
+            (
+                wdpt_core::try_evaluate_parallel(&job.plan.wdpt, db, threads, &job.token),
+                None,
+            )
         };
+        let eval_ns = start.elapsed().as_nanos() as u64;
+        let nodes_expanded = prof.as_ref().map(|p| p.counter("cq.nodes_expanded"));
         match result {
-            Ok((answers, prof)) => {
+            Ok(answers) => {
+                job.plan
+                    .stats
+                    .record_execution(eval_ns / 1_000, nodes_expanded);
                 let wall_us = start.elapsed().as_micros() as u64;
                 let i = state.interner.lock().expect("interner lock");
                 let mut lines: Vec<Json> = answers
@@ -786,22 +1089,39 @@ fn process(job: Job, state: &ServeState) {
                     rows,
                     job.cache_status,
                     wall_us,
-                    prof.map(|p| p.to_json()),
+                    job.profile
+                        .then(|| prof.as_ref().map(|p| p.to_json()))
+                        .flatten(),
+                    job.explain
+                        .then(|| explain_json(&job.plan, job.cache_status)),
                 ));
-                lines
+                WorkerReply {
+                    lines,
+                    queue_ns,
+                    eval_ns,
+                    cancelled: false,
+                    profile: job.capture.then(|| prof.map(|p| p.to_json())).flatten(),
+                }
             }
             Err(_cancelled) => {
                 counter!("serve.requests.cancelled").add(1);
-                vec![cancelled_line(
-                    id,
-                    job.deadline_ms,
-                    start.elapsed().as_micros() as u64,
-                )]
+                job.plan.stats.record_cancelled();
+                WorkerReply {
+                    lines: vec![cancelled_line(
+                        id,
+                        job.deadline_ms,
+                        start.elapsed().as_micros() as u64,
+                    )],
+                    queue_ns,
+                    eval_ns,
+                    cancelled: true,
+                    profile: job.capture.then(|| prof.map(|p| p.to_json())).flatten(),
+                }
             }
         }
     };
     // The connection may have vanished; a dead channel is fine.
-    let _ = job.resp.send(lines);
+    let _ = job.resp.send(reply);
 }
 
 /// Renders one answer mapping in the request's variable names.
@@ -843,6 +1163,14 @@ fn stats_line(state: &ServeState) -> Json {
                     .map(|(n, v)| (n.clone(), Json::int(*v))),
             ),
         ),
+        (
+            "gauges".to_string(),
+            Json::obj(
+                snap.gauges
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::num(*v as f64))),
+            ),
+        ),
     ])
 }
 
@@ -858,10 +1186,10 @@ mod tests {
     /// cancel the job's token.
     #[test]
     fn unresponsive_worker_frees_the_connection() {
-        let (tx, rx) = mpsc::channel::<Vec<Json>>();
+        let (tx, rx) = mpsc::channel::<WorkerReply>();
         let token = CancelToken::new();
         let start = Instant::now();
-        let lines = await_worker(&rx, Some("stuck-1"), &token, 50, start);
+        let reply = await_worker(&rx, Some("stuck-1"), &token, 50, start);
         // Keep the sender alive for the whole wait: dropping it early
         // would exercise the Disconnected arm, not the timeout.
         drop(tx);
@@ -870,11 +1198,12 @@ mod tests {
             waited < Duration::from_secs(5),
             "connection stayed parked for {waited:?}"
         );
-        assert_eq!(lines.len(), 1);
+        assert_eq!(reply.lines.len(), 1);
         assert_eq!(
-            lines[0].get("status").and_then(Json::as_str),
+            reply.lines[0].get("status").and_then(Json::as_str),
             Some("cancelled")
         );
+        assert!(reply.cancelled, "a timed-out wait is a cancelled request");
         assert!(
             token.is_cancelled(),
             "the abandoned job's token must be cancelled so the worker stops"
@@ -883,12 +1212,23 @@ mod tests {
 
     #[test]
     fn worker_response_within_deadline_passes_through() {
-        let (tx, rx) = mpsc::channel::<Vec<Json>>();
-        tx.send(vec![ok_line(Some("q"), 1, 1, "hit", 10, None)])
-            .unwrap();
+        let (tx, rx) = mpsc::channel::<WorkerReply>();
+        tx.send(WorkerReply {
+            lines: vec![ok_line(Some("q"), 1, 1, "hit", 10, None, None)],
+            queue_ns: 1_000,
+            eval_ns: 9_000,
+            cancelled: false,
+            profile: None,
+        })
+        .unwrap();
         let token = CancelToken::new();
-        let lines = await_worker(&rx, Some("q"), &token, 10_000, Instant::now());
-        assert_eq!(lines[0].get("status").and_then(Json::as_str), Some("ok"));
+        let reply = await_worker(&rx, Some("q"), &token, 10_000, Instant::now());
+        assert_eq!(
+            reply.lines[0].get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+        assert_eq!(reply.queue_ns, 1_000);
+        assert_eq!(reply.eval_ns, 9_000);
         assert!(!token.is_cancelled());
     }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! wdpt-store build INPUT SNAPSHOT [--threads N] [--chunk-lines N]
 //! wdpt-store verify SNAPSHOT [--delta DELTA]...
-//! wdpt-store inspect SNAPSHOT
+//! wdpt-store inspect SNAPSHOT_OR_DELTA [--json]
 //! wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
 //! wdpt-store apply BASE SNAPSHOT_OUT [--delta DELTA]...
 //! wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
@@ -18,6 +18,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 use wdpt_model::Interner;
+use wdpt_obs::Json;
 use wdpt_store::{LoadOptions, StoreError};
 
 const USAGE: &str = "usage:
@@ -26,8 +27,10 @@ const USAGE: &str = "usage:
   wdpt-store verify SNAPSHOT [--delta DELTA]...
       fully decode a snapshot (applying any delta chain), checking every
       checksum, chain hash, and invariant
-  wdpt-store inspect SNAPSHOT
-      print the header and per-relation summary (checksums only, no decode)
+  wdpt-store inspect SNAPSHOT_OR_DELTA [--json]
+      print the header and per-relation summary (checksums only, no full
+      decode); --json emits one machine-readable JSON document instead.
+      A delta file gets its delta header summarized
   wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
       parse INPUT and write the new tuples/symbols as a delta chained onto
       BASE (after any PRIOR deltas, in order)
@@ -280,7 +283,14 @@ fn cmd_apply(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_inspect(args: Vec<String>) -> ExitCode {
+fn cmd_inspect(mut args: Vec<String>) -> ExitCode {
+    let json = match args.iter().position(|a| a == "--json") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     let [path] = args.as_slice() else {
         return usage_err("inspect takes one SNAPSHOT path");
     };
@@ -291,17 +301,87 @@ fn cmd_inspect(args: Vec<String>) -> ExitCode {
     match wdpt_store::inspect_snapshot(&bytes) {
         Ok(summary) => {
             let h = summary.header;
-            println!(
-                "snapshot v{}: {} bytes, {} symbols, fresh counter {}, {} relations, {} tuples",
-                h.version, summary.bytes, h.symbols, h.fresh_counter, h.relations, h.tuples
-            );
-            for r in &summary.relations {
+            if json {
+                let doc = Json::obj([
+                    ("kind".to_string(), Json::str("snapshot")),
+                    ("version".to_string(), Json::int(h.version as u64)),
+                    ("bytes".to_string(), Json::int(summary.bytes as u64)),
+                    ("symbols".to_string(), Json::int(h.symbols)),
+                    ("fresh_counter".to_string(), Json::int(h.fresh_counter)),
+                    ("tuples".to_string(), Json::int(h.tuples)),
+                    (
+                        "relations".to_string(),
+                        Json::Arr(
+                            summary
+                                .relations
+                                .iter()
+                                .map(|r| {
+                                    Json::obj([
+                                        ("pred".to_string(), Json::int(r.pred as u64)),
+                                        ("name".to_string(), Json::str(r.name.clone())),
+                                        ("arity".to_string(), Json::int(r.arity as u64)),
+                                        ("rows".to_string(), Json::int(r.rows)),
+                                        ("bytes".to_string(), Json::int(r.bytes as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                println!("{doc}");
+            } else {
                 println!(
-                    "  {}/{} (id {}): {} rows, {} bytes",
-                    r.name, r.arity, r.pred, r.rows, r.bytes
+                    "snapshot v{}: {} bytes, {} symbols, fresh counter {}, {} relations, {} tuples",
+                    h.version, summary.bytes, h.symbols, h.fresh_counter, h.relations, h.tuples
                 );
+                for r in &summary.relations {
+                    println!(
+                        "  {}/{} (id {}): {} rows, {} bytes",
+                        r.name, r.arity, r.pred, r.rows, r.bytes
+                    );
+                }
             }
             ExitCode::SUCCESS
+        }
+        // A delta file is not an error worth exit code 1 here: fall back to
+        // the delta header so `inspect` works on every wdpt-store artifact.
+        Err(e) if e.to_string().contains("delta snapshot") => {
+            match wdpt_store::decode_delta(&bytes) {
+                Ok(delta) => {
+                    let h = delta.header;
+                    if json {
+                        let doc = Json::obj([
+                            ("kind".to_string(), Json::str("delta")),
+                            ("version".to_string(), Json::int(h.version as u64)),
+                            ("bytes".to_string(), Json::int(bytes.len() as u64)),
+                            (
+                                "base_hash".to_string(),
+                                Json::str(format!("{:016x}", h.base_hash)),
+                            ),
+                            ("base_symbols".to_string(), Json::int(h.base_symbols)),
+                            ("symbols".to_string(), Json::int(h.symbols)),
+                            ("fresh_counter".to_string(), Json::int(h.fresh_counter)),
+                            ("relations".to_string(), Json::int(h.relations as u64)),
+                            ("inserted".to_string(), Json::int(h.inserted)),
+                        ]);
+                        println!("{doc}");
+                    } else {
+                        println!(
+                            "delta v{}: {} bytes, base hash {:016x}, {} -> {} symbols, \
+                         {} relation deltas, {} inserted tuples",
+                            h.version,
+                            bytes.len(),
+                            h.base_hash,
+                            h.base_symbols,
+                            h.symbols,
+                            h.relations,
+                            h.inserted
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => data_err(&e),
+            }
         }
         Err(e) => data_err(&e),
     }

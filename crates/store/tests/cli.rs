@@ -117,3 +117,67 @@ fn gen_synth_streams_deterministic_nt_and_builds_identical_snapshots() {
     );
     run_ok(&["verify", s(&snap8)]);
 }
+
+#[test]
+fn inspect_json_covers_snapshots_and_delta_files() {
+    let dir = TempDir::new("inspect-json");
+    let base_in = dir.path("base.nt");
+    let update_in = dir.path("update.nt");
+    let base = dir.path("base.snap");
+    let delta = dir.path("d1.wdpt");
+    run_ok(&["gen-music", "10x2", s(&base_in), "--seed", "7"]);
+    run_ok(&["build", s(&base_in), s(&base)]);
+    run_ok(&["gen-music", "3x1", s(&update_in), "--seed", "8"]);
+    run_ok(&["delta", s(&base), s(&update_in), s(&delta)]);
+
+    // Snapshot: one JSON document with the header and per-relation rows.
+    let stdout = run_ok(&["inspect", s(&base), "--json"]);
+    let doc = wdpt_obs::Json::parse(stdout.trim()).expect("inspect --json parses");
+    assert_eq!(
+        doc.get("kind").and_then(wdpt_obs::Json::as_str),
+        Some("snapshot")
+    );
+    let tuples = doc.get("tuples").and_then(wdpt_obs::Json::as_num).unwrap();
+    assert!(tuples > 0.0);
+    let rels = doc
+        .get("relations")
+        .and_then(wdpt_obs::Json::as_arr)
+        .expect("relations array");
+    assert!(!rels.is_empty());
+    let rows: f64 = rels
+        .iter()
+        .map(|r| r.get("rows").and_then(wdpt_obs::Json::as_num).unwrap())
+        .sum();
+    assert_eq!(rows, tuples, "per-relation rows must sum to the header");
+    assert!(rels[0]
+        .get("name")
+        .and_then(wdpt_obs::Json::as_str)
+        .is_some());
+
+    // Delta file: inspect falls back to the delta header instead of
+    // failing with "apply it to its base first".
+    let stdout = run_ok(&["inspect", s(&delta), "--json"]);
+    let doc = wdpt_obs::Json::parse(stdout.trim()).expect("delta inspect parses");
+    assert_eq!(
+        doc.get("kind").and_then(wdpt_obs::Json::as_str),
+        Some("delta")
+    );
+    assert!(
+        doc.get("inserted")
+            .and_then(wdpt_obs::Json::as_num)
+            .unwrap()
+            > 0.0
+    );
+    assert_eq!(
+        doc.get("base_hash")
+            .and_then(wdpt_obs::Json::as_str)
+            .map(str::len),
+        Some(16),
+        "base hash renders as 16 hex digits"
+    );
+
+    // The human-readable delta fallback works too.
+    let stdout = run_ok(&["inspect", s(&delta)]);
+    assert!(stdout.contains("delta v"), "stdout: {stdout}");
+    assert!(stdout.contains("inserted tuples"), "stdout: {stdout}");
+}

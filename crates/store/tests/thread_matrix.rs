@@ -2,15 +2,17 @@
 //! bulk loads at different `--threads` settings produce byte-identical
 //! snapshots AND identical loader counters.
 //!
-//! This lives in its own integration-test binary because `wdpt-obs`
-//! counters are process-global: any concurrently running test that touches
-//! the loader would perturb the deltas. Within this process the matrix runs
-//! sequentially inside one `#[test]`.
+//! `wdpt-obs` counters are process-global, so each load runs inside
+//! [`wdpt_obs::delta_scope`], which serializes metric-sensitive sections
+//! across threads and hands back exactly the registry delta the section
+//! produced. That makes the counter comparison safe even with other tests
+//! of this binary (or future ones) running concurrently — no own-process
+//! isolation needed.
 
 use std::io::Cursor;
 use wdpt_gen::{write_synth_nt, SynthParams};
 use wdpt_model::Interner;
-use wdpt_obs::metrics_snapshot;
+use wdpt_obs::delta_scope;
 use wdpt_store::{bulk_load, snapshot_to_vec, LoadOptions};
 
 #[test]
@@ -40,15 +42,17 @@ fn snapshots_and_counters_are_identical_across_thread_counts() {
             threads,
             chunk_lines: 512,
         };
-        let before = metrics_snapshot();
-        let mut interner = Interner::new();
-        let (db, report) = bulk_load(&mut interner, &mut Cursor::new(&text), opts).unwrap();
-        let delta = metrics_snapshot().since(&before);
+        let ((db, report, bytes), delta) = delta_scope(|| {
+            let mut interner = Interner::new();
+            let (db, report) = bulk_load(&mut interner, &mut Cursor::new(&text), opts).unwrap();
+            let bytes = snapshot_to_vec(&interner, &db).unwrap();
+            (db, report, bytes)
+        });
 
-        let bytes = snapshot_to_vec(&interner, &db).unwrap();
         let counters: Vec<u64> = watched.iter().map(|n| delta.counter(n)).collect();
         assert_eq!(report.threads, threads);
         assert!(report.duplicates > 0, "universe too large to collide");
+        assert_eq!(db.size() as u64, report.tuples);
         match &reference {
             None => reference = Some((bytes, counters)),
             Some((ref_bytes, ref_counters)) => {
