@@ -1,0 +1,403 @@
+//! The follower loop: subscribe, verify, apply, reconnect.
+//!
+//! A follower is a read replica that keeps itself current by holding one
+//! outbound connection to the primary. Everything database-shaped is
+//! behind the [`ReplApply`] trait — the serving layer implements it over
+//! its hot-reload path — so this loop is pure bytes-and-sockets and can be
+//! tested against a scripted primary.
+//!
+//! Failure policy: *any* stream problem (connect refused, read error,
+//! malformed frame, hash mismatch, apply failure) tears the connection
+//! down and reconnects with jittered exponential backoff, resubscribing
+//! from the follower's *current* head — which by construction requests
+//! exactly the missing suffix, or a fresh bootstrap if the follower
+//! diverged. Duplicate frames (possible around the subscribe race) are
+//! dropped by hash before applying.
+
+use crate::frames::{subscribe_request, Frame};
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use wdpt_obs::{counter, write_json_line, Json};
+
+/// What the serving layer must provide for a follower to apply the
+/// replication stream. All methods may be called from the follower thread
+/// only, but must tolerate concurrent readers of the served state.
+pub trait ReplApply {
+    /// The chain position currently served, if any. Sent as the
+    /// subscription base; `None` forces a bootstrap.
+    fn current_head(&self) -> Option<u64>;
+
+    /// Whether `head` was already applied (duplicate-frame suppression).
+    fn known(&self, head: u64) -> bool;
+
+    /// Installs a full snapshot whose content hash is `head`.
+    fn apply_snapshot(&self, head: u64, bytes: &[u8]) -> Result<(), String>;
+
+    /// Applies one delta chaining `base` → `head`.
+    fn apply_delta(&self, head: u64, base: u64, bytes: &[u8]) -> Result<(), String>;
+}
+
+/// Tunables of the reconnect loop.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Primary address (`host:port`).
+    pub primary: String,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Upper bound on the reconnect delay.
+    pub backoff_cap: Duration,
+    /// Socket read timeout — also the granularity at which the loop
+    /// notices the stop flag.
+    pub read_timeout: Duration,
+    /// Seed for the deterministic backoff jitter (a follower id).
+    pub jitter_seed: u64,
+}
+
+impl FollowerConfig {
+    /// Defaults for `primary`: 100 ms base, 5 s cap, 500 ms read timeout.
+    pub fn new(primary: impl Into<String>) -> FollowerConfig {
+        FollowerConfig {
+            primary: primary.into(),
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            read_timeout: Duration::from_millis(500),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// The reconnect delay before attempt `attempt` (0-based): exponential
+/// from the base with a deterministic jitter in the upper half, so a fleet
+/// of followers restarting together does not reconnect in lockstep but a
+/// given follower's schedule is reproducible.
+pub fn backoff_delay(cfg: &FollowerConfig, attempt: u32, seed: u64) -> Duration {
+    let base_ms = cfg.backoff_base.as_millis().max(1) as u64;
+    let cap_ms = cfg.backoff_cap.as_millis().max(1) as u64;
+    let exp_ms = base_ms.saturating_mul(1u64 << attempt.min(16)).min(cap_ms);
+    // Jitter in [exp/2, exp]: hash of (seed, attempt) for determinism.
+    let mut key = [0u8; 12];
+    key[..8].copy_from_slice(&seed.to_le_bytes());
+    key[8..].copy_from_slice(&attempt.to_le_bytes());
+    let jitter = wdpt_store::content_hash(&key) % (exp_ms / 2).max(1);
+    Duration::from_millis(exp_ms / 2 + jitter)
+}
+
+/// Runs the follower until `stop` is set. Applies frames through `apply`;
+/// on any stream failure sleeps the backoff schedule and resubscribes from
+/// the current head. Never panics on stream content.
+pub fn run_follower(cfg: &FollowerConfig, apply: &dyn ReplApply, stop: &AtomicBool) {
+    let mut failures: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match follow_once(cfg, apply, stop) {
+            Ok(()) => return, // stop requested
+            Err(reason) => {
+                counter!("repl.follower.reconnects").add(1);
+                let delay = backoff_delay(cfg, failures, cfg.jitter_seed);
+                eprintln!(
+                    "repl follower: stream to {} failed ({reason}); retrying in {delay:?}",
+                    cfg.primary
+                );
+                failures = failures.saturating_add(1);
+                // Sleep in stop-sized slices so shutdown stays prompt.
+                let mut left = delay;
+                while !left.is_zero() && !stop.load(Ordering::SeqCst) {
+                    let tick = left.min(Duration::from_millis(50));
+                    std::thread::sleep(tick);
+                    left = left.saturating_sub(tick);
+                }
+            }
+        }
+    }
+}
+
+/// One connection lifetime: subscribe, then apply frames until the stream
+/// breaks (`Err(reason)`) or `stop` is set (`Ok`). The first applied frame
+/// resets the caller's failure counter implicitly by returning only on
+/// error; sustained streams that later break restart the backoff schedule
+/// from the caller's count — the caller resets on our signal via
+/// `counter` telemetry rather than a return value, keeping this function's
+/// contract simple.
+fn follow_once(
+    cfg: &FollowerConfig,
+    apply: &dyn ReplApply,
+    stop: &AtomicBool,
+) -> Result<(), String> {
+    let stream =
+        TcpStream::connect(&cfg.primary).map_err(|e| format!("connect {}: {e}", cfg.primary))?;
+    stream
+        .set_read_timeout(Some(cfg.read_timeout))
+        .map_err(|e| e.to_string())?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+
+    let base = apply.current_head();
+    write_json_line(&mut writer, &subscribe_request(None, base))
+        .and_then(|()| std::io::Write::flush(&mut writer))
+        .map_err(|e| format!("send subscribe: {e}"))?;
+
+    // Accumulate raw bytes across read timeouts: a timeout mid-line (large
+    // hex frames span many packets) must not discard the partial prefix.
+    let mut buf: Vec<u8> = Vec::new();
+    // Replay deltas still owed from the handshake; live frames past the
+    // replay must not drive the backlog gauge negative.
+    let mut backlog: i64 = 0;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    "primary closed the stream".to_string()
+                } else {
+                    "primary closed mid-frame".to_string()
+                });
+            }
+            Ok(_) if !buf.ends_with(b"\n") => continue, // partial, keep reading
+            Ok(_) => {
+                let bytes = std::mem::take(&mut buf);
+                let line = std::str::from_utf8(&bytes)
+                    .map_err(|_| "frame is not UTF-8".to_string())?
+                    .trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let value = Json::parse(line).map_err(|e| format!("bad frame JSON: {e}"))?;
+                handle_frame(&value, apply, &mut backlog)?;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}
+
+fn handle_frame(value: &Json, apply: &dyn ReplApply, backlog: &mut i64) -> Result<(), String> {
+    match Frame::from_json(value)? {
+        Frame::Subscribed { mode, deltas, .. } => {
+            if mode == "bootstrap" {
+                counter!("repl.follower.bootstraps").add(1);
+            }
+            // The replay length is the follower's backlog at subscribe
+            // time; each replay delta counts it back down. Live frames
+            // past the replay leave the gauge at zero.
+            *backlog = deltas as i64;
+            wdpt_obs::gauge!("repl.follower.backlog_deltas").set(*backlog);
+            Ok(())
+        }
+        Frame::Snapshot { head, data } => {
+            if apply.known(head) {
+                counter!("repl.follower.duplicates_dropped").add(1);
+                return Ok(());
+            }
+            apply.apply_snapshot(head, &data)
+        }
+        Frame::Delta { head, base, data } => {
+            if apply.known(head) {
+                counter!("repl.follower.duplicates_dropped").add(1);
+            } else {
+                apply.apply_delta(head, base, &data)?;
+            }
+            // A replayed duplicate still retires backlog: it was counted
+            // in the handshake's replay length.
+            if *backlog > 0 {
+                *backlog -= 1;
+                wdpt_obs::gauge!("repl.follower.backlog_deltas").set(*backlog);
+            }
+            Ok(())
+        }
+        Frame::Closed { reason } => Err(reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Mutex};
+    use wdpt_obs::read_json_line;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        let cfg = FollowerConfig::new("x");
+        let d0 = backoff_delay(&cfg, 0, 1);
+        let d3 = backoff_delay(&cfg, 3, 1);
+        let d20 = backoff_delay(&cfg, 20, 1);
+        assert!(d0 >= Duration::from_millis(50) && d0 <= Duration::from_millis(100));
+        assert!(d3 >= Duration::from_millis(400) && d3 <= Duration::from_millis(800));
+        assert!(d20 <= cfg.backoff_cap, "cap must hold: {d20:?}");
+        // Deterministic per seed, spread across seeds.
+        assert_eq!(backoff_delay(&cfg, 5, 7), backoff_delay(&cfg, 5, 7));
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..16).map(|s| backoff_delay(&cfg, 5, s)).collect();
+        assert!(distinct.len() > 8, "jitter must spread followers");
+    }
+
+    /// A scripted apply target recording the calls it receives.
+    #[derive(Default)]
+    struct Recorder {
+        head: Mutex<Option<u64>>,
+        known: Mutex<std::collections::HashSet<u64>>,
+        snapshots: AtomicUsize,
+        deltas: AtomicUsize,
+    }
+
+    impl ReplApply for Recorder {
+        fn current_head(&self) -> Option<u64> {
+            *self.head.lock().unwrap()
+        }
+        fn known(&self, head: u64) -> bool {
+            self.known.lock().unwrap().contains(&head)
+        }
+        fn apply_snapshot(&self, head: u64, _bytes: &[u8]) -> Result<(), String> {
+            self.snapshots.fetch_add(1, Ordering::SeqCst);
+            *self.head.lock().unwrap() = Some(head);
+            self.known.lock().unwrap().insert(head);
+            Ok(())
+        }
+        fn apply_delta(&self, head: u64, base: u64, _bytes: &[u8]) -> Result<(), String> {
+            if self.current_head() != Some(base) {
+                return Err(format!("delta base {base} does not match head"));
+            }
+            self.deltas.fetch_add(1, Ordering::SeqCst);
+            *self.head.lock().unwrap() = Some(head);
+            self.known.lock().unwrap().insert(head);
+            Ok(())
+        }
+    }
+
+    /// Follower against a hand-rolled primary: bootstrap, two deltas (one
+    /// duplicated), then a clean stop.
+    #[test]
+    fn follower_applies_stream_and_drops_duplicates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            let req = read_json_line(&mut r).unwrap().unwrap();
+            assert_eq!(req.get("op").and_then(Json::as_str), Some("subscribe"));
+            assert_eq!(req.get("base"), None, "fresh follower sends no base");
+
+            let snap = b"snapshot bytes".to_vec();
+            let d1 = b"delta one".to_vec();
+            let d2 = b"delta two".to_vec();
+            let (hs, h1, h2) = (
+                wdpt_store::content_hash(&snap),
+                wdpt_store::content_hash(&d1),
+                wdpt_store::content_hash(&d2),
+            );
+            use crate::frames::{delta_frame, snapshot_frame, subscribed_line};
+            for line in [
+                subscribed_line(None, hs, "bootstrap", 0),
+                snapshot_frame(hs, &snap),
+                delta_frame(h1, hs, &d1),
+                delta_frame(h1, hs, &d1), // duplicate
+                delta_frame(h2, h1, &d2),
+            ] {
+                write_json_line(&mut w, &line).unwrap();
+            }
+            std::io::Write::flush(&mut w).unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+
+        let recorder = Arc::new(Recorder::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let fol = {
+            let (rec, stop) = (Arc::clone(&recorder), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut cfg = FollowerConfig::new(addr);
+                cfg.read_timeout = Duration::from_millis(50);
+                run_follower(&cfg, &*rec, &stop);
+            })
+        };
+        // Wait for the two unique deltas to land, then stop.
+        let t0 = std::time::Instant::now();
+        while recorder.deltas.load(Ordering::SeqCst) < 2 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::SeqCst);
+        fol.join().unwrap();
+        server.join().unwrap();
+        assert_eq!(recorder.snapshots.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            recorder.deltas.load(Ordering::SeqCst),
+            2,
+            "duplicate applied"
+        );
+        assert_eq!(
+            recorder.current_head(),
+            Some(wdpt_store::content_hash(b"delta two"))
+        );
+    }
+
+    /// A refused subscription (error line) or dead primary triggers the
+    /// reconnect path; the follower keeps retrying until stopped and then
+    /// exits promptly.
+    #[test]
+    fn follower_survives_refusal_and_stops_promptly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let server = {
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                listener.set_nonblocking(true).unwrap();
+                let t0 = std::time::Instant::now();
+                while t0.elapsed() < Duration::from_secs(3) {
+                    if let Ok((stream, _)) = listener.accept() {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                        let mut w = BufWriter::new(stream);
+                        let line = Json::obj([
+                            ("status", Json::str("error")),
+                            ("kind", Json::str("bad_request")),
+                            ("message", Json::str("not a primary")),
+                        ]);
+                        write_json_line(&mut w, &line).unwrap();
+                        std::io::Write::flush(&mut w).ok();
+                        if accepted.load(Ordering::SeqCst) >= 2 {
+                            return;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let recorder = Arc::new(Recorder::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let fol = {
+            let (rec, stop) = (Arc::clone(&recorder), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut cfg = FollowerConfig::new(addr);
+                cfg.read_timeout = Duration::from_millis(50);
+                cfg.backoff_base = Duration::from_millis(20);
+                cfg.backoff_cap = Duration::from_millis(80);
+                run_follower(&cfg, &*rec, &stop);
+            })
+        };
+        let t0 = std::time::Instant::now();
+        while accepted.load(Ordering::SeqCst) < 2 && t0.elapsed() < Duration::from_secs(3) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            accepted.load(Ordering::SeqCst) >= 2,
+            "follower must reconnect after refusal"
+        );
+        stop.store(true, Ordering::SeqCst);
+        let t1 = std::time::Instant::now();
+        fol.join().unwrap();
+        assert!(t1.elapsed() < Duration::from_secs(2), "stop must be prompt");
+        server.join().unwrap();
+        assert_eq!(recorder.snapshots.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Wire frames of the replication stream.
+//!
+//! Replication rides the existing one-line-one-document JSON protocol.
+//! A follower sends a single `subscribe` request and the connection then
+//! inverts: the primary pushes frames for the life of the subscription.
+//!
+//! ```text
+//! follower → primary   {"op":"subscribe","id":"f1","base":"<head hex>"}
+//! primary  → follower  {"status":"ok","kind":"subscribed","head":H,"mode":"suffix"|"bootstrap","deltas":N}
+//! primary  → follower  {"status":"snapshot","head":H,"bytes":N,"data":"<hex>"}     (bootstrap only)
+//! primary  → follower  {"status":"delta","head":H,"base":B,"bytes":N,"data":"<hex>"}  (repeated)
+//! ```
+//!
+//! `head` is always the chain position *after* applying the frame, `base`
+//! the position it extends — both in the canonical
+//! [`wdpt_store::head_hex`] form. Payload bytes travel hex-encoded: the
+//! protocol is line-framed UTF-8 JSON, and hex keeps the codec
+//! dependency-free and trivially verifiable (the follower re-hashes the
+//! decoded bytes and compares against `head` before applying anything).
+//!
+//! Builders and the [`Frame`] parser live here — `wdpt-serve` uses the
+//! builders, the follower the parser — so both ends share one grammar.
+
+use wdpt_obs::Json;
+use wdpt_store::{head_hex, parse_head_hex};
+
+/// Encodes bytes as lowercase hex (two digits per byte).
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xF) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes a hex string produced by [`encode_hex`] (either case).
+pub fn decode_hex(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".to_string());
+    }
+    let digit = |b: u8| -> Result<u8, String> {
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| format!("invalid hex digit {:?}", b as char))
+    };
+    text.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| Ok(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
+}
+
+/// The follower's one request: subscribe from `base` (its current head),
+/// or from nothing (fresh follower, forces a bootstrap).
+pub fn subscribe_request(id: Option<&str>, base: Option<u64>) -> Json {
+    let mut pairs = vec![("op".to_string(), Json::str("subscribe"))];
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Json::str(id)));
+    }
+    if let Some(base) = base {
+        pairs.push(("base".to_string(), Json::str(head_hex(base))));
+    }
+    Json::Obj(pairs.into_iter().collect())
+}
+
+/// The handshake acknowledgment: the primary's head, whether the follower
+/// gets a `suffix` replay or a full `bootstrap`, and how many delta frames
+/// the replay holds (live frames follow indefinitely after it).
+pub fn subscribed_line(id: Option<&str>, head: u64, mode: &str, deltas: usize) -> Json {
+    Json::obj([
+        ("status".to_string(), Json::str("ok")),
+        ("kind".to_string(), Json::str("subscribed")),
+        ("id".to_string(), id.map_or(Json::Null, Json::str)),
+        ("head".to_string(), Json::str(head_hex(head))),
+        ("mode".to_string(), Json::str(mode)),
+        ("deltas".to_string(), Json::int(deltas as u64)),
+    ])
+}
+
+/// A full-snapshot bootstrap frame. `head` is the content hash of `bytes`.
+pub fn snapshot_frame(head: u64, bytes: &[u8]) -> Json {
+    Json::obj([
+        ("status".to_string(), Json::str("snapshot")),
+        ("head".to_string(), Json::str(head_hex(head))),
+        ("bytes".to_string(), Json::int(bytes.len() as u64)),
+        ("data".to_string(), Json::str(encode_hex(bytes))),
+    ])
+}
+
+/// One delta frame: `bytes` chains the position `base` to the position
+/// `head` (its own content hash).
+pub fn delta_frame(head: u64, base: u64, bytes: &[u8]) -> Json {
+    Json::obj([
+        ("status".to_string(), Json::str("delta")),
+        ("head".to_string(), Json::str(head_hex(head))),
+        ("base".to_string(), Json::str(head_hex(base))),
+        ("bytes".to_string(), Json::int(bytes.len() as u64)),
+        ("data".to_string(), Json::str(encode_hex(bytes))),
+    ])
+}
+
+/// A parsed frame from the primary, as the follower sees it.
+#[derive(Debug, PartialEq)]
+pub enum Frame {
+    /// Handshake acknowledgment. `deltas` is the replay length — the
+    /// follower's initial backlog.
+    Subscribed {
+        head: u64,
+        mode: String,
+        deltas: u64,
+    },
+    /// Full-snapshot bootstrap; `data` re-hashes to `head`.
+    Snapshot { head: u64, data: Vec<u8> },
+    /// One delta; `data` re-hashes to `head` and chains onto `base`.
+    Delta { head: u64, base: u64, data: Vec<u8> },
+    /// The primary is going away (shutdown, or refused the subscription).
+    Closed { reason: String },
+}
+
+impl Frame {
+    /// Parses one pushed line. Unknown or malformed frames are errors —
+    /// the follower treats them as a broken stream and reconnects.
+    pub fn from_json(v: &Json) -> Result<Frame, String> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("frame has no status")?;
+        let head_of = |v: &Json| -> Result<u64, String> {
+            v.get("head")
+                .and_then(Json::as_str)
+                .and_then(parse_head_hex)
+                .ok_or_else(|| "frame has no valid head".to_string())
+        };
+        let data_of = |v: &Json| -> Result<Vec<u8>, String> {
+            let text = v
+                .get("data")
+                .and_then(Json::as_str)
+                .ok_or("frame has no data")?;
+            let data = decode_hex(text)?;
+            if let Some(n) = v.get("bytes").and_then(Json::as_num) {
+                if n as u64 != data.len() as u64 {
+                    return Err(format!(
+                        "frame claims {} bytes but carries {}",
+                        n,
+                        data.len()
+                    ));
+                }
+            }
+            Ok(data)
+        };
+        match status {
+            "ok" if v.get("kind").and_then(Json::as_str) == Some("subscribed") => {
+                let mode = v
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or("subscribed frame has no mode")?
+                    .to_string();
+                let deltas = v.get("deltas").and_then(Json::as_num).unwrap_or(0.0) as u64;
+                Ok(Frame::Subscribed {
+                    head: head_of(v)?,
+                    mode,
+                    deltas,
+                })
+            }
+            "snapshot" => {
+                let head = head_of(v)?;
+                let data = data_of(v)?;
+                if wdpt_store::content_hash(&data) != head {
+                    return Err("snapshot payload does not hash to its head".to_string());
+                }
+                Ok(Frame::Snapshot { head, data })
+            }
+            "delta" => {
+                let head = head_of(v)?;
+                let base = v
+                    .get("base")
+                    .and_then(Json::as_str)
+                    .and_then(parse_head_hex)
+                    .ok_or("delta frame has no valid base")?;
+                let data = data_of(v)?;
+                if wdpt_store::content_hash(&data) != head {
+                    return Err("delta payload does not hash to its head".to_string());
+                }
+                Ok(Frame::Delta { head, base, data })
+            }
+            "shutting_down" => Ok(Frame::Closed {
+                reason: "primary is shutting down".to_string(),
+            }),
+            "error" => {
+                let message = v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified");
+                Ok(Frame::Closed {
+                    reason: format!("primary refused: {message}"),
+                })
+            }
+            other => Err(format!("unexpected frame status {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        for bytes in [&b""[..], &b"\x00"[..], &b"\xff\x00\x7f"[..], &b"hello"[..]] {
+            assert_eq!(decode_hex(&encode_hex(bytes)).unwrap(), bytes);
+        }
+        assert!(decode_hex("abc").is_err());
+        assert!(decode_hex("zz").is_err());
+        assert_eq!(encode_hex(&[0xde, 0xad]), "dead");
+    }
+
+    #[test]
+    fn frames_round_trip_through_json() {
+        let payload = b"some delta bytes".to_vec();
+        let head = wdpt_store::content_hash(&payload);
+        let line = delta_frame(head, 42, &payload);
+        assert_eq!(
+            Frame::from_json(&line).unwrap(),
+            Frame::Delta {
+                head,
+                base: 42,
+                data: payload.clone()
+            }
+        );
+
+        let snap = snapshot_frame(head, &payload);
+        assert_eq!(
+            Frame::from_json(&snap).unwrap(),
+            Frame::Snapshot {
+                head,
+                data: payload
+            }
+        );
+
+        let sub = subscribed_line(Some("f"), 7, "suffix", 3);
+        assert_eq!(
+            Frame::from_json(&sub).unwrap(),
+            Frame::Subscribed {
+                head: 7,
+                mode: "suffix".to_string(),
+                deltas: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn tampered_payload_is_rejected_before_apply() {
+        let payload = b"some delta bytes".to_vec();
+        let head = wdpt_store::content_hash(&payload);
+        let mut tampered = payload.clone();
+        tampered[0] ^= 1;
+        let line = delta_frame(head, 42, &tampered);
+        let err = Frame::from_json(&line).unwrap_err();
+        assert!(err.contains("hash"), "{err}");
+
+        // A byte-count mismatch is caught even before hashing.
+        let mut wrong_len = delta_frame(head, 42, &payload);
+        if let Json::Obj(m) = &mut wrong_len {
+            m.insert("bytes".to_string(), Json::int(3));
+        }
+        assert!(Frame::from_json(&wrong_len).is_err());
+    }
+
+    #[test]
+    fn subscribe_request_carries_optional_base() {
+        let with = subscribe_request(Some("f1"), Some(0xabcd));
+        assert_eq!(
+            with.get("base").and_then(Json::as_str),
+            Some("000000000000abcd")
+        );
+        let without = subscribe_request(None, None);
+        assert_eq!(without.get("base"), None);
+        assert_eq!(without.get("op").and_then(Json::as_str), Some("subscribe"));
+    }
+}

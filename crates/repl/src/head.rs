@@ -1,0 +1,175 @@
+//! The served chain position, shared between the apply path and
+//! `min_head` admission.
+//!
+//! Hashes carry no order, so "head ≥ H" cannot be a numeric comparison;
+//! the order *is* the chain. [`ReplHead`] therefore remembers every hash
+//! the served database has ever passed through (the history), and
+//! `min_head: H` is satisfied exactly when `H` is in that history — the
+//! serving state is then at `H` or a descendant of it. A condition
+//! variable lets admission block until the follower's apply loop catches
+//! up or the request deadline passes.
+
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct HeadState {
+    /// The current chain, base first. Empty until a chain position is
+    /// known (a server that loaded plain text has no chain identity).
+    chain: Vec<u64>,
+    /// Every hash ever on the served chain, for `min_head` membership.
+    known: HashSet<u64>,
+}
+
+/// Tracks the chain-head hash of the served database; see module docs.
+#[derive(Debug, Default)]
+pub struct ReplHead {
+    state: Mutex<HeadState>,
+    advanced: Condvar,
+}
+
+impl ReplHead {
+    /// A head with no chain identity yet.
+    pub fn new() -> ReplHead {
+        ReplHead::default()
+    }
+
+    /// The current head hash, if a chain position is known.
+    pub fn head(&self) -> Option<u64> {
+        self.state.lock().expect("head lock").chain.last().copied()
+    }
+
+    /// Number of chain positions served so far (base counts as one).
+    pub fn chain_len(&self) -> usize {
+        self.state.lock().expect("head lock").chain.len()
+    }
+
+    /// Whether `hash` is on (or behind) the served chain — the `min_head`
+    /// admission predicate.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.state.lock().expect("head lock").known.contains(&hash)
+    }
+
+    /// Whether `hash` is a position on the *current* chain — the
+    /// duplicate-frame predicate. Distinct from [`contains`]: after a
+    /// re-bootstrap the history still knows hashes the freshly installed
+    /// chain has not reached yet, and replayed deltas for those must be
+    /// applied, not dropped as duplicates.
+    ///
+    /// [`contains`]: ReplHead::contains
+    pub fn on_chain(&self, hash: u64) -> bool {
+        self.state.lock().expect("head lock").chain.contains(&hash)
+    }
+
+    /// Replaces the chain wholesale (a reload or bootstrap installed the
+    /// state described by `chain`, base first). History is retained: every
+    /// hash ever served stays valid for `min_head`.
+    pub fn install_chain(&self, chain: &[u64]) {
+        let mut s = self.state.lock().expect("head lock");
+        s.known.extend(chain.iter().copied());
+        s.chain = chain.to_vec();
+        drop(s);
+        self.advanced.notify_all();
+    }
+
+    /// Extends the chain by one applied delta.
+    pub fn advance(&self, hash: u64) {
+        let mut s = self.state.lock().expect("head lock");
+        s.chain.push(hash);
+        s.known.insert(hash);
+        drop(s);
+        self.advanced.notify_all();
+    }
+
+    /// Blocks until `hash` is on the served chain or `deadline` passes;
+    /// returns whether it arrived.
+    pub fn wait_contains(&self, hash: u64, deadline: Instant) -> bool {
+        let mut s = self.state.lock().expect("head lock");
+        loop {
+            if s.known.contains(&hash) {
+                return true;
+            }
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, timeout) = self.advanced.wait_timeout(s, left).expect("head lock");
+            s = guard;
+            if timeout.timed_out() {
+                return s.known.contains(&hash);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn history_is_membership_not_ordering() {
+        let head = ReplHead::new();
+        assert_eq!(head.head(), None);
+        assert!(!head.contains(1));
+        head.install_chain(&[10, 20]);
+        assert_eq!(head.head(), Some(20));
+        assert!(head.contains(10) && head.contains(20));
+        head.advance(5); // numerically smaller, chain-later
+        assert_eq!(head.head(), Some(5));
+        assert!(head.contains(20), "history survives advancing");
+        // A reload that reinstalls from the base keeps old hashes known.
+        head.install_chain(&[10, 20, 5, 99]);
+        assert!(head.contains(5));
+        assert_eq!(head.head(), Some(99));
+    }
+
+    /// `on_chain` (duplicate suppression) is current-chain membership;
+    /// `contains` (min_head admission) is full-history membership. After a
+    /// re-bootstrap the two disagree, and that gap is what lets a replay
+    /// re-apply deltas the history already knows.
+    #[test]
+    fn on_chain_is_narrower_than_contains_after_rebootstrap() {
+        let head = ReplHead::new();
+        head.install_chain(&[10]);
+        head.advance(20);
+        head.advance(30);
+        assert!(head.on_chain(20) && head.on_chain(30));
+        // Re-bootstrap from the base: chain resets, history does not.
+        head.install_chain(&[10]);
+        assert!(head.contains(30), "history survives the re-bootstrap");
+        assert!(!head.on_chain(30), "but 30 is not on the current chain");
+        head.advance(20);
+        head.advance(30);
+        assert_eq!(head.head(), Some(30));
+    }
+
+    #[test]
+    fn wait_contains_blocks_until_advance_or_deadline() {
+        let head = Arc::new(ReplHead::new());
+        head.install_chain(&[1]);
+        // Already-known: returns immediately.
+        assert!(head.wait_contains(1, Instant::now()));
+        // Never arrives: returns false at the deadline.
+        let t0 = Instant::now();
+        assert!(!head.wait_contains(77, Instant::now() + Duration::from_millis(50)));
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        // Arrives mid-wait: returns true promptly.
+        let waiter = {
+            let head = Arc::clone(&head);
+            std::thread::spawn(move || {
+                head.wait_contains(42, Instant::now() + Duration::from_secs(10))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        head.advance(42);
+        let t1 = Instant::now();
+        assert!(waiter.join().unwrap());
+        assert!(t1.elapsed() < Duration::from_secs(5));
+    }
+}

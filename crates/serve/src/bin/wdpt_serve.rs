@@ -65,6 +65,13 @@ OPTIONS:
                               entry is evicted when full [default: 128]
     --no-telemetry            disable request traces, latency histograms,
                               and the slow-query log (ablation)
+    --repl-log DIR            act as replication primary: keep the delta
+                              chain of the default database (which must come
+                              from --snapshot) in an append-only log under
+                              DIR and stream it to subscribed followers
+    --follow HOST:PORT        act as read replica: subscribe to the primary
+                              at HOST:PORT and apply its delta stream to the
+                              default database (conflicts with --repl-log)
     --help                    print this help
 ";
 
@@ -75,6 +82,8 @@ struct Args {
     save_snapshot: Option<String>,
     gen_music: Option<(usize, usize)>,
     load_threads: usize,
+    repl_log: Option<String>,
+    follow: Option<String>,
     cfg: ServeConfig,
 }
 
@@ -101,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
         save_snapshot: None,
         gen_music: None,
         load_threads: 0,
+        repl_log: None,
+        follow: None,
         cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -157,6 +168,8 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.slowlog_capacity = num(&flag, &value("--slowlog-capacity")?)?
             }
             "--no-telemetry" => args.cfg.telemetry = false,
+            "--repl-log" => args.repl_log = Some(value("--repl-log")?),
+            "--follow" => args.follow = Some(value("--follow")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -182,15 +195,74 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.repl_log.is_some() && args.follow.is_some() {
+        eprintln!("error: --repl-log (primary) conflicts with --follow (replica)");
+        return ExitCode::from(2);
+    }
+    if args.repl_log.is_some() && args.snapshots.is_empty() {
+        eprintln!("error: --repl-log requires the default database to come from --snapshot");
+        return ExitCode::from(2);
+    }
+
     let mut interner = Interner::new();
     let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
     let mut default_db = String::new();
+
+    // A primary opens (or initializes) its replication log against the
+    // base snapshot first: deltas already in the log (accepted before a
+    // restart) are recovered into the served database, and the log's
+    // chain becomes the served head history.
+    let mut primary_log: Option<wdpt_store::ReplLog> = None;
+    if let Some(dir) = &args.repl_log {
+        let (name, path) = args.snapshots[0].clone();
+        let _g = span!("serve.repl_log_open");
+        let base_bytes = match std::fs::read(Path::new(&path)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: snapshot {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let log = match wdpt_store::ReplLog::open_or_init(Path::new(dir), &base_bytes) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: replication log {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let delta_paths: Vec<std::path::PathBuf> = log
+            .entries()
+            .iter()
+            .map(|e| Path::new(dir).join(&e.file))
+            .collect();
+        match wdpt_store::load_with_deltas(Path::new(&path), &delta_paths) {
+            Ok(pair) => {
+                let db = wdpt_serve::merge_snapshot(&mut interner, pair);
+                eprintln!(
+                    "primary {name:?}: {} facts from {path} + {} logged delta(s), head {}",
+                    db.size(),
+                    delta_paths.len(),
+                    wdpt_store::head_hex(log.head()),
+                );
+                default_db = name.clone();
+                dbs.insert(name, db);
+            }
+            Err(e) => {
+                eprintln!("error: replaying replication log {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        primary_log = Some(log);
+    }
 
     // Snapshots load first (so the usual single-snapshot start adopts the
     // snapshot's interner wholesale, keeping its prebuilt indexes). A
     // corrupt snapshot is not fatal when a same-name --db can fall back.
     let mut failed_snapshots: Vec<String> = Vec::new();
     for (name, path) in &args.snapshots {
+        if dbs.contains_key(name) {
+            continue; // already loaded through the replication log
+        }
         let _g = span!("serve.snapshot_load");
         let t0 = Instant::now();
         match wdpt_store::load_snapshot(Path::new(path)) {
@@ -285,15 +357,43 @@ fn main() -> ExitCode {
     };
     let local = listener.local_addr().map(|a| a.to_string());
     let state = ServeState::new(args.cfg, interner, dbs, default_db);
+
+    if let Some(log) = primary_log {
+        state.set_primary(wdpt_repl::Primary::new(log));
+    }
+    let follower = args.follow.clone().map(|addr| {
+        let state = std::sync::Arc::clone(&state);
+        std::thread::spawn(move || {
+            let apply = wdpt_serve::FollowerApply::new(
+                std::sync::Arc::clone(&state),
+                state.default_db().to_string(),
+            );
+            let mut cfg = wdpt_repl::FollowerConfig::new(addr);
+            cfg.jitter_seed = std::process::id() as u64;
+            wdpt_repl::run_follower(&cfg, &apply, state.shutdown_flag());
+        })
+    });
+
+    let mode = if state.primary().is_some() {
+        ", replication primary"
+    } else if follower.is_some() {
+        ", follower"
+    } else {
+        ""
+    };
     // Line-buffered so harnesses waiting for readiness see it immediately.
     println!(
-        "wdpt-serve listening on {} ({} workers, queue {}, plan cache {})",
+        "wdpt-serve listening on {} ({} workers, queue {}, plan cache {}{mode})",
         local.as_deref().unwrap_or(&args.addr),
         state.cfg.workers,
         state.cfg.queue_capacity,
         if state.cfg.plan_cache { "on" } else { "off" },
     );
-    match serve(listener, state) {
+    let served = serve(listener, state);
+    if let Some(h) = follower {
+        let _ = h.join();
+    }
+    match served {
         Ok(()) => {
             println!("wdpt-serve: drained, exiting");
             ExitCode::SUCCESS

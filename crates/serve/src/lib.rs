@@ -17,6 +17,14 @@
 //! * [`db`] — dataset loading: lenient N-Triples and the workspace
 //!   `facts` format.
 //!
+//! Replication (`wdpt-repl` underneath): a server started with
+//! `--repl-log DIR` is a **primary** — it records every accepted reload
+//! delta in an append-only log and streams them to followers that connect
+//! with the `subscribe` op. A server started with `--follow ADDR` is a
+//! **follower** — [`server::FollowerApply`] drives the replicated deltas
+//! through the same hot-reload path the `reload` op uses. The chain-head
+//! hash doubles as a consistency token (`min_head` on queries).
+//!
 //! Binaries: `wdpt-serve` (the server) and `loadgen` (a concurrent load
 //! generator used by the CI smoke test and the EXPERIMENTS runs).
 
@@ -28,4 +36,4 @@ pub mod server;
 pub use cache::{build_plan, canonicalize, CanonicalQuery, NodePlan, Plan, PlanCache};
 pub use db::{load_database, looks_like_snapshot, merge_snapshot, parse_dataset, parse_nt};
 pub use protocol::Request;
-pub use server::{serve, ServeConfig, ServeState};
+pub use server::{serve, FollowerApply, LoadedChain, ServeConfig, ServeState};

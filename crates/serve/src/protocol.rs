@@ -32,6 +32,18 @@
 //!   workers, then atomically swap the named database (default database if
 //!   `db` is omitted). In-flight queries finish against the old database;
 //!   requests admitted after the swap see the new one.
+//! * `{"op":"subscribe","base":"<head hex>"}` — turn the connection into a
+//!   replication stream: the primary replays the delta suffix past `base`
+//!   (or a full bootstrap when `base` is absent/unknown) and then pushes
+//!   every subsequently accepted delta. Frame grammar in
+//!   [`wdpt_repl::frames`].
+//!
+//! When the server has a chain identity (it serves a snapshot with a
+//! replication log, or follows a primary), terminal `ok` and `reload`
+//! lines carry `"head":"<hex>"` — the chain-head consistency token. A
+//! query may demand `"min_head":"<hex>"`; a replica that has not applied
+//! that position by the deadline answers with a typed `stale_replica`
+//! error instead of stale data.
 
 use wdpt_obs::Json;
 
@@ -57,6 +69,9 @@ pub enum Request {
         explain: bool,
         /// Cap on the number of streamed `row` lines.
         max_rows: Option<usize>,
+        /// Consistency token: serve only at-or-after this chain position,
+        /// waiting up to the deadline, else answer `stale_replica`.
+        min_head: Option<u64>,
     },
     /// Liveness check.
     Ping,
@@ -90,6 +105,13 @@ pub enum Request {
         snapshot: String,
         /// Paths of delta files to apply on top, in chain order.
         deltas: Vec<String>,
+    },
+    /// Turn this connection into a replication stream (primary side).
+    Subscribe {
+        /// Client-chosen id echoed on the handshake line.
+        id: Option<String>,
+        /// The follower's current chain head, if it has one.
+        base: Option<u64>,
     },
 }
 
@@ -162,6 +184,18 @@ impl Request {
                     deltas,
                 })
             }
+            "subscribe" => {
+                let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+                let base = match v.get("base") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(
+                        j.as_str()
+                            .and_then(wdpt_store::parse_head_hex)
+                            .ok_or("\"base\" must be a 16-digit hex chain-head hash")?,
+                    ),
+                };
+                Ok(Request::Subscribe { id, base })
+            }
             "query" => {
                 let query = v
                     .get("query")
@@ -186,6 +220,14 @@ impl Request {
                         _ => return Err("\"max_rows\" must be a non-negative number".into()),
                     },
                 };
+                let min_head = match v.get("min_head") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(
+                        j.as_str()
+                            .and_then(wdpt_store::parse_head_hex)
+                            .ok_or("\"min_head\" must be a 16-digit hex chain-head hash")?,
+                    ),
+                };
                 Ok(Request::Query {
                     id,
                     query,
@@ -194,6 +236,7 @@ impl Request {
                     profile,
                     explain,
                     max_rows,
+                    min_head,
                 })
             }
             other => Err(format!("unknown op {other:?}")),
@@ -251,6 +294,16 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::Subscribe { id, base } => {
+                let mut pairs = vec![("op".to_string(), Json::str("subscribe"))];
+                if let Some(id) = id {
+                    pairs.push(("id".to_string(), Json::str(id.clone())));
+                }
+                if let Some(base) = base {
+                    pairs.push(("base".to_string(), Json::str(wdpt_store::head_hex(*base))));
+                }
+                Json::obj(pairs)
+            }
             Request::Query {
                 id,
                 query,
@@ -259,6 +312,7 @@ impl Request {
                 profile,
                 explain,
                 max_rows,
+                min_head,
             } => {
                 let mut pairs = vec![
                     ("op".to_string(), Json::str("query")),
@@ -281,6 +335,9 @@ impl Request {
                 }
                 if let Some(n) = max_rows {
                     pairs.push(("max_rows".to_string(), Json::int(*n as u64)));
+                }
+                if let Some(h) = min_head {
+                    pairs.push(("min_head".to_string(), Json::str(wdpt_store::head_hex(*h))));
                 }
                 Json::obj(pairs)
             }
@@ -453,6 +510,33 @@ pub fn shutting_down_line(id: Option<&str>) -> Json {
     with_id(vec![("status".to_string(), Json::str("shutting_down"))], id)
 }
 
+/// Attaches the served chain-head hash (the read-your-writes consistency
+/// token) to a terminal line, when the serving state has a chain identity.
+pub fn attach_head(line: &mut Json, head: Option<u64>) {
+    if let (Json::Obj(pairs), Some(h)) = (line, head) {
+        pairs.insert("head".to_string(), Json::str(wdpt_store::head_hex(h)));
+    }
+}
+
+/// Typed error for a replica that could not reach `min_head` before the
+/// deadline. `head` is the position it *is* at, if it has one.
+pub fn stale_replica_line(id: Option<&str>, min_head: u64, head: Option<u64>) -> Json {
+    let mut line = error_line(
+        id,
+        "stale_replica",
+        "replica has not applied the requested chain position",
+        None,
+    );
+    if let Json::Obj(pairs) = &mut line {
+        pairs.insert(
+            "min_head".to_string(),
+            Json::str(wdpt_store::head_hex(min_head)),
+        );
+    }
+    attach_head(&mut line, head);
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +555,7 @@ mod tests {
                 profile: true,
                 explain: true,
                 max_rows: Some(10),
+                min_head: Some(0xdead_beef_0102_0304),
             },
             Request::Query {
                 id: None,
@@ -480,6 +565,15 @@ mod tests {
                 profile: false,
                 explain: false,
                 max_rows: None,
+                min_head: None,
+            },
+            Request::Subscribe {
+                id: Some("f1".into()),
+                base: Some(0xabcd),
+            },
+            Request::Subscribe {
+                id: None,
+                base: None,
             },
             Request::Metrics {
                 id: Some("m1".into()),
@@ -532,6 +626,9 @@ mod tests {
             r#"{"op":"metrics","format":"xml"}"#,
             r#"{"op":"metrics","format":7}"#,
             r#"{"op":"slowlog","keep":"yes"}"#,
+            r#"{"op":"query","query":"x","min_head":"xyz"}"#,
+            r#"{"op":"query","query":"x","min_head":7}"#,
+            r#"{"op":"subscribe","base":"123"}"#,
         ];
         for text in bad {
             let v = Json::parse(text).unwrap();
@@ -582,6 +679,30 @@ mod tests {
         assert_eq!(
             over.get("retry_after_ms").and_then(Json::as_num),
             Some(50.0)
+        );
+
+        let mut with_head = ok_line(None, 1, 1, "hit", 5, None, None);
+        attach_head(&mut with_head, None);
+        assert_eq!(with_head.get("head"), None);
+        attach_head(&mut with_head, Some(0xff));
+        assert_eq!(
+            with_head.get("head").and_then(Json::as_str),
+            Some("00000000000000ff")
+        );
+
+        let stale = stale_replica_line(Some("s"), 0xaa, Some(0xbb));
+        assert_eq!(stale.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            stale.get("kind").and_then(Json::as_str),
+            Some("stale_replica")
+        );
+        assert_eq!(
+            stale.get("min_head").and_then(Json::as_str),
+            Some("00000000000000aa")
+        );
+        assert_eq!(
+            stale.get("head").and_then(Json::as_str),
+            Some("00000000000000bb")
         );
 
         let row = row_line(Some("c"), vec![("x".into(), "band3".into())]);

@@ -35,15 +35,16 @@
 use crate::cache::{canonicalize, explain_json, CanonicalQuery, Plan, PlanCache};
 use crate::db::merge_snapshot;
 use crate::protocol::{
-    cancelled_line, error_line, metrics_json_line, metrics_text_line, ok_line, overloaded_line,
-    reload_line, row_line, shutting_down_line, slowlog_line, Request,
+    attach_head, cancelled_line, error_line, metrics_json_line, metrics_text_line, ok_line,
+    overloaded_line, reload_line, row_line, shutting_down_line, slowlog_line, stale_replica_line,
+    Request,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 use wdpt_core::Wdpt;
@@ -54,6 +55,8 @@ use wdpt_obs::{
     counter, gauge, gauge_scope, histogram, metrics_snapshot, render_prometheus, snapshot_to_json,
     Json, RequestTrace,
 };
+use wdpt_repl::frames::{delta_frame, snapshot_frame, subscribed_line};
+use wdpt_repl::{Primary, ReplApply, ReplHead, SubscribeStart};
 use wdpt_sparql::algebra::SparqlError;
 use wdpt_sparql::{parse_query, GraphPattern};
 
@@ -190,6 +193,12 @@ pub struct ServeState {
     /// depth-scaled `retry_after_ms` hint on `overloaded`.
     queue_depth: AtomicUsize,
     slowlog: Mutex<SlowLog>,
+    /// Chain position of the served data, when the server has a chain
+    /// identity (primary with a replication log, or follower). Feeds the
+    /// `head` field on terminal lines and the `min_head` admission wait.
+    repl_head: ReplHead,
+    /// The replication hub, present only on a primary (`--repl-log`).
+    primary: Mutex<Option<Arc<Primary>>>,
 }
 
 impl ServeState {
@@ -225,7 +234,62 @@ impl ServeState {
             shutdown: AtomicBool::new(false),
             queue_depth: AtomicUsize::new(0),
             slowlog,
+            repl_head: ReplHead::new(),
+            primary: Mutex::new(None),
         })
+    }
+
+    /// The served chain position tracker; see [`ReplHead`].
+    pub fn repl_head(&self) -> &ReplHead {
+        &self.repl_head
+    }
+
+    /// Name of the default database (the one `--follow` replicates into).
+    pub fn default_db(&self) -> &str {
+        &self.default_db
+    }
+
+    /// The chain-head hash of the served data, if it has a chain identity.
+    pub fn current_head(&self) -> Option<u64> {
+        self.repl_head.head()
+    }
+
+    /// Promotes this server to replication primary: installs the log's
+    /// chain as the served head history and accepts `subscribe` ops.
+    pub fn set_primary(&self, primary: Arc<Primary>) {
+        self.repl_head.install_chain(&primary.chain());
+        gauge!("repl.head").set(primary.head() as i64);
+        *self.primary.lock().expect("primary lock") = Some(primary);
+    }
+
+    /// The replication hub, when this server is a primary.
+    pub fn primary(&self) -> Option<Arc<Primary>> {
+        self.primary.lock().expect("primary lock").clone()
+    }
+
+    /// The shutdown flag, for wiring auxiliary loops (the follower thread)
+    /// to graceful shutdown.
+    pub fn shutdown_flag(&self) -> &AtomicBool {
+        &self.shutdown
+    }
+
+    /// Folds a decoded `(Interner, Database)` pair into the live interner
+    /// and swaps it in as `db_name`. Returns the tuple count now served.
+    fn install_pair(&self, db_name: &str, pair: (Interner, Database)) -> usize {
+        let merge_start = Instant::now();
+        let db = {
+            let mut i = self.interner.lock().expect("interner lock");
+            merge_snapshot(&mut i, pair)
+        };
+        histogram!("serve.reload.merge_us").record(merge_start.elapsed().as_micros() as u64);
+        let tuples = db.size();
+        let swap_start = Instant::now();
+        self.dbs
+            .write()
+            .expect("dbs lock")
+            .insert(db_name.to_string(), Arc::new(db));
+        histogram!("serve.reload.swap_us").record(swap_start.elapsed().as_micros() as u64);
+        tuples
     }
 
     /// Whether slow/cancelled queries are being captured: telemetry on and
@@ -284,31 +348,86 @@ impl ServeState {
         snapshot: &Path,
         deltas: &[impl AsRef<Path>],
     ) -> Result<(usize, usize), String> {
+        let loaded = self.load_stage(snapshot, deltas)?;
+        self.install_stage(db_name, loaded)
+    }
+
+    /// The off-lock half of a reload: reads and fully verifies the
+    /// snapshot + delta chain while queries keep flowing. The returned
+    /// [`LoadedChain`] carries the decoded pair, the chain's content
+    /// hashes, and the raw delta bytes (so a primary can publish them to
+    /// its followers after the swap).
+    pub fn load_stage(
+        &self,
+        snapshot: &Path,
+        deltas: &[impl AsRef<Path>],
+    ) -> Result<LoadedChain, String> {
         let load_start = Instant::now();
-        let loaded = match wdpt_store::load_with_deltas(snapshot, deltas) {
+        let read = |p: &Path| -> Result<Vec<u8>, String> {
+            std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()))
+        };
+        let base_bytes = match read(snapshot) {
+            Ok(b) => b,
+            Err(e) => {
+                counter!("serve.store.reload_failed").add(1);
+                return Err(e);
+            }
+        };
+        let mut delta_bytes = Vec::with_capacity(deltas.len());
+        for d in deltas {
+            match read(d.as_ref()) {
+                Ok(b) => delta_bytes.push(b),
+                Err(e) => {
+                    counter!("serve.store.reload_failed").add(1);
+                    return Err(e);
+                }
+            }
+        }
+        let pair = match wdpt_store::decode_with_deltas(&base_bytes, &delta_bytes) {
             Ok(pair) => pair,
             Err(e) => {
                 counter!("serve.store.reload_failed").add(1);
                 return Err(format!("{}: {e}", snapshot.display()));
             }
         };
+        let mut chain = vec![wdpt_store::content_hash(&base_bytes)];
+        let deltas = delta_bytes
+            .into_iter()
+            .map(|bytes| {
+                let base = *chain.last().expect("chain is nonempty");
+                let hash = wdpt_store::content_hash(&bytes);
+                chain.push(hash);
+                (base, hash, bytes)
+            })
+            .collect();
         histogram!("serve.reload.load_us").record(load_start.elapsed().as_micros() as u64);
-        let merge_start = Instant::now();
-        let db = {
-            let mut i = self.interner.lock().expect("interner lock");
-            merge_snapshot(&mut i, loaded)
-        };
-        histogram!("serve.reload.merge_us").record(merge_start.elapsed().as_micros() as u64);
-        let tuples = db.size();
-        let swap_start = Instant::now();
-        self.dbs
-            .write()
-            .expect("dbs lock")
-            .insert(db_name.to_string(), Arc::new(db));
-        histogram!("serve.reload.swap_us").record(swap_start.elapsed().as_micros() as u64);
+        Ok(LoadedChain {
+            pair,
+            chain,
+            deltas,
+        })
+    }
+
+    /// The swap half of a reload: folds the loaded pair into the live
+    /// interner and swaps the served database. Fails **typed** (without
+    /// touching the interner) if shutdown began after the load stage — a
+    /// reload racing the drain either completes its swap or reports
+    /// `shutting down`, never a half-merged interner.
+    pub fn install_stage(
+        &self,
+        db_name: &str,
+        loaded: LoadedChain,
+    ) -> Result<(usize, usize), String> {
+        if self.is_shutting_down() {
+            counter!("serve.store.reload_rejected_shutdown").add(1);
+            return Err("server is shutting down; reload rejected before the swap".to_string());
+        }
+        let tuples = self.install_pair(db_name, loaded.pair);
+        self.repl_head.install_chain(&loaded.chain);
+        gauge!("repl.head").set(self.repl_head.head().unwrap_or(0) as i64);
         counter!("serve.store.reload_ok").add(1);
         counter!("serve.store.reload_cache_kept").add(self.cache.len() as u64);
-        Ok((tuples, deltas.len()))
+        Ok((tuples, loaded.deltas.len()))
     }
 
     /// The plan cache (for tests and stats).
@@ -358,6 +477,16 @@ impl ServeState {
             .get_or_build(&canon, &wdpt, &self.interner, token)
             .map_err(|e| e.to_string())
     }
+}
+
+/// A snapshot + delta chain read and verified off-lock by
+/// [`ServeState::load_stage`], awaiting its swap.
+pub struct LoadedChain {
+    pair: (Interner, Database),
+    /// Content hashes of the chain: base snapshot first, then each delta.
+    pub chain: Vec<u64>,
+    /// `(base_hash, hash, file bytes)` per delta, in chain order.
+    pub deltas: Vec<(u64, u64, Vec<u8>)>,
 }
 
 /// `(triple patterns, distinct variables)` of a parsed pattern — the
@@ -493,6 +622,18 @@ fn handle_connection(
                 }
                 let bytes = std::mem::take(&mut buf);
                 let (lines, trace) = match std::str::from_utf8(&bytes) {
+                    // A `subscribe` op inverts the connection into a push
+                    // stream and never returns to the request loop.
+                    Ok(line) if parse_subscribe(line.trim()).is_some() => {
+                        let (sub_id, base) = parse_subscribe(line.trim()).expect("just matched");
+                        return run_subscription(
+                            sub_id.as_deref(),
+                            base,
+                            &state,
+                            &mut reader,
+                            &mut writer,
+                        );
+                    }
                     Ok(line) => handle_line(line.trim(), &state, &tx),
                     Err(_) => {
                         counter!("serve.requests.error").add(1);
@@ -550,6 +691,121 @@ fn handle_connection(
     }
 }
 
+/// Recognizes a well-formed `subscribe` request, returning its `(id,
+/// base)`. Malformed subscribes (bad base hex) return `None` and fall
+/// through to [`handle_line`], which answers `bad_request`.
+fn parse_subscribe(line: &str) -> Option<(Option<String>, Option<u64>)> {
+    let value = Json::parse(line).ok()?;
+    if value.get("op").and_then(Json::as_str) != Some("subscribe") {
+        return None;
+    }
+    match Request::from_json(&value) {
+        Ok(Request::Subscribe { id, base }) => Some((id, base)),
+        _ => None,
+    }
+}
+
+/// Serves one replication subscription until the follower disconnects or
+/// shutdown begins: replay (suffix or bootstrap) first, then every
+/// broadcast delta as it is published. The read side of the socket only
+/// watches for EOF; its short timeout bounds broadcast latency.
+fn run_subscription(
+    id: Option<&str>,
+    base: Option<u64>,
+    state: &ServeState,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> io::Result<()> {
+    counter!("serve.requests.received").add(1);
+    let send = |w: &mut BufWriter<TcpStream>, line: &Json| -> io::Result<()> {
+        wdpt_obs::write_json_line(w, line)
+    };
+    let Some(primary) = state.primary() else {
+        counter!("serve.requests.error").add(1);
+        let l = error_line(
+            id,
+            "not_primary",
+            "this server has no replication log (start it with --repl-log); subscribe refused",
+            None,
+        );
+        send(writer, &l)?;
+        return writer.flush();
+    };
+    let (start, rx) = match primary.subscribe(base) {
+        Ok(pair) => pair,
+        Err(e) => {
+            counter!("serve.requests.error").add(1);
+            let l = error_line(id, "subscribe_failed", &e.to_string(), None);
+            send(writer, &l)?;
+            return writer.flush();
+        }
+    };
+    let head = primary.head();
+    match start {
+        SubscribeStart::Suffix(replay) => {
+            send(writer, &subscribed_line(id, head, "suffix", replay.len()))?;
+            for d in &replay {
+                send(writer, &delta_frame(d.hash, d.base_hash, &d.bytes))?;
+            }
+        }
+        SubscribeStart::Bootstrap {
+            head: base_head,
+            snapshot,
+            replay,
+        } => {
+            send(
+                writer,
+                &subscribed_line(id, head, "bootstrap", replay.len()),
+            )?;
+            send(writer, &snapshot_frame(base_head, &snapshot))?;
+            for d in &replay {
+                send(writer, &delta_frame(d.hash, d.base_hash, &d.bytes))?;
+            }
+        }
+    }
+    writer.flush()?;
+    reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .ok();
+    let mut scratch = Vec::new();
+    loop {
+        let mut wrote = false;
+        loop {
+            match rx.try_recv() {
+                Ok(b) => {
+                    send(writer, &delta_frame(b.hash, b.base_hash, &b.bytes))?;
+                    wrote = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    send(writer, &shutting_down_line(id))?;
+                    return writer.flush();
+                }
+            }
+        }
+        if wrote {
+            writer.flush()?;
+        }
+        if state.is_shutting_down() {
+            send(writer, &shutting_down_line(id))?;
+            return writer.flush();
+        }
+        match reader.read_until(b'\n', &mut scratch) {
+            Ok(0) => return Ok(()),   // follower went away
+            Ok(_) => scratch.clear(), // followers are silent post-subscribe
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Handles one request line, returning the response lines to write plus,
 /// for telemetry-traced queries, the request's stage-timed trace. The
 /// caller finishes the trace (respond stage) after flushing the lines and
@@ -596,11 +852,13 @@ fn handle_line(
         Request::Stats => vec![stats_line(state)],
         Request::Metrics { id: _, text } => {
             let snap = metrics_snapshot();
-            vec![if text {
+            let mut line = if text {
                 metrics_text_line(id, render_prometheus(&snap))
             } else {
                 metrics_json_line(id, snapshot_to_json(&snap), state.cache.stats_json())
-            }]
+            };
+            attach_head(&mut line, state.current_head());
+            vec![line]
         }
         Request::Slowlog { id: _, keep } => {
             let (entries, dropped) = state.slowlog_drain(keep);
@@ -621,6 +879,7 @@ fn handle_line(
             profile,
             explain,
             max_rows,
+            min_head,
         } => {
             // The line is decoded and recognized as a query: the read
             // stage closes here, the admission stage opens.
@@ -634,6 +893,7 @@ fn handle_line(
                     profile,
                     explain,
                     max_rows,
+                    min_head,
                 },
                 state,
                 tx,
@@ -641,6 +901,17 @@ fn handle_line(
             );
             let trace = state.cfg.telemetry.then_some(trace);
             return (lines, trace);
+        }
+        // Well-formed subscribes are intercepted in `handle_connection`;
+        // reaching here means the stream inversion was impossible.
+        Request::Subscribe { .. } => {
+            counter!("serve.requests.error").add(1);
+            vec![error_line(
+                id,
+                "bad_request",
+                "subscribe must be the connection's first and only request",
+                None,
+            )]
         }
         Request::Reload {
             id: _,
@@ -654,14 +925,52 @@ fn handle_line(
             }
             let db_name = db.as_deref().unwrap_or(&state.default_db);
             let start = Instant::now();
-            match state.reload(db_name, Path::new(&snapshot), &deltas) {
-                Ok((tuples, applied)) => vec![reload_line(
-                    id,
-                    db_name,
-                    tuples,
-                    applied,
-                    start.elapsed().as_micros() as u64,
-                )],
+            match state.load_stage(Path::new(&snapshot), &deltas) {
+                Ok(loaded) => {
+                    // A primary re-publishes the chain's new deltas to its
+                    // followers after the swap; clone the bytes first, the
+                    // install consumes the load.
+                    let publishable: Vec<(u64, Vec<u8>)> = state
+                        .primary()
+                        .map(|p| {
+                            loaded
+                                .deltas
+                                .iter()
+                                .filter(|(_, hash, _)| !p.knows(*hash))
+                                .map(|(_, hash, bytes)| (*hash, bytes.clone()))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    match state.install_stage(db_name, loaded) {
+                        Ok((tuples, applied)) => {
+                            if let Some(primary) = state.primary() {
+                                for (hash, bytes) in publishable {
+                                    if let Err(e) = primary.publish(bytes) {
+                                        counter!("repl.primary.publish_rejected").add(1);
+                                        eprintln!(
+                                            "repl: delta {} not published (does not extend \
+                                             the replication log): {e}",
+                                            wdpt_store::head_hex(hash)
+                                        );
+                                    }
+                                }
+                            }
+                            let mut line = reload_line(
+                                id,
+                                db_name,
+                                tuples,
+                                applied,
+                                start.elapsed().as_micros() as u64,
+                            );
+                            attach_head(&mut line, state.current_head());
+                            vec![line]
+                        }
+                        Err(_racing_shutdown) => {
+                            counter!("serve.requests.rejected").add(1);
+                            vec![shutting_down_line(id)]
+                        }
+                    }
+                }
                 Err(e) => {
                     counter!("serve.requests.error").add(1);
                     vec![error_line(id, "reload_failed", &e, None)]
@@ -681,6 +990,7 @@ struct QueryParams<'a> {
     profile: bool,
     explain: bool,
     max_rows: Option<usize>,
+    min_head: Option<u64>,
 }
 
 /// Longest query excerpt kept in a slowlog entry; the ring is bounded in
@@ -739,12 +1049,37 @@ fn handle_query(
         profile,
         explain,
         max_rows,
+        min_head,
     } = req;
     let _in_flight = gauge_scope!("serve.requests.in_flight");
     if state.is_shutting_down() {
         counter!("serve.requests.rejected").add(1);
         return vec![shutting_down_line(id)];
     }
+
+    // The deadline clock starts before plan building: the core and
+    // decomposition searches are worst-case exponential in the query, so
+    // an adversarial query must not outlive its budget while planning.
+    let deadline_ms = deadline_ms
+        .unwrap_or(state.cfg.default_deadline_ms)
+        .min(state.cfg.max_deadline_ms);
+
+    // Consistency token: a replica that has not applied `min_head` yet
+    // waits for its apply loop (up to the request deadline), then answers
+    // typed `stale_replica` rather than serving data the client knows is
+    // older than its own writes. This runs before the database `Arc` is
+    // resolved, so a successful wait observes the post-apply version.
+    if let Some(min_head) = min_head {
+        if !state.repl_head.contains(min_head) {
+            counter!("serve.requests.min_head_waited").add(1);
+            let wait_deadline = Instant::now() + Duration::from_millis(deadline_ms);
+            if !state.repl_head.wait_contains(min_head, wait_deadline) {
+                counter!("serve.requests.stale_replica").add(1);
+                return vec![stale_replica_line(id, min_head, state.current_head())];
+            }
+        }
+    }
+
     let db_name = db.unwrap_or(&state.default_db);
     // Resolve the database *version* now: the job evaluates against this
     // `Arc` even if a `reload` swaps the served map while it is queued.
@@ -758,12 +1093,6 @@ fn handle_query(
         )];
     };
 
-    // The deadline clock starts before plan building: the core and
-    // decomposition searches are worst-case exponential in the query, so
-    // an adversarial query must not outlive its budget while planning.
-    let deadline_ms = deadline_ms
-        .unwrap_or(state.cfg.default_deadline_ms)
-        .min(state.cfg.max_deadline_ms);
     let token = CancelToken::with_deadline(Duration::from_millis(deadline_ms));
     let start = Instant::now();
 
@@ -1083,7 +1412,7 @@ fn process(job: Job, state: &ServeState) {
                     .collect();
                 let rows = lines.len();
                 counter!("serve.requests.ok").add(1);
-                lines.push(ok_line(
+                let mut okl = ok_line(
                     id,
                     answers.len(),
                     rows,
@@ -1094,7 +1423,10 @@ fn process(job: Job, state: &ServeState) {
                         .flatten(),
                     job.explain
                         .then(|| explain_json(&job.plan, job.cache_status)),
-                ));
+                );
+                // The head the client can quote as `min_head` elsewhere.
+                attach_head(&mut okl, state.current_head());
+                lines.push(okl);
                 WorkerReply {
                     lines,
                     queue_ns,
@@ -1137,12 +1469,131 @@ fn render_bindings(m: &Mapping, job: &Job, i: &Interner) -> Vec<(String, String)
         .collect()
 }
 
+/// Implements [`ReplApply`] over the serving state: the follower side of
+/// replication, driving frames through the same hot-reload path the
+/// `reload` op uses (plan cache kept, in-flight queries pinned to their
+/// `Arc<Database>`).
+///
+/// The decoded chain tip is kept as a **pristine** `(Interner, Database)`
+/// pair separate from the served state: the live interner accretes query
+/// symbols, which would break the next delta's `base_symbols` anchor.
+/// Each delta applies to the pristine pair in place; a clone of the result
+/// is then merged into the live interner and swapped in.
+pub struct FollowerApply {
+    state: Arc<ServeState>,
+    db_name: String,
+    pristine: Mutex<Option<(Interner, Database)>>,
+}
+
+impl FollowerApply {
+    /// A follower apply target swapping the database served as `db_name`.
+    pub fn new(state: Arc<ServeState>, db_name: impl Into<String>) -> FollowerApply {
+        FollowerApply {
+            state,
+            db_name: db_name.into(),
+            pristine: Mutex::new(None),
+        }
+    }
+}
+
+impl ReplApply for FollowerApply {
+    // Both predicates report "nothing applied" while the pristine pair is
+    // absent (fresh follower, or dropped after a failed apply): the next
+    // subscribe then sends no base — a full bootstrap — and none of its
+    // frames are skipped as duplicates.
+    fn current_head(&self) -> Option<u64> {
+        self.pristine
+            .lock()
+            .expect("pristine lock")
+            .is_some()
+            .then(|| self.state.current_head())
+            .flatten()
+    }
+
+    // Deliberately `on_chain`, not `contains`: after a re-bootstrap the
+    // history still holds hashes ahead of the freshly installed chain, and
+    // the replay for those must be applied, not skipped as duplicates.
+    fn known(&self, head: u64) -> bool {
+        self.pristine.lock().expect("pristine lock").is_some()
+            && self.state.repl_head.on_chain(head)
+    }
+
+    fn apply_snapshot(&self, head: u64, bytes: &[u8]) -> Result<(), String> {
+        let start = Instant::now();
+        let pair = wdpt_store::decode_snapshot(bytes).map_err(|e| e.to_string())?;
+        let mut pristine = self.pristine.lock().expect("pristine lock");
+        let clone = pair.clone();
+        *pristine = Some(pair);
+        self.state.install_pair(&self.db_name, clone);
+        self.state.repl_head.install_chain(&[head]);
+        gauge!("repl.head").set(head as i64);
+        counter!("repl.follower.snapshots_applied").add(1);
+        counter!("repl.follower.bytes_applied").add(bytes.len() as u64);
+        histogram!("repl.follower.apply_us").record(start.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    fn apply_delta(&self, head: u64, base: u64, bytes: &[u8]) -> Result<(), String> {
+        let start = Instant::now();
+        let mut pristine = self.pristine.lock().expect("pristine lock");
+        let Some((interner, db)) = pristine.take() else {
+            return Err("no snapshot applied yet; delta has no base".to_string());
+        };
+        // NB: read the state's head directly — `self.current_head()` locks
+        // `pristine`, which this thread already holds.
+        let served = self.state.current_head();
+        if served != Some(base) {
+            *pristine = Some((interner, db));
+            return Err(format!(
+                "delta extends {} but the served head is {}",
+                wdpt_store::head_hex(base),
+                served.map_or_else(|| "unset".to_string(), wdpt_store::head_hex),
+            ));
+        }
+        let delta = match wdpt_store::decode_delta(bytes) {
+            Ok(d) => d,
+            Err(e) => {
+                *pristine = Some((interner, db));
+                return Err(e.to_string());
+            }
+        };
+        let mut interner = interner;
+        match wdpt_store::apply_delta(&mut interner, db, delta) {
+            Ok(new_db) => {
+                let clone = (interner.clone(), new_db.clone());
+                *pristine = Some((interner, new_db));
+                drop(pristine);
+                self.state.install_pair(&self.db_name, clone);
+                self.state.repl_head.advance(head);
+                gauge!("repl.head").set(head as i64);
+                counter!("repl.follower.deltas_applied").add(1);
+                counter!("repl.follower.bytes_applied").add(bytes.len() as u64);
+                histogram!("repl.follower.apply_us").record(start.elapsed().as_micros() as u64);
+                Ok(())
+            }
+            // The pristine pair may be half-mutated; drop it so the next
+            // frame forces a clean bootstrap instead of compounding.
+            Err(e) => Err(format!("delta apply failed: {e}")),
+        }
+    }
+}
+
 /// The `stats` response: cache occupancy plus every registered counter.
 fn stats_line(state: &ServeState) -> Json {
     let snap = metrics_snapshot();
     Json::obj([
         ("status".to_string(), Json::str("ok")),
         ("kind".to_string(), Json::str("stats")),
+        (
+            "repl_head".to_string(),
+            state
+                .current_head()
+                .map_or(Json::Null, |h| Json::str(wdpt_store::head_hex(h))),
+        ),
+        (
+            "repl_chain_len".to_string(),
+            Json::int(state.repl_head.chain_len() as u64),
+        ),
         (
             "cache_size".to_string(),
             Json::int(state.cache.len() as u64),

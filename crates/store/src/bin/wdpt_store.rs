@@ -3,6 +3,7 @@
 //! ```text
 //! wdpt-store build INPUT SNAPSHOT [--threads N] [--chunk-lines N]
 //! wdpt-store verify SNAPSHOT [--delta DELTA]...
+//! wdpt-store verify --chain DIR
 //! wdpt-store inspect SNAPSHOT_OR_DELTA [--json]
 //! wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
 //! wdpt-store apply BASE SNAPSHOT_OUT [--delta DELTA]...
@@ -27,6 +28,10 @@ const USAGE: &str = "usage:
   wdpt-store verify SNAPSHOT [--delta DELTA]...
       fully decode a snapshot (applying any delta chain), checking every
       checksum, chain hash, and invariant
+  wdpt-store verify --chain DIR
+      order every WDPTSNAP file in DIR into a delta chain by base-hash
+      linkage (the layout a replication log keeps), verify it end to end,
+      and report the final chain head
   wdpt-store inspect SNAPSHOT_OR_DELTA [--json]
       print the header and per-relation summary (checksums only, no full
       decode); --json emits one machine-readable JSON document instead.
@@ -127,10 +132,24 @@ fn cmd_build(mut args: Vec<String>) -> ExitCode {
 }
 
 fn cmd_verify(mut args: Vec<String>) -> ExitCode {
+    let chains = match take_str_flags(&mut args, "--chain") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
     let deltas = match take_str_flags(&mut args, "--delta") {
         Ok(v) => v,
         Err(e) => return usage_err(&e),
     };
+    match (chains.as_slice(), args.is_empty() && deltas.is_empty()) {
+        ([], _) => {}
+        ([dir], true) => return verify_chain_dir(Path::new(dir)),
+        ([_], false) => {
+            return usage_err(
+                "--chain takes the whole chain from DIR; drop the SNAPSHOT/--delta arguments",
+            )
+        }
+        _ => return usage_err("--chain can be given once"),
+    }
     let [path] = args.as_slice() else {
         return usage_err("verify takes one SNAPSHOT path");
     };
@@ -148,6 +167,51 @@ fn cmd_verify(mut args: Vec<String>) -> ExitCode {
                 db.predicate_count(),
                 db.size(),
                 deltas.len(),
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => data_err(&e),
+    }
+}
+
+/// `verify --chain DIR`: discovers the snapshot + delta files in `dir`,
+/// orders them by base-hash linkage, fully decodes the chain, and reports
+/// the final head — the hash a replica must quote to read-your-writes
+/// against this chain.
+fn verify_chain_dir(dir: &Path) -> ExitCode {
+    let t0 = Instant::now();
+    let scan = match wdpt_store::scan_chain_dir(dir) {
+        Ok(s) => s,
+        Err(e) => return data_err(&e),
+    };
+    println!(
+        "chain in {}: base {} ({})",
+        dir.display(),
+        scan.base
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?"),
+        wdpt_store::head_hex(scan.base_hash)
+    );
+    for (path, head) in &scan.deltas {
+        println!(
+            "  + {} -> head {}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+            wdpt_store::head_hex(*head)
+        );
+    }
+    let delta_paths: Vec<_> = scan.deltas.iter().map(|(p, _)| p.clone()).collect();
+    match wdpt_store::load_with_deltas(&scan.base, &delta_paths) {
+        Ok((interner, db)) => {
+            println!(
+                "ok: {} deltas onto base, {} symbols, {} relations, {} tuples, \
+                 head {} verified in {:.1}ms",
+                scan.deltas.len(),
+                interner.len(),
+                db.predicate_count(),
+                db.size(),
+                wdpt_store::head_hex(scan.head),
                 t0.elapsed().as_secs_f64() * 1e3
             );
             ExitCode::SUCCESS
@@ -298,6 +362,9 @@ fn cmd_inspect(mut args: Vec<String>) -> ExitCode {
         Ok(b) => b,
         Err(e) => return data_err(&StoreError::Io(e)),
     };
+    // The file's content hash IS the chain-head hash a server at this
+    // chain position advertises (and clients quote as `min_head`).
+    let chain_head = wdpt_store::head_hex(wdpt_store::content_hash(&bytes));
     match wdpt_store::inspect_snapshot(&bytes) {
         Ok(summary) => {
             let h = summary.header;
@@ -305,6 +372,7 @@ fn cmd_inspect(mut args: Vec<String>) -> ExitCode {
                 let doc = Json::obj([
                     ("kind".to_string(), Json::str("snapshot")),
                     ("version".to_string(), Json::int(h.version as u64)),
+                    ("chain_head".to_string(), Json::str(chain_head.clone())),
                     ("bytes".to_string(), Json::int(summary.bytes as u64)),
                     ("symbols".to_string(), Json::int(h.symbols)),
                     ("fresh_counter".to_string(), Json::int(h.fresh_counter)),
@@ -331,7 +399,8 @@ fn cmd_inspect(mut args: Vec<String>) -> ExitCode {
                 println!("{doc}");
             } else {
                 println!(
-                    "snapshot v{}: {} bytes, {} symbols, fresh counter {}, {} relations, {} tuples",
+                    "snapshot v{}: {} bytes, {} symbols, fresh counter {}, {} relations, \
+                     {} tuples, chain head {chain_head}",
                     h.version, summary.bytes, h.symbols, h.fresh_counter, h.relations, h.tuples
                 );
                 for r in &summary.relations {
@@ -353,6 +422,7 @@ fn cmd_inspect(mut args: Vec<String>) -> ExitCode {
                         let doc = Json::obj([
                             ("kind".to_string(), Json::str("delta")),
                             ("version".to_string(), Json::int(h.version as u64)),
+                            ("chain_head".to_string(), Json::str(chain_head.clone())),
                             ("bytes".to_string(), Json::int(bytes.len() as u64)),
                             (
                                 "base_hash".to_string(),
@@ -368,7 +438,7 @@ fn cmd_inspect(mut args: Vec<String>) -> ExitCode {
                     } else {
                         println!(
                             "delta v{}: {} bytes, base hash {:016x}, {} -> {} symbols, \
-                         {} relation deltas, {} inserted tuples",
+                         {} relation deltas, {} inserted tuples, chain head {chain_head}",
                             h.version,
                             bytes.len(),
                             h.base_hash,

@@ -20,6 +20,10 @@
 //!   workers intern into per-worker local dictionaries, the union merges
 //!   into the global interner in canonical `(namespace, name)` order, and
 //!   a second parallel pass remaps tuples to global ids.
+//! * [`replog`] — the primary's append-only **replication log** over a
+//!   delta chain: crash-safe two-step appends (delta file before index
+//!   record), hash-keyed suffix extraction for subscribing followers, and
+//!   the chain-directory scanner behind `verify --chain`.
 //! * [`text`] — the serial streaming text loader (same dialects, one
 //!   thread, used as the fallback path and as the loader's test oracle).
 //! * `wdpt-store` (binary) — `build` / `verify` / `inspect` / `gen-music`
@@ -34,6 +38,7 @@ pub mod crc;
 pub mod delta;
 pub mod format;
 pub mod loader;
+pub mod replog;
 pub mod text;
 
 pub use crc::{crc32, Crc32};
@@ -47,4 +52,5 @@ pub use format::{
     MAGIC, VERSION,
 };
 pub use loader::{bulk_load, bulk_load_path, LoadOptions, LoadReport};
+pub use replog::{head_hex, parse_head_hex, scan_chain_dir, ChainScan, LogEntry, ReplLog};
 pub use text::{load_text_database, read_text_database};
