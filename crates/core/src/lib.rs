@@ -32,6 +32,7 @@ pub mod engine;
 pub mod eval;
 pub mod eval_bi;
 pub mod optimize;
+pub mod planning;
 pub mod profile;
 pub mod projection_free;
 pub mod semantics;
@@ -47,15 +48,17 @@ pub use engine::Engine;
 pub use eval::eval_decide;
 pub use eval_bi::eval_bounded_interface;
 pub use optimize::normalize;
+pub use planning::plan_wdpt;
 pub use profile::{
     evaluate_max_profiled, evaluate_parallel_profiled, evaluate_profiled,
-    try_evaluate_parallel_captured, try_evaluate_parallel_profiled,
+    try_evaluate_parallel_captured, try_evaluate_parallel_captured_planned,
+    try_evaluate_parallel_profiled,
 };
 pub use projection_free::eval_projection_free;
 pub use semantics::{
     evaluate, evaluate_max, evaluate_max_parallel, evaluate_parallel, maximal_homomorphisms,
-    maximal_homomorphisms_parallel, try_evaluate, try_evaluate_parallel, try_maximal_homomorphisms,
-    try_maximal_homomorphisms_parallel,
+    maximal_homomorphisms_parallel, try_evaluate, try_evaluate_parallel,
+    try_evaluate_parallel_planned, try_maximal_homomorphisms, try_maximal_homomorphisms_parallel,
 };
 pub use subsumption::{max_equivalent, subsumed, subsumption_equivalent};
 pub use text::{parse_wdpt, to_text};

@@ -87,7 +87,7 @@ pub fn try_evaluate_parallel_profiled(
 ) -> Result<(Vec<Mapping>, QueryProfile), Cancelled> {
     let mut rec = ProfileRecorder::start(label);
     let tally = NodeTally::new(p.node_count());
-    match try_maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally), token) {
+    match try_maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally), None, token) {
         Ok(homs) => {
             let answers = project_free(p, homs);
             rec.set_nodes(node_entries(p, &tally));
@@ -114,9 +114,25 @@ pub fn try_evaluate_parallel_captured(
     token: &CancelToken,
     label: &str,
 ) -> (Result<Vec<Mapping>, Cancelled>, QueryProfile) {
+    try_evaluate_parallel_captured_planned(p, db, threads, token, label, None)
+}
+
+/// [`try_evaluate_parallel_captured`] executing an optional cost-based
+/// [`ExecPlan`]: nodes with a planned atom order run it statically; a
+/// `None` plan (or a plan built for a different tree shape) falls back to
+/// the dynamic most-constrained heuristic per node. Answers are identical
+/// either way — a plan only changes the order work is discovered in.
+pub fn try_evaluate_parallel_captured_planned(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    token: &CancelToken,
+    label: &str,
+    plan: Option<&wdpt_plan::ExecPlan>,
+) -> (Result<Vec<Mapping>, Cancelled>, QueryProfile) {
     let mut rec = ProfileRecorder::start(label);
     let tally = NodeTally::new(p.node_count());
-    match try_maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally), token) {
+    match try_maximal_homomorphisms_parallel_tallied(p, db, threads, Some(&tally), plan, token) {
         Ok(homs) => {
             let answers = project_free(p, homs);
             rec.set_nodes(node_entries(p, &tally));

@@ -17,9 +17,28 @@
 use crate::tree::Wdpt;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use wdpt_cq::backtrack::{extend_all, extend_exists, try_extend_all};
+use wdpt_cq::backtrack::{extend_all, extend_exists, try_extend_all, try_extend_all_ordered};
 use wdpt_model::{mapping::maximal_mappings, CancelToken, Cancelled, Database, Mapping};
 use wdpt_obs::span;
+use wdpt_plan::ExecPlan;
+
+/// Local homomorphisms of node `t` under `inherited`, following the
+/// planned static atom order when an [`ExecPlan`] carries one for the node
+/// and the dynamic most-constrained heuristic otherwise. A plan indexed
+/// for a different tree shape degrades per-node to the dynamic default.
+fn node_extend(
+    db: &Database,
+    p: &Wdpt,
+    t: usize,
+    plan: Option<&ExecPlan>,
+    inherited: &Mapping,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    match plan.and_then(|pl| pl.nodes.get(t)) {
+        Some(no) => try_extend_all_ordered(db, p.atoms(t), &no.order, inherited, token),
+        None => try_extend_all(db, p.atoms(t), inherited, token),
+    }
+}
 
 /// Per-query, per-tree-node tallies collected while evaluating. One slot
 /// per WDPT node (preorder id); atomics so the parallel workers can share
@@ -65,7 +84,7 @@ pub fn try_maximal_homomorphisms(
     db: &Database,
     token: &CancelToken,
 ) -> Result<Vec<Mapping>, Cancelled> {
-    try_maximal_homomorphisms_tallied(p, db, None, token)
+    try_maximal_homomorphisms_tallied(p, db, None, None, token)
 }
 
 /// [`maximal_homomorphisms`] with an optional per-node tally (used by the
@@ -75,7 +94,7 @@ pub(crate) fn maximal_homomorphisms_tallied(
     db: &Database,
     tally: Option<&NodeTally>,
 ) -> Vec<Mapping> {
-    try_maximal_homomorphisms_tallied(p, db, tally, CancelToken::never())
+    try_maximal_homomorphisms_tallied(p, db, tally, None, CancelToken::never())
         .expect("the never token cannot cancel")
 }
 
@@ -83,10 +102,11 @@ pub(crate) fn try_maximal_homomorphisms_tallied(
     p: &Wdpt,
     db: &Database,
     tally: Option<&NodeTally>,
+    plan: Option<&ExecPlan>,
     token: &CancelToken,
 ) -> Result<Vec<Mapping>, Cancelled> {
     let _span = span!("wdpt.eval.sequential");
-    let homs = extensions(p, db, p.root(), &Mapping::empty(), tally, token)?;
+    let homs = extensions(p, db, p.root(), &Mapping::empty(), tally, plan, token)?;
     let out: BTreeSet<Mapping> = homs.into_iter().collect();
     // The recursion can produce duplicates through different local homs
     // projecting equally; BTreeSet dedups canonically.
@@ -103,9 +123,10 @@ fn extensions(
     t: usize,
     inherited: &Mapping,
     tally: Option<&NodeTally>,
+    plan: Option<&ExecPlan>,
     token: &CancelToken,
 ) -> Result<Vec<Mapping>, Cancelled> {
-    let local = try_extend_all(db, p.atoms(t), inherited, token)?;
+    let local = node_extend(db, p, t, plan, inherited, token)?;
     if let Some(tally) = tally {
         tally.add_homs(t, local.len() as u64);
     }
@@ -120,7 +141,7 @@ fn extensions(
         // Children are independent given ctx (well-designedness).
         let mut parts: Vec<Vec<Mapping>> = Vec::new();
         for &c in p.children(t) {
-            let subs = extensions(p, db, c, &ctx, tally, token)?;
+            let subs = extensions(p, db, c, &ctx, tally, plan, token)?;
             if !subs.is_empty() {
                 parts.push(subs);
             }
@@ -210,7 +231,7 @@ pub fn try_maximal_homomorphisms_parallel(
     threads: usize,
     token: &CancelToken,
 ) -> Result<Vec<Mapping>, Cancelled> {
-    try_maximal_homomorphisms_parallel_tallied(p, db, threads, None, token)
+    try_maximal_homomorphisms_parallel_tallied(p, db, threads, None, None, token)
 }
 
 /// [`maximal_homomorphisms_parallel`] with an optional per-node tally. The
@@ -222,7 +243,7 @@ pub(crate) fn maximal_homomorphisms_parallel_tallied(
     threads: usize,
     tally: Option<&NodeTally>,
 ) -> Vec<Mapping> {
-    try_maximal_homomorphisms_parallel_tallied(p, db, threads, tally, CancelToken::never())
+    try_maximal_homomorphisms_parallel_tallied(p, db, threads, tally, None, CancelToken::never())
         .expect("the never token cannot cancel")
 }
 
@@ -231,6 +252,7 @@ pub(crate) fn try_maximal_homomorphisms_parallel_tallied(
     db: &Database,
     threads: usize,
     tally: Option<&NodeTally>,
+    plan: Option<&ExecPlan>,
     token: &CancelToken,
 ) -> Result<Vec<Mapping>, Cancelled> {
     let _span = span!("wdpt.eval.parallel");
@@ -240,7 +262,7 @@ pub(crate) fn try_maximal_homomorphisms_parallel_tallied(
         threads
     };
     let root = p.root();
-    let locals = try_extend_all(db, p.atoms(root), &Mapping::empty(), token)?;
+    let locals = node_extend(db, p, root, plan, &Mapping::empty(), token)?;
     let children = p.children(root);
     let jobs: Vec<(usize, usize)> = (0..locals.len())
         .flat_map(|ci| children.iter().map(move |&c| (ci, c)))
@@ -248,7 +270,7 @@ pub(crate) fn try_maximal_homomorphisms_parallel_tallied(
     if threads <= 1 || jobs.len() < MIN_PARALLEL_JOBS {
         // The root locals just computed would be double-counted by the
         // sequential fallback, which recomputes them.
-        return try_maximal_homomorphisms_tallied(p, db, tally, token);
+        return try_maximal_homomorphisms_tallied(p, db, tally, plan, token);
     }
     if let Some(tally) = tally {
         tally.add_homs(root, locals.len() as u64);
@@ -271,7 +293,10 @@ pub(crate) fn try_maximal_homomorphisms_parallel_tallied(
                     while idx < jobs.len() {
                         let (ci, child) = jobs[idx];
                         wdpt_model::stats::record_parallel_task();
-                        out.push((idx, extensions(p, db, child, &locals[ci], tally, token)));
+                        out.push((
+                            idx,
+                            extensions(p, db, child, &locals[ci], tally, plan, token),
+                        ));
                         idx += workers;
                     }
                     out
@@ -345,6 +370,26 @@ pub fn try_evaluate_parallel(
         .into_iter()
         .map(|h| h.restrict(&free))
         .collect();
+    Ok(set.into_iter().collect())
+}
+
+/// [`try_evaluate_parallel`] executing an optional cost-based
+/// [`ExecPlan`]; see
+/// [`try_evaluate_parallel_captured_planned`](crate::profile::try_evaluate_parallel_captured_planned)
+/// for the plan contract. Answers are identical with or without a plan.
+pub fn try_evaluate_parallel_planned(
+    p: &Wdpt,
+    db: &Database,
+    threads: usize,
+    token: &CancelToken,
+    plan: Option<&ExecPlan>,
+) -> Result<Vec<Mapping>, Cancelled> {
+    let free = p.free_set();
+    let set: BTreeSet<Mapping> =
+        try_maximal_homomorphisms_parallel_tallied(p, db, threads, None, plan, token)?
+            .into_iter()
+            .map(|h| h.restrict(&free))
+            .collect();
     Ok(set.into_iter().collect())
 }
 

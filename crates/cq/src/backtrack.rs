@@ -254,6 +254,76 @@ pub fn try_extend_all_config(
     }
 }
 
+/// True iff `order` is a permutation of `0..n` — the precondition for the
+/// planned entry points to execute it as a static atom order.
+fn valid_order(order: &[usize], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    order
+        .iter()
+        .all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+}
+
+/// [`try_extend_all`] executing a *planned* static atom order instead of
+/// the dynamic most-constrained heuristic: atoms are processed exactly in
+/// the sequence `atoms[order[0]], atoms[order[1]], …`. This is the hook
+/// the cost-based planner drives — the plan layer picks the permutation
+/// from its cardinality estimates, and this function executes it verbatim
+/// (indexes stay on; only the ordering heuristic is replaced).
+///
+/// If `order` is not a permutation of `0..atoms.len()` (a plan built for a
+/// different query shape), the call degrades to the dynamic default rather
+/// than failing — a stale plan must never change answers.
+pub fn try_extend_all_ordered(
+    db: &Database,
+    atoms: &[Atom],
+    order: &[usize],
+    seed: &Mapping,
+    token: &CancelToken,
+) -> Result<Vec<Mapping>, Cancelled> {
+    if !valid_order(order, atoms.len()) {
+        return try_extend_all(db, atoms, seed, token);
+    }
+    let permuted: Vec<Atom> = order.iter().map(|&i| atoms[i].clone()).collect();
+    try_extend_all_config(
+        db,
+        &permuted,
+        seed,
+        BacktrackConfig {
+            use_index: true,
+            dynamic_order: false,
+        },
+        token,
+    )
+}
+
+/// [`try_extend_exists`] executing a planned static atom order; see
+/// [`try_extend_all_ordered`] for the contract.
+pub fn try_extend_exists_ordered(
+    db: &Database,
+    atoms: &[Atom],
+    order: &[usize],
+    seed: &Mapping,
+    token: &CancelToken,
+) -> Result<bool, Cancelled> {
+    if !valid_order(order, atoms.len()) {
+        return try_extend_exists(db, atoms, seed, token);
+    }
+    let permuted: Vec<Atom> = order.iter().map(|&i| atoms[i].clone()).collect();
+    try_extend_exists_config(
+        db,
+        &permuted,
+        seed,
+        BacktrackConfig {
+            use_index: true,
+            dynamic_order: false,
+        },
+        token,
+    )
+}
+
 /// True iff at least one homomorphism extending `seed` exists.
 pub fn extend_exists(db: &Database, atoms: &[Atom], seed: &Mapping) -> bool {
     extend_exists_config(db, atoms, seed, BacktrackConfig::default())
@@ -521,6 +591,72 @@ mod tests {
         assert_eq!(
             try_extend_all(&db, &atoms, &Mapping::empty(), &token),
             Err(Cancelled)
+        );
+    }
+
+    #[test]
+    fn ordered_execution_follows_the_given_permutation() {
+        let mut i = Interner::new();
+        // small: 2 rows; fan: fan-out 100 from each small value; filter: 1.
+        let mut spec = String::from("small(a) small(b) filter(y0) ");
+        for s in ["a", "b"] {
+            for j in 0..100 {
+                spec.push_str(&format!("fan({s},y{j}) "));
+            }
+        }
+        let db = parse_database(&mut i, &spec).unwrap();
+        let atoms = parse_atoms(&mut i, "small(?x), fan(?x,?y), filter(?y)").unwrap();
+        let token = CancelToken::new();
+        // Bad order: small → fan explodes the frontier before filter prunes.
+        let before = wdpt_model::stats::snapshot();
+        let bad =
+            try_extend_all_ordered(&db, &atoms, &[0, 1, 2], &Mapping::empty(), &token).unwrap();
+        let bad_nodes = wdpt_model::stats::snapshot().since(&before).nodes_expanded;
+        // Good order: filter first keeps the frontier at 1.
+        let before = wdpt_model::stats::snapshot();
+        let good =
+            try_extend_all_ordered(&db, &atoms, &[2, 1, 0], &Mapping::empty(), &token).unwrap();
+        let good_nodes = wdpt_model::stats::snapshot().since(&before).nodes_expanded;
+        // Same answers either way; radically different work.
+        let mut b = bad.clone();
+        let mut g = good.clone();
+        b.sort();
+        g.sort();
+        assert_eq!(b, g);
+        assert_eq!(good.len(), 2);
+        assert!(
+            good_nodes * 10 <= bad_nodes,
+            "expected ≥10× gap, got {good_nodes} vs {bad_nodes}"
+        );
+    }
+
+    #[test]
+    fn invalid_order_degrades_to_dynamic() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z)").unwrap();
+        let token = CancelToken::new();
+        // Wrong length and duplicate entries both fall back cleanly.
+        for order in [&[0usize][..], &[0, 0][..], &[1, 2][..]] {
+            let homs =
+                try_extend_all_ordered(&db, &atoms, order, &Mapping::empty(), &token).unwrap();
+            assert_eq!(homs.len(), 3, "order {order:?}");
+            assert!(
+                try_extend_exists_ordered(&db, &atoms, order, &Mapping::empty(), &token).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_exists_short_circuits() {
+        let (mut i, db) = setup();
+        let atoms = parse_atoms(&mut i, "e(?x,?y), e(?y,?z)").unwrap();
+        let token = CancelToken::new();
+        assert!(
+            try_extend_exists_ordered(&db, &atoms, &[1, 0], &Mapping::empty(), &token).unwrap()
+        );
+        let none = parse_atoms(&mut i, "e(?x,?y), e(?y,?x)").unwrap();
+        assert!(
+            !try_extend_exists_ordered(&db, &none, &[1, 0], &Mapping::empty(), &token).unwrap()
         );
     }
 

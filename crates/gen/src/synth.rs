@@ -29,6 +29,12 @@ pub struct SynthParams {
     pub objects: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Skew knob for the planner benchmarks, in tenths: 0 keeps the draw
+    /// uniform; at `skew = k`, `k/10` of the triples re-aim their
+    /// *predicate* at `p0` (subject and object stay uniform, so the
+    /// triples stay distinct), producing the heavy-hitter posting list
+    /// whose cost the statistics catalog must see.
+    pub skew: u64,
 }
 
 impl SynthParams {
@@ -43,6 +49,16 @@ impl SynthParams {
             preds: 64.min(triples.max(1)),
             objects: (triples / 16).max(1),
             seed: 0xCAFE,
+            skew: 0,
+        }
+    }
+
+    /// `sized`, with `skew` tenths of the stream collapsed onto the
+    /// heavy-hitter symbols (clamped to 10 = everything).
+    pub fn sized_skewed(triples: u64, skew: u64) -> SynthParams {
+        SynthParams {
+            skew: skew.min(10),
+            ..SynthParams::sized(triples)
         }
     }
 }
@@ -55,10 +71,18 @@ pub fn write_synth_nt<W: Write>(w: &mut W, params: SynthParams) -> io::Result<u6
     let preds = params.preds.max(1) as usize;
     let objects = params.objects.max(1) as usize;
     let mut line = String::with_capacity(64);
+    let skew = params.skew.min(10);
     for _ in 0..params.triples {
         let s = r.gen_range(0..subjects);
-        let p = r.gen_range(0..preds);
+        let mut p = r.gen_range(0..preds);
         let o = r.gen_range(0..objects);
+        // Heavy-hitter re-aim: `skew` tenths of the stream collapse the
+        // predicate onto <p0>, so its posting list dominates while the
+        // subject/object marginals — and triple distinctness — stay
+        // uniform (collapsing all three components would dedup away).
+        if skew > 0 && r.gen_range(0..10) < skew as usize {
+            p = 0;
+        }
         line.clear();
         use std::fmt::Write as _;
         let _ = writeln!(line, "<s{s}> <p{p}> <o{o}> .");
@@ -104,6 +128,39 @@ mod tests {
             assert!(toks[2].starts_with("<o") && toks[2].ends_with('>'));
             assert_eq!(toks[3], ".");
         }
+    }
+
+    /// The skew knob must concentrate predicate mass on <p0> roughly in
+    /// proportion to `skew`/10 — while keeping the triples themselves
+    /// near-distinct — and skew 0 must reproduce the old uniform stream
+    /// byte-for-byte.
+    #[test]
+    fn skew_concentrates_the_predicate_on_heavy_hitters() {
+        let uniform = SynthParams::sized(2000);
+        assert_eq!(
+            generate(uniform),
+            generate(SynthParams::sized_skewed(2000, 0))
+        );
+        let text = String::from_utf8(generate(SynthParams::sized_skewed(2000, 8))).unwrap();
+        let hot = text
+            .lines()
+            .filter(|l| l.split_whitespace().nth(1) == Some("<p0>"))
+            .count();
+        assert_eq!(text.lines().count(), 2000);
+        // 8/10 of 2000 draws re-aim (plus the uniform draws that land on
+        // p0 anyway); a wide band keeps this robust to the LCG.
+        assert!(
+            (1400..=1900).contains(&hot),
+            "expected ~1600 heavy-hitter predicates, got {hot}"
+        );
+        // Distinctness survives the skew — the dedup the loader applies
+        // must not collapse the skewed mass away.
+        let distinct: std::collections::BTreeSet<&str> = text.lines().collect();
+        assert!(
+            distinct.len() > 1500,
+            "skewed triples must stay near-distinct, got {}",
+            distinct.len()
+        );
     }
 
     #[test]

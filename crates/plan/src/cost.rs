@@ -1,0 +1,173 @@
+//! The cost model: expected backtracking work of an atom order.
+//!
+//! The backtracking engine expands one search node per (partial mapping ×
+//! atom selection), so the cost of executing atoms in order `a_1 … a_n` is
+//!
+//! ```text
+//!   nodes(order) = Σ_{d=1}^{n} Π_{j<d} m_j
+//! ```
+//!
+//! where `m_j` is the expected number of tuples matching atom `a_j` once
+//! the atoms before it (and the node's inherited ancestor variables) have
+//! bound its join variables. `m_j` comes from the statistics catalog under
+//! independence and uniformity assumptions: a relation of `r` rows with a
+//! bound column of `d` distinct values matches `r/d` tuples in
+//! expectation. The uniformity assumption is exactly what skewed data
+//! violates — which is why the serving layer compares these estimates
+//! against observed `nodes_expanded` and re-plans on sustained divergence.
+
+use crate::stats::StatsCatalog;
+use std::collections::BTreeSet;
+use wdpt_model::{Atom, Term, Var};
+
+/// Expected number of tuples matching `atom` given that the variables in
+/// `bound` already carry values. Exact (`rows`) for unconstrained atoms
+/// and `0` for relations absent from the catalog; fractional values mean
+/// "less than one match expected".
+pub fn est_matches(stats: &StatsCatalog, atom: &Atom, bound: &BTreeSet<Var>) -> f64 {
+    let Some(rs) = stats.relation(atom.pred) else {
+        return 0.0;
+    };
+    let mut est = rs.rows as f64;
+    let mut seen_here: BTreeSet<Var> = BTreeSet::new();
+    for (col, term) in atom.args.iter().enumerate() {
+        let constrained = match term {
+            Term::Const(_) => true,
+            // A repeated variable inside the atom is an equality
+            // constraint on its second occurrence even when unbound.
+            Term::Var(v) => bound.contains(v) || !seen_here.insert(*v),
+        };
+        if constrained {
+            let distinct = rs.columns.get(col).map_or(1, |c| c.distinct).max(1);
+            est /= distinct as f64;
+        }
+    }
+    est
+}
+
+/// Estimated cost and output size of executing `atoms` in the given order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderCost {
+    /// Expected backtracking nodes expanded (`Σ_d Π_{j<d} m_j`).
+    pub nodes: f64,
+    /// Expected result tuples (`Π_j m_j`).
+    pub rows: f64,
+}
+
+/// Costs the order `atoms[order[0]], atoms[order[1]], …` starting from the
+/// already-bound variable set `bound0` (a wdPT node's inherited ancestor
+/// variables). `order` must be a permutation of `0..atoms.len()`.
+pub fn order_cost(
+    stats: &StatsCatalog,
+    atoms: &[Atom],
+    order: &[usize],
+    bound0: &BTreeSet<Var>,
+) -> OrderCost {
+    debug_assert_eq!(order.len(), atoms.len());
+    let mut bound = bound0.clone();
+    let mut frontier = 1.0f64;
+    let mut nodes = 0.0f64;
+    for &i in order {
+        let atom = &atoms[i];
+        nodes += frontier;
+        frontier *= est_matches(stats, atom, &bound);
+        bound.extend(atom.vars());
+    }
+    OrderCost {
+        nodes,
+        rows: frontier,
+    }
+}
+
+/// Expected domain size of a join variable over `atoms`: the smallest
+/// distinct count among the columns it occurs in (the tightest of its
+/// occurrences bounds the join's value universe). Used by the bushy
+/// enumerator's join-selectivity estimate. Returns `None` when the
+/// variable occurs in no catalogued column.
+pub fn var_domain(stats: &StatsCatalog, atoms: &[Atom], v: Var) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for atom in atoms {
+        let Some(rs) = stats.relation(atom.pred) else {
+            continue;
+        };
+        for (col, term) in atom.args.iter().enumerate() {
+            if *term == Term::Var(v) {
+                let d = rs.columns.get(col).map_or(0, |c| c.distinct);
+                best = Some(best.map_or(d, |b| b.min(d)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_model::parse::{parse_atoms, parse_database};
+    use wdpt_model::Interner;
+
+    #[test]
+    fn unbound_atom_estimates_relation_size() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "e(a,b) e(b,c) e(c,d)").unwrap();
+        let stats = StatsCatalog::build(&db);
+        let atoms = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        assert_eq!(est_matches(&stats, &atoms[0], &BTreeSet::new()), 3.0);
+    }
+
+    #[test]
+    fn bound_column_divides_by_distinct_count() {
+        let mut i = Interner::new();
+        // Column 0 has 2 distinct values over 4 rows.
+        let db = parse_database(&mut i, "e(a,1) e(a,2) e(b,3) e(b,4)").unwrap();
+        let stats = StatsCatalog::build(&db);
+        let atoms = parse_atoms(&mut i, "e(?x,?y)").unwrap();
+        let bound: BTreeSet<_> = [i.var("x")].into();
+        assert_eq!(est_matches(&stats, &atoms[0], &bound), 2.0);
+    }
+
+    #[test]
+    fn constants_and_repeated_vars_constrain() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "r(a,a) r(a,b) r(b,a) r(b,b)").unwrap();
+        let stats = StatsCatalog::build(&db);
+        let with_const = parse_atoms(&mut i, "r(a,?y)").unwrap();
+        assert_eq!(est_matches(&stats, &with_const[0], &BTreeSet::new()), 2.0);
+        let diagonal = parse_atoms(&mut i, "r(?x,?x)").unwrap();
+        // 4 rows / 2 distinct in the second column: 2 expected.
+        assert_eq!(est_matches(&stats, &diagonal[0], &BTreeSet::new()), 2.0);
+    }
+
+    #[test]
+    fn order_cost_sums_prefix_products() {
+        let mut i = Interner::new();
+        // small: 2 rows; fan: 8 rows over 2 distinct x (mean fan-out 4).
+        let db = parse_database(
+            &mut i,
+            "small(a) small(b) \
+             fan(a,1) fan(a,2) fan(a,3) fan(a,4) fan(b,5) fan(b,6) fan(b,7) fan(b,8)",
+        )
+        .unwrap();
+        let stats = StatsCatalog::build(&db);
+        let atoms = parse_atoms(&mut i, "small(?x), fan(?x,?y)").unwrap();
+        let c = order_cost(&stats, &atoms, &[0, 1], &BTreeSet::new());
+        // 1 (pick small) + 2 (pick fan per small binding); 2×4 rows out.
+        assert_eq!(c.nodes, 3.0);
+        assert_eq!(c.rows, 8.0);
+        let rev = order_cost(&stats, &atoms, &[1, 0], &BTreeSet::new());
+        // 1 (pick fan) + 8 (pick small per fan row); same output size.
+        assert_eq!(rev.nodes, 9.0);
+        assert_eq!(rev.rows, 8.0);
+    }
+
+    #[test]
+    fn var_domain_takes_tightest_occurrence() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "e(a,1) e(b,2) e(c,3) f(1) f(2)").unwrap();
+        let stats = StatsCatalog::build(&db);
+        let atoms = parse_atoms(&mut i, "e(?x,?y), f(?y)").unwrap();
+        assert_eq!(var_domain(&stats, &atoms, i.var("y")), Some(2));
+        assert_eq!(var_domain(&stats, &atoms, i.var("x")), Some(3));
+        assert_eq!(var_domain(&stats, &atoms, i.var("z")), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! The cardinality-statistics catalog: per-relation and per-column counts
+//! the cost model estimates with.
+//!
+//! A [`StatsCatalog`] is a pure summary of one [`Database`] version: row
+//! counts, per-column distinct counts, and a log₂ posting-length sketch per
+//! column. It is built in one pass over the relations at load/reload/delta
+//! time and is immutable afterwards — the serving layer pairs each
+//! `Arc<Database>` with the `Arc<StatsCatalog>` built from it and swaps
+//! both together, so a plan can never mix estimates from one data version
+//! with execution against another.
+//!
+//! Every catalog carries a process-unique **epoch**. Cached plans remember
+//! the epoch they were costed under; a lookup that observes a newer epoch
+//! knows its orderings were chosen for stale statistics and re-plans.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use wdpt_model::{Const, Database, Pred, Relation};
+
+/// Buckets of the posting-length sketch: bucket `b` counts the distinct
+/// column values whose posting list has length in `[2^b, 2^{b+1})`.
+pub const SKETCH_BUCKETS: usize = 32;
+
+/// Per-column statistics of one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Distinct values in the column.
+    pub distinct: u64,
+    /// Longest posting list (occurrences of the most frequent value).
+    pub max_posting: u64,
+    /// Log₂ histogram of posting-list lengths over the distinct values.
+    pub sketch: [u32; SKETCH_BUCKETS],
+}
+
+impl ColumnStats {
+    /// Mean posting-list length: `rows / distinct`. Exact when every value
+    /// occurs equally often; an underestimate for hot values under skew
+    /// (bounded above by [`ColumnStats::max_posting`]).
+    pub fn mean_posting(&self, rows: u64) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            rows as f64 / self.distinct as f64
+        }
+    }
+
+    /// Ratio of the heaviest posting list to the mean — the column's skew
+    /// factor. `1.0` on uniform columns.
+    pub fn skew(&self, rows: u64) -> f64 {
+        let mean = self.mean_posting(rows);
+        if mean <= 0.0 {
+            1.0
+        } else {
+            self.max_posting as f64 / mean
+        }
+    }
+}
+
+/// Statistics of one relation: its row count and one [`ColumnStats`] per
+/// column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Tuples in the relation.
+    pub rows: u64,
+    /// Per-column stats, indexed by column position.
+    pub columns: Vec<ColumnStats>,
+}
+
+fn column_stats(rel: &Relation, col: usize) -> ColumnStats {
+    // Count occurrences per value. The relation's lazily-built hash index
+    // holds exactly these posting lists; reuse it when present rather than
+    // re-counting, but never force an index build just for statistics.
+    let counts: HashMap<Const, u64> = match rel.built_column_index(col) {
+        Some(idx) => idx
+            .iter()
+            .map(|(c, rows)| (*c, rows.len() as u64))
+            .collect(),
+        None => {
+            let mut counts = HashMap::new();
+            for t in rel.tuples() {
+                *counts.entry(t[col]).or_insert(0) += 1;
+            }
+            counts
+        }
+    };
+    let mut sketch = [0u32; SKETCH_BUCKETS];
+    let mut max_posting = 0u64;
+    for &n in counts.values() {
+        max_posting = max_posting.max(n);
+        let b = (64 - n.max(1).leading_zeros() as usize - 1).min(SKETCH_BUCKETS - 1);
+        sketch[b] += 1;
+    }
+    ColumnStats {
+        distinct: counts.len() as u64,
+        max_posting,
+        sketch,
+    }
+}
+
+/// Process-wide epoch source; every built catalog gets the next value.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// An immutable statistics snapshot of one database version.
+#[derive(Debug)]
+pub struct StatsCatalog {
+    epoch: u64,
+    relations: HashMap<Pred, RelationStats>,
+}
+
+impl StatsCatalog {
+    /// Builds the catalog in one pass over `db`'s relations. Cost is
+    /// `O(size(db))` — a hash-count per column — and is paid once per
+    /// load/reload/delta-apply, off the query path.
+    pub fn build(db: &Database) -> StatsCatalog {
+        let _span = wdpt_obs::span!("plan.stats.build");
+        let relations = db
+            .relations()
+            .map(|(pred, rel)| {
+                let columns = (0..rel.arity()).map(|c| column_stats(rel, c)).collect();
+                (
+                    pred,
+                    RelationStats {
+                        rows: rel.len() as u64,
+                        columns,
+                    },
+                )
+            })
+            .collect();
+        StatsCatalog {
+            epoch: EPOCH.fetch_add(1, Relaxed) + 1,
+            relations,
+        }
+    }
+
+    /// An empty catalog (no relations) with a fresh epoch; estimates all
+    /// come out zero. Useful as a placeholder where no database exists.
+    pub fn empty() -> StatsCatalog {
+        StatsCatalog {
+            epoch: EPOCH.fetch_add(1, Relaxed) + 1,
+            relations: HashMap::new(),
+        }
+    }
+
+    /// The process-unique epoch this catalog was built at. Strictly
+    /// monotone across builds, so `plan_epoch != catalog.epoch()` detects
+    /// staleness in either direction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stats for `pred`, if the relation exists.
+    pub fn relation(&self, pred: Pred) -> Option<&RelationStats> {
+        self.relations.get(&pred)
+    }
+
+    /// Number of relations summarized.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff no relation is summarized.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdpt_model::parse::parse_database;
+    use wdpt_model::Interner;
+
+    #[test]
+    fn counts_rows_distinct_and_max_posting() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "e(a,x) e(a,y) e(a,z) e(b,x)").unwrap();
+        let cat = StatsCatalog::build(&db);
+        let rs = cat.relation(i.pred("e")).unwrap();
+        assert_eq!(rs.rows, 4);
+        assert_eq!(rs.columns[0].distinct, 2); // a, b
+        assert_eq!(rs.columns[0].max_posting, 3); // a occurs 3×
+        assert_eq!(rs.columns[1].distinct, 3); // x, y, z
+        assert_eq!(rs.columns[1].max_posting, 2); // x occurs 2×
+        assert!((rs.columns[0].mean_posting(rs.rows) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sketch_buckets_by_log2_posting_length() {
+        let mut i = Interner::new();
+        // Column 0: one value with 4 postings (bucket 2), two with 1
+        // (bucket 0).
+        let db = parse_database(&mut i, "r(h,1) r(h,2) r(h,3) r(h,4) r(u,5) r(v,6)").unwrap();
+        let cat = StatsCatalog::build(&db);
+        let c0 = &cat.relation(i.pred("r")).unwrap().columns[0];
+        assert_eq!(c0.sketch[0], 2);
+        assert_eq!(c0.sketch[2], 1);
+        assert!((c0.skew(6) - 2.0).abs() < 1e-9); // max 4 / mean 2
+    }
+
+    #[test]
+    fn matches_lazily_built_index_when_present() {
+        let mut i = Interner::new();
+        let db = parse_database(&mut i, "e(a,x) e(a,y) e(b,x)").unwrap();
+        let fresh = StatsCatalog::build(&db);
+        db.relation(i.pred("e")).unwrap().build_all_indexes();
+        let indexed = StatsCatalog::build(&db);
+        assert_eq!(
+            fresh.relation(i.pred("e")).unwrap(),
+            indexed.relation(i.pred("e")).unwrap()
+        );
+    }
+
+    #[test]
+    fn epochs_are_unique_and_monotone() {
+        let db = Database::new();
+        let a = StatsCatalog::build(&db);
+        let b = StatsCatalog::build(&db);
+        let c = StatsCatalog::empty();
+        assert!(a.epoch() < b.epoch());
+        assert!(b.epoch() < c.epoch());
+    }
+}

@@ -40,13 +40,18 @@ OPTIONS:
                        --addr value]
     --clients N        concurrent connections [default: 8]
     --requests N       requests per connection [default: 50]
-    --mode MODE        mix | repeat | replan | flood | deadline [default: mix]
+    --mode MODE        mix | repeat | replan | skew | flood | deadline
+                       [default: mix]
                        mix:      valid (repeated + renamed) and invalid
                                  queries, small deadline sprinkled in
                        repeat:   one query repeated (plan-cache throughput)
                        replan:   one *expensive-to-plan* query repeated;
                                  run against a tiny catalog to isolate
                                  planning cost (plan-cache ablation)
+                       skew:     one heavy-hitter self-join repeated; on
+                                 skewed gen-synth data its observed cost
+                                 diverges from the estimate, driving the
+                                 adaptive re-planner
                        flood:    heavy queries, expects >=1 overloaded
                        deadline: heavy queries under a tight deadline,
                                  expects cancelled responses
@@ -100,6 +105,13 @@ const HEAVY_QUERY: &str =
 /// dominant cost; run it against a tiny catalog (`--gen-music 2x1`) and
 /// evaluation is trivial. Repeating it isolates what the plan cache buys.
 const PLAN_HEAVY_QUERY: &str = "(((((?a, rec_by, ?b) AND (?c, rec_by, ?d)) AND (?e, rec_by, ?f)) AND (?g, rec_by, ?h)) AND ((?i, rec_by, ?j) AND (?k, rec_by, ?l)))";
+/// Self-join over the synthetic catalog's heavy-hitter predicate `p0`
+/// (`wdpt-store gen-synth --skew`). The planner's uniform-distinct
+/// estimate undercounts the `p0` posting list by the skew factor, so the
+/// observed `nodes_expanded` diverges from the estimate run after run —
+/// which is what drives the adaptive re-planner the CI `plan_smoke` job
+/// asserts on (`serve.plan.replans > 0`).
+const SKEW_QUERY: &str = "SELECT ?x ?y ?z WHERE { ((?x, p0, ?y) AND (?y, p0, ?z)) }";
 
 #[derive(Clone)]
 struct Args {
@@ -168,7 +180,7 @@ fn parse_args() -> Result<Args, String> {
                 args.mode = value("--mode")?;
                 if !matches!(
                     args.mode.as_str(),
-                    "mix" | "repeat" | "replan" | "flood" | "deadline"
+                    "mix" | "repeat" | "replan" | "skew" | "flood" | "deadline"
                 ) {
                     return Err(format!("unknown mode {:?}", args.mode));
                 }
@@ -381,6 +393,7 @@ fn run_client(client: usize, args: &Args, tally: &Tally, ryw: &Ryw) -> Result<()
         let (req, expect) = match args.mode.as_str() {
             "repeat" => (query(&id, BASE_QUERY, None, quoted_head), "ok"),
             "replan" => (query(&id, PLAN_HEAVY_QUERY, None, quoted_head), "ok"),
+            "skew" => (query(&id, SKEW_QUERY, None, quoted_head), "ok"),
             "flood" => (query(&id, HEAVY_QUERY, Some(args.deadline_ms), None), "any"),
             "deadline" => (
                 query(&id, HEAVY_QUERY, Some(args.deadline_ms), None),
@@ -593,6 +606,39 @@ fn send_reload(args: &Args, tally: &Tally, ryw: &Ryw) {
             std::thread::sleep(Duration::from_millis(150));
         }
     }
+}
+
+/// Builds the `--json` planner section from the server's counter
+/// registry (the `stats` op exposes the same counters the Prometheus
+/// exposition carries): the strategy mix of installed plans, how often
+/// adaptive re-planning fired, and how often a stats-epoch refresh
+/// rebuilt a cached plan.
+fn planner_section(stats: Option<&Json>) -> Json {
+    let counter = |name: &str| -> u64 {
+        stats
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64
+    };
+    Json::obj([
+        (
+            "replans".to_string(),
+            Json::int(counter("serve.plan.replans")),
+        ),
+        (
+            "stats_refreshes".to_string(),
+            Json::int(counter("serve.plan.stats_refresh")),
+        ),
+        (
+            "strategy_mix".to_string(),
+            Json::obj([
+                ("greedy", Json::int(counter("serve.plan.strategy.greedy"))),
+                ("dp", Json::int(counter("serve.plan.strategy.dp"))),
+                ("bushy", Json::int(counter("serve.plan.strategy.bushy"))),
+            ]),
+        ),
+    ])
 }
 
 /// Reads the server's cache-hit counter via a `stats` op.
@@ -923,6 +969,7 @@ fn main() -> ExitCode {
                 "ryw_stale_replica".to_string(),
                 Json::int(tally.ryw_stale_replica.load(Ordering::Relaxed)),
             ),
+            ("planner".to_string(), planner_section(stats.as_ref())),
             ("endpoints".to_string(), Json::Arr(endpoint_summaries)),
             (
                 "failures".to_string(),
@@ -949,6 +996,20 @@ fn main() -> ExitCode {
             fmt_ms(p90_ms),
             fmt_ms(p99_ms),
             tally.max_latency_us.load(Ordering::Relaxed) as f64 / 1_000.0,
+        );
+        let planner = planner_section(stats.as_ref());
+        let pcount = |section: &Json, name: &str| {
+            section.get(name).and_then(Json::as_num).unwrap_or(0.0) as u64
+        };
+        let mix = planner.get("strategy_mix").cloned().unwrap_or(Json::Null);
+        println!(
+            "loadgen:   planner: replans {}, stats refreshes {}, \
+             strategy mix greedy {} dp {} bushy {}",
+            pcount(&planner, "replans"),
+            pcount(&planner, "stats_refreshes"),
+            pcount(&mix, "greedy"),
+            pcount(&mix, "dp"),
+            pcount(&mix, "bushy"),
         );
         if args.endpoints.len() > 1 {
             for ep in &endpoint_summaries {

@@ -15,12 +15,13 @@
 //! to translate answer bindings back to the names the client wrote.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, OnceLock};
-use wdpt_core::Wdpt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use wdpt_core::{plan_wdpt, Wdpt};
 use wdpt_cq::{try_core_of, try_in_hw, try_treewidth_of};
 use wdpt_model::{CancelToken, Cancelled, Interner, Term, Var};
 use wdpt_obs::{counter, Json, RawHistogram};
+use wdpt_plan::{ExecPlan, StatsCatalog, Strategy};
 use wdpt_sparql::{GraphPattern, SparqlQuery, TriplePattern};
 
 /// A query reduced to canonical form, plus what is needed to translate
@@ -277,7 +278,8 @@ impl PlanStats {
 }
 
 /// A memoized evaluation plan: the WDPT in canonical variable space plus
-/// per-node decomposition/core metadata and accumulated runtime stats.
+/// per-node decomposition/core metadata, the cost-based join orders, and
+/// accumulated runtime stats.
 #[derive(Debug)]
 pub struct Plan {
     /// The parsed tree over canonical variables.
@@ -288,6 +290,98 @@ pub struct Plan {
     pub nodes: Vec<NodePlan>,
     /// Runtime stats accumulated across this plan's executions.
     pub stats: PlanStats,
+    /// The cost-based per-node atom orders currently in force. Swapped as
+    /// a whole on statistics refresh and adaptive re-plan, so executing
+    /// requests keep the `Arc` they read — a re-plan never tears an order
+    /// out from under a running evaluation.
+    pub exec: RwLock<Arc<ExecPlan>>,
+    /// Consecutive executions whose observed work diverged ≥ the
+    /// configured factor from the estimate (the re-plan trigger streak).
+    divergent: AtomicU32,
+}
+
+impl Plan {
+    /// The exec plan currently in force.
+    pub fn exec_plan(&self) -> Arc<ExecPlan> {
+        Arc::clone(&self.exec.read().expect("exec lock"))
+    }
+}
+
+/// Bumps the per-strategy counters for the enumerators that produced
+/// `exec`'s node orders — one increment per planned node, so the metrics
+/// reflect the strategy mix actually installed, not merely requested.
+fn count_strategies(exec: &ExecPlan) {
+    for n in &exec.nodes {
+        match n.chosen {
+            Strategy::Greedy => counter!("serve.plan.strategy.greedy").add(1),
+            Strategy::Dp => counter!("serve.plan.strategy.dp").add(1),
+            Strategy::Bushy => counter!("serve.plan.strategy.bushy").add(1),
+            Strategy::Auto => {}
+        }
+    }
+}
+
+/// Re-plans `plan` against `stats` if its exec plan was costed under a
+/// different statistics epoch (hot reload, delta apply). The rebuild keeps
+/// the strategy currently in force and swaps atomically; concurrent
+/// executions finish on the `Arc` they already hold.
+pub fn refresh_if_stale(
+    plan: &Plan,
+    stats: &StatsCatalog,
+    token: &CancelToken,
+) -> Result<bool, Cancelled> {
+    let strategy = {
+        let exec = plan.exec.read().expect("exec lock");
+        if exec.stats_epoch == stats.epoch() {
+            return Ok(false);
+        }
+        exec.strategy
+    };
+    let exec = Arc::new(plan_wdpt(&plan.wdpt, stats, strategy, token)?);
+    count_strategies(&exec);
+    counter!("serve.plan.stats_refresh").add(1);
+    *plan.exec.write().expect("exec lock") = exec;
+    Ok(true)
+}
+
+/// The adaptive re-planning check, run after each recorded execution:
+/// when the observed `cq.nodes_expanded` of the last run is at least
+/// `factor`× the exec plan's estimate for `runs` consecutive executions,
+/// the entry is rebuilt with the next strategy in the rotation
+/// (`greedy → dp → bushy → greedy`) and `serve.plan.replans` increments.
+/// Sustained divergence — not a single outlier — is the trigger, so one
+/// unlucky ancestor context doesn't discard a good plan. Returns whether a
+/// re-plan happened.
+pub fn maybe_replan(
+    plan: &Plan,
+    stats: &StatsCatalog,
+    factor: u64,
+    runs: u32,
+    token: &CancelToken,
+) -> Result<bool, Cancelled> {
+    if runs == 0 {
+        return Ok(false); // re-planning disabled
+    }
+    let observed = plan.stats.nodes_expanded_last();
+    let (est, strategy) = {
+        let exec = plan.exec.read().expect("exec lock");
+        (exec.est_nodes().max(1.0), exec.strategy)
+    };
+    if (observed as f64) < factor as f64 * est {
+        plan.divergent.store(0, Relaxed);
+        return Ok(false);
+    }
+    let streak = plan.divergent.fetch_add(1, Relaxed) + 1;
+    if streak < runs {
+        return Ok(false);
+    }
+    plan.divergent.store(0, Relaxed);
+    let next = strategy.rotate();
+    let exec = Arc::new(plan_wdpt(&plan.wdpt, stats, next, token)?);
+    count_strategies(&exec);
+    counter!("serve.plan.replans").add(1);
+    *plan.exec.write().expect("exec lock") = exec;
+    Ok(true)
 }
 
 /// Builds a plan from a canonicalized query. This is the expensive path
@@ -308,6 +402,8 @@ pub fn build_plan(
     canon: &CanonicalQuery,
     wdpt: &Wdpt,
     i: &mut Interner,
+    stats: &StatsCatalog,
+    strategy: Strategy,
     token: &CancelToken,
 ) -> Result<Plan, Cancelled> {
     let _span = wdpt_obs::span!("serve.plan.build");
@@ -323,6 +419,8 @@ pub fn build_plan(
             acyclic: try_in_hw(&core, 1, token)?,
         });
     }
+    let exec = Arc::new(plan_wdpt(wdpt, stats, strategy, token)?);
+    count_strategies(&exec);
     // The canonical variables were interned during canonicalization, so
     // looking them up in the scratch clone yields the shared ids.
     let canon_vars = (0..canon.request_vars.len())
@@ -333,7 +431,41 @@ pub fn build_plan(
         canon_vars,
         nodes,
         stats: PlanStats::default(),
+        exec: RwLock::new(exec),
+        divergent: AtomicU32::new(0),
     })
+}
+
+/// The `explain`/slowlog object describing the join orders in force:
+/// strategy, per-node atom order with the enumerator that chose it, and
+/// estimated vs last-observed cost.
+pub fn exec_plan_json(plan: &Plan) -> Json {
+    let exec = plan.exec_plan();
+    let nodes = exec
+        .nodes
+        .iter()
+        .map(|n| {
+            Json::obj([
+                (
+                    "order",
+                    Json::Arr(n.order.iter().map(|&i| Json::int(i as u64)).collect()),
+                ),
+                ("chosen", Json::str(n.chosen.as_str())),
+                ("est_nodes", Json::num(n.est_nodes)),
+                ("est_rows", Json::num(n.est_rows)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("strategy", Json::str(exec.strategy.as_str())),
+        ("nodes", Json::Arr(nodes)),
+        ("est_nodes", Json::num(exec.est_nodes())),
+        (
+            "actual_nodes_last",
+            Json::int(plan.stats.nodes_expanded_last()),
+        ),
+        ("stats_epoch", Json::int(exec.stats_epoch)),
+    ])
 }
 
 /// The `explain` response object for one plan: cache disposition, per-node
@@ -354,6 +486,7 @@ pub fn explain_json(plan: &Plan, cache_status: &str) -> Json {
     Json::obj([
         ("cache", Json::str(cache_status)),
         ("nodes", Json::Arr(nodes)),
+        ("plan", exec_plan_json(plan)),
         ("stats", plan.stats.to_json()),
     ])
 }
@@ -438,6 +571,9 @@ impl PlanCache {
                     };
                     obj.insert("key".to_string(), Json::str(key));
                     obj.insert("nodes".to_string(), Json::int(plan.nodes.len() as u64));
+                    let exec = plan.exec_plan();
+                    obj.insert("strategy".to_string(), Json::str(exec.strategy.as_str()));
+                    obj.insert("est_nodes".to_string(), Json::num(exec.est_nodes()));
                     Json::Obj(obj)
                 })
                 .collect(),
@@ -461,11 +597,17 @@ impl PlanCache {
         canon: &CanonicalQuery,
         wdpt: &Wdpt,
         interner: &Mutex<Interner>,
+        stats: &StatsCatalog,
+        strategy: Strategy,
         token: &CancelToken,
     ) -> Result<(Arc<Plan>, &'static str), Cancelled> {
+        // Strategy is part of the identity: the same α-renamed query
+        // requested under `dp` and `bushy` holds two independent entries
+        // (each with its own runtime stats and re-planning state).
+        let key = format!("{}|{}", canon.key, strategy);
         let build = || {
             let mut scratch = interner.lock().expect("interner lock").clone();
-            build_plan(canon, wdpt, &mut scratch, token).map(Arc::new)
+            build_plan(canon, wdpt, &mut scratch, stats, strategy, token).map(Arc::new)
         };
         if !self.enabled {
             counter!("serve.plan_cache.bypass").add(1);
@@ -474,15 +616,21 @@ impl PlanCache {
         loop {
             let (slot, claimed) = {
                 let mut inner = self.inner.lock().expect("cache lock");
-                if let Some(plan) = inner.map.get(&canon.key) {
+                if let Some(plan) = inner.map.get(&key) {
                     counter!("serve.plan_cache.hit").add(1);
-                    return Ok((Arc::clone(plan), "hit"));
+                    let plan = Arc::clone(plan);
+                    drop(inner);
+                    // A reload/delta since this entry was planned leaves
+                    // its orders costed against dead statistics — rebuild
+                    // them (not the whole entry) before reuse.
+                    refresh_if_stale(&plan, stats, token)?;
+                    return Ok((plan, "hit"));
                 }
-                match inner.building.get(&canon.key) {
+                match inner.building.get(&key) {
                     Some(slot) => (Arc::clone(slot), false),
                     None => {
                         let slot: Arc<Slot> = Arc::new(OnceLock::new());
-                        inner.building.insert(canon.key.clone(), Arc::clone(&slot));
+                        inner.building.insert(key.clone(), Arc::clone(&slot));
                         (slot, true)
                     }
                 }
@@ -502,13 +650,13 @@ impl PlanCache {
                 let mut inner = self.inner.lock().expect("cache lock");
                 let current = inner
                     .building
-                    .get(&canon.key)
+                    .get(&key)
                     .is_some_and(|s| Arc::ptr_eq(s, &slot));
                 if current {
-                    inner.building.remove(&canon.key);
+                    inner.building.remove(&key);
                     if let Ok(plan) = &result {
-                        inner.map.insert(canon.key.clone(), Arc::clone(plan));
-                        inner.order.push_back(canon.key.clone());
+                        inner.map.insert(key.clone(), Arc::clone(plan));
+                        inner.order.push_back(key.clone());
                         while inner.map.len() > self.capacity {
                             if let Some(old) = inner.order.pop_front() {
                                 inner.map.remove(&old);

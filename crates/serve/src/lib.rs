@@ -33,7 +33,10 @@ pub mod db;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{build_plan, canonicalize, CanonicalQuery, NodePlan, Plan, PlanCache};
+pub use cache::{
+    build_plan, canonicalize, exec_plan_json, maybe_replan, refresh_if_stale, CanonicalQuery,
+    NodePlan, Plan, PlanCache,
+};
 pub use db::{load_database, looks_like_snapshot, merge_snapshot, parse_dataset, parse_nt};
 pub use protocol::Request;
 pub use server::{serve, FollowerApply, LoadedChain, ServeConfig, ServeState};

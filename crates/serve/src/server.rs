@@ -32,7 +32,7 @@
 //! answer in-flight requests and close, queued jobs drain through the
 //! workers, and [`serve`] joins everything before returning.
 
-use crate::cache::{canonicalize, explain_json, CanonicalQuery, Plan, PlanCache};
+use crate::cache::{canonicalize, explain_json, maybe_replan, CanonicalQuery, Plan, PlanCache};
 use crate::db::merge_snapshot;
 use crate::protocol::{
     attach_head, cancelled_line, error_line, metrics_json_line, metrics_text_line, ok_line,
@@ -55,6 +55,7 @@ use wdpt_obs::{
     counter, gauge, gauge_scope, histogram, metrics_snapshot, render_prometheus, snapshot_to_json,
     Json, RequestTrace,
 };
+use wdpt_plan::{StatsCatalog, Strategy};
 use wdpt_repl::frames::{delta_frame, snapshot_frame, subscribed_line};
 use wdpt_repl::{Primary, ReplApply, ReplHead, SubscribeStart};
 use wdpt_sparql::algebra::SparqlError;
@@ -112,6 +113,17 @@ pub struct ServeConfig {
     /// `false` (the `--no-telemetry` ablation) keeps only the lifetime
     /// counters and gauges the serving path always maintained.
     pub telemetry: bool,
+    /// Join-order enumeration strategy for cost-based plans
+    /// (`--plan-strategy {auto,greedy,dp,bushy}`).
+    pub plan_strategy: Strategy,
+    /// Adaptive re-planning divergence factor `K`: a cached plan whose
+    /// observed `cq.nodes_expanded` is ≥ `K`× its estimate counts as a
+    /// divergent run (`--replan-factor`).
+    pub replan_factor: u64,
+    /// Consecutive divergent runs before the entry is re-planned with the
+    /// next strategy in the rotation; `0` disables re-planning
+    /// (`--replan-runs`).
+    pub replan_runs: u32,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +144,9 @@ impl Default for ServeConfig {
             slowlog_threshold_ms: 1_000,
             slowlog_capacity: 128,
             telemetry: true,
+            plan_strategy: Strategy::Auto,
+            replan_factor: 4,
+            replan_runs: 3,
         }
     }
 }
@@ -181,11 +196,32 @@ impl SlowLog {
 /// requests resolve their `Arc<Database>` once at admission, so in-flight
 /// evaluations keep the database they started with while new requests see
 /// the replacement.
+/// One served database version paired with the statistics catalog built
+/// from it. The two always travel together: every install point swaps a
+/// whole `DbEntry` under the map's write lock, so no request can observe a
+/// new database with the old version's statistics (or vice versa) — the
+/// staleness bug a separate catalog map would invite.
+#[derive(Clone)]
+struct DbEntry {
+    db: Arc<Database>,
+    stats: Arc<StatsCatalog>,
+}
+
+impl DbEntry {
+    fn new(db: Database) -> DbEntry {
+        let stats = Arc::new(StatsCatalog::build(&db));
+        DbEntry {
+            db: Arc::new(db),
+            stats,
+        }
+    }
+}
+
 pub struct ServeState {
     /// The configuration the server was started with.
     pub cfg: ServeConfig,
     interner: Mutex<Interner>,
-    dbs: RwLock<BTreeMap<String, Arc<Database>>>,
+    dbs: RwLock<BTreeMap<String, DbEntry>>,
     default_db: String,
     cache: PlanCache,
     shutdown: AtomicBool,
@@ -219,7 +255,10 @@ impl ServeState {
             "default database {default_db:?} not loaded"
         );
         let cache = PlanCache::new(cfg.plan_cache, cfg.cache_capacity);
-        let dbs = dbs.into_iter().map(|(n, db)| (n, Arc::new(db))).collect();
+        let dbs = dbs
+            .into_iter()
+            .map(|(n, db)| (n, DbEntry::new(db)))
+            .collect();
         let slowlog = Mutex::new(SlowLog {
             entries: VecDeque::new(),
             capacity: cfg.slowlog_capacity,
@@ -274,7 +313,11 @@ impl ServeState {
     }
 
     /// Folds a decoded `(Interner, Database)` pair into the live interner
-    /// and swaps it in as `db_name`. Returns the tuple count now served.
+    /// and swaps it in as `db_name` — together with a freshly built
+    /// statistics catalog, so cached plans see the new epoch the moment
+    /// they can see the new data. This is the single install point for
+    /// reloads *and* the follower's replicated snapshot/delta applies.
+    /// Returns the tuple count now served.
     fn install_pair(&self, db_name: &str, pair: (Interner, Database)) -> usize {
         let merge_start = Instant::now();
         let db = {
@@ -283,11 +326,16 @@ impl ServeState {
         };
         histogram!("serve.reload.merge_us").record(merge_start.elapsed().as_micros() as u64);
         let tuples = db.size();
+        // Catalog build runs off-lock (one counting pass over the data);
+        // only the entry swap holds the write lock.
+        let stats_start = Instant::now();
+        let entry = DbEntry::new(db);
+        histogram!("serve.reload.stats_us").record(stats_start.elapsed().as_micros() as u64);
         let swap_start = Instant::now();
         self.dbs
             .write()
             .expect("dbs lock")
-            .insert(db_name.to_string(), Arc::new(db));
+            .insert(db_name.to_string(), entry);
         histogram!("serve.reload.swap_us").record(swap_start.elapsed().as_micros() as u64);
         tuples
     }
@@ -321,7 +369,22 @@ impl ServeState {
     /// [`Arc`] pins that version: a concurrent [`ServeState::reload`]
     /// replaces the map entry without disturbing holders.
     pub fn db(&self, name: &str) -> Option<Arc<Database>> {
-        self.dbs.read().expect("dbs lock").get(name).cloned()
+        self.dbs
+            .read()
+            .expect("dbs lock")
+            .get(name)
+            .map(|e| Arc::clone(&e.db))
+    }
+
+    /// The served database under `name` together with the statistics
+    /// catalog built from that exact version — one map read, so the pair
+    /// is always consistent.
+    pub fn db_with_stats(&self, name: &str) -> Option<(Arc<Database>, Arc<StatsCatalog>)> {
+        self.dbs
+            .read()
+            .expect("dbs lock")
+            .get(name)
+            .map(|e| (Arc::clone(&e.db), Arc::clone(&e.stats)))
     }
 
     /// Hot-reloads the database `db_name` from `snapshot` plus an optional
@@ -473,8 +536,19 @@ impl ServeState {
             let wdpt = canon.canon.to_wdpt(&mut i).map_err(|e| e.to_string())?;
             (canon, wdpt)
         };
+        let stats = self
+            .db_with_stats(&self.default_db)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| Arc::new(StatsCatalog::empty()));
         self.cache
-            .get_or_build(&canon, &wdpt, &self.interner, token)
+            .get_or_build(
+                &canon,
+                &wdpt,
+                &self.interner,
+                &stats,
+                self.cfg.plan_strategy,
+                token,
+            )
             .map_err(|e| e.to_string())
     }
 }
@@ -509,6 +583,9 @@ struct Job {
     plan: Arc<Plan>,
     cache_status: &'static str,
     db: Arc<Database>,
+    /// Statistics catalog of the resolved database version; the worker's
+    /// adaptive re-plan check rebuilds against these, never a newer swap.
+    stats: Arc<StatsCatalog>,
     request_vars: Vec<String>,
     token: CancelToken,
     deadline_ms: u64,
@@ -1011,6 +1088,7 @@ fn slowlog_entry(
     cache: Option<&str>,
     trace: &RequestTrace,
     profile: Option<Json>,
+    plan: Option<Json>,
 ) -> Json {
     let ts = SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
@@ -1032,6 +1110,10 @@ fn slowlog_entry(
         ("wall_us", Json::int(trace.total_ns() / 1_000)),
         ("trace", trace.to_json()),
         ("profile", profile.unwrap_or(Json::Null)),
+        // The chosen join plan: strategy, per-node atom order, estimated
+        // vs last observed cost — so a slow query's log entry shows *what
+        // order it ran*, not just how long it took.
+        ("plan", plan.unwrap_or(Json::Null)),
     ])
 }
 
@@ -1083,7 +1165,9 @@ fn handle_query(
     let db_name = db.unwrap_or(&state.default_db);
     // Resolve the database *version* now: the job evaluates against this
     // `Arc` even if a `reload` swaps the served map while it is queued.
-    let Some(db) = state.db(db_name) else {
+    // The statistics catalog rides along from the same map read, so the
+    // plan is costed against exactly the version it will execute on.
+    let Some((db, db_stats)) = state.db_with_stats(db_name) else {
         counter!("serve.requests.error").add(1);
         return vec![error_line(
             id,
@@ -1151,46 +1235,55 @@ fn handle_query(
     // Exponential back half, no global locks: plan-cache lookup or a
     // cancellable build coalesced with identical concurrent requests.
     let request_vars = canon.request_vars.clone();
-    let (plan, cache_status) =
-        match state
-            .cache
-            .get_or_build(&canon, &wdpt, &state.interner, &token)
-        {
-            Ok(hit) => hit,
-            Err(Cancelled) => {
-                counter!("serve.requests.cancelled").add(1);
-                trace.stage_done(Stage::Plan);
-                // A query whose *planning* blew the deadline is exactly
-                // the kind the slowlog exists for; no profile exists yet.
-                if state.slowlog_enabled() {
-                    state.slowlog_push(slowlog_entry(
-                        id,
-                        db_name,
-                        query,
-                        "cancelled",
-                        "plan",
-                        deadline_ms,
-                        None,
-                        trace,
-                        None,
-                    ));
-                }
-                return vec![cancelled_line(
+    let (plan, cache_status) = match state.cache.get_or_build(
+        &canon,
+        &wdpt,
+        &state.interner,
+        &db_stats,
+        state.cfg.plan_strategy,
+        &token,
+    ) {
+        Ok(hit) => hit,
+        Err(Cancelled) => {
+            counter!("serve.requests.cancelled").add(1);
+            trace.stage_done(Stage::Plan);
+            // A query whose *planning* blew the deadline is exactly
+            // the kind the slowlog exists for; no profile exists yet.
+            if state.slowlog_enabled() {
+                state.slowlog_push(slowlog_entry(
                     id,
+                    db_name,
+                    query,
+                    "cancelled",
+                    "plan",
                     deadline_ms,
-                    start.elapsed().as_micros() as u64,
-                )];
+                    None,
+                    trace,
+                    None,
+                    None,
+                ));
             }
-        };
+            return vec![cancelled_line(
+                id,
+                deadline_ms,
+                start.elapsed().as_micros() as u64,
+            )];
+        }
+    };
     trace.stage_done(Stage::Plan);
 
     let (resp_tx, resp_rx) = mpsc::channel();
     let token_handle = token.clone();
+    // Pinned for the slowlog: the worker consumes the Job (and may even
+    // re-plan the entry), so the entry logged below reflects the plan as
+    // of admission.
+    let plan_for_log = Arc::clone(&plan);
     let job = Job {
         id: id.map(str::to_string),
         plan,
         cache_status,
         db,
+        stats: db_stats,
         request_vars,
         token,
         deadline_ms,
@@ -1238,6 +1331,7 @@ fn handle_query(
                 Some(cache_status),
                 trace,
                 reply.profile,
+                Some(crate::cache::exec_plan_json(&plan_for_log)),
             ));
         }
     }
@@ -1379,20 +1473,33 @@ fn process(job: Job, state: &ServeState) {
         }
     } else {
         let threads = state.cfg.eval_threads.max(1);
+        // Pin the exec plan for the whole evaluation: a concurrent re-plan
+        // swaps the slot, not the orders this run is following.
+        let exec = job.plan.exec_plan();
         // The captured evaluator keeps its profile even on cancellation —
         // deadline-blown queries are the slowlog's whole reason to exist.
+        // With telemetry off there is no recorder (and therefore no
+        // `nodes_expanded` signal for the re-planner — the ablation
+        // disables adaptivity too).
         let (result, prof) = if job.profile || job.capture {
-            let (result, prof) = wdpt_core::try_evaluate_parallel_captured(
+            let (result, prof) = wdpt_core::try_evaluate_parallel_captured_planned(
                 &job.plan.wdpt,
                 db,
                 threads,
                 &job.token,
                 "serve.query",
+                Some(&exec),
             );
             (result, Some(prof))
         } else {
             (
-                wdpt_core::try_evaluate_parallel(&job.plan.wdpt, db, threads, &job.token),
+                wdpt_core::try_evaluate_parallel_planned(
+                    &job.plan.wdpt,
+                    db,
+                    threads,
+                    &job.token,
+                    Some(&exec),
+                ),
                 None,
             )
         };
@@ -1403,6 +1510,19 @@ fn process(job: Job, state: &ServeState) {
                 job.plan
                     .stats
                     .record_execution(eval_ns / 1_000, nodes_expanded);
+                // Adaptive re-planning: sustained estimate/observation
+                // divergence rotates the entry to the next strategy. Runs
+                // under a never-token — the rebuild is gated small, and a
+                // nearly-expired request must not be able to veto it.
+                if nodes_expanded.is_some() {
+                    let _ = maybe_replan(
+                        &job.plan,
+                        &job.stats,
+                        state.cfg.replan_factor,
+                        state.cfg.replan_runs,
+                        CancelToken::never(),
+                    );
+                }
                 let wall_us = start.elapsed().as_micros() as u64;
                 let i = state.interner.lock().expect("interner lock");
                 let mut lines: Vec<Json> = answers

@@ -8,7 +8,7 @@
 //! wdpt-store delta BASE INPUT DELTA_OUT [--delta PRIOR]... [--threads N] [--chunk-lines N]
 //! wdpt-store apply BASE SNAPSHOT_OUT [--delta DELTA]...
 //! wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
-//! wdpt-store gen-synth TRIPLES OUTPUT.nt [--seed S]
+//! wdpt-store gen-synth TRIPLES OUTPUT.nt [--seed S] [--skew K]
 //! ```
 //!
 //! Exit codes: `0` success, `1` corrupt or unparsable input, `2` usage or
@@ -44,8 +44,10 @@ const USAGE: &str = "usage:
       no deltas this is a verified re-encode of BASE (a checked copy)
   wdpt-store gen-music BANDSxRECORDS OUTPUT.nt [--seed S]
       write a synthetic music-catalog dataset as N-Triples
-  wdpt-store gen-synth TRIPLES OUTPUT.nt [--seed S]
-      stream a synthetic uniform-universe N-Triples dataset of any size";
+  wdpt-store gen-synth TRIPLES OUTPUT.nt [--seed S] [--skew K]
+      stream a synthetic uniform-universe N-Triples dataset of any size;
+      --skew K (0..=10) re-aims K tenths of the stream at heavy-hitter
+      symbols, the shape the join planner's statistics catalog detects";
 
 fn usage_err(msg: &str) -> ExitCode {
     eprintln!("wdpt-store: {msg}\n{USAGE}");
@@ -525,13 +527,20 @@ fn cmd_gen_synth(mut args: Vec<String>) -> ExitCode {
         Ok(v) => v.map(|s| s as u64),
         Err(e) => return usage_err(&e),
     };
+    let skew = match take_flag(&mut args, "--skew") {
+        Ok(v) => v.map(|s| s as u64),
+        Err(e) => return usage_err(&e),
+    };
     let [triples, output] = args.as_slice() else {
         return usage_err("gen-synth takes TRIPLES and OUTPUT paths");
     };
     let Ok(triples) = triples.parse::<u64>() else {
         return usage_err("gen-synth TRIPLES must be a number");
     };
-    let mut params = wdpt_gen::SynthParams::sized(triples);
+    if skew.is_some_and(|k| k > 10) {
+        return usage_err("gen-synth --skew must be in 0..=10 (tenths of the stream)");
+    }
+    let mut params = wdpt_gen::SynthParams::sized_skewed(triples, skew.unwrap_or(0));
     if let Some(s) = seed {
         params.seed = s;
     }

@@ -26,6 +26,7 @@ fn snapshots_and_counters_are_identical_across_thread_counts() {
         preds: 16,
         objects: 300,
         seed: 0xBEEF,
+        skew: 0,
     };
     let mut text = Vec::new();
     write_synth_nt(&mut text, params).unwrap();
