@@ -11,7 +11,10 @@ use wdpt_bench::{bench_case, section};
 use wdpt_gen::music::MusicParams;
 use wdpt_model::Interner;
 use wdpt_sparql::TripleStore;
-use wdpt_store::{bulk_load, decode_snapshot, read_text_database, snapshot_to_vec, LoadOptions};
+use wdpt_store::{
+    bulk_load, decode_snapshot, read_text_database, snapshot_to_vec, snapshot_to_vec_v2,
+    LoadOptions,
+};
 
 /// Renders the music catalog as N-Triples text (same shape the CLI's
 /// `gen-music` writes).
@@ -95,6 +98,39 @@ fn main() {
             let (i, db) = decode_snapshot(&snapshot).unwrap();
             let bytes = snapshot_to_vec(&i, &db).unwrap();
             assert_eq!(bytes.len(), snapshot.len());
+        });
+
+        // v2 (columnar varint) snapshots: decode is CRC verification plus
+        // an allocation-free validation walk — columns stay lazy — so
+        // `v2_decode` is the true cold-start cost, and `v2_decode_forced`
+        // adds the full materialization for an apples-to-apples comparison
+        // with v1's eager decode.
+        let snapshot_v2 = {
+            let (i, db) = decode_snapshot(&snapshot).unwrap();
+            snapshot_to_vec_v2(&i, &db).unwrap()
+        };
+        section(&format!(
+            "store/snapshot-v2 {bands}x{records} ({} KiB binary, {}% of v1)",
+            snapshot_v2.len() / 1024,
+            snapshot_v2.len() * 100 / snapshot.len()
+        ));
+        bench_case("v2_decode", || {
+            let (_, db) = decode_snapshot(&snapshot_v2).unwrap();
+            assert_eq!(db.size(), triples);
+        });
+        bench_case("v2_decode_forced", || {
+            let (_, db) = decode_snapshot(&snapshot_v2).unwrap();
+            let mut n = 0usize;
+            for (_, rel) in db.relations() {
+                rel.build_all_indexes();
+                n += rel.tuples().count();
+            }
+            assert_eq!(n, triples);
+        });
+        bench_case("v2_encode", || {
+            let (i, db) = decode_snapshot(&snapshot).unwrap();
+            let bytes = snapshot_to_vec_v2(&i, &db).unwrap();
+            assert_eq!(bytes.len(), snapshot_v2.len());
         });
     }
 

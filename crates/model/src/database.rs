@@ -100,10 +100,25 @@ pub fn row_id(row: usize) -> Result<u32, TooManyRows> {
 }
 
 /// The extension of a single predicate: a set of constant tuples.
-#[derive(Debug, Default, Clone)]
+///
+/// A relation is either **owned** (its tuple block was built eagerly — the
+/// insert, bulk-load, and v1 snapshot paths) or **lazy** (a zero-copy
+/// [`ColumnarRelation`] view into a shared v2 snapshot buffer, with tuples
+/// and indexes decoded behind `OnceLock`s on first touch). The two are
+/// indistinguishable through the query API; mutation detaches the backing
+/// first (see [`Relation::force_owned`]) so incremental index maintenance
+/// can never race a stale lazy decode.
+#[derive(Debug, Clone)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Box<[Const]>>,
+    /// Tuple count — known without decoding anything, so `len()` and the
+    /// planner's row estimates never force a lazy relation.
+    rows: usize,
+    /// Zero-copy columnar views, present only on lazily-decoded relations.
+    backing: Option<crate::columnar::ColumnarRelation>,
+    /// Row-major tuple block; initialized at construction for owned
+    /// relations, decoded from `backing` on first whole-row access.
+    tuples: OnceLock<Vec<Box<[Const]>>>,
     /// Membership set, built lazily on the first `contains`/`insert` — a
     /// bulk-loaded relation that is only ever scanned and index-probed
     /// never pays the O(n) clone-and-hash of materializing it.
@@ -112,11 +127,27 @@ pub struct Relation {
     column_index: Vec<OnceLock<HashMap<Const, Vec<u32>>>>,
 }
 
+impl Default for Relation {
+    fn default() -> Self {
+        Relation::new(0)
+    }
+}
+
 impl Relation {
     fn new(arity: usize) -> Self {
+        Relation::owned(arity, Vec::new())
+    }
+
+    /// Assembles an owned relation whose tuple block exists up front.
+    fn owned(arity: usize, tuples: Vec<Box<[Const]>>) -> Self {
+        let rows = tuples.len();
+        let lock = OnceLock::new();
+        let _ = lock.set(tuples);
         Relation {
             arity,
-            tuples: Vec::new(),
+            rows,
+            backing: None,
+            tuples: lock,
             seen: OnceLock::new(),
             column_index: (0..arity).map(|_| OnceLock::new()).collect(),
         }
@@ -136,11 +167,59 @@ impl Relation {
     pub fn from_sorted(arity: usize, tuples: Vec<Box<[Const]>>) -> Relation {
         debug_assert!(tuples.iter().all(|t| t.len() == arity));
         debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "run not sorted");
+        Relation::owned(arity, tuples)
+    }
+
+    /// Builds a **lazy** relation over a zero-copy columnar backing: no
+    /// tuples are materialized and no indexes are decoded until a query
+    /// actually touches them. The caller (the `wdpt-store` v2 decoder) must
+    /// have validated the backing's streams — strictly sorted rows, cells
+    /// in the constant namespace, row count in the `u32` id space.
+    pub fn from_columnar(backing: crate::columnar::ColumnarRelation) -> Relation {
         Relation {
-            arity,
-            tuples,
+            arity: backing.arity(),
+            rows: backing.rows(),
+            tuples: OnceLock::new(),
             seen: OnceLock::new(),
-            column_index: (0..arity).map(|_| OnceLock::new()).collect(),
+            column_index: (0..backing.arity()).map(|_| OnceLock::new()).collect(),
+            backing: Some(backing),
+        }
+    }
+
+    /// True while the relation is still a pure zero-copy view (no tuple
+    /// block materialized). Exposed so tests and cold-start accounting can
+    /// assert that loading did not secretly decode anything.
+    pub fn is_lazy(&self) -> bool {
+        self.backing.is_some() && self.tuples.get().is_none()
+    }
+
+    /// The row-major tuple block, decoding it from the columnar backing on
+    /// first use.
+    fn tuple_vec(&self) -> &Vec<Box<[Const]>> {
+        self.tuples.get_or_init(|| {
+            self.backing
+                .as_ref()
+                .expect("owned relations initialize tuples at construction")
+                .decode_tuples()
+        })
+    }
+
+    /// Detaches the columnar backing before a mutation: every not-yet-built
+    /// column index is decoded from the backing now, and the tuple block is
+    /// materialized. Without this, an insert followed by a lazy index
+    /// decode would resurrect the pre-insert posting lists from the
+    /// snapshot bytes and silently drop the new row.
+    fn force_owned(&mut self) {
+        let Some(backing) = self.backing.take() else {
+            return;
+        };
+        for (col, cell) in self.column_index.iter_mut().enumerate() {
+            if cell.get().is_none() {
+                let _ = cell.set(backing.decode_index(col));
+            }
+        }
+        if self.tuples.get().is_none() {
+            let _ = self.tuples.set(backing.decode_tuples());
         }
     }
 
@@ -176,19 +255,58 @@ impl Relation {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of tuples. Never forces a lazy relation — the count is part
+    /// of the columnar header.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// True iff the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// Iterates over all tuples.
+    /// Iterates over all tuples (materializing the tuple block of a lazy
+    /// relation on first use).
     pub fn tuples(&self) -> impl Iterator<Item = &[Const]> + '_ {
-        self.tuples.iter().map(|t| &**t)
+        self.tuple_vec().iter().map(|t| &**t)
+    }
+
+    /// Streams `(value, posting_len)` pairs of one column without forcing
+    /// a tuple materialization: from the built column index when present,
+    /// else from a lazy relation's key directory. Returns `false` when
+    /// neither source exists (an owned relation whose index was never
+    /// built) — the caller falls back to scanning [`Relation::tuples`].
+    /// Pair order is unspecified.
+    pub fn scan_posting_lens(&self, col: usize, mut f: impl FnMut(Const, u32)) -> bool {
+        if let Some(idx) = self.column_index.get(col).and_then(OnceLock::get) {
+            for (c, rows) in idx {
+                f(*c, rows.len() as u32);
+            }
+            return true;
+        }
+        if let Some(backing) = &self.backing {
+            backing.scan_key_dir(col, f);
+            return true;
+        }
+        false
+    }
+
+    /// Streams `(value, posting_len)` pairs straight from the serialized
+    /// key directory, ignoring any built index. Returns `false` for owned
+    /// relations. This is the verification hook: unlike
+    /// [`Relation::scan_posting_lens`] (which prefers the built index as
+    /// the cheapest truthful source), this always reads what the snapshot
+    /// *claims*, so a deep check can compare it against the cells even
+    /// after some column was decoded.
+    pub fn scan_serialized_posting_lens(&self, col: usize, f: impl FnMut(Const, u32)) -> bool {
+        match &self.backing {
+            Some(backing) => {
+                backing.scan_key_dir(col, f);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Decomposes the relation into its owned tuples and whichever column
@@ -198,19 +316,23 @@ impl Relation {
     /// or translate its sorted run, carry the posting lists over, and
     /// reassemble — instead of re-inserting every tuple and rebuilding
     /// every index from scratch.
-    pub fn into_parts(self) -> RelationParts {
+    /// Decomposition forces a lazy relation fully — delta application and
+    /// id-remapping rewrite the tuple run, so a zero-copy view cannot
+    /// survive them anyway.
+    pub fn into_parts(mut self) -> RelationParts {
+        self.force_owned();
         let indexes = self
             .column_index
             .into_iter()
             .map(OnceLock::into_inner)
             .collect();
-        (self.arity, self.tuples, indexes)
+        (self.arity, self.tuples.take().unwrap_or_default(), indexes)
     }
 
     /// The membership set, built on first use from the tuple list.
     fn seen(&self) -> &HashSet<Box<[Const]>> {
         self.seen
-            .get_or_init(|| self.tuples.iter().cloned().collect())
+            .get_or_init(|| self.tuple_vec().iter().cloned().collect())
     }
 
     /// Set-membership test.
@@ -220,12 +342,13 @@ impl Relation {
 
     fn insert(&mut self, tuple: Box<[Const]>) -> Result<bool, TooManyRows> {
         debug_assert_eq!(tuple.len(), self.arity);
+        self.force_owned();
         self.seen();
         let seen = self.seen.get_mut().expect("initialized just above");
         if !seen.insert(tuple.clone()) {
             return Ok(false);
         }
-        let row = match row_id(self.tuples.len()) {
+        let row = match row_id(self.rows) {
             Ok(row) => row,
             Err(e) => {
                 // Leave the relation exactly as it was: the membership set
@@ -242,15 +365,28 @@ impl Relation {
                 idx.entry(tuple[col]).or_default().push(row);
             }
         }
-        self.tuples.push(tuple);
+        self.tuples
+            .get_mut()
+            .expect("force_owned materialized the tuple block")
+            .push(tuple);
+        self.rows += 1;
         Ok(true)
     }
 
     fn index_for(&self, col: usize) -> &HashMap<Const, Vec<u32>> {
         self.column_index[col].get_or_init(|| {
+            // A lazy relation whose tuples are still packed derives the
+            // posting lists straight from the cells blob — cheaper than
+            // materializing rows first, and not counted as an index
+            // *build* (nothing was recomputed, only decoded).
+            if let Some(backing) = &self.backing {
+                if self.tuples.get().is_none() {
+                    return backing.decode_index(col);
+                }
+            }
             stats::record_index_build();
             let mut idx: HashMap<Const, Vec<u32>> = HashMap::new();
-            for (i, t) in self.tuples.iter().enumerate() {
+            for (i, t) in self.tuple_vec().iter().enumerate() {
                 // Insert paths reject row ids past u32::MAX and the bulk
                 // paths check row counts before `from_sorted`, so this
                 // conversion cannot fail for a well-formed relation.
@@ -355,21 +491,85 @@ impl Relation {
                     .get(&c)
                     .map(Vec::as_slice)
                     .unwrap_or(&[]);
+                let tuples = self.tuple_vec();
                 Box::new(
-                    CountScans::new(postings.iter().map(move |&i| &*self.tuples[i as usize]))
+                    CountScans::new(postings.iter().map(move |&i| &*tuples[i as usize]))
                         .filter(matches),
                 )
             }
             None => Box::new(CountScans::new(self.tuples()).filter(matches)),
         }
     }
+
+    /// Forces full materialization and cross-checks every posting entry
+    /// against the tuple block: ascending in-range rows, targets whose
+    /// cell equals the key, and lists that jointly cover every row exactly
+    /// once per column. `wdpt-store verify` runs this to extend the
+    /// load-time stream validation of lazily-decoded snapshots to the full
+    /// depth the v1 eager decoder checked inline.
+    pub fn verify_deep(&self) -> Result<(), String> {
+        let tuples = self.tuple_vec();
+        if tuples.len() != self.rows {
+            return Err(format!(
+                "tuple block holds {} rows but the header declares {}",
+                tuples.len(),
+                self.rows
+            ));
+        }
+        if let Some(t) = tuples.iter().find(|t| t.len() != self.arity) {
+            return Err(format!(
+                "tuple of arity {} in a relation of arity {}",
+                t.len(),
+                self.arity
+            ));
+        }
+        for col in 0..self.arity {
+            let idx = self.index_for(col);
+            let mut covered = 0usize;
+            for (key, rows) in idx {
+                if rows.is_empty() {
+                    return Err(format!("column {col}: empty posting list"));
+                }
+                if !rows.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("column {col}: posting list not ascending"));
+                }
+                for &row in rows {
+                    let cell = tuples
+                        .get(row as usize)
+                        .ok_or_else(|| format!("column {col}: posting row {row} out of range"))?
+                        .get(col)
+                        .copied();
+                    if cell != Some(*key) {
+                        return Err(format!(
+                            "column {col}: posting row {row} does not hold the key"
+                        ));
+                    }
+                }
+                covered += rows.len();
+            }
+            if covered != self.rows {
+                return Err(format!(
+                    "column {col}: posting lists cover {covered} of {} rows",
+                    self.rows
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A database: one [`Relation`] per predicate, plus the active domain.
+///
+/// The active domain is computed lazily: eagerly deriving it at
+/// construction would force every lazily-decoded relation of a zero-copy
+/// snapshot, defeating the near-constant-time load. The first
+/// [`Database::active_domain`] call pays one streaming pass over key
+/// directories (or tuple scans for unindexed owned relations); inserts
+/// afterwards maintain it incrementally, exactly as before.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     relations: HashMap<Pred, Relation>,
-    active_domain: BTreeSet<Const>,
+    active_domain: OnceLock<BTreeSet<Const>>,
 }
 
 impl Database {
@@ -379,27 +579,12 @@ impl Database {
     }
 
     /// Assembles a database from bulk-constructed relations (see
-    /// [`Relation::from_sorted`]), recomputing the active domain. When a
-    /// relation already has built column indexes, their key sets are used as
-    /// the distinct-constant source instead of rescanning every tuple cell —
-    /// on snapshot load all indexes arrive prebuilt, so the active domain
-    /// costs one sort over the distinct constants rather than `O(cells)`
-    /// set inserts.
+    /// [`Relation::from_sorted`] and [`Relation::from_columnar`]). The
+    /// active domain stays lazy — see the type-level docs.
     ///
     /// # Panics
     /// Panics if the same predicate appears twice.
     pub fn from_sorted(relations: Vec<(Pred, Relation)>) -> Database {
-        let mut domain: Vec<Const> = Vec::new();
-        for (_, rel) in &relations {
-            for col in 0..rel.arity() {
-                match rel.built_column_index(col) {
-                    Some(idx) => domain.extend(idx.keys().copied()),
-                    None => domain.extend(rel.tuples().map(|t| t[col])),
-                }
-            }
-        }
-        domain.sort_unstable();
-        domain.dedup();
         let mut map = HashMap::with_capacity(relations.len());
         for (pred, rel) in relations {
             assert!(
@@ -409,8 +594,7 @@ impl Database {
         }
         Database {
             relations: map,
-            // Collecting from a sorted iterator lets BTreeSet bulk-build.
-            active_domain: domain.into_iter().collect(),
+            active_domain: OnceLock::new(),
         }
     }
 
@@ -437,6 +621,9 @@ impl Database {
     /// schema — a programming error in the caller).
     pub fn try_insert(&mut self, pred: Pred, tuple: Vec<Const>) -> Result<bool, TooManyRows> {
         let arity = tuple.len();
+        // Remember the cells only when the domain was already computed —
+        // the common bulk path (domain never asked for) pays no clone.
+        let cells = self.active_domain.get().map(|_| tuple.clone());
         let rel = self
             .relations
             .entry(pred)
@@ -448,9 +635,13 @@ impl Database {
         );
         let inserted = rel.insert(tuple.into_boxed_slice())?;
         if inserted {
-            let added = rel.tuples.last().expect("inserted just above");
-            for c in added.iter() {
-                self.active_domain.insert(*c);
+            // Maintain the active domain only if it was already computed;
+            // a never-asked-for domain is derived from scratch on first
+            // access and will see this tuple then.
+            if let (Some(domain), Some(cells)) = (self.active_domain.get_mut(), cells) {
+                for c in cells {
+                    domain.insert(c);
+                }
             }
         }
         Ok(inserted)
@@ -483,9 +674,25 @@ impl Database {
         }
     }
 
-    /// The active domain: all constants occurring in some tuple.
+    /// The active domain: all constants occurring in some tuple. Computed
+    /// on first use; when a relation has built indexes or a columnar key
+    /// directory, its distinct constants stream from those instead of a
+    /// full tuple scan, so lazy relations stay unmaterialized.
     pub fn active_domain(&self) -> &BTreeSet<Const> {
-        &self.active_domain
+        self.active_domain.get_or_init(|| {
+            let mut domain: Vec<Const> = Vec::new();
+            for rel in self.relations.values() {
+                for col in 0..rel.arity() {
+                    if !rel.scan_posting_lens(col, |c, _| domain.push(c)) {
+                        domain.extend(rel.tuples().map(|t| t[col]));
+                    }
+                }
+            }
+            domain.sort_unstable();
+            domain.dedup();
+            // Collecting from a sorted iterator lets BTreeSet bulk-build.
+            domain.into_iter().collect()
+        })
     }
 
     /// Total number of tuples across relations (the paper's `|D|` up to a

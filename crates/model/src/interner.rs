@@ -8,6 +8,42 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, the interner's lookup hash. Symbol names are short (tens of
+/// bytes) and the map is rebuilt wholesale on every snapshot decode, where
+/// SipHash's per-byte cost was the single largest line item of a v2 cold
+/// start. FNV is deterministic, which also keeps decode timing stable; the
+/// interner is not exposed to adversarial key sets large enough for
+/// collision flooding to matter (ids cap at `u32`).
+#[derive(Default)]
+pub struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv1a>>;
+
+/// FNV-1a over a symbol's namespace tag and name bytes — the key the
+/// interner's lookup table is organized around.
+fn sym_hash(space: Space, name: &str) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write(&[space as u8]);
+    h.write(name.as_bytes());
+    h.finish()
+}
 
 /// The three disjoint namespaces managed by an [`Interner`].
 ///
@@ -41,7 +77,15 @@ pub struct Interner {
     /// `(namespace, name)` per id — the namespace is kept so
     /// [`Interner::truncate`] can remove the matching lookup entries.
     names: Vec<(Space, String)>,
-    lookup: HashMap<(Space, String), u32>,
+    /// `sym_hash → id`, verified against `names` on every probe (the map
+    /// never owns a second copy of a name, which is what makes rebuilding
+    /// it from a 100k-symbol snapshot dictionary cheap). A hash shared by
+    /// two *different* symbols parks the later ids in `overflow`.
+    lookup: FnvMap<u64, u32>,
+    /// Ids displaced by a 64-bit hash collision, scanned linearly. In
+    /// practice empty; it exists so correctness never rests on FNV being
+    /// collision-free.
+    overflow: Vec<(u64, u32)>,
     fresh_counter: u64,
 }
 
@@ -51,13 +95,38 @@ impl Interner {
         Self::default()
     }
 
+    /// True iff `id` names exactly `(space, name)`.
+    fn is_entry(&self, id: u32, space: Space, name: &str) -> bool {
+        let (s, n) = &self.names[id as usize];
+        *s == space && n == name
+    }
+
+    fn probe(&self, hash: u64, space: Space, name: &str) -> Option<u32> {
+        match self.lookup.get(&hash) {
+            Some(&id) if self.is_entry(id, space, name) => Some(id),
+            // A populated slot that names something else (or a probe miss
+            // entirely) can still match through the collision overflow.
+            _ => self
+                .overflow
+                .iter()
+                .find(|&&(h, id)| h == hash && self.is_entry(id, space, name))
+                .map(|&(_, id)| id),
+        }
+    }
+
     fn intern(&mut self, space: Space, name: &str) -> u32 {
-        if let Some(&id) = self.lookup.get(&(space, name.to_owned())) {
+        let hash = sym_hash(space, name);
+        if let Some(id) = self.probe(hash, space, name) {
             return id;
         }
         let id = u32::try_from(self.names.len()).expect("interner overflow");
         self.names.push((space, name.to_owned()));
-        self.lookup.insert((space, name.to_owned()), id);
+        if let Some(&displaced) = self.lookup.get(&hash) {
+            debug_assert_ne!(displaced, id);
+            self.overflow.push((hash, id));
+        } else {
+            self.lookup.insert(hash, id);
+        }
         id
     }
 
@@ -65,7 +134,7 @@ impl Interner {
     /// This is the read-only probe the `wdpt-store` bulk loader uses when
     /// building its local-to-global remap tables.
     pub fn lookup_id(&self, space: SymbolSpace, name: &str) -> Option<u32> {
-        self.lookup.get(&(space, name.to_owned())).copied()
+        self.probe(sym_hash(space, name), space, name)
     }
 
     /// Extends the interner with every candidate symbol that is not interned
@@ -105,8 +174,19 @@ impl Interner {
     /// across intern-check-rollback and discarding the parsed structures.
     pub fn truncate(&mut self, len: usize) {
         while self.names.len() > len {
-            let entry = self.names.pop().expect("len checked");
-            self.lookup.remove(&entry);
+            let id = u32::try_from(self.names.len() - 1).expect("ids fit u32");
+            let (space, name) = self.names.pop().expect("len checked");
+            let hash = sym_hash(space, &name);
+            if let Some(pos) = self.overflow.iter().position(|&e| e == (hash, id)) {
+                self.overflow.swap_remove(pos);
+            } else {
+                self.lookup.remove(&hash);
+                // Promote a colliding survivor (if any) into the map slot.
+                if let Some(pos) = self.overflow.iter().position(|&(h, _)| h == hash) {
+                    let (_, survivor) = self.overflow.swap_remove(pos);
+                    self.lookup.insert(hash, survivor);
+                }
+            }
         }
     }
 
@@ -132,7 +212,7 @@ impl Interner {
         loop {
             let candidate = format!("\u{2022}{}#{}", hint, self.fresh_counter);
             self.fresh_counter += 1;
-            if !self.lookup.contains_key(&(Space::Const, candidate.clone())) {
+            if self.lookup_id(Space::Const, &candidate).is_none() {
                 return self.constant(&candidate);
             }
         }
@@ -144,7 +224,7 @@ impl Interner {
         loop {
             let candidate = format!("\u{2022}{}#{}", hint, self.fresh_counter);
             self.fresh_counter += 1;
-            if !self.lookup.contains_key(&(Space::Var, candidate.clone())) {
+            if self.lookup_id(Space::Var, &candidate).is_none() {
                 return self.var(&candidate);
             }
         }
@@ -219,13 +299,26 @@ impl Interner {
     where
         I: IntoIterator<Item = (SymbolSpace, String)>,
     {
+        let symbols = symbols.into_iter();
         let mut out = Interner::new();
+        // Pre-size both sides: snapshot decode hands over the full symbol
+        // listing at once, and incremental rehashing of a 100k-entry map
+        // would otherwise dominate the cold-start cost.
+        let n = symbols.size_hint().0;
+        out.names.reserve(n);
+        out.lookup.reserve(n);
         for (space, name) in symbols {
             let id = u32::try_from(out.names.len()).ok()?;
-            if out.lookup.insert((space, name.clone()), id).is_some() {
+            let hash = sym_hash(space, &name);
+            if out.probe(hash, space, &name).is_some() {
                 return None;
             }
             out.names.push((space, name));
+            if out.lookup.contains_key(&hash) {
+                out.overflow.push((hash, id));
+            } else {
+                out.lookup.insert(hash, id);
+            }
         }
         out.fresh_counter = fresh_counter;
         Some(out)

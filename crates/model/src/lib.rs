@@ -27,6 +27,7 @@
 
 pub mod atom;
 pub mod cancel;
+pub mod columnar;
 pub mod database;
 pub mod interner;
 pub mod mapping;
@@ -36,7 +37,8 @@ pub mod term;
 
 pub use atom::Atom;
 pub use cancel::{CancelToken, Cancelled};
-pub use database::{row_id, Database, Relation, TooManyRows};
+pub use columnar::{ColumnSlices, ColumnarRelation};
+pub use database::{row_id, ColumnIndex, Database, Relation, TooManyRows};
 pub use interner::{Interner, SymbolSpace};
 pub use mapping::Mapping;
 pub use stats::StatsSnapshot;

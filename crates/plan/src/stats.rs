@@ -67,31 +67,30 @@ pub struct RelationStats {
 }
 
 fn column_stats(rel: &Relation, col: usize) -> ColumnStats {
-    // Count occurrences per value. The relation's lazily-built hash index
-    // holds exactly these posting lists; reuse it when present rather than
-    // re-counting, but never force an index build just for statistics.
-    let counts: HashMap<Const, u64> = match rel.built_column_index(col) {
-        Some(idx) => idx
-            .iter()
-            .map(|(c, rows)| (*c, rows.len() as u64))
-            .collect(),
-        None => {
-            let mut counts = HashMap::new();
-            for t in rel.tuples() {
-                *counts.entry(t[col]).or_insert(0) += 1;
-            }
-            counts
-        }
-    };
     let mut sketch = [0u32; SKETCH_BUCKETS];
     let mut max_posting = 0u64;
-    for &n in counts.values() {
+    let mut distinct = 0u64;
+    let mut tally = |n: u64| {
+        distinct += 1;
         max_posting = max_posting.max(n);
         let b = (64 - n.max(1).leading_zeros() as usize - 1).min(SKETCH_BUCKETS - 1);
         sketch[b] += 1;
+    };
+    // Posting-list lengths are exactly what the sketch summarizes, and the
+    // relation can stream them without materializing anything: a built hash
+    // index iterates its lists, and a lazy columnar relation walks the
+    // serialized key directory in place. Only a plain owned relation with
+    // no index yet falls back to a hash-count over the tuples — never force
+    // an index build or a column decode just for statistics.
+    if !rel.scan_posting_lens(col, |_, n| tally(u64::from(n))) {
+        let mut counts: HashMap<Const, u64> = HashMap::new();
+        for t in rel.tuples() {
+            *counts.entry(t[col]).or_insert(0) += 1;
+        }
+        counts.into_values().for_each(tally);
     }
     ColumnStats {
-        distinct: counts.len() as u64,
+        distinct,
         max_posting,
         sketch,
     }

@@ -26,10 +26,10 @@
 //! wholesale, indexes and all.
 
 use crate::format::{
-    content_hash, decode_snapshot, encode_dictionary, expect_tag, len_u32, malformed,
-    parse_dictionary_entries, push_section, read_magic_version, read_section, Reader, SpaceTable,
-    StoreError, MAGIC, TAG_DELTA_HEADER, TAG_DICTIONARY, TAG_END, TAG_HEADER, TAG_RELATION_DELTA,
-    VERSION,
+    checked_count, content_hash, decode_snapshot, encode_dictionary, expect_tag, len_u32,
+    malformed, parse_dictionary_entries, push_section, read_magic_version, read_section, Reader,
+    SpaceTable, StoreError, MAGIC, TAG_DELTA_HEADER, TAG_DICTIONARY, TAG_END, TAG_HEADER,
+    TAG_RELATION_DELTA, VERSION,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
@@ -258,9 +258,18 @@ pub fn decode_delta(bytes: &[u8]) -> Result<Delta, StoreError> {
     expect_tag(&section, TAG_DICTIONARY, "dictionary")?;
     let appended = parse_dictionary_entries(section.payload, appended_count)?;
 
-    let mut relations: Vec<RelationDelta> = Vec::with_capacity(header.relations as usize);
+    // Each relation-delta section costs at least its framing; bound the
+    // declared count against the bytes present before sizing anything.
+    let rel_count = checked_count(
+        u64::from(header.relations),
+        crate::format::SECTION_FRAME_BYTES as u64,
+        r.remaining(),
+        "delta header",
+        "relation sections",
+    )?;
+    let mut relations: Vec<RelationDelta> = Vec::with_capacity(rel_count);
     let mut total: u64 = 0;
-    for idx in 0..header.relations as usize {
+    for idx in 0..rel_count {
         let label = format!("relation delta[{idx}]");
         let label = label.as_str();
         let section = read_section(&mut r, label)?;
@@ -272,15 +281,25 @@ pub fn decode_delta(bytes: &[u8]) -> Result<Delta, StoreError> {
                 return Err(malformed(label, "predicates not strictly ascending"));
             }
         }
-        let arity = pr.u32(label)? as usize;
+        let arity_u32 = pr.u32(label)?;
         let rows_u64 = pr.u64(label)?;
-        let rows = usize::try_from(rows_u64).map_err(|_| malformed(label, "row count overflow"))?;
-        if rows == 0 {
+        if rows_u64 == 0 {
             return Err(malformed(label, "empty relation delta"));
         }
-        if arity == 0 && rows > 1 {
+        // Bound both counts against the remaining bytes *before* sizing
+        // allocations from them (rows ≥ 1 here, so 4 bytes per column is
+        // a hard floor; each row costs 4·arity cell bytes).
+        let arity = checked_count(u64::from(arity_u32), 4, pr.remaining(), label, "columns")?;
+        if arity == 0 && rows_u64 > 1 {
             return Err(malformed(label, "nullary relation with more than one row"));
         }
+        let rows = checked_count(
+            rows_u64,
+            4 * (arity as u64).max(1),
+            pr.remaining(),
+            label,
+            "rows",
+        )?;
         let cells = arity
             .checked_mul(rows)
             .and_then(|c| c.checked_mul(4))
@@ -296,16 +315,15 @@ pub fn decode_delta(bytes: &[u8]) -> Result<Delta, StoreError> {
         }
         let mut tuples: Vec<Box<[Const]>> = Vec::with_capacity(rows);
         for row in 0..rows {
-            tuples.push(
-                columns
-                    .iter()
-                    .map(|c| {
-                        Const(u32::from_le_bytes(
-                            c[row * 4..row * 4 + 4].try_into().unwrap(),
-                        ))
-                    })
-                    .collect(),
-            );
+            let mut tuple = Vec::with_capacity(arity);
+            for c in &columns {
+                let cell = c
+                    .get(row * 4..row * 4 + 4)
+                    .and_then(crate::format::le_u32)
+                    .ok_or_else(|| malformed(label, "misaligned cell bytes"))?;
+                tuple.push(Const(cell));
+            }
+            tuples.push(tuple.into_boxed_slice());
         }
         if let Some(w) = tuples.windows(2).find(|w| w[0] >= w[1]) {
             let detail = if w[0] == w[1] {

@@ -34,20 +34,36 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
+use wdpt_model::columnar::{
+    encode_cells, encode_key_dir, read_uvarint, unzigzag, ColumnSlices, ColumnarRelation,
+};
 use wdpt_model::{Const, Database, Interner, Pred, Relation, SymbolSpace};
 use wdpt_obs::{counter, span};
 
 /// The eight magic bytes opening every snapshot.
 pub const MAGIC: [u8; 8] = *b"WDPTSNAP";
-/// The current (and only) format version.
+/// The v1 (eager, fixed-width) format version — still the default write
+/// format; see [`VERSION_V2`].
 pub const VERSION: u32 = 1;
+/// The v2 (zero-copy columnar, varint-compressed) format version. v2 files
+/// decode into lazy [`Relation`]s borrowing from the shared snapshot
+/// buffer; see `DESIGN.md` §13.
+pub const VERSION_V2: u32 = 2;
 
 pub(crate) const TAG_HEADER: u8 = 0x01;
 pub(crate) const TAG_DICTIONARY: u8 = 0x02;
 pub(crate) const TAG_RELATION: u8 = 0x03;
 pub(crate) const TAG_DELTA_HEADER: u8 = 0x04;
 pub(crate) const TAG_RELATION_DELTA: u8 = 0x05;
+pub(crate) const TAG_RELATION_V2: u8 = 0x06;
+pub(crate) const TAG_DICTIONARY_V2: u8 = 0x07;
 pub(crate) const TAG_END: u8 = 0xFF;
+
+/// Framing overhead of one section: tag + length + CRC. Used to bound
+/// untrusted "number of sections" header fields against the bytes actually
+/// present before any allocation sized from them.
+pub(crate) const SECTION_FRAME_BYTES: usize = 1 + 8 + 4;
 
 /// Everything that can go wrong reading or writing a snapshot. Corruption
 /// surfaces as `Truncated` / `ChecksumMismatch` / `Malformed`, each naming
@@ -107,7 +123,7 @@ impl fmt::Display for StoreError {
             StoreError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                    "unsupported snapshot version {v} (this build reads {VERSION} and {VERSION_V2})"
                 )
             }
             StoreError::Truncated { section } => {
@@ -270,6 +286,121 @@ pub fn snapshot_to_vec(interner: &Interner, db: &Database) -> Result<Vec<u8>, St
     Ok(out)
 }
 
+/// Serializes a snapshot in the requested format version. v1 stays the
+/// default everywhere a version is not explicitly chosen — v2 readers are
+/// required on every node before a fleet switches its writers.
+pub fn snapshot_to_vec_versioned(
+    interner: &Interner,
+    db: &Database,
+    version: u32,
+) -> Result<Vec<u8>, StoreError> {
+    match version {
+        VERSION => snapshot_to_vec(interner, db),
+        VERSION_V2 => snapshot_to_vec_v2(interner, db),
+        v => Err(StoreError::UnsupportedVersion(v)),
+    }
+}
+
+/// Serializes a v2 (zero-copy columnar) snapshot. Deterministic like
+/// [`snapshot_to_vec`]: same pair, same bytes. Per relation and column the
+/// payload carries a zigzag-delta varint **cells blob** and a delta-varint
+/// **key directory** (ascending distinct values + posting-list lengths);
+/// posting row-lists are derived from the cells at decode time, so they
+/// cost zero bytes. The dictionary is front-coded (shared-prefix length +
+/// suffix), which is where catalogs with systematic IRIs win the most.
+pub fn snapshot_to_vec_v2(interner: &Interner, db: &Database) -> Result<Vec<u8>, StoreError> {
+    let _g = span!("store.encode");
+    let mut rel_order: Vec<(Pred, &Relation)> = db.relations().collect();
+    rel_order.sort_by_key(|(p, _)| *p);
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
+
+    // Header — identical payload to v1.
+    let mut header = Vec::with_capacity(8 + 8 + 4 + 8);
+    header.extend_from_slice(&(interner.len() as u64).to_le_bytes());
+    header.extend_from_slice(&interner.fresh_counter().to_le_bytes());
+    header.extend_from_slice(&len_u32(rel_order.len(), "relation count")?.to_le_bytes());
+    header.extend_from_slice(&(db.size() as u64).to_le_bytes());
+    push_section(&mut out, TAG_HEADER, &header);
+
+    push_section(
+        &mut out,
+        TAG_DICTIONARY_V2,
+        &encode_dictionary_v2(interner.symbols()),
+    );
+
+    for (pred, rel) in rel_order {
+        let mut rows: Vec<&[Const]> = rel.tuples().collect();
+        rows.sort_unstable();
+        let arity = rel.arity();
+        // One up-front check bounds every row id to the u32 space the
+        // decoder re-validates.
+        len_u32(rows.len(), "relation row count")?;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&pred.0.to_le_bytes());
+        payload.extend_from_slice(&len_u32(arity, "relation arity")?.to_le_bytes());
+        payload.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        // Per-column blobs first, so the fixed-width column table can be
+        // written before them.
+        let mut blobs: Vec<(Vec<u8>, u64, Vec<u8>)> = Vec::with_capacity(arity);
+        for col in 0..arity {
+            let mut cells = Vec::new();
+            encode_cells(&mut cells, rows.iter().map(|t| t[col].0));
+            // BTreeMap keeps keys ascending → deterministic directory.
+            let mut counts: std::collections::BTreeMap<Const, u32> = Default::default();
+            for t in &rows {
+                *counts.entry(t[col]).or_insert(0) += 1;
+            }
+            let mut dir = Vec::new();
+            encode_key_dir(&mut dir, counts.iter().map(|(k, &n)| (k.0, n)));
+            blobs.push((cells, counts.len() as u64, dir));
+        }
+        for (cells, keys, dir) in &blobs {
+            payload.extend_from_slice(&(cells.len() as u64).to_le_bytes());
+            payload.extend_from_slice(&keys.to_le_bytes());
+            payload.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        }
+        for (cells, _, dir) in &blobs {
+            payload.extend_from_slice(cells);
+            payload.extend_from_slice(dir);
+        }
+        push_section(&mut out, TAG_RELATION_V2, &payload);
+    }
+
+    push_section(&mut out, TAG_END, &[]);
+    counter!("store.snapshot.bytes_encoded").add(out.len() as u64);
+    Ok(out)
+}
+
+/// Front-codes the dictionary: per symbol, `space u8 · shared-prefix-len
+/// varint · suffix-len varint · suffix bytes`, where the prefix is shared
+/// with the *previous* entry's name (byte-wise — reassembly restores the
+/// exact original, so UTF-8 validation of the whole name still applies).
+pub(crate) fn encode_dictionary_v2<'a>(
+    symbols: impl Iterator<Item = (SymbolSpace, &'a str)>,
+) -> Vec<u8> {
+    use wdpt_model::columnar::write_uvarint;
+    let mut dict = Vec::new();
+    let mut prev: Vec<u8> = Vec::new();
+    for (space, name) in symbols {
+        let bytes = name.as_bytes();
+        let shared = prev
+            .iter()
+            .zip(bytes)
+            .take_while(|(a, b)| a == b)
+            .count();
+        dict.push(space_code(space));
+        write_uvarint(&mut dict, shared as u64);
+        write_uvarint(&mut dict, (bytes.len() - shared) as u64);
+        dict.extend_from_slice(&bytes[shared..]);
+        prev.clear();
+        prev.extend_from_slice(bytes);
+    }
+    dict
+}
+
 /// Encodes a run of dictionary entries (`space u8 · len u32 · bytes`) —
 /// shared between the full snapshot dictionary and the appended-symbols
 /// dictionary of a delta.
@@ -300,15 +431,27 @@ pub fn write_snapshot<W: Write>(
 /// directory, then a rename, so a crash mid-write never leaves a partial
 /// snapshot under the final name).
 pub fn save_snapshot(path: &Path, interner: &Interner, db: &Database) -> Result<u64, StoreError> {
+    save_snapshot_versioned(path, interner, db, VERSION)
+}
+
+/// [`save_snapshot`] with an explicit format version (`wdpt-store build
+/// --format 2` / `apply --format 2` route through this).
+pub fn save_snapshot_versioned(
+    path: &Path,
+    interner: &Interner,
+    db: &Database,
+    version: u32,
+) -> Result<u64, StoreError> {
     let _g = span!("store.save_snapshot");
+    let bytes = snapshot_to_vec_versioned(interner, db, version)?;
     let tmp = path.with_extension("snap.tmp");
     let mut f = std::fs::File::create(&tmp)?;
-    let n = write_snapshot(&mut f, interner, db)?;
+    f.write_all(&bytes)?;
     f.sync_all()?;
     drop(f);
     std::fs::rename(&tmp, path)?;
     counter!("store.snapshot.saves").add(1);
-    Ok(n)
+    Ok(bytes.len() as u64)
 }
 
 /// A byte reader with typed truncation errors.
@@ -342,15 +485,24 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u32(&mut self, section: &str) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, section)?.try_into().unwrap(),
-        ))
+        let b = self.take(4, section)?;
+        // `take` guarantees the width, but the decode paths are sworn off
+        // unwrap/expect entirely — a length bug here must surface as a
+        // typed error, not a panic an adversarial input could reach.
+        b.try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| StoreError::Truncated {
+                section: section.to_string(),
+            })
     }
 
     pub(crate) fn u64(&mut self, section: &str) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, section)?.try_into().unwrap(),
-        ))
+        let b = self.take(8, section)?;
+        b.try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| StoreError::Truncated {
+                section: section.to_string(),
+            })
     }
 }
 
@@ -361,10 +513,48 @@ pub(crate) fn malformed(section: &str, detail: impl Into<String>) -> StoreError 
     }
 }
 
+/// Infallible-by-inspection little-endian u32 read: `None` instead of the
+/// `try_into().unwrap()` panic the decode paths used to carry.
+pub(crate) fn le_u32(bytes: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(<[u8; 4]>::try_from(bytes).ok()?))
+}
+
+/// Bounds an untrusted count field against the bytes that would have to
+/// carry it: `declared` items of at least `min_bytes_per_item` each must
+/// fit in `remaining` bytes. Returns the count as a `usize` on success; a
+/// length-bomb (declared ≫ payload) is a typed [`StoreError::Malformed`]
+/// *before* any `Vec::with_capacity` is sized from it — the pre-fix
+/// decoders allocated first and validated later, so a 16-byte corrupt file
+/// could demand a multi-GiB allocation.
+pub(crate) fn checked_count(
+    declared: u64,
+    min_bytes_per_item: u64,
+    remaining: usize,
+    section: &str,
+    what: &str,
+) -> Result<usize, StoreError> {
+    let needed = declared.checked_mul(min_bytes_per_item);
+    match needed {
+        Some(n) if n <= remaining as u64 => usize::try_from(declared)
+            .map_err(|_| malformed(section, format!("{what} count {declared} overflows usize"))),
+        _ => Err(malformed(
+            section,
+            format!(
+                "declares {declared} {what} (≥{min_bytes_per_item} bytes each) \
+                 but only {remaining} bytes remain"
+            ),
+        )),
+    }
+}
+
 /// A checksummed section sliced out of the snapshot.
 pub(crate) struct Section<'a> {
     pub(crate) tag: u8,
     pub(crate) payload: &'a [u8],
+    /// Byte offset of the payload within the whole file — the zero-copy v2
+    /// decoder turns intra-payload positions into absolute ranges of the
+    /// shared `Arc<[u8]>` with this.
+    pub(crate) offset: usize,
 }
 
 /// Reads the next section, verifying its CRC. `label` names the section we
@@ -374,6 +564,7 @@ pub(crate) fn read_section<'a>(r: &mut Reader<'a>, label: &str) -> Result<Sectio
     let tag = r.u8(label)?;
     let len = r.u64(label)?;
     let len = usize::try_from(len).map_err(|_| malformed(label, "section length overflow"))?;
+    let offset = r.pos;
     let payload = r.take(len, label)?;
     let stored_crc = r.u32(label)?;
     // CRC covers tag + len + payload — i.e. everything since `start` except
@@ -384,7 +575,11 @@ pub(crate) fn read_section<'a>(r: &mut Reader<'a>, label: &str) -> Result<Sectio
             section: label.to_string(),
         });
     }
-    Ok(Section { tag, payload })
+    Ok(Section {
+        tag,
+        payload,
+        offset,
+    })
 }
 
 /// The parsed header section.
@@ -413,8 +608,12 @@ pub struct RelationSummary {
     pub arity: u32,
     /// Tuple count.
     pub rows: u64,
-    /// Serialized size of the section payload in bytes.
+    /// Serialized (possibly compressed) size of the section payload.
     pub bytes: usize,
+    /// What the same relation costs in the uncompressed v1 encoding —
+    /// equal to `bytes` for v1 sections, computed from the row/key counts
+    /// for v2, so operators can read the compression ratio off `inspect`.
+    pub raw_bytes: u64,
 }
 
 /// A full snapshot summary: what `wdpt-store inspect` prints.
@@ -426,6 +625,10 @@ pub struct SnapshotSummary {
     pub relations: Vec<RelationSummary>,
     /// Total file size in bytes.
     pub bytes: usize,
+    /// Serialized size of the dictionary section payload.
+    pub dict_bytes: usize,
+    /// The dictionary's uncompressed (v1 encoding) size.
+    pub dict_raw_bytes: u64,
 }
 
 pub(crate) fn read_magic_version(r: &mut Reader<'_>) -> Result<u32, StoreError> {
@@ -434,7 +637,7 @@ pub(crate) fn read_magic_version(r: &mut Reader<'_>) -> Result<u32, StoreError> 
         return Err(StoreError::BadMagic);
     }
     let version = r.u32("version")?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V2 {
         return Err(StoreError::UnsupportedVersion(version));
     }
     Ok(version)
@@ -485,8 +688,12 @@ pub(crate) fn parse_dictionary_entries(
     payload: &[u8],
     count: usize,
 ) -> Result<Vec<(SymbolSpace, String)>, StoreError> {
+    // Every entry is at least 5 bytes (space u8 · len u32 · 0+ name
+    // bytes); a declared count the payload cannot possibly hold is a
+    // typed error before anything is sized from it.
+    checked_count(count as u64, 5, payload.len(), "dictionary", "symbols")?;
     let mut r = Reader::new(payload);
-    let mut symbols = Vec::new();
+    let mut symbols = Vec::with_capacity(count);
     for i in 0..count {
         let space = space_from_code(r.u8("dictionary")?)
             .ok_or_else(|| malformed("dictionary", format!("bad namespace code for symbol {i}")))?;
@@ -538,9 +745,25 @@ fn parse_relation(
     if !spaces.is(pred_id, SymbolSpace::Pred) {
         return Err(malformed(label, format!("id {pred_id} is not a predicate")));
     }
-    let arity = r.u32(label)? as usize;
+    let arity_u32 = r.u32(label)?;
     let rows_u64 = r.u64(label)?;
-    let rows = usize::try_from(rows_u64).map_err(|_| malformed(label, "row count overflow"))?;
+    // Bound both counts against the bytes that must carry them *before*
+    // sizing any allocation: each column costs at least its 8-byte posting
+    // key count (so `arity` alone cannot length-bomb a zero-row relation),
+    // and each row costs 4 bytes per column of cells. The pre-fix code
+    // checked only `arity·rows·4`, which is 0 whenever either factor is —
+    // a 28-byte file claiming 4 billion empty columns allocated first.
+    let arity = checked_count(u64::from(arity_u32), 8, r.remaining(), label, "columns")?;
+    if arity == 0 && rows_u64 > 1 {
+        return Err(malformed(label, "nullary relation with more than one row"));
+    }
+    let rows = checked_count(
+        rows_u64,
+        4 * (arity as u64).max(1),
+        r.remaining(),
+        label,
+        "rows",
+    )?;
     let cells = arity
         .checked_mul(rows)
         .and_then(|c| c.checked_mul(4))
@@ -557,7 +780,7 @@ fn parse_relation(
         let raw = r.take(rows * 4, label)?;
         let mut column = Vec::with_capacity(rows);
         for cell in raw.chunks_exact(4) {
-            let id = u32::from_le_bytes(cell.try_into().unwrap());
+            let id = le_u32(cell).ok_or_else(|| malformed(label, "misaligned cell bytes"))?;
             if !spaces.is(id, SymbolSpace::Const) {
                 return Err(malformed(
                     label,
@@ -579,9 +802,6 @@ fn parse_relation(
             "tuple block is not sorted"
         };
         return Err(malformed(label, detail));
-    }
-    if arity == 0 && rows > 1 {
-        return Err(malformed(label, "nullary relation with more than one row"));
     }
 
     // Posting indexes: keys ascending, row lists ascending, every entry
@@ -628,7 +848,11 @@ fn parse_relation(
         }
         let mut index: HashMap<Const, Vec<u32>> = HashMap::with_capacity(keys);
         for (key, len) in lens {
-            let mut postings = Vec::with_capacity(len as usize);
+            // `len ≤ Σlens = rows` was proven above, and `rows` is bounded
+            // by the remaining-bytes budget — so this capacity can no
+            // longer be a length-bomb; clamp anyway so the bound does not
+            // depend on check ordering at a distance.
+            let mut postings = Vec::with_capacity((len as usize).min(rows));
             let mut prev: Option<u32> = None;
             for _ in 0..len {
                 let row = r.u32(label)?;
@@ -678,8 +902,24 @@ fn parse_relation(
     })
 }
 
-/// Decodes a snapshot from bytes into a fresh `(Interner, Database)` pair.
+/// Decodes a snapshot from bytes into a fresh `(Interner, Database)` pair,
+/// dispatching on the version field: v1 materializes eagerly; v2 copies
+/// the bytes into a shared buffer once and decodes zero-copy (callers that
+/// already hold an `Arc<[u8]>` — [`load_snapshot`], the replication
+/// bootstrap — use [`decode_snapshot_shared`] and skip even that copy).
 pub fn decode_snapshot(bytes: &[u8]) -> Result<(Interner, Database), StoreError> {
+    if peek_version(bytes)? == VERSION_V2 {
+        return decode_snapshot_shared(&Arc::from(bytes));
+    }
+    decode_snapshot_v1(bytes)
+}
+
+/// Reads the magic and version fields without consuming anything else.
+pub fn peek_version(bytes: &[u8]) -> Result<u32, StoreError> {
+    read_magic_version(&mut Reader::new(bytes))
+}
+
+fn decode_snapshot_v1(bytes: &[u8]) -> Result<(Interner, Database), StoreError> {
     let _g = span!("store.decode");
     let mut r = Reader::new(bytes);
     let version = read_magic_version(&mut r)?;
@@ -703,10 +943,17 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(Interner, Database), StoreError>
     let interner = Interner::from_symbols(symbols, header.fresh_counter)
         .ok_or_else(|| malformed("dictionary", "duplicate symbol entry"))?;
 
-    let mut relations: Vec<(Pred, Relation)> = Vec::with_capacity(header.relations as usize);
+    let rel_count = checked_count(
+        u64::from(header.relations),
+        SECTION_FRAME_BYTES as u64,
+        r.remaining(),
+        "header",
+        "relation sections",
+    )?;
+    let mut relations: Vec<(Pred, Relation)> = Vec::with_capacity(rel_count);
     let mut seen_preds = std::collections::HashSet::new();
     let mut total_tuples: u64 = 0;
-    for idx in 0..header.relations as usize {
+    for idx in 0..rel_count {
         let label = format!("relation[{idx}]");
         let section = read_section(&mut r, &label)?;
         expect_tag(&section, TAG_RELATION, &label)?;
@@ -741,6 +988,399 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(Interner, Database), StoreError>
     Ok((interner, Database::from_sorted(relations)))
 }
 
+/// Decodes a snapshot held in a shared buffer. For v2 files this is the
+/// zero-copy path: relations come out **lazy**, their cells and posting
+/// directories borrowing from `bytes` (each keeps its own `Arc` clone, so
+/// the buffer outlives any `Arc<Database>` swap that drops the rest of the
+/// load context — see DESIGN.md §13 for the lifetime rules). Load cost is
+/// CRC verification plus one streaming validation pass per section; no
+/// tuple, index, or string-heavy structure is materialized here except the
+/// dictionary. v1 files take the eager path unchanged.
+pub fn decode_snapshot_shared(bytes: &Arc<[u8]>) -> Result<(Interner, Database), StoreError> {
+    if peek_version(bytes)? != VERSION_V2 {
+        return decode_snapshot_v1(bytes);
+    }
+    let _g = span!("store.decode");
+    let mut r = Reader::new(bytes);
+    let version = read_magic_version(&mut r)?;
+
+    let section = read_section(&mut r, "header")?;
+    if section.tag == TAG_DELTA_HEADER {
+        return Err(malformed(
+            "header",
+            "file is a delta snapshot; apply it to its base first (wdpt-store apply)",
+        ));
+    }
+    expect_tag(&section, TAG_HEADER, "header")?;
+    let header = parse_header(section.payload, version)?;
+
+    let section = read_section(&mut r, "dictionary")?;
+    expect_tag(&section, TAG_DICTIONARY_V2, "dictionary")?;
+    let count = usize::try_from(header.symbols)
+        .ok()
+        .filter(|&n| u32::try_from(n).is_ok())
+        .ok_or_else(|| malformed("dictionary", "symbol count exceeds u32 id space"))?;
+    let symbols = parse_dictionary_v2(section.payload, count)?;
+    let spaces = SpaceTable {
+        spaces: symbols.iter().map(|(s, _)| *s).collect(),
+    };
+    let interner = Interner::from_symbols(symbols, header.fresh_counter)
+        .ok_or_else(|| malformed("dictionary", "duplicate symbol entry"))?;
+
+    let rel_count = checked_count(
+        u64::from(header.relations),
+        SECTION_FRAME_BYTES as u64,
+        r.remaining(),
+        "header",
+        "relation sections",
+    )?;
+    let mut relations: Vec<(Pred, Relation)> = Vec::with_capacity(rel_count);
+    let mut seen_preds = std::collections::HashSet::new();
+    let mut total_tuples: u64 = 0;
+    for idx in 0..rel_count {
+        let label = format!("relation[{idx}]");
+        let section = read_section(&mut r, &label)?;
+        expect_tag(&section, TAG_RELATION_V2, &label)?;
+        let (pred, relation) = parse_relation_v2(bytes, &section, idx, &spaces)?;
+        if !seen_preds.insert(pred) {
+            return Err(malformed(&label, "predicate appears in two relations"));
+        }
+        total_tuples += relation.len() as u64;
+        relations.push((pred, relation));
+    }
+    if total_tuples != header.tuples {
+        return Err(malformed(
+            "header",
+            format!(
+                "header claims {} tuples, sections hold {total_tuples}",
+                header.tuples
+            ),
+        ));
+    }
+
+    let section = read_section(&mut r, "end")?;
+    expect_tag(&section, TAG_END, "end")?;
+    if !section.payload.is_empty() {
+        return Err(malformed("end", "non-empty end section"));
+    }
+    if r.remaining() != 0 {
+        return Err(malformed("end", "trailing bytes after end section"));
+    }
+
+    counter!("store.snapshot.loads").add(1);
+    counter!("store.snapshot.tuples_loaded").add(total_tuples);
+    Ok((interner, Database::from_sorted(relations)))
+}
+
+/// Decodes the front-coded v2 dictionary (inverse of
+/// [`encode_dictionary_v2`]).
+fn parse_dictionary_v2(
+    payload: &[u8],
+    count: usize,
+) -> Result<Vec<(SymbolSpace, String)>, StoreError> {
+    // Minimum entry: space byte + two one-byte varints.
+    checked_count(count as u64, 3, payload.len(), "dictionary", "symbols")?;
+    let mut symbols = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    let mut prev: Vec<u8> = Vec::new();
+    let truncated = || StoreError::Truncated {
+        section: "dictionary".to_string(),
+    };
+    for i in 0..count {
+        let space_byte = *payload.get(pos).ok_or_else(truncated)?;
+        pos += 1;
+        let space = space_from_code(space_byte)
+            .ok_or_else(|| malformed("dictionary", format!("bad namespace code for symbol {i}")))?;
+        let shared = read_uvarint(payload, &mut pos).ok_or_else(truncated)?;
+        let shared = usize::try_from(shared)
+            .ok()
+            .filter(|&s| s <= prev.len())
+            .ok_or_else(|| {
+                malformed(
+                    "dictionary",
+                    format!("symbol {i} shares a longer prefix than its predecessor has"),
+                )
+            })?;
+        let suffix_len = read_uvarint(payload, &mut pos).ok_or_else(truncated)?;
+        let suffix_len = checked_count(
+            suffix_len,
+            1,
+            payload.len() - pos,
+            "dictionary",
+            "suffix bytes",
+        )?;
+        let suffix = payload.get(pos..pos + suffix_len).ok_or_else(truncated)?;
+        pos += suffix_len;
+        prev.truncate(shared);
+        prev.extend_from_slice(suffix);
+        let name = std::str::from_utf8(&prev)
+            .map_err(|_| malformed("dictionary", format!("symbol {i} is not UTF-8")))?;
+        symbols.push((space, name.to_string()));
+    }
+    if pos != payload.len() {
+        return Err(malformed("dictionary", "trailing bytes"));
+    }
+    Ok(symbols)
+}
+
+/// Parses one v2 relation section into a lazy [`Relation`]: reads the
+/// column table, slices the blobs out of the shared buffer, and runs one
+/// **allocation-free** validation pass over every stream so the lazy
+/// decoders can never observe a malformed byte later. Key directories are
+/// checked for internal consistency (ascending in-namespace keys, lengths
+/// summing to the row count); their agreement with the cells is enforced
+/// by construction for files this crate writes and cross-checked by
+/// `wdpt-store verify` — a hand-forged directory can skew statistics but
+/// never query answers, since posting lists are derived from the cells.
+fn parse_relation_v2(
+    raw: &Arc<[u8]>,
+    section: &Section<'_>,
+    idx: usize,
+    spaces: &SpaceTable,
+) -> Result<(Pred, Relation), StoreError> {
+    let label = format!("relation[{idx}]");
+    let label = label.as_str();
+    let mut r = Reader::new(section.payload);
+    let pred_id = r.u32(label)?;
+    if !spaces.is(pred_id, SymbolSpace::Pred) {
+        return Err(malformed(label, format!("id {pred_id} is not a predicate")));
+    }
+    let arity_u32 = r.u32(label)?;
+    let rows_u64 = r.u64(label)?;
+    if rows_u64 > u64::from(u32::MAX) {
+        return Err(malformed(label, "row count exceeds the u32 id space"));
+    }
+    // Each column owes a 24-byte table entry; bound `arity` on that before
+    // sizing anything from it.
+    let arity = checked_count(u64::from(arity_u32), 24, r.remaining(), label, "columns")?;
+    if arity == 0 && rows_u64 > 1 {
+        return Err(malformed(label, "nullary relation with more than one row"));
+    }
+    let rows = rows_u64 as usize;
+    let mut table: Vec<(u64, u64, u64)> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let cells_bytes = r.u64(label)?;
+        let keys = r.u64(label)?;
+        let dir_bytes = r.u64(label)?;
+        table.push((cells_bytes, keys, dir_bytes));
+    }
+
+    let base = section.offset;
+    let mut columns: Vec<ColumnSlices> = Vec::with_capacity(arity);
+    for (col, &(cells_bytes, keys_u64, dir_bytes)) in table.iter().enumerate() {
+        let cells_bytes = checked_count(cells_bytes, 1, r.remaining(), label, "cells bytes")?;
+        if rows > cells_bytes {
+            return Err(malformed(
+                label,
+                format!("column {col} declares {rows} rows in {cells_bytes} cells bytes"),
+            ));
+        }
+        let cells_start = base + r.pos;
+        r.take(cells_bytes, label)?;
+        let dir_bytes = checked_count(dir_bytes, 1, r.remaining(), label, "directory bytes")?;
+        // Each directory entry is at least two varint bytes.
+        let keys = checked_count(keys_u64, 2, dir_bytes, label, "keys")?;
+        if keys > rows {
+            return Err(malformed(
+                label,
+                format!("column {col} claims {keys} keys for {rows} rows"),
+            ));
+        }
+        let dir_start = base + r.pos;
+        let dir_blob = r.take(dir_bytes, label)?;
+        validate_key_dir(dir_blob, keys, rows_u64, spaces, label, col)?;
+        columns.push(ColumnSlices {
+            cells: cells_start..cells_start + cells_bytes,
+            keys,
+            key_dir: dir_start..dir_start + dir_bytes,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(malformed(label, "trailing bytes"));
+    }
+    validate_cells_streams(raw, &columns, rows, spaces, label)?;
+
+    let backing = ColumnarRelation::new(raw.clone(), arity, rows, columns);
+    Ok((Pred(pred_id), Relation::from_columnar(backing)))
+}
+
+/// Validates one column's key directory: well-formed varints consumed
+/// exactly, strictly ascending in-namespace keys, non-empty posting
+/// lengths summing to the row count.
+fn validate_key_dir(
+    blob: &[u8],
+    keys: usize,
+    rows: u64,
+    spaces: &SpaceTable,
+    label: &str,
+    col: usize,
+) -> Result<(), StoreError> {
+    let mut pos = 0usize;
+    let mut key = 0u64;
+    let mut covered = 0u64;
+    for i in 0..keys {
+        let delta = read_uvarint(blob, &mut pos)
+            .ok_or_else(|| malformed(label, format!("column {col} directory truncated")))?;
+        if i > 0 && delta == 0 {
+            return Err(malformed(label, format!("column {col} keys not ascending")));
+        }
+        key = if i == 0 {
+            delta
+        } else {
+            key.checked_add(delta)
+                .ok_or_else(|| malformed(label, format!("column {col} key overflow")))?
+        };
+        if key > u64::from(u32::MAX) || !spaces.is(key as u32, SymbolSpace::Const) {
+            return Err(malformed(
+                label,
+                format!("column {col} posting key {key} is not a constant"),
+            ));
+        }
+        let len = read_uvarint(blob, &mut pos)
+            .ok_or_else(|| malformed(label, format!("column {col} directory truncated")))?;
+        if len == 0 {
+            return Err(malformed(label, format!("column {col} empty posting list")));
+        }
+        covered = covered
+            .checked_add(len)
+            .filter(|&c| c <= rows)
+            .ok_or_else(|| {
+                malformed(
+                    label,
+                    format!("column {col} postings cover more than {rows} rows"),
+                )
+            })?;
+    }
+    if covered != rows {
+        return Err(malformed(
+            label,
+            format!("column {col} postings cover {covered} rows, expected {rows}"),
+        ));
+    }
+    if pos != blob.len() {
+        return Err(malformed(
+            label,
+            format!("column {col} trailing directory bytes"),
+        ));
+    }
+    Ok(())
+}
+
+/// Walks all cells blobs of a relation in lockstep, row by row, verifying
+/// varint well-formedness, exact stream consumption, the constant
+/// namespace of every cell, and strict lexicographic row order — without
+/// allocating more than two `arity`-sized scratch rows. After this pass
+/// the lazy decoders in `wdpt_model::columnar` are total.
+fn validate_cells_streams(
+    raw: &[u8],
+    columns: &[ColumnSlices],
+    rows: usize,
+    spaces: &SpaceTable,
+    label: &str,
+) -> Result<(), StoreError> {
+    let arity = columns.len();
+    if arity == 0 {
+        return Ok(());
+    }
+    let blobs: Vec<&[u8]> = columns.iter().map(|c| &raw[c.cells.clone()]).collect();
+    let mut cursors = vec![0usize; arity];
+    let mut acc = vec![0i64; arity];
+    let mut prev_row: Vec<u32> = Vec::with_capacity(arity);
+    let mut cur = vec![0u32; arity];
+    for row in 0..rows {
+        for col in 0..arity {
+            let delta = read_uvarint(blobs[col], &mut cursors[col]).ok_or_else(|| {
+                malformed(
+                    label,
+                    format!("column {col} cells stream truncated at row {row}"),
+                )
+            })?;
+            let v = acc[col].checked_add(unzigzag(delta)).filter(|&v| {
+                (0..=i64::from(u32::MAX)).contains(&v)
+            });
+            let v = v.ok_or_else(|| {
+                malformed(
+                    label,
+                    format!("column {col} cell out of the u32 id space at row {row}"),
+                )
+            })?;
+            let id = v as u32;
+            if !spaces.is(id, SymbolSpace::Const) {
+                return Err(malformed(
+                    label,
+                    format!("column {col} holds id {id}, which is not a constant"),
+                ));
+            }
+            acc[col] = v;
+            cur[col] = id;
+        }
+        if row > 0 {
+            match prev_row.as_slice().cmp(cur.as_slice()) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    return Err(malformed(label, "duplicate tuple in sorted block"))
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(malformed(label, "tuple block is not sorted"))
+                }
+            }
+        }
+        prev_row.clear();
+        prev_row.extend_from_slice(&cur);
+    }
+    for (col, cursor) in cursors.iter().enumerate() {
+        if *cursor != blobs[col].len() {
+            return Err(malformed(
+                label,
+                format!("column {col} trailing bytes in cells blob"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deep verification beyond what loading checks: forces every lazy
+/// relation, cross-checks all posting lists against the tuple block, and
+/// (for lazy relations) compares the serialized key directories against
+/// the derived indexes. `wdpt-store verify` runs this so the offline tool
+/// catches the one class of forgery the zero-copy load path admits —
+/// internally-consistent key directories that do not match the cells.
+pub fn verify_database_deep(db: &Database) -> Result<(), StoreError> {
+    for (pred, rel) in db.relations() {
+        let label = format!("relation (pred id {})", pred.0);
+        // Capture what the snapshot *claims* — the serialized directories —
+        // before forcing anything. `scan_serialized_posting_lens` reads the
+        // raw bytes whenever columnar backing exists, even after a query
+        // already materialized tuples or decoded an index, so a forged
+        // directory cannot hide behind a prior decode.
+        let mut dirs: Vec<Vec<(Const, u32)>> = Vec::new();
+        for col in 0..rel.arity() {
+            let mut dir = Vec::new();
+            if !rel.scan_serialized_posting_lens(col, |c, n| dir.push((c, n))) {
+                break; // owned relation: nothing serialized to cross-check
+            }
+            dirs.push(dir);
+        }
+        rel.verify_deep().map_err(|detail| malformed(&label, detail))?;
+        for (col, dir) in dirs.into_iter().enumerate() {
+            let idx = rel
+                .built_column_index(col)
+                .ok_or_else(|| malformed(&label, "deep verify left an index unbuilt"))?;
+            if dir.len() != idx.len()
+                || dir
+                    .iter()
+                    .any(|(c, n)| idx.get(c).map(Vec::len) != Some(*n as usize))
+            {
+                return Err(malformed(
+                    &label,
+                    format!("column {col} key directory disagrees with the cells"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Reads and decodes a snapshot from any reader.
 pub fn read_snapshot<R: Read>(r: &mut R) -> Result<(Interner, Database), StoreError> {
     let mut bytes = Vec::new();
@@ -748,11 +1388,13 @@ pub fn read_snapshot<R: Read>(r: &mut R) -> Result<(Interner, Database), StoreEr
     decode_snapshot(&bytes)
 }
 
-/// Loads a snapshot file.
+/// Loads a snapshot file: one `File::read` of the whole file into a shared
+/// buffer, then [`decode_snapshot_shared`] — for v2 files the relations
+/// keep borrowing that buffer, so this is the zero-copy cold-start path.
 pub fn load_snapshot(path: &Path) -> Result<(Interner, Database), StoreError> {
     let _g = span!("store.load_snapshot");
-    let bytes = std::fs::read(path)?;
-    decode_snapshot(&bytes)
+    let bytes: Arc<[u8]> = std::fs::read(path)?.into();
+    decode_snapshot_shared(&bytes)
 }
 
 /// Walks a snapshot's sections — verifying magic, version, and every CRC —
@@ -773,18 +1415,58 @@ pub fn inspect_snapshot(bytes: &[u8]) -> Result<SnapshotSummary, StoreError> {
     let header = parse_header(section.payload, version)?;
 
     let section = read_section(&mut r, "dictionary")?;
-    expect_tag(&section, TAG_DICTIONARY, "dictionary")?;
-    let symbols = parse_dictionary(section.payload, &header)?;
+    let dict_bytes = section.payload.len();
+    let symbols = if version == VERSION_V2 {
+        expect_tag(&section, TAG_DICTIONARY_V2, "dictionary")?;
+        let count = usize::try_from(header.symbols)
+            .ok()
+            .filter(|&n| u32::try_from(n).is_ok())
+            .ok_or_else(|| malformed("dictionary", "symbol count exceeds u32 id space"))?;
+        parse_dictionary_v2(section.payload, count)?
+    } else {
+        expect_tag(&section, TAG_DICTIONARY, "dictionary")?;
+        parse_dictionary(section.payload, &header)?
+    };
+    // v1 dictionary cost of the same symbols: space u8 + len u32 + bytes.
+    let dict_raw_bytes: u64 = symbols.iter().map(|(_, n)| 5 + n.len() as u64).sum();
 
-    let mut relations = Vec::with_capacity(header.relations as usize);
-    for idx in 0..header.relations as usize {
+    let rel_tag = if version == VERSION_V2 {
+        TAG_RELATION_V2
+    } else {
+        TAG_RELATION
+    };
+    let rel_count = checked_count(
+        u64::from(header.relations),
+        SECTION_FRAME_BYTES as u64,
+        r.remaining(),
+        "header",
+        "relation sections",
+    )?;
+    let mut relations = Vec::with_capacity(rel_count);
+    for idx in 0..rel_count {
         let label = format!("relation[{idx}]");
         let section = read_section(&mut r, &label)?;
-        expect_tag(&section, TAG_RELATION, &label)?;
+        expect_tag(&section, rel_tag, &label)?;
         let mut pr = Reader::new(section.payload);
         let pred = pr.u32(&label)?;
         let arity = pr.u32(&label)?;
         let rows = pr.u64(&label)?;
+        // The uncompressed (v1) payload cost: 16-byte header, 4 bytes per
+        // cell, and per column a key count u64 + (key,len) pairs + 4-byte
+        // posting rows.
+        let mut raw_bytes: u64 = 16 + u64::from(arity) * rows * 4;
+        if version == VERSION_V2 {
+            for col in 0..arity as usize {
+                let _cells_bytes = pr.u64(&label)?;
+                let keys = pr.u64(&label)?;
+                let _dir_bytes = pr.u64(&label)?;
+                let _ = col;
+                raw_bytes += 8 + keys * 8 + rows * 4;
+            }
+        } else {
+            // v1 sections *are* the raw encoding.
+            raw_bytes = section.payload.len() as u64;
+        }
         let name = symbols
             .get(pred as usize)
             .map(|(_, n)| n.clone())
@@ -795,6 +1477,7 @@ pub fn inspect_snapshot(bytes: &[u8]) -> Result<SnapshotSummary, StoreError> {
             arity,
             rows,
             bytes: section.payload.len(),
+            raw_bytes,
         });
     }
     let section = read_section(&mut r, "end")?;
@@ -806,6 +1489,8 @@ pub fn inspect_snapshot(bytes: &[u8]) -> Result<SnapshotSummary, StoreError> {
         header,
         relations,
         bytes: bytes.len(),
+        dict_bytes,
+        dict_raw_bytes,
     })
 }
 

@@ -47,9 +47,10 @@ pub use delta::{
     Delta, DeltaHeader,
 };
 pub use format::{
-    content_hash, decode_snapshot, inspect_snapshot, load_snapshot, read_snapshot, save_snapshot,
-    snapshot_to_vec, write_snapshot, RelationSummary, SnapshotHeader, SnapshotSummary, StoreError,
-    MAGIC, VERSION,
+    content_hash, decode_snapshot, decode_snapshot_shared, inspect_snapshot, load_snapshot,
+    peek_version, read_snapshot, save_snapshot, save_snapshot_versioned, snapshot_to_vec,
+    snapshot_to_vec_v2, snapshot_to_vec_versioned, verify_database_deep, write_snapshot,
+    RelationSummary, SnapshotHeader, SnapshotSummary, StoreError, MAGIC, VERSION, VERSION_V2,
 };
 pub use loader::{bulk_load, bulk_load_path, LoadOptions, LoadReport};
 pub use replog::{head_hex, parse_head_hex, scan_chain_dir, ChainScan, LogEntry, ReplLog};
